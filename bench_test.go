@@ -1,0 +1,369 @@
+// Benchmarks regenerating the shape of every table and figure in the
+// paper's evaluation. Each benchmark mirrors one experiment at a reduced
+// size suitable for `go test -bench`; the full-scale runs (paper
+// dimensions) are produced by cmd/ldbench and recorded in EXPERIMENTS.md.
+//
+// Custom metrics: peak% is the fraction of the host's calibrated
+// AND+POPCNT+ADD issue rate (the paper's Figures 3–4 y-axis), MLD/s is
+// million pairwise LD computations per second (Tables I–III).
+package ldgemm
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"ldgemm/internal/baselines"
+	"ldgemm/internal/bitmat"
+	"ldgemm/internal/blis"
+	"ldgemm/internal/core"
+	"ldgemm/internal/harness"
+	"ldgemm/internal/kernel"
+	"ldgemm/internal/popsim"
+	"ldgemm/internal/simdsim"
+	"ldgemm/internal/tanimoto"
+)
+
+var (
+	peakOnce sync.Once
+	peakRate float64
+)
+
+// hostPeak calibrates once per benchmark binary run.
+func hostPeak() float64 {
+	peakOnce.Do(func() { peakRate = harness.CalibratePeak(300 * time.Millisecond) })
+	return peakRate
+}
+
+func benchMatrix(b *testing.B, seed uint64, snps, samples int) *bitmat.Matrix {
+	b.Helper()
+	m := bitmat.New(snps, samples)
+	state := seed*0x9e3779b97f4a7c15 + 1
+	pad := m.PadMask()
+	for i := 0; i < snps; i++ {
+		w := m.SNP(i)
+		for j := range w {
+			state ^= state << 13
+			state ^= state >> 7
+			state ^= state << 17
+			w[j] = state
+		}
+		if len(w) > 0 {
+			w[len(w)-1] &= pad
+		}
+	}
+	return m
+}
+
+// BenchmarkFig3 is Figure 3: the symmetric rank-k update (H = GᵀG) at
+// fixed n while the sample dimension k grows; the reported peak% should
+// stay flat and high as k increases (the paper's 84–90% band).
+func BenchmarkFig3(b *testing.B) {
+	peak := hostPeak()
+	for _, n := range []int{512, 1024} {
+		for _, k := range []int{1024, 4096, 16384} {
+			g := benchMatrix(b, uint64(n+k), n, k)
+			c := make([]uint32, n*n)
+			triples := int64(n) * int64(n+1) / 2 * int64(g.Words)
+			b.Run(fmt.Sprintf("n=%d/k=%d", n, k), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					clear(c)
+					if err := blis.Syrk(blis.Config{Threads: 1}, g, c, n, false); err != nil {
+						b.Fatal(err)
+					}
+				}
+				rate := float64(triples) * float64(b.N) / b.Elapsed().Seconds()
+				b.ReportMetric(100*rate/peak, "peak%")
+				b.ReportMetric(rate/1e9, "Gtriples/s")
+			})
+		}
+	}
+}
+
+// BenchmarkFig4 is Figure 4: the same sweep with two different genomic
+// matrices (all m×n outputs computed).
+func BenchmarkFig4(b *testing.B) {
+	peak := hostPeak()
+	for _, n := range []int{512, 1024} {
+		for _, k := range []int{1024, 4096, 16384} {
+			ga := benchMatrix(b, uint64(3*n+k), n, k)
+			gb := benchMatrix(b, uint64(5*n+k), n, k)
+			c := make([]uint32, n*n)
+			triples := int64(n) * int64(n) * int64(ga.Words)
+			b.Run(fmt.Sprintf("m=n=%d/k=%d", n, k), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					clear(c)
+					if err := blis.Gemm(blis.Config{Threads: 1}, ga, gb, c, n); err != nil {
+						b.Fatal(err)
+					}
+				}
+				rate := float64(triples) * float64(b.N) / b.Elapsed().Seconds()
+				b.ReportMetric(100*rate/peak, "peak%")
+				b.ReportMetric(rate/1e9, "Gtriples/s")
+			})
+		}
+	}
+}
+
+// benchComparison runs one paper comparison table (I, II, or III) at the
+// given scale: the three kernels on the same dataset, MLD/s reported.
+func benchComparison(b *testing.B, ds popsim.Dataset, scale int) {
+	g, err := ds.Generate(scale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hap := g
+	if hap.Samples%2 != 0 {
+		hap = hap.Slice(0, hap.SNPs) // dims already even for the paper sizes
+	}
+	geno, err := bitmat.FromHaplotypes(hap)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pairs := int64(g.SNPs) * int64(g.SNPs+1) / 2
+	report := func(b *testing.B) {
+		b.ReportMetric(float64(pairs)*float64(b.N)/b.Elapsed().Seconds()/1e6, "MLD/s")
+	}
+	b.Run("PLINK-like", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			baselines.Plink{Threads: 1}.R2Sum(geno)
+		}
+		report(b)
+	})
+	b.Run("OmegaPlus-like", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			baselines.Vector{Threads: 1}.R2Sum(g)
+		}
+		report(b)
+	})
+	b.Run("GEMM", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := core.SumR2(g, core.StreamOptions{
+				Options: core.Options{Blis: blis.Config{Threads: 1}},
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		report(b)
+	})
+}
+
+// BenchmarkTable1 is Table I (dataset A: 10,000 SNPs × 2,504 sequences),
+// at 1/10 scale.
+func BenchmarkTable1(b *testing.B) { benchComparison(b, popsim.DatasetA, 10) }
+
+// BenchmarkTable2 is Table II (dataset B: 10,000 × 10,000), at 1/10 scale.
+func BenchmarkTable2(b *testing.B) { benchComparison(b, popsim.DatasetB, 10) }
+
+// BenchmarkTable3 is Table III (dataset C: 10,000 × 100,000), at 1/20
+// scale (the sample dimension is what makes this the heavy dataset).
+func BenchmarkTable3(b *testing.B) { benchComparison(b, popsim.DatasetC, 20) }
+
+// BenchmarkFig5 is Figure 5: GEMM LD throughput as the thread count grows
+// past the physical cores; the MLD/s metric saturates at the core count.
+func BenchmarkFig5(b *testing.B) {
+	g, err := popsim.DatasetC.Generate(20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pairs := int64(g.SNPs) * int64(g.SNPs+1) / 2
+	for _, threads := range []int{1, 2, 4, 8, 16, 24} {
+		b.Run(fmt.Sprintf("threads=%d", threads), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.SumR2(g, core.StreamOptions{
+					Options: core.Options{Blis: blis.Config{Threads: threads}},
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(pairs)*float64(b.N)/b.Elapsed().Seconds()/1e6, "MLD/s")
+		})
+	}
+}
+
+// BenchmarkSIMDModel is the Section V argument: simulated cycles per word
+// for the three instruction-set scenarios. cyc/word for SIMD without a
+// hardware popcount never drops below scalar; with one it scales as 1/v.
+func BenchmarkSIMDModel(b *testing.B) {
+	cases := []struct {
+		name  string
+		sc    simdsim.Scenario
+		lanes int
+	}{
+		{"scalar", simdsim.Scalar, 1},
+		{"simd-nohw/v=4", simdsim.SIMDNoHW, 4},
+		{"simd-nohw/v=8", simdsim.SIMDNoHW, 8},
+		{"simd-hw/v=4", simdsim.SIMDHW, 4},
+		{"simd-hw/v=8", simdsim.SIMDHW, 8},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			var res simdsim.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = simdsim.Run(c.sc, 1024, c.lanes)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.CyclesPerWord, "cyc/word")
+		})
+	}
+}
+
+// BenchmarkMaskedLD is the Section VII gaps ablation: the fused masked
+// kernel (4 counts/pair) against the plain kernel on identical input.
+func BenchmarkMaskedLD(b *testing.B) {
+	const n, k = 512, 4096
+	g := benchMatrix(b, 77, n, k)
+	mask := bitmat.NewMask(n, k)
+	for i := 0; i < n; i++ {
+		for s := 0; s < k; s += 31 {
+			mask.Invalidate(i, s)
+		}
+	}
+	if err := mask.ApplyTo(g); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("plain", func(b *testing.B) {
+		c := make([]uint32, n*n)
+		for i := 0; i < b.N; i++ {
+			clear(c)
+			if err := blis.Syrk(blis.Config{Threads: 1}, g, c, n, false); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("masked", func(b *testing.B) {
+		c := make([]uint32, n*n*4)
+		for i := 0; i < b.N; i++ {
+			clear(c)
+			if err := blis.MaskedSyrk(blis.Config{Threads: 1}, g, mask, c, n); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFSM is the Section VII finite-sites ablation: 4-state LD with
+// Zaykin's T versus the 1-bit ISM kernel at the same dimensions (paper
+// bound: ≤16× plus epilogue).
+func BenchmarkFSM(b *testing.B) {
+	const n, k = 256, 512
+	g := benchMatrix(b, 88, n, k)
+	cols := make([][]byte, n)
+	alpha := []byte("ACGT")
+	state := uint64(99)
+	for i := range cols {
+		cols[i] = make([]byte, k)
+		for s := range cols[i] {
+			state = state*6364136223846793005 + 1
+			cols[i][s] = alpha[state>>62]
+		}
+	}
+	fsm, err := core.FromDNA(cols)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("ISM", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Matrix(g, core.Options{Measures: core.MeasureR2, Blis: blis.Config{Threads: 1}}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("FSM", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.FSMLD(fsm, core.Options{Blis: blis.Config{Threads: 1}}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkTanimoto is the Section VII chemistry adaptation: all-pairs
+// fingerprint similarity through the GEMM path versus per-pair popcounts.
+func BenchmarkTanimoto(b *testing.B) {
+	const compounds, bits = 1024, 2048
+	fp, err := tanimoto.Random(compounds, bits, 0.3, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pairs := float64(compounds) * float64(compounds+1) / 2
+	b.Run("per-pair", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for x := 0; x < compounds; x++ {
+				for y := x; y < compounds; y++ {
+					_ = fp.Pair(x, y)
+				}
+			}
+		}
+		b.ReportMetric(pairs*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mpairs/s")
+	})
+	b.Run("GEMM", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := fp.AllPairs(blis.Config{Threads: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(pairs*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mpairs/s")
+	})
+}
+
+// BenchmarkAblationBlocking isolates what the GotoBLAS structure buys:
+// the same count workload via per-sample naive loops, the unblocked
+// vector kernel, and the blocked GEMM.
+func BenchmarkAblationBlocking(b *testing.B) {
+	const n, k = 384, 8192
+	g := benchMatrix(b, 55, n, k)
+	pairs := float64(n) * float64(n+1) / 2
+	report := func(b *testing.B) {
+		b.ReportMetric(pairs*float64(b.N)/b.Elapsed().Seconds()/1e6, "MLD/s")
+	}
+	b.Run("naive-per-sample", func(b *testing.B) {
+		// One outer iteration is n(n+1)/2 × k bit operations; keep N low.
+		for i := 0; i < b.N; i++ {
+			baselines.Naive{Threads: 1}.R2Sum(g)
+		}
+		report(b)
+	})
+	b.Run("vector-unblocked", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			baselines.Vector{Threads: 1}.R2Sum(g)
+		}
+		report(b)
+	})
+	b.Run("gemm-blocked", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := core.SumR2(g, core.StreamOptions{
+				Options: core.Options{Blis: blis.Config{Threads: 1}},
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		report(b)
+	})
+}
+
+// BenchmarkAblationKernelShape sweeps the register-block shapes of the
+// micro-kernel under the full blocked driver.
+func BenchmarkAblationKernelShape(b *testing.B) {
+	const n, k = 512, 8192
+	g := benchMatrix(b, 66, n, k)
+	peak := hostPeak()
+	triples := int64(n) * int64(n+1) / 2 * int64(g.Words)
+	for _, kn := range kernel.Fixed {
+		c := make([]uint32, n*n)
+		b.Run(kn.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				clear(c)
+				if err := blis.Syrk(blis.Config{Kernel: kn, Threads: 1}, g, c, n, false); err != nil {
+					b.Fatal(err)
+				}
+			}
+			rate := float64(triples) * float64(b.N) / b.Elapsed().Seconds()
+			b.ReportMetric(100*rate/peak, "peak%")
+		})
+	}
+}

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ldgemm/internal/seqio"
+)
+
+func runDatagen(t *testing.T, args ...string) (string, string, error) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	err := run(args, &out, &errBuf)
+	return out.String(), errBuf.String(), err
+}
+
+func TestDatagenBinaryFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.ldgm")
+	_, stderr, err := runDatagen(t, "-snps", "30", "-samples", "20", "-out", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stderr, "wrote 30 SNPs × 20 sequences") {
+		t.Fatalf("stderr %q", stderr)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	m, err := seqio.ReadBinary(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.SNPs != 30 || m.Samples != 20 {
+		t.Fatalf("dims %dx%d", m.SNPs, m.Samples)
+	}
+}
+
+func TestDatagenMSToStdout(t *testing.T) {
+	out, _, err := runDatagen(t, "-snps", "8", "-samples", "6", "-format", "ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps, err := seqio.ReadMS(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reps[0].Matrix.SNPs != 8 || reps[0].Matrix.Samples != 6 {
+		t.Fatalf("dims %dx%d", reps[0].Matrix.SNPs, reps[0].Matrix.Samples)
+	}
+}
+
+func TestDatagenVCF(t *testing.T) {
+	out, _, err := runDatagen(t, "-snps", "5", "-samples", "8", "-format", "vcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := seqio.ReadVCF(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Matrix.SNPs != 5 || v.Matrix.Samples != 8 || v.Ploidy != 2 {
+		t.Fatalf("vcf %dx%d ploidy %d", v.Matrix.SNPs, v.Matrix.Samples, v.Ploidy)
+	}
+}
+
+func TestDatagenDataset(t *testing.T) {
+	out, _, err := runDatagen(t, "-dataset", "A", "-scale", "200", "-format", "ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps, err := seqio.ReadMS(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reps[0].Matrix.SNPs != 50 { // 10000/200
+		t.Fatalf("snps %d", reps[0].Matrix.SNPs)
+	}
+}
+
+func TestDatagenSweep(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "s.ldgm")
+	if _, _, err := runDatagen(t, "-snps", "100", "-samples", "40",
+		"-sweep", "50", "-sweep-radius", "20", "-out", path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDatagenErrors(t *testing.T) {
+	if _, _, err := runDatagen(t, "-dataset", "Z"); err == nil {
+		t.Fatal("bad dataset accepted")
+	}
+	if _, _, err := runDatagen(t, "-format", "nope"); err == nil {
+		t.Fatal("bad format accepted")
+	}
+	if _, _, err := runDatagen(t, "-snps", "5", "-samples", "7", "-format", "vcf"); err == nil {
+		t.Fatal("odd haplotypes for vcf accepted")
+	}
+	if _, _, err := runDatagen(t, "-sweep", "9999", "-snps", "10", "-samples", "4"); err == nil {
+		t.Fatal("out-of-range sweep accepted")
+	}
+	if _, _, err := runDatagen(t, "-not-a-flag"); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

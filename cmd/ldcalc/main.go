@@ -1,0 +1,285 @@
+// Command ldcalc computes all-pairs linkage disequilibrium for a genomic
+// dataset using the blocked GEMM kernel.
+//
+// Usage:
+//
+//	ldcalc -in data.ldgm -measure r2 -top 20
+//	ldcalc -in sim.ms -measure dprime -matrix -out ld.csv
+//	ldcalc -in calls.vcf -summary
+//	ldcalc -in data.ldgm -prune -blocks -decay
+//	ldcalc -in cohort.bed -em 20
+//
+// Input formats are detected from the extension (.ldgm, .ms, .vcf) or set
+// with -format. Output modes: -summary (default) prints aggregate LD
+// statistics; -top K lists the K strongest off-diagonal pairs with χ²
+// significance; -matrix dumps the full dense matrix as CSV; -prune,
+// -blocks, and -decay run the sliding-window pruner, haplotype-block
+// detector, and decay profiler; -ld-out emits tabular .ld records; -em K
+// reads a PLINK .bed/.bim/.fam fileset and reports the strongest pairs by
+// EM-estimated haplotype r².
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"ldgemm/internal/bitmat"
+	"ldgemm/internal/blis"
+	"ldgemm/internal/core"
+	"ldgemm/internal/seqio"
+	"ldgemm/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "ldcalc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("ldcalc", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	in := fs.String("in", "", "input path (required)")
+	format := fs.String("format", "", "input format: ldgm, ms, vcf (default: from extension)")
+	measure := fs.String("measure", "r2", "LD measure: r2, d, dprime")
+	threads := fs.Int("threads", 0, "worker threads (0 = GOMAXPROCS)")
+	top := fs.Int("top", 0, "print the K strongest off-diagonal pairs")
+	matrix := fs.Bool("matrix", false, "dump the full dense matrix as CSV")
+	summary := fs.Bool("summary", false, "print aggregate statistics (default if nothing else chosen)")
+	prune := fs.Bool("prune", false, "run sliding-window LD pruning")
+	pruneWindow := fs.Int("prune-window", 50, "pruning window in SNPs")
+	pruneStep := fs.Int("prune-step", 5, "pruning window step")
+	pruneR2 := fs.Float64("prune-r2", 0.5, "pruning r² threshold")
+	blocks := fs.Bool("blocks", false, "detect haplotype blocks")
+	blocksDPrime := fs.Float64("blocks-dprime", 0.8, "block |D'| threshold")
+	blocksFrac := fs.Float64("blocks-frac", 0.9, "block strong-pair fraction")
+	decay := fs.Bool("decay", false, "print the LD decay profile")
+	decayMax := fs.Int("decay-max", 200, "decay profile maximum distance (SNPs)")
+	decayBins := fs.Int("decay-bins", 40, "decay profile bins")
+	ldOut := fs.Bool("ld-out", false, "emit pairs in tabular .ld format")
+	ldFloor := fs.Float64("ld-floor", 0.2, "minimum |value| for -ld-out records")
+	em := fs.Int("em", 0, "with a .bed fileset: print the K strongest pairs by EM haplotype r²")
+	out := fs.String("out", "", "output path (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *in == "" {
+		fs.Usage()
+		return fmt.Errorf("-in is required")
+	}
+	if *em > 0 {
+		fileset, err := seqio.ReadPlinkFileset(*in)
+		if err != nil {
+			return err
+		}
+		w := bufio.NewWriter(stdout)
+		defer w.Flush()
+		return runEM(w, fileset, *em)
+	}
+	g, err := load(*in, *format)
+	if err != nil {
+		return err
+	}
+
+	var meas core.Measure
+	switch strings.ToLower(*measure) {
+	case "r2":
+		meas = core.MeasureR2
+	case "d":
+		meas = core.MeasureD
+	case "dprime":
+		meas = core.MeasureDPrime
+	default:
+		return fmt.Errorf("unknown measure %q (want r2, d, dprime)", *measure)
+	}
+
+	w := bufio.NewWriter(stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = bufio.NewWriter(f)
+	}
+	defer w.Flush()
+
+	if !*matrix && *top == 0 && !*prune && !*blocks && !*decay && !*ldOut {
+		*summary = true
+	}
+	opt := core.Options{Measures: meas, Blis: blis.Config{Threads: *threads}}
+
+	if *summary {
+		if err := printSummary(w, g, opt); err != nil {
+			return err
+		}
+	}
+	if *top > 0 {
+		if err := printTop(w, g, opt, meas, *top); err != nil {
+			return err
+		}
+	}
+	if *matrix {
+		if err := printMatrix(w, g, opt, meas); err != nil {
+			return err
+		}
+	}
+	if *prune {
+		if err := runPrune(w, g, *threads, *pruneWindow, *pruneStep, *pruneR2); err != nil {
+			return err
+		}
+	}
+	if *blocks {
+		if err := runBlocks(w, g, *threads, *blocksDPrime, *blocksFrac); err != nil {
+			return err
+		}
+	}
+	if *decay {
+		if err := runDecay(w, g, *threads, *decayMax, *decayBins); err != nil {
+			return err
+		}
+	}
+	if *ldOut {
+		if err := runLDOut(w, g, *threads, meas, *ldFloor); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func load(path, format string) (*bitmat.Matrix, error) {
+	if format == "" {
+		switch filepath.Ext(path) {
+		case ".ldgm", ".bin":
+			format = "ldgm"
+		case ".ms", ".txt":
+			format = "ms"
+		case ".vcf":
+			format = "vcf"
+		default:
+			return nil, fmt.Errorf("cannot infer format of %q; use -format", path)
+		}
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	switch format {
+	case "ldgm":
+		return seqio.ReadBinary(f)
+	case "ms":
+		reps, err := seqio.ReadMS(f)
+		if err != nil {
+			return nil, err
+		}
+		return reps[0].Matrix, nil
+	case "vcf":
+		v, err := seqio.ReadVCF(f)
+		if err != nil {
+			return nil, err
+		}
+		return v.Matrix, nil
+	default:
+		return nil, fmt.Errorf("unknown format %q", format)
+	}
+}
+
+func printSummary(w *bufio.Writer, g *bitmat.Matrix, opt core.Options) error {
+	sum, pairs, err := core.SumR2(g, core.StreamOptions{Options: opt})
+	if err != nil {
+		return err
+	}
+	offDiag := pairs - int64(g.SNPs)
+	// Diagonal r² is 1 for every polymorphic SNP; subtract to report the
+	// informative mean.
+	poly := 0
+	for i := 0; i < g.SNPs; i++ {
+		if c := g.DerivedCount(i); c > 0 && c < g.Samples {
+			poly++
+		}
+	}
+	fmt.Fprintf(w, "SNPs:               %d\n", g.SNPs)
+	fmt.Fprintf(w, "sequences:          %d\n", g.Samples)
+	fmt.Fprintf(w, "polymorphic SNPs:   %d\n", poly)
+	fmt.Fprintf(w, "pairs (incl diag):  %d\n", pairs)
+	if offDiag > 0 {
+		fmt.Fprintf(w, "mean off-diag r²:   %.6f\n", (sum-float64(poly))/float64(offDiag))
+	}
+	freqs := core.AlleleFrequencies(g)
+	fmt.Fprintf(w, "mean derived freq:  %.4f\n", stats.Mean(freqs))
+	return nil
+}
+
+type pairHit struct {
+	i, j int
+	v    float64
+}
+
+func printTop(w *bufio.Writer, g *bitmat.Matrix, opt core.Options, meas core.Measure, k int) error {
+	hits := make([]pairHit, 0, k+1)
+	sopt := core.StreamOptions{Options: opt, Triangular: true}
+	sopt.Measures = meas
+	err := core.Stream(g, sopt, func(i, j0 int, row []float64) {
+		for t, v := range row {
+			j := j0 + t
+			if j == i {
+				continue
+			}
+			av := v
+			if av < 0 {
+				av = -av
+			}
+			if len(hits) < k || av > abs(hits[len(hits)-1].v) {
+				hits = append(hits, pairHit{i, j, v})
+				sort.Slice(hits, func(a, b int) bool { return abs(hits[a].v) > abs(hits[b].v) })
+				if len(hits) > k {
+					hits = hits[:k]
+				}
+			}
+		}
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "snp_i,snp_j,value,chi2,p_value\n")
+	for _, h := range hits {
+		p := core.PairLD(g, h.i, h.j)
+		chi2 := p.Chi2(g.Samples)
+		pv, err := stats.ChiSquarePValue(chi2, 1)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%d,%d,%.6f,%.3f,%.3e\n", h.i, h.j, h.v, chi2, pv)
+	}
+	return nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func printMatrix(w *bufio.Writer, g *bitmat.Matrix, opt core.Options, meas core.Measure) error {
+	sopt := core.StreamOptions{Options: opt}
+	sopt.Measures = meas
+	return core.Stream(g, sopt, func(i, j0 int, row []float64) {
+		for t, v := range row {
+			if t > 0 {
+				w.WriteByte(',')
+			}
+			fmt.Fprintf(w, "%.6g", v)
+		}
+		w.WriteByte('\n')
+	})
+}

@@ -1,0 +1,163 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ldgemm/internal/bitmat"
+	"ldgemm/internal/popsim"
+	"ldgemm/internal/seqio"
+)
+
+// writeDataset writes a small deterministic matrix and returns its path.
+func writeDataset(t *testing.T, snps, samples int) string {
+	t.Helper()
+	m, err := popsim.Mosaic(snps, samples, popsim.MosaicConfig{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "data.ldgm")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := seqio.WriteBinary(f, m); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runLdcalc(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	err := run(args, &out, &errBuf)
+	return out.String(), err
+}
+
+func TestLdcalcSummary(t *testing.T) {
+	path := writeDataset(t, 40, 50)
+	out, err := runLdcalc(t, "-in", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"SNPs:               40", "sequences:          50", "mean off-diag r²"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestLdcalcTop(t *testing.T) {
+	path := writeDataset(t, 30, 60)
+	out, err := runLdcalc(t, "-in", path, "-top", "3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if lines[0] != "snp_i,snp_j,value,chi2,p_value" {
+		t.Fatalf("header %q", lines[0])
+	}
+	if len(lines) != 4 {
+		t.Fatalf("%d lines", len(lines))
+	}
+}
+
+func TestLdcalcMatrixDimensions(t *testing.T) {
+	path := writeDataset(t, 12, 30)
+	out, err := runLdcalc(t, "-in", path, "-matrix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := strings.Split(strings.TrimSpace(out), "\n")
+	if len(rows) != 12 || len(strings.Split(rows[0], ",")) != 12 {
+		t.Fatalf("matrix shape %dx%d", len(rows), len(strings.Split(rows[0], ",")))
+	}
+}
+
+func TestLdcalcPruneBlocksDecay(t *testing.T) {
+	path := writeDataset(t, 60, 80)
+	out, err := runLdcalc(t, "-in", path, "-prune", "-prune-window", "20", "-blocks", "-decay", "-decay-max", "30", "-decay-bins", "3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"pruning: kept", "haplotype blocks", "distance,mean_r2,pairs"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q", want)
+		}
+	}
+}
+
+func TestLdcalcLDOutParses(t *testing.T) {
+	path := writeDataset(t, 25, 70)
+	out, err := runLdcalc(t, "-in", path, "-ld-out", "-ld-floor", "0.05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := seqio.ReadLD(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if r.R2 < 0.05 && r.R2 > -0.05 {
+			t.Fatalf("record below floor: %+v", r)
+		}
+	}
+}
+
+func TestLdcalcEM(t *testing.T) {
+	m, err := popsim.Mosaic(10, 40, popsim.MosaicConfig{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := bitmat.FromHaplotypes(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefix := filepath.Join(t.TempDir(), "cohort")
+	if err := seqio.WritePlinkFileset(prefix, g, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	out, err := runLdcalc(t, "-in", prefix+".bed", "-em", "4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if lines[0] != "snp_i,snp_j,id_i,id_j,em_r2,em_d,em_dprime" || len(lines) != 5 {
+		t.Fatalf("em output:\n%s", out)
+	}
+}
+
+func TestLdcalcOutFile(t *testing.T) {
+	path := writeDataset(t, 10, 20)
+	outPath := filepath.Join(t.TempDir(), "res.txt")
+	if _, err := runLdcalc(t, "-in", path, "-out", outPath); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "SNPs:") {
+		t.Fatalf("file output %q", data)
+	}
+}
+
+func TestLdcalcErrors(t *testing.T) {
+	if _, err := runLdcalc(t); err == nil {
+		t.Fatal("missing -in accepted")
+	}
+	if _, err := runLdcalc(t, "-in", "/nonexistent.ldgm"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	path := writeDataset(t, 5, 10)
+	if _, err := runLdcalc(t, "-in", path, "-measure", "zeta"); err == nil {
+		t.Fatal("bad measure accepted")
+	}
+	if _, err := runLdcalc(t, "-in", "x.weird"); err == nil {
+		t.Fatal("unknown extension accepted")
+	}
+}

@@ -1,0 +1,87 @@
+// Command ldserver serves LD queries over a loaded genomic dataset: the
+// backend a GWAS browser or analysis notebook would hit instead of
+// recomputing LD locally.
+//
+// Usage:
+//
+//	ldserver -in data.ldgm -addr :8080
+//
+// Endpoints (all GET, JSON):
+//
+//	/api/info                         dataset dimensions and summary
+//	/api/freq?i=N                     allele frequency of SNP N
+//	/api/ld?i=N&j=M                   full pair statistics + significance
+//	/api/ld/region?start=A&end=B      dense matrix (&measure=r2|d|dprime)
+//	/api/ld/top?k=K                   strongest associations
+//	/api/prune?window=&step=&r2=      LD pruning
+//	/api/blocks?dprime=&frac=         haplotype blocks
+//	/api/omega?grid=&min_each=&max_each=   selective-sweep scan
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+
+	"ldgemm/internal/bitmat"
+	"ldgemm/internal/seqio"
+	"ldgemm/internal/server"
+)
+
+func main() {
+	handler, addr, err := setup(os.Args[1:], os.Stderr)
+	if err != nil {
+		log.Fatalf("ldserver: %v", err)
+	}
+	log.Fatal(http.ListenAndServe(addr, handler))
+}
+
+// setup parses flags, loads the dataset, and returns the ready handler;
+// separated from main so tests can drive the full configuration path
+// without binding a socket.
+func setup(args []string, stderr io.Writer) (http.Handler, string, error) {
+	fs := flag.NewFlagSet("ldserver", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	in := fs.String("in", "", "dataset path (.ldgm or .ms, optionally gzipped; required)")
+	addr := fs.String("addr", ":8080", "listen address")
+	maxRegion := fs.Int("max-region", 512, "cap on dense region width")
+	threads := fs.Int("threads", 0, "LD kernel threads (0 = GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		return nil, "", err
+	}
+	if *in == "" {
+		fs.Usage()
+		return nil, "", fmt.Errorf("-in is required")
+	}
+	g, err := load(*in)
+	if err != nil {
+		return nil, "", err
+	}
+	fmt.Fprintf(stderr, "ldserver: loaded %d SNPs × %d sequences; listening on %s\n",
+		g.SNPs, g.Samples, *addr)
+	return server.New(g, server.Config{MaxRegionSNPs: *maxRegion, Threads: *threads}), *addr, nil
+}
+
+func load(path string) (*bitmat.Matrix, error) {
+	r, closer, err := seqio.OpenMaybeGzip(path)
+	if err != nil {
+		return nil, err
+	}
+	defer closer.Close()
+	base := path
+	for filepath.Ext(base) == ".gz" {
+		base = base[:len(base)-3]
+	}
+	if filepath.Ext(base) == ".ms" {
+		reps, err := seqio.ReadMS(r)
+		if err != nil {
+			return nil, err
+		}
+		return reps[0].Matrix, nil
+	}
+	return seqio.ReadBinary(r)
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ldgemm/internal/popsim"
+	"ldgemm/internal/seqio"
+)
+
+func writeServerDataset(t *testing.T, gz bool) string {
+	t.Helper()
+	m, err := popsim.Mosaic(50, 40, popsim.MosaicConfig{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	name := "d.ldgm"
+	if gz {
+		name += ".gz"
+	}
+	path := filepath.Join(t.TempDir(), name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if gz {
+		zw := gzip.NewWriter(f)
+		if err := seqio.WriteBinary(zw, m); err != nil {
+			t.Fatal(err)
+		}
+		zw.Close()
+	} else if err := seqio.WriteBinary(f, m); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestSetupServesInfo(t *testing.T) {
+	for _, gz := range []bool{false, true} {
+		path := writeServerDataset(t, gz)
+		var errBuf bytes.Buffer
+		handler, addr, err := setup([]string{"-in", path, "-addr", ":9999"}, &errBuf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if addr != ":9999" {
+			t.Fatalf("addr %q", addr)
+		}
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, httptest.NewRequest("GET", "/api/info", nil))
+		if rec.Code != 200 {
+			t.Fatalf("status %d", rec.Code)
+		}
+		var info struct {
+			SNPs    int `json:"snps"`
+			Samples int `json:"samples"`
+		}
+		if err := json.NewDecoder(rec.Body).Decode(&info); err != nil {
+			t.Fatal(err)
+		}
+		if info.SNPs != 50 || info.Samples != 40 {
+			t.Fatalf("gz=%v: info %+v", gz, info)
+		}
+	}
+}
+
+func TestSetupErrors(t *testing.T) {
+	var errBuf bytes.Buffer
+	if _, _, err := setup(nil, &errBuf); err == nil {
+		t.Fatal("missing -in accepted")
+	}
+	if _, _, err := setup([]string{"-in", "/nonexistent"}, &errBuf); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if _, _, err := setup([]string{"-bogus"}, &errBuf); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

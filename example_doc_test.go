@@ -1,0 +1,74 @@
+package ldgemm_test
+
+import (
+	"fmt"
+
+	"ldgemm"
+)
+
+// ExampleLD computes the full LD matrix of a small phased dataset built
+// from explicit haplotype columns.
+func ExampleLD() {
+	// Three SNPs over six haplotypes; SNPs 0 and 1 are identical
+	// (complete LD), SNP 2 is independent of both.
+	g, _ := ldgemm.FromColumns([][]byte{
+		{1, 1, 0, 0, 1, 0},
+		{1, 1, 0, 0, 1, 0},
+		{1, 0, 1, 0, 1, 0},
+	})
+	res, _ := ldgemm.LD(g, ldgemm.Options{Measures: ldgemm.MeasureR2})
+	fmt.Printf("r²(0,1) = %.2f\n", res.At(0, 1).R2)
+	fmt.Printf("r²(0,2) = %.2f\n", res.At(0, 2).R2)
+	// Output:
+	// r²(0,1) = 1.00
+	// r²(0,2) = 0.11
+}
+
+// ExamplePairLD shows the per-pair convenience entry with all statistics.
+func ExamplePairLD() {
+	g, _ := ldgemm.FromColumns([][]byte{
+		{1, 1, 1, 0, 0, 0, 0, 0},
+		{1, 1, 0, 0, 0, 0, 0, 1},
+	})
+	p := ldgemm.PairLD(g, 0, 1)
+	fmt.Printf("P(AB)=%.3f D=%.4f r²=%.3f\n", p.PAB, p.D, p.R2)
+	// Output:
+	// P(AB)=0.250 D=0.1094 r²=0.218
+}
+
+// ExampleSumR2 reduces the upper triangle without materializing n² values.
+func ExampleSumR2() {
+	g, _ := ldgemm.FromColumns([][]byte{
+		{1, 0, 1, 0},
+		{1, 0, 1, 0},
+		{0, 1, 0, 1},
+	})
+	sum, pairs, _ := ldgemm.SumR2(g, ldgemm.StreamOptions{})
+	fmt.Printf("%.0f over %d pairs\n", sum, pairs)
+	// Output:
+	// 6 over 6 pairs
+}
+
+// ExampleAlleleFrequencies computes Eq. 3 of the paper.
+func ExampleAlleleFrequencies() {
+	g, _ := ldgemm.FromColumns([][]byte{
+		{1, 1, 0, 0},
+		{1, 0, 0, 0},
+	})
+	fmt.Println(ldgemm.AlleleFrequencies(g))
+	// Output:
+	// [0.5 0.25]
+}
+
+// ExampleFromDNA builds a finite-sites matrix from nucleotide columns
+// with gaps.
+func ExampleFromDNA() {
+	f, _ := ldgemm.FromDNA([][]byte{
+		[]byte("AACG"),
+		[]byte("TT-C"),
+	})
+	res, _ := ldgemm.FSMLD(f, ldgemm.Options{})
+	fmt.Printf("%d SNPs, T(0,1) = %.2f\n", res.SNPs, res.T[1])
+	// Output:
+	// 2 SNPs, T(0,1) = 4.00
+}

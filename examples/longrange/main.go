@@ -1,0 +1,87 @@
+// Longrange: compute LD *between two different genomic regions* — the
+// two-matrix GEMM workload of the paper's Figure 4, used for association
+// studies between distant genes and long-range LD scans. Two interacting
+// regions are simulated by copying a coevolution signal across them; the
+// cross-LD matrix localizes the interacting SNP pairs.
+//
+//	go run ./examples/longrange
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	"ldgemm"
+)
+
+func main() {
+	const (
+		snpsPerRegion = 400
+		sequences     = 600
+	)
+
+	// Two physically unlinked regions (independent seeds → no background
+	// LD between them).
+	geneA, err := ldgemm.GenerateMosaic(snpsPerRegion, sequences, 21)
+	if err != nil {
+		log.Fatal(err)
+	}
+	geneB, err := ldgemm.GenerateMosaic(snpsPerRegion, sequences, 22)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Plant a coevolution signal (Rohlfs et al. 2010, the paper's [2]):
+	// complementary mutations maintained between SNP 120 of region A and
+	// SNP 310 of region B — carriers of one tend to carry the other.
+	const aSite, bSite = 120, 310
+	rng := rand.New(rand.NewSource(5))
+	for s := 0; s < sequences; s++ {
+		if geneA.Bit(aSite, s) {
+			if rng.Float64() < 0.9 {
+				geneB.SetBit(bSite, s)
+			}
+		} else if rng.Float64() < 0.9 {
+			geneB.ClearBit(bSite, s)
+		}
+	}
+
+	// All 400×400 cross-region LD values in one two-matrix GEMM.
+	res, err := ldgemm.CrossLD(geneA, geneB, ldgemm.Options{Measures: ldgemm.MeasureR2})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type hit struct {
+		i, j int
+		r2   float64
+	}
+	hits := make([]hit, 0, res.SNPs*res.Cols)
+	var sum float64
+	for i := 0; i < res.SNPs; i++ {
+		for j := 0; j < res.Cols; j++ {
+			r2 := res.R2[i*res.Cols+j]
+			hits = append(hits, hit{i, j, r2})
+			sum += r2
+		}
+	}
+	sort.Slice(hits, func(a, b int) bool { return hits[a].r2 > hits[b].r2 })
+
+	fmt.Printf("cross-region LD: %d × %d pairs, mean r² = %.5f\n\n",
+		res.SNPs, res.Cols, sum/float64(len(hits)))
+	fmt.Println("strongest cross-region associations:")
+	fmt.Println("  geneA_snp  geneB_snp      r²")
+	for _, h := range hits[:5] {
+		marker := ""
+		if h.i == aSite && h.j == bSite {
+			marker = "  <- planted interaction"
+		}
+		fmt.Printf("  %9d  %9d  %6.4f%s\n", h.i, h.j, h.r2, marker)
+	}
+	if hits[0].i != aSite || hits[0].j != bSite {
+		log.Fatalf("planted interaction (%d,%d) not the top hit", aSite, bSite)
+	}
+	fmt.Println("\nthe planted gene-gene interaction is the top cross-LD signal.")
+}

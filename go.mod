@@ -1,0 +1,3 @@
+module ldgemm
+
+go 1.24

@@ -1,0 +1,256 @@
+// Package assoc implements a small genome-wide association study (GWAS)
+// substrate — the application domain the paper's introduction motivates
+// ("LD is deployed to identify SNPs associated with certain traits of
+// interest"). It simulates phenotypes over a haplotype matrix, runs
+// per-SNP allelic association tests, and post-processes hits with
+// LD-based clumping so that each associated region is reported once.
+//
+// The association counts reuse the repository's bit-parallel machinery:
+// the case set is a bit vector, so the case-allele count of every SNP is
+// one AND+POPCNT pass — the same word kernel LD itself is built on.
+package assoc
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"ldgemm/internal/bitmat"
+	"ldgemm/internal/core"
+	"ldgemm/internal/popcount"
+	"ldgemm/internal/stats"
+)
+
+// Effect is one causal SNP with its log-odds effect size.
+type Effect struct {
+	SNP  int
+	Beta float64
+}
+
+// PhenotypeConfig parameterizes phenotype simulation under a logistic
+// liability model: P(case) = sigmoid(intercept + Σ βᵢ·alleleᵢ), with the
+// intercept solved so the expected prevalence matches.
+type PhenotypeConfig struct {
+	Seed    int64
+	Causal  []Effect
+	Targets struct{} // reserved
+	// Prevalence is the target case fraction (default 0.5).
+	Prevalence float64
+}
+
+// Phenotypes holds the simulated case/control assignment as a bit vector
+// over samples (a one-SNP bitmat column, so the popcount kernels apply).
+type Phenotypes struct {
+	Cases    *bitmat.Matrix // 1 × samples; set bit = case
+	NumCases int
+	Samples  int
+}
+
+// CaseWords exposes the packed case mask.
+func (p *Phenotypes) CaseWords() []uint64 { return p.Cases.SNP(0) }
+
+// IsCase reports sample s's status.
+func (p *Phenotypes) IsCase(s int) bool { return p.Cases.Bit(0, s) }
+
+// Simulate draws case/control phenotypes for the samples of g.
+func Simulate(g *bitmat.Matrix, cfg PhenotypeConfig) (*Phenotypes, error) {
+	if cfg.Prevalence == 0 {
+		cfg.Prevalence = 0.5
+	}
+	if cfg.Prevalence <= 0 || cfg.Prevalence >= 1 {
+		return nil, fmt.Errorf("assoc: invalid prevalence %v", cfg.Prevalence)
+	}
+	for _, e := range cfg.Causal {
+		if e.SNP < 0 || e.SNP >= g.SNPs {
+			return nil, fmt.Errorf("assoc: causal SNP %d outside 0..%d", e.SNP, g.SNPs-1)
+		}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	// Solve the intercept so mean P(case) ≈ prevalence, by bisection on
+	// the empirical mean of the liabilities.
+	liab := make([]float64, g.Samples)
+	for s := 0; s < g.Samples; s++ {
+		v := 0.0
+		for _, e := range cfg.Causal {
+			if g.Bit(e.SNP, s) {
+				v += e.Beta
+			}
+		}
+		liab[s] = v
+	}
+	intercept := solveIntercept(liab, cfg.Prevalence)
+
+	ph := &Phenotypes{Cases: bitmat.New(1, g.Samples), Samples: g.Samples}
+	for s, v := range liab {
+		if rng.Float64() < sigmoid(intercept+v) {
+			ph.Cases.SetBit(0, s)
+			ph.NumCases++
+		}
+	}
+	return ph, nil
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// solveIntercept bisects for c with mean(sigmoid(c + liab)) = prevalence.
+func solveIntercept(liab []float64, prevalence float64) float64 {
+	mean := func(c float64) float64 {
+		s := 0.0
+		for _, v := range liab {
+			s += sigmoid(c + v)
+		}
+		return s / float64(len(liab))
+	}
+	lo, hi := -30.0, 30.0
+	for i := 0; i < 100; i++ {
+		mid := (lo + hi) / 2
+		if mean(mid) < prevalence {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// SNPResult is one SNP's association test.
+type SNPResult struct {
+	SNP       int
+	Chi2      float64
+	PValue    float64
+	OddsRatio float64
+	// Counts of the 2×2 allele-by-status table.
+	CaseDerived, CaseAncestral, ControlDerived, ControlAncestral int
+}
+
+// Test runs the allelic 2×2 χ² association test for every SNP. The
+// case-allele counts are computed bit-parallel: POPCNT(sᵢ & caseMask).
+func Test(g *bitmat.Matrix, ph *Phenotypes) ([]SNPResult, error) {
+	if ph.Samples != g.Samples {
+		return nil, fmt.Errorf("assoc: phenotype samples %d != matrix samples %d", ph.Samples, g.Samples)
+	}
+	caseWords := ph.CaseWords()
+	nCases := ph.NumCases
+	nControls := g.Samples - nCases
+	out := make([]SNPResult, g.SNPs)
+	for i := 0; i < g.SNPs; i++ {
+		derived := g.DerivedCount(i)
+		caseDerived := popcount.AndCount(g.SNP(i), caseWords)
+		r := SNPResult{
+			SNP:              i,
+			CaseDerived:      caseDerived,
+			CaseAncestral:    nCases - caseDerived,
+			ControlDerived:   derived - caseDerived,
+			ControlAncestral: nControls - (derived - caseDerived),
+		}
+		r.Chi2 = chi2x2(r.CaseDerived, r.CaseAncestral, r.ControlDerived, r.ControlAncestral)
+		pv, err := stats.ChiSquarePValue(r.Chi2, 1)
+		if err != nil {
+			return nil, err
+		}
+		r.PValue = pv
+		// Haldane-corrected odds ratio.
+		r.OddsRatio = (float64(r.CaseDerived) + 0.5) * (float64(r.ControlAncestral) + 0.5) /
+			((float64(r.CaseAncestral) + 0.5) * (float64(r.ControlDerived) + 0.5))
+		out[i] = r
+	}
+	return out, nil
+}
+
+// chi2x2 is the Pearson χ² of a 2×2 table (0 when any margin is empty).
+func chi2x2(a, b, c, d int) float64 {
+	n := float64(a + b + c + d)
+	if n == 0 {
+		return 0
+	}
+	r1, r2 := float64(a+b), float64(c+d)
+	c1, c2 := float64(a+c), float64(b+d)
+	if r1 == 0 || r2 == 0 || c1 == 0 || c2 == 0 {
+		return 0
+	}
+	det := float64(a)*float64(d) - float64(b)*float64(c)
+	return n * det * det / (r1 * r2 * c1 * c2)
+}
+
+// ClumpOptions configures LD-based clumping of association results
+// (PLINK's --clump): hits are processed strongest-first; SNPs within the
+// window in LD above R2 with an index SNP join its clump instead of
+// founding their own.
+type ClumpOptions struct {
+	// PThreshold is the maximum p-value for a SNP to be considered at
+	// all (default 1e-4).
+	PThreshold float64
+	// R2 is the LD threshold for clump membership (default 0.5).
+	R2 float64
+	// WindowSNPs is the maximum index distance for membership
+	// (default 250).
+	WindowSNPs int
+}
+
+func (o ClumpOptions) normalize() (ClumpOptions, error) {
+	if o.PThreshold == 0 {
+		o.PThreshold = 1e-4
+	}
+	if o.R2 == 0 {
+		o.R2 = 0.5
+	}
+	if o.WindowSNPs == 0 {
+		o.WindowSNPs = 250
+	}
+	if o.PThreshold <= 0 || o.PThreshold > 1 || o.R2 <= 0 || o.R2 > 1 || o.WindowSNPs < 1 {
+		return o, fmt.Errorf("assoc: invalid clump options %+v", o)
+	}
+	return o, nil
+}
+
+// Clump is one reported association region.
+type Clump struct {
+	Index   SNPResult
+	Members []int // SNPs absorbed into this clump (excluding the index)
+}
+
+// ClumpResults groups significant hits into LD clumps.
+func ClumpResults(g *bitmat.Matrix, results []SNPResult, opt ClumpOptions) ([]Clump, error) {
+	opt, err := opt.normalize()
+	if err != nil {
+		return nil, err
+	}
+	hits := make([]SNPResult, 0, len(results))
+	for _, r := range results {
+		if r.PValue <= opt.PThreshold {
+			hits = append(hits, r)
+		}
+	}
+	sort.Slice(hits, func(a, b int) bool {
+		if hits[a].PValue != hits[b].PValue {
+			return hits[a].PValue < hits[b].PValue
+		}
+		return hits[a].SNP < hits[b].SNP
+	})
+	claimed := map[int]int{} // SNP → clump index
+	var clumps []Clump
+	for _, h := range hits {
+		if _, taken := claimed[h.SNP]; taken {
+			continue
+		}
+		ci := len(clumps)
+		clumps = append(clumps, Clump{Index: h})
+		claimed[h.SNP] = ci
+		lo := max(0, h.SNP-opt.WindowSNPs)
+		hi := min(g.SNPs-1, h.SNP+opt.WindowSNPs)
+		for j := lo; j <= hi; j++ {
+			if j == h.SNP {
+				continue
+			}
+			if _, taken := claimed[j]; taken {
+				continue
+			}
+			if core.PairLD(g, h.SNP, j).R2 >= opt.R2 {
+				claimed[j] = ci
+				clumps[ci].Members = append(clumps[ci].Members, j)
+			}
+		}
+	}
+	return clumps, nil
+}

@@ -1,0 +1,217 @@
+package assoc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ldgemm/internal/bitmat"
+	"ldgemm/internal/popsim"
+)
+
+func TestSimulatePrevalence(t *testing.T) {
+	g, err := popsim.Mosaic(50, 2000, popsim.MosaicConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, prev := range []float64{0.2, 0.5, 0.8} {
+		ph, err := Simulate(g, PhenotypeConfig{Seed: 2, Prevalence: prev})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := float64(ph.NumCases) / float64(ph.Samples)
+		if math.Abs(got-prev) > 0.05 {
+			t.Fatalf("prevalence %v: got %v", prev, got)
+		}
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	g := bitmat.New(5, 10)
+	if _, err := Simulate(g, PhenotypeConfig{Prevalence: 1.5}); err == nil {
+		t.Fatal("prevalence > 1 accepted")
+	}
+	if _, err := Simulate(g, PhenotypeConfig{Causal: []Effect{{SNP: 9, Beta: 1}}}); err == nil {
+		t.Fatal("out-of-range causal SNP accepted")
+	}
+}
+
+func TestChi2x2(t *testing.T) {
+	// Classic example: perfectly balanced table has χ² = 0.
+	if got := chi2x2(25, 25, 25, 25); got != 0 {
+		t.Fatalf("balanced table χ² = %v", got)
+	}
+	// Known value: table (10, 20, 30, 40): χ² = 100·(400−600)²/(30·70·40·60).
+	want := 100.0 * 200 * 200 / (30 * 70 * 40 * 60)
+	if got := chi2x2(10, 20, 30, 40); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("χ² = %v, want %v", got, want)
+	}
+	if chi2x2(0, 0, 0, 0) != 0 || chi2x2(5, 5, 0, 0) != 0 {
+		t.Fatal("degenerate margins not handled")
+	}
+}
+
+// naiveTest computes the 2×2 counts per sample, as the oracle.
+func naiveTest(g *bitmat.Matrix, ph *Phenotypes, i int) (cd, ca, nd, na int) {
+	for s := 0; s < g.Samples; s++ {
+		der := g.Bit(i, s)
+		if ph.IsCase(s) {
+			if der {
+				cd++
+			} else {
+				ca++
+			}
+		} else {
+			if der {
+				nd++
+			} else {
+				na++
+			}
+		}
+	}
+	return
+}
+
+func TestTestCountsMatchNaive(t *testing.T) {
+	g, err := popsim.Mosaic(30, 333, popsim.MosaicConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ph, err := Simulate(g, PhenotypeConfig{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Test(g, ph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		cd, ca, nd, na := naiveTest(g, ph, i)
+		if r.CaseDerived != cd || r.CaseAncestral != ca || r.ControlDerived != nd || r.ControlAncestral != na {
+			t.Fatalf("SNP %d counts (%d,%d,%d,%d), want (%d,%d,%d,%d)",
+				i, r.CaseDerived, r.CaseAncestral, r.ControlDerived, r.ControlAncestral, cd, ca, nd, na)
+		}
+		if r.PValue < 0 || r.PValue > 1 {
+			t.Fatalf("SNP %d p-value %v", i, r.PValue)
+		}
+		if r.OddsRatio <= 0 {
+			t.Fatalf("SNP %d odds ratio %v", i, r.OddsRatio)
+		}
+	}
+}
+
+func TestTestSampleMismatch(t *testing.T) {
+	g := bitmat.New(3, 10)
+	ph := &Phenotypes{Cases: bitmat.New(1, 12), Samples: 12}
+	if _, err := Test(g, ph); err == nil {
+		t.Fatal("sample mismatch accepted")
+	}
+}
+
+// TestEndToEndGWAS plants a causal SNP and checks the association scan
+// ranks it (or a SNP in strong LD with it) first, and that clumping
+// collapses the LD neighborhood into one clump containing it.
+func TestEndToEndGWAS(t *testing.T) {
+	g, err := popsim.Mosaic(200, 3000, popsim.MosaicConfig{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const causal = 100
+	ph, err := Simulate(g, PhenotypeConfig{
+		Seed: 6, Causal: []Effect{{SNP: causal, Beta: 1.4}}, Prevalence: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Test(g, ph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := res[0]
+	for _, r := range res {
+		if r.Chi2 > best.Chi2 {
+			best = r
+		}
+	}
+	if best.PValue > 1e-10 {
+		t.Fatalf("no strong hit: best p = %v at SNP %d", best.PValue, best.SNP)
+	}
+	clumps, err := ClumpResults(g, res, ClumpOptions{PThreshold: 1e-6, R2: 0.2, WindowSNPs: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clumps) == 0 {
+		t.Fatal("no clumps found")
+	}
+	// The top clump must contain the causal SNP (as index or member).
+	top := clumps[0]
+	found := top.Index.SNP == causal
+	for _, m := range top.Members {
+		if m == causal {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("top clump (index %d, %d members) does not contain causal SNP %d",
+			top.Index.SNP, len(top.Members), causal)
+	}
+	// Clump indices must be mutually exclusive: no index inside another
+	// clump's member list.
+	member := map[int]bool{}
+	for _, c := range clumps {
+		for _, m := range c.Members {
+			member[m] = true
+		}
+	}
+	for _, c := range clumps {
+		if member[c.Index.SNP] {
+			t.Fatalf("clump index %d is also a member elsewhere", c.Index.SNP)
+		}
+	}
+}
+
+func TestClumpValidation(t *testing.T) {
+	g := bitmat.New(5, 10)
+	if _, err := ClumpResults(g, nil, ClumpOptions{R2: 2}); err == nil {
+		t.Fatal("r2 > 1 accepted")
+	}
+	if _, err := ClumpResults(g, nil, ClumpOptions{PThreshold: -1}); err == nil {
+		t.Fatal("negative p threshold accepted")
+	}
+	clumps, err := ClumpResults(g, nil, ClumpOptions{})
+	if err != nil || len(clumps) != 0 {
+		t.Fatalf("empty results: %v %v", clumps, err)
+	}
+}
+
+// Property: under the null (no causal SNPs) the p-value distribution is
+// roughly uniform — the fraction below 0.05 stays near 5%.
+func TestQuickNullCalibration(t *testing.T) {
+	f := func(seed int64) bool {
+		g, err := popsim.Mosaic(120, 600, popsim.MosaicConfig{Seed: seed})
+		if err != nil {
+			return false
+		}
+		ph, err := Simulate(g, PhenotypeConfig{Seed: seed + 1})
+		if err != nil {
+			return false
+		}
+		res, err := Test(g, ph)
+		if err != nil {
+			return false
+		}
+		below := 0
+		for _, r := range res {
+			if r.PValue < 0.05 {
+				below++
+			}
+		}
+		// 120 tests at 5%: expect ≈6; allow a very loose band since SNPs
+		// are correlated within haplotype blocks.
+		return below <= 30
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,137 @@
+package assoc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ldgemm/internal/bitmat"
+	"ldgemm/internal/popsim"
+	"ldgemm/internal/stats"
+)
+
+// naiveQuant computes the score test from explicit per-sample vectors.
+func naiveQuant(g *bitmat.Matrix, y []float64, i int) QuantResult {
+	xs := make([]float64, len(y))
+	for s := range y {
+		if g.Bit(i, s) {
+			xs[s] = 1
+		}
+	}
+	r, _ := stats.Pearson(xs, ys(y))
+	n := float64(len(y))
+	chi2 := n * r * r
+	pv, _ := stats.ChiSquarePValue(chi2, 1)
+	// Slope via cov/var.
+	mx, my := stats.Mean(xs), stats.Mean(y)
+	var cov, vx float64
+	for s := range y {
+		cov += (xs[s] - mx) * (y[s] - my)
+		vx += (xs[s] - mx) * (xs[s] - mx)
+	}
+	beta := 0.0
+	if vx > 0 {
+		beta = cov / vx
+	}
+	return QuantResult{SNP: i, Beta: beta, R: r, Chi2: chi2, PValue: pv}
+}
+
+func ys(y []float64) []float64 { return y }
+
+func TestQuantitativeMatchesNaive(t *testing.T) {
+	g, err := popsim.Mosaic(25, 300, popsim.MosaicConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := SimulateQuantitative(g, QuantConfig{Seed: 2, Causal: []Effect{{SNP: 5, Beta: 0.7}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := TestQuantitative(g, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		want := naiveQuant(g, y, i)
+		if math.Abs(got[i].R-want.R) > 1e-9 || math.Abs(got[i].Beta-want.Beta) > 1e-9 ||
+			math.Abs(got[i].Chi2-want.Chi2) > 1e-6 {
+			t.Fatalf("SNP %d: %+v vs %+v", i, got[i], want)
+		}
+	}
+}
+
+func TestQuantitativeFindsCausal(t *testing.T) {
+	g, err := popsim.Mosaic(150, 2500, popsim.MosaicConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const causal = 70
+	y, err := SimulateQuantitative(g, QuantConfig{Seed: 4, Causal: []Effect{{SNP: causal, Beta: 0.5}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := TestQuantitative(g, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := res[0]
+	for _, r := range res {
+		if r.Chi2 > best.Chi2 {
+			best = r
+		}
+	}
+	if best.PValue > 1e-8 {
+		t.Fatalf("causal signal weak: best p %v at SNP %d", best.PValue, best.SNP)
+	}
+	// Best hit within the causal LD neighborhood; effect sign recovered.
+	if d := best.SNP - causal; d < -30 || d > 30 {
+		t.Fatalf("best hit at SNP %d, causal at %d", best.SNP, causal)
+	}
+	if res[causal].Beta < 0.2 {
+		t.Fatalf("causal beta estimate %v, simulated 0.5", res[causal].Beta)
+	}
+}
+
+func TestQuantitativeValidation(t *testing.T) {
+	g := bitmat.New(3, 10)
+	if _, err := SimulateQuantitative(g, QuantConfig{NoiseSD: -1}); err == nil {
+		t.Fatal("negative noise accepted")
+	}
+	if _, err := SimulateQuantitative(g, QuantConfig{Causal: []Effect{{SNP: 7}}}); err == nil {
+		t.Fatal("bad causal SNP accepted")
+	}
+	if _, err := TestQuantitative(g, make([]float64, 9)); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := TestQuantitative(bitmat.New(2, 0), nil); err == nil {
+		t.Fatal("zero samples accepted")
+	}
+}
+
+// Property: monomorphic SNPs get χ²=0, p=1; all p-values in [0,1].
+func TestQuickQuantitative(t *testing.T) {
+	f := func(seed int64, s8 uint8) bool {
+		samples := int(s8%150) + 10
+		g, err := popsim.Mosaic(10, samples, popsim.MosaicConfig{Seed: seed})
+		if err != nil {
+			return false
+		}
+		y, err := SimulateQuantitative(g, QuantConfig{Seed: seed + 1})
+		if err != nil {
+			return false
+		}
+		res, err := TestQuantitative(g, y)
+		if err != nil {
+			return false
+		}
+		for _, r := range res {
+			if r.PValue < 0 || r.PValue > 1 || math.IsNaN(r.Chi2) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,184 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ldgemm/internal/bitmat"
+	"ldgemm/internal/core"
+)
+
+func randomMatrix(rng *rand.Rand, snps, samples int) *bitmat.Matrix {
+	m := bitmat.New(snps, samples)
+	for i := 0; i < snps; i++ {
+		for s := 0; s < samples; s++ {
+			if rng.Intn(2) == 1 {
+				m.SetBit(i, s)
+			}
+		}
+	}
+	return m
+}
+
+// triangleR2 computes the reference sum with core.PairLD.
+func triangleR2(g *bitmat.Matrix) (float64, int64) {
+	var sum float64
+	var pairs int64
+	for i := 0; i < g.SNPs; i++ {
+		for j := i; j < g.SNPs; j++ {
+			sum += core.PairLD(g, i, j).R2
+			pairs++
+		}
+	}
+	return sum, pairs
+}
+
+func TestNaiveR2Sum(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := randomMatrix(rng, 17, 97)
+	wantSum, wantPairs := triangleR2(g)
+	sum, pairs := Naive{Threads: 3}.R2Sum(g)
+	if pairs != wantPairs {
+		t.Fatalf("pairs = %d, want %d", pairs, wantPairs)
+	}
+	if math.Abs(sum-wantSum) > 1e-9 {
+		t.Fatalf("sum = %v, want %v", sum, wantSum)
+	}
+}
+
+func TestVectorR2Sum(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := randomMatrix(rng, 31, 200)
+	wantSum, wantPairs := triangleR2(g)
+	for _, threads := range []int{1, 2, 7} {
+		sum, pairs := Vector{Threads: threads}.R2Sum(g)
+		if pairs != wantPairs || math.Abs(sum-wantSum) > 1e-9 {
+			t.Fatalf("threads=%d: sum=%v pairs=%d, want %v %d", threads, sum, pairs, wantSum, wantPairs)
+		}
+	}
+}
+
+func TestVectorMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := randomMatrix(rng, 13, 150)
+	got := Vector{Threads: 4}.Matrix(g)
+	res, err := core.Matrix(g, core.Options{Measures: core.MeasureR2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if math.Abs(got[i]-res.R2[i]) > 1e-12 {
+			t.Fatalf("cell %d: %v vs %v", i, got[i], res.R2[i])
+		}
+	}
+}
+
+func TestVectorEmptyAndSingle(t *testing.T) {
+	sum, pairs := Vector{}.R2Sum(bitmat.New(0, 10))
+	if sum != 0 || pairs != 0 {
+		t.Fatalf("empty: %v %d", sum, pairs)
+	}
+	g := randomMatrix(rand.New(rand.NewSource(4)), 1, 50)
+	sum, pairs = Vector{}.R2Sum(g)
+	if pairs != 1 {
+		t.Fatalf("single SNP pairs = %d", pairs)
+	}
+	if c := g.DerivedCount(0); c > 0 && c < 50 && math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("self r² = %v", sum)
+	}
+}
+
+func TestPlinkR2SumAgainstPairCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	hap := randomMatrix(rng, 19, 120) // 60 diploid samples
+	g, err := bitmat.FromHaplotypes(hap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantSum float64
+	var wantPairs int64
+	for i := 0; i < g.SNPs; i++ {
+		for j := i; j < g.SNPs; j++ {
+			wantSum += g.PairCounts(i, j).R2()
+			wantPairs++
+		}
+	}
+	for _, threads := range []int{1, 5} {
+		sum, pairs := Plink{Threads: threads}.R2Sum(g)
+		if pairs != wantPairs || math.Abs(sum-wantSum) > 1e-9 {
+			t.Fatalf("threads=%d: %v %d, want %v %d", threads, sum, pairs, wantSum, wantPairs)
+		}
+	}
+}
+
+func TestPlinkMatrixSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	hap := randomMatrix(rng, 11, 80)
+	g, err := bitmat.FromHaplotypes(hap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Plink{Threads: 2}.Matrix(g)
+	n := g.SNPs
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if m[i*n+j] != m[j*n+i] {
+				t.Fatalf("asymmetric at (%d,%d)", i, j)
+			}
+		}
+		if got := m[i*n+i]; got != g.PairCounts(i, i).R2() {
+			t.Fatalf("diag %d = %v", i, got)
+		}
+	}
+}
+
+// Property: vector kernel sum equals naive kernel sum for random inputs
+// and any thread count.
+func TestQuickVectorEqualsNaive(t *testing.T) {
+	f := func(seed int64, n8, s8, t8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(n8%12) + 1
+		samples := int(s8%80) + 1
+		threads := int(t8%6) + 1
+		g := randomMatrix(rng, n, samples)
+		s1, p1 := Naive{Threads: threads}.R2Sum(g)
+		s2, p2 := Vector{Threads: 7 - threads}.R2Sum(g)
+		return p1 == p2 && math.Abs(s1-s2) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: on haplotype data where each diploid is formed from two
+// identical haplotypes, genotype r² equals haplotype r² (dosage is twice
+// the haplotype allele, a linear transform that correlation ignores).
+func TestQuickPlinkMatchesHaplotypeR2OnHomozygotes(t *testing.T) {
+	f := func(seed int64, n8, s8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(n8%8) + 2
+		dip := int(s8%40) + 5
+		hap := bitmat.New(n, 2*dip)
+		base := randomMatrix(rng, n, dip)
+		for i := 0; i < n; i++ {
+			for s := 0; s < dip; s++ {
+				if base.Bit(i, s) {
+					hap.SetBit(i, 2*s)
+					hap.SetBit(i, 2*s+1)
+				}
+			}
+		}
+		g, err := bitmat.FromHaplotypes(hap)
+		if err != nil {
+			return false
+		}
+		ps, pp := Plink{Threads: 2}.R2Sum(g)
+		vs, vp := Vector{Threads: 2}.R2Sum(base)
+		return pp == vp && math.Abs(ps-vs) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

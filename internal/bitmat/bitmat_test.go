@@ -1,0 +1,364 @@
+package bitmat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWordsFor(t *testing.T) {
+	cases := []struct{ samples, want int }{
+		{0, 0}, {1, 1}, {63, 1}, {64, 1}, {65, 2}, {128, 2}, {129, 3}, {2504, 40},
+	}
+	for _, c := range cases {
+		if got := WordsFor(c.samples); got != c.want {
+			t.Errorf("WordsFor(%d) = %d, want %d", c.samples, got, c.want)
+		}
+	}
+}
+
+func TestNewDimensions(t *testing.T) {
+	m := New(10, 100)
+	if m.SNPs != 10 || m.Samples != 100 || m.Words != 2 {
+		t.Fatalf("unexpected dims: %+v", m)
+	}
+	if len(m.Data) != 20 {
+		t.Fatalf("len(Data) = %d, want 20", len(m.Data))
+	}
+}
+
+func TestNewPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1, 4) did not panic")
+		}
+	}()
+	New(-1, 4)
+}
+
+func TestSetGetClear(t *testing.T) {
+	m := New(3, 130)
+	coords := [][2]int{{0, 0}, {0, 63}, {0, 64}, {1, 127}, {1, 128}, {2, 129}}
+	for _, c := range coords {
+		if m.Bit(c[0], c[1]) {
+			t.Fatalf("fresh matrix has bit set at %v", c)
+		}
+		m.SetBit(c[0], c[1])
+		if !m.Bit(c[0], c[1]) {
+			t.Fatalf("SetBit(%v) not visible", c)
+		}
+	}
+	// Other positions unaffected.
+	if m.Bit(0, 1) || m.Bit(2, 0) {
+		t.Fatal("SetBit leaked to other positions")
+	}
+	for _, c := range coords {
+		m.ClearBit(c[0], c[1])
+		if m.Bit(c[0], c[1]) {
+			t.Fatalf("ClearBit(%v) not visible", c)
+		}
+	}
+}
+
+func TestBitPanicsOutOfRange(t *testing.T) {
+	m := New(2, 10)
+	for _, c := range [][2]int{{-1, 0}, {2, 0}, {0, -1}, {0, 10}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Bit(%d,%d) did not panic", c[0], c[1])
+				}
+			}()
+			m.Bit(c[0], c[1])
+		}()
+	}
+}
+
+func TestFromRowsColumnsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	rows := make([][]byte, 17)
+	for s := range rows {
+		rows[s] = make([]byte, 9)
+		for i := range rows[s] {
+			rows[s][i] = byte(rng.Intn(2))
+		}
+	}
+	cols := make([][]byte, 9)
+	for i := range cols {
+		cols[i] = make([]byte, 17)
+		for s := range cols[i] {
+			cols[i][s] = rows[s][i]
+		}
+	}
+	a, err := FromRows(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FromColumns(cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Fatalf("FromRows and FromColumns disagree:\n%v\nvs\n%v", a, b)
+	}
+	for s := range rows {
+		for i := range rows[s] {
+			if a.Bit(i, s) != (rows[s][i] != 0) {
+				t.Fatalf("bit (%d,%d) mismatch", i, s)
+			}
+		}
+	}
+}
+
+func TestFromRowsRagged(t *testing.T) {
+	if _, err := FromRows([][]byte{{0, 1}, {0}}); err == nil {
+		t.Fatal("ragged rows accepted")
+	}
+	if _, err := FromColumns([][]byte{{0, 1}, {0}}); err == nil {
+		t.Fatal("ragged columns accepted")
+	}
+}
+
+func TestFromRowsEmpty(t *testing.T) {
+	m, err := FromRows(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.SNPs != 0 || m.Samples != 0 {
+		t.Fatalf("empty FromRows gave %dx%d", m.SNPs, m.Samples)
+	}
+}
+
+func TestFromWords(t *testing.T) {
+	data := make([]uint64, 6)
+	m, err := FromWords(3, 100, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Words != 2 {
+		t.Fatalf("Words = %d", m.Words)
+	}
+	if _, err := FromWords(3, 100, make([]uint64, 5)); err == nil {
+		t.Fatal("short data accepted")
+	}
+}
+
+func TestDerivedCountAndFrequency(t *testing.T) {
+	m := New(2, 100)
+	for s := 0; s < 100; s += 3 {
+		m.SetBit(0, s)
+	}
+	want := 34 // 0,3,...,99
+	if got := m.DerivedCount(0); got != want {
+		t.Fatalf("DerivedCount = %d, want %d", got, want)
+	}
+	if got := m.AlleleFrequency(0); got != float64(want)/100 {
+		t.Fatalf("AlleleFrequency = %v", got)
+	}
+	if got := m.DerivedCount(1); got != 0 {
+		t.Fatalf("untouched SNP count = %d", got)
+	}
+}
+
+func TestAlleleFrequencyZeroSamples(t *testing.T) {
+	m := New(1, 0)
+	if got := m.AlleleFrequency(0); got != 0 {
+		t.Fatalf("AlleleFrequency on 0 samples = %v", got)
+	}
+}
+
+func TestPadMaskAndValidatePadding(t *testing.T) {
+	m := New(2, 70) // 6 padding bits in word 1
+	if err := m.ValidatePadding(); err != nil {
+		t.Fatalf("fresh matrix: %v", err)
+	}
+	if m.PadMask() != (uint64(1)<<6)-1 {
+		t.Fatalf("PadMask = %#x", m.PadMask())
+	}
+	// Corrupt a padding bit.
+	m.Data[1] |= 1 << 63
+	if err := m.ValidatePadding(); err == nil {
+		t.Fatal("corrupted padding not detected")
+	}
+	full := New(1, 64)
+	if full.PadMask() != ^uint64(0) {
+		t.Fatalf("PadMask(64 samples) = %#x", full.PadMask())
+	}
+	if err := full.ValidatePadding(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := New(1, 10)
+	m.SetBit(0, 3)
+	c := m.Clone()
+	c.SetBit(0, 4)
+	if m.Bit(0, 4) {
+		t.Fatal("Clone shares storage")
+	}
+	if !c.Bit(0, 3) {
+		t.Fatal("Clone lost bits")
+	}
+}
+
+func TestSliceSharesStorage(t *testing.T) {
+	m := New(5, 10)
+	s := m.Slice(2, 4)
+	if s.SNPs != 2 {
+		t.Fatalf("Slice SNPs = %d", s.SNPs)
+	}
+	s.SetBit(0, 1)
+	if !m.Bit(2, 1) {
+		t.Fatal("Slice does not alias parent")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid Slice range did not panic")
+		}
+	}()
+	m.Slice(4, 6)
+}
+
+func TestAppend(t *testing.T) {
+	a := New(2, 10)
+	a.SetBit(1, 9)
+	b := New(3, 10)
+	b.SetBit(0, 0)
+	ab, err := a.Append(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ab.SNPs != 5 || !ab.Bit(1, 9) || !ab.Bit(2, 0) {
+		t.Fatal("Append lost bits")
+	}
+	if _, err := a.Append(New(1, 11)); err == nil {
+		t.Fatal("sample mismatch accepted")
+	}
+}
+
+func TestColumnRowTransposed(t *testing.T) {
+	m := New(3, 5)
+	m.SetBit(0, 0)
+	m.SetBit(1, 2)
+	m.SetBit(2, 4)
+	col := m.Column(1)
+	if col[2] != 1 || col[0] != 0 || len(col) != 5 {
+		t.Fatalf("Column = %v", col)
+	}
+	row := m.Row(4)
+	if row[2] != 1 || row[0] != 0 || len(row) != 3 {
+		t.Fatalf("Row = %v", row)
+	}
+	tr := m.Transposed()
+	if len(tr) != 5 || tr[2][1] != 1 {
+		t.Fatalf("Transposed = %v", tr)
+	}
+}
+
+func TestStringSmall(t *testing.T) {
+	m := New(2, 2)
+	m.SetBit(0, 0)
+	m.SetBit(1, 1)
+	if got, want := m.String(), "10\n01\n"; got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+}
+
+// Property: round-tripping any 0/1 row matrix through FromRows/Transposed is
+// the identity, and padding stays zero.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64, snps8, samples8 uint8) bool {
+		snps := int(snps8%40) + 1
+		samples := int(samples8%130) + 1
+		rng := rand.New(rand.NewSource(seed))
+		rows := make([][]byte, samples)
+		for s := range rows {
+			rows[s] = make([]byte, snps)
+			for i := range rows[s] {
+				rows[s][i] = byte(rng.Intn(2))
+			}
+		}
+		m, err := FromRows(rows)
+		if err != nil {
+			return false
+		}
+		if m.ValidatePadding() != nil {
+			return false
+		}
+		back := m.Transposed()
+		for s := range rows {
+			for i := range rows[s] {
+				if rows[s][i] != back[s][i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: DerivedCount equals the number of ones in the materialized
+// column for random matrices.
+func TestQuickDerivedCount(t *testing.T) {
+	f := func(seed int64, samples8 uint8) bool {
+		samples := int(samples8) + 1
+		rng := rand.New(rand.NewSource(seed))
+		m := New(1, samples)
+		want := 0
+		for s := 0; s < samples; s++ {
+			if rng.Intn(2) == 1 {
+				m.SetBit(0, s)
+				want++
+			}
+		}
+		return m.DerivedCount(0) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubsetSamples(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m := New(6, 100)
+	for i := 0; i < 6; i++ {
+		for s := 0; s < 100; s++ {
+			if rng.Intn(2) == 1 {
+				m.SetBit(i, s)
+			}
+		}
+	}
+	idx := []int{5, 99, 0, 5, 64, 63} // duplicates and word boundaries
+	sub := m.SubsetSamples(idx)
+	if sub.SNPs != 6 || sub.Samples != 6 {
+		t.Fatalf("dims %dx%d", sub.SNPs, sub.Samples)
+	}
+	for i := 0; i < 6; i++ {
+		for si, s := range idx {
+			if sub.Bit(i, si) != m.Bit(i, s) {
+				t.Fatalf("subset bit (%d,%d) != source (%d,%d)", i, si, i, s)
+			}
+		}
+	}
+	if err := sub.ValidatePadding(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range subset index did not panic")
+		}
+	}()
+	m.SubsetSamples([]int{100})
+}
+
+func TestSubsetSamplesEmpty(t *testing.T) {
+	m := New(3, 10)
+	sub := m.SubsetSamples(nil)
+	if sub.SNPs != 3 || sub.Samples != 0 {
+		t.Fatalf("empty subset dims %dx%d", sub.SNPs, sub.Samples)
+	}
+}

@@ -1,0 +1,183 @@
+package bitmat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGenotypeSetGet(t *testing.T) {
+	g := NewGenotypeMatrix(2, 40) // crosses a word boundary (32/word)
+	codes := []uint8{GenoHomRef, GenoHet, GenoHomAlt, GenoMissing}
+	for s := 0; s < 40; s++ {
+		g.Set(0, s, codes[s%4])
+	}
+	for s := 0; s < 40; s++ {
+		if got := g.Get(0, s); got != codes[s%4] {
+			t.Fatalf("Get(0,%d) = %d, want %d", s, got, codes[s%4])
+		}
+	}
+	// Untouched variant stays hom-ref in range.
+	for s := 0; s < 40; s++ {
+		if g.Get(1, s) != GenoHomRef {
+			t.Fatalf("untouched genotype changed at %d", s)
+		}
+	}
+}
+
+func TestGenotypePaddingIsMissing(t *testing.T) {
+	g := NewGenotypeMatrix(1, 33) // 31 padding fields in word 1
+	w := g.SNP(0)
+	for f := 1; f < GenosPerWord; f++ { // field 0 of word 1 is sample 32
+		code := uint8(w[1] >> (2 * uint(f)) & 0b11)
+		if code != GenoMissing {
+			t.Fatalf("padding field %d = %d, want missing", f, code)
+		}
+	}
+	// Padding must never contribute to pair counts.
+	c := g.PairCounts(0, 0)
+	if c.N != 33 {
+		t.Fatalf("N = %d, want 33", c.N)
+	}
+}
+
+func TestDosageRoundTrip(t *testing.T) {
+	for d := 0; d <= 2; d++ {
+		got, ok := DosageOf(CodeOfDosage(d))
+		if !ok || got != d {
+			t.Fatalf("dosage %d round-trip gave %d,%v", d, got, ok)
+		}
+	}
+	if _, ok := DosageOf(GenoMissing); ok {
+		t.Fatal("missing reported as valid dosage")
+	}
+}
+
+func TestFromHaplotypes(t *testing.T) {
+	// 4 haplotypes → 2 diploid samples; SNP0 dosages: s0=0+1=1, s1=1+1=2.
+	m, err := FromColumns([][]byte{{0, 1, 1, 1}, {0, 0, 0, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := FromHaplotypes(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Samples != 2 || g.SNPs != 2 {
+		t.Fatalf("dims %dx%d", g.SNPs, g.Samples)
+	}
+	if g.Get(0, 0) != GenoHet || g.Get(0, 1) != GenoHomAlt {
+		t.Fatalf("SNP0 genotypes %d %d", g.Get(0, 0), g.Get(0, 1))
+	}
+	if g.Get(1, 0) != GenoHomRef || g.Get(1, 1) != GenoHomRef {
+		t.Fatal("SNP1 should be hom-ref")
+	}
+	if _, err := FromHaplotypes(New(1, 3)); err == nil {
+		t.Fatal("odd haplotype count accepted")
+	}
+}
+
+// referenceCounts computes GenoCounts directly from dosages.
+func referenceCounts(g *GenotypeMatrix, i, j int) GenoCounts {
+	var c GenoCounts
+	for s := 0; s < g.Samples; s++ {
+		dx, okx := DosageOf(g.Get(i, s))
+		dy, oky := DosageOf(g.Get(j, s))
+		if !okx || !oky {
+			continue
+		}
+		c.N++
+		c.SumX += dx
+		c.SumY += dy
+		c.SumXX += dx * dx
+		c.SumYY += dy * dy
+		c.SumXY += dx * dy
+	}
+	return c
+}
+
+func TestPairCountsAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := NewGenotypeMatrix(4, 77)
+	codes := []uint8{GenoHomRef, GenoHet, GenoHomAlt, GenoMissing}
+	for i := 0; i < 4; i++ {
+		for s := 0; s < 77; s++ {
+			g.Set(i, s, codes[rng.Intn(4)])
+		}
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			got, want := g.PairCounts(i, j), referenceCounts(g, i, j)
+			if got != want {
+				t.Fatalf("PairCounts(%d,%d) = %+v, want %+v", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestGenoR2(t *testing.T) {
+	// Perfectly correlated dosages → r² = 1.
+	g := NewGenotypeMatrix(2, 6)
+	dos := []int{0, 1, 2, 0, 1, 2}
+	for s, d := range dos {
+		g.Set(0, s, CodeOfDosage(d))
+		g.Set(1, s, CodeOfDosage(d))
+	}
+	if r2 := g.PairCounts(0, 1).R2(); math.Abs(r2-1) > 1e-12 {
+		t.Fatalf("r² of identical variants = %v, want 1", r2)
+	}
+	// Monomorphic variant → r² = 0 by convention.
+	mono := NewGenotypeMatrix(2, 6)
+	for s, d := range dos {
+		mono.Set(0, s, CodeOfDosage(d))
+		mono.Set(1, s, GenoHomRef)
+	}
+	if r2 := mono.PairCounts(0, 1).R2(); r2 != 0 {
+		t.Fatalf("r² with monomorphic variant = %v", r2)
+	}
+	// No jointly present samples → 0.
+	var empty GenoCounts
+	if empty.R2() != 0 {
+		t.Fatal("empty counts r² != 0")
+	}
+}
+
+// Property: PairCounts matches the dosage-space reference on random
+// genotype matrices of random size.
+func TestQuickPairCounts(t *testing.T) {
+	f := func(seed int64, samples8 uint8) bool {
+		samples := int(samples8%100) + 1
+		rng := rand.New(rand.NewSource(seed))
+		g := NewGenotypeMatrix(2, samples)
+		codes := []uint8{GenoHomRef, GenoHet, GenoHomAlt, GenoMissing}
+		for i := 0; i < 2; i++ {
+			for s := 0; s < samples; s++ {
+				g.Set(i, s, codes[rng.Intn(4)])
+			}
+		}
+		return g.PairCounts(0, 1) == referenceCounts(g, 0, 1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: r² is always within [0, 1+ε].
+func TestQuickR2Range(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := NewGenotypeMatrix(2, 50)
+		codes := []uint8{GenoHomRef, GenoHet, GenoHomAlt, GenoMissing}
+		for i := 0; i < 2; i++ {
+			for s := 0; s < 50; s++ {
+				g.Set(i, s, codes[rng.Intn(4)])
+			}
+		}
+		r2 := g.PairCounts(0, 1).R2()
+		return r2 >= 0 && r2 <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,112 @@
+package bitmat
+
+import "fmt"
+
+// Sequencing pipelines usually emit sample-major data (one record per
+// individual), while every LD kernel here wants SNP-major columns. The
+// conversion is a bit-matrix transpose; doing it bit-by-bit costs
+// snps×samples operations, while the 64×64 block transpose below moves 64
+// bits per word operation. This is the ingestion path for large cohorts.
+
+// Transpose64 transposes a 64×64 bit block in place: bit (r, c) of the
+// input becomes bit (c, r) of the output. The algorithm is the classic
+// recursive block swap (Hacker's Delight §7-3), log₂64 = 6 rounds of
+// masked exchanges.
+func Transpose64(a *[64]uint64) {
+	// Round widths 32, 16, 8, 4, 2, 1 with their lane masks.
+	masks := [6]uint64{
+		0x00000000ffffffff,
+		0x0000ffff0000ffff,
+		0x00ff00ff00ff00ff,
+		0x0f0f0f0f0f0f0f0f,
+		0x3333333333333333,
+		0x5555555555555555,
+	}
+	// LSB-is-column-0 convention: exchange element (k, c+j) with
+	// (k+j, c) for every c in the round's low-lane mask.
+	for round, j := 0, uint(32); round < 6; round, j = round+1, j>>1 {
+		m := masks[round]
+		for k := 0; k < 64; k = int(uint(k+int(j)+1) &^ j) {
+			t := (a[k]>>j ^ a[k+int(j)]) & m
+			a[k] ^= t << j
+			a[k+int(j)] ^= t
+		}
+	}
+}
+
+// FromPackedRows builds a SNP-major matrix from sample-major packed rows:
+// rows[s] holds the bits of sample s, SNP i at bit position i (word i/64,
+// bit i%64). Every row must have ceil(snps/64) words. The transpose runs
+// in 64×64 blocks.
+func FromPackedRows(rows [][]uint64, snps int) (*Matrix, error) {
+	samples := len(rows)
+	rowWords := WordsFor(snps)
+	for s, r := range rows {
+		if len(r) != rowWords {
+			return nil, fmt.Errorf("bitmat: FromPackedRows: row %d has %d words, want %d", s, len(r), rowWords)
+		}
+	}
+	if snps > 0 {
+		// Reject stray bits beyond the SNP range so the transposed
+		// matrix keeps its padding invariant.
+		mask := ^uint64(0)
+		if r := uint(snps % WordBits); r != 0 {
+			mask = (uint64(1) << r) - 1
+		}
+		for s, r := range rows {
+			if rowWords > 0 && r[rowWords-1]&^mask != 0 {
+				return nil, fmt.Errorf("bitmat: FromPackedRows: row %d has bits beyond SNP %d", s, snps-1)
+			}
+		}
+	}
+	m := New(snps, samples)
+	var block [64]uint64
+	for sw := 0; sw*WordBits < samples; sw++ { // sample-word blocks
+		smax := min(WordBits, samples-sw*WordBits)
+		for cw := 0; cw < rowWords; cw++ { // SNP-word blocks
+			for b := 0; b < smax; b++ {
+				block[b] = rows[sw*WordBits+b][cw]
+			}
+			for b := smax; b < WordBits; b++ {
+				block[b] = 0
+			}
+			Transpose64(&block)
+			// block[b] now holds, for SNP cw*64+b, the 64 sample bits of
+			// this sample block.
+			imax := min(WordBits, snps-cw*WordBits)
+			for b := 0; b < imax; b++ {
+				m.Data[(cw*WordBits+b)*m.Words+sw] = block[b]
+			}
+		}
+	}
+	return m, nil
+}
+
+// PackedRows converts the matrix back to sample-major packed rows — the
+// inverse of FromPackedRows, used when exporting to row-major formats.
+func (m *Matrix) PackedRows() [][]uint64 {
+	rowWords := WordsFor(m.SNPs)
+	rows := make([][]uint64, m.Samples)
+	backing := make([]uint64, m.Samples*rowWords)
+	for s := range rows {
+		rows[s] = backing[s*rowWords : (s+1)*rowWords]
+	}
+	var block [64]uint64
+	for cw := 0; cw < rowWords; cw++ {
+		imax := min(WordBits, m.SNPs-cw*WordBits)
+		for sw := 0; sw < m.Words; sw++ {
+			for b := 0; b < imax; b++ {
+				block[b] = m.Data[(cw*WordBits+b)*m.Words+sw]
+			}
+			for b := imax; b < WordBits; b++ {
+				block[b] = 0
+			}
+			Transpose64(&block)
+			smax := min(WordBits, m.Samples-sw*WordBits)
+			for b := 0; b < smax; b++ {
+				rows[sw*WordBits+b][cw] = block[b]
+			}
+		}
+	}
+	return rows
+}

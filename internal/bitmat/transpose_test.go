@@ -1,0 +1,184 @@
+package bitmat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTranspose64Identity(t *testing.T) {
+	// Diagonal is a fixed point.
+	var a [64]uint64
+	for i := range a {
+		a[i] = 1 << uint(i)
+	}
+	b := a
+	Transpose64(&b)
+	if b != a {
+		t.Fatal("diagonal not a fixed point")
+	}
+}
+
+func TestTranspose64SingleBits(t *testing.T) {
+	for _, rc := range [][2]int{{0, 0}, {0, 63}, {63, 0}, {5, 17}, {40, 40}, {63, 63}, {1, 62}} {
+		var a [64]uint64
+		a[rc[0]] = 1 << uint(rc[1])
+		Transpose64(&a)
+		for r := 0; r < 64; r++ {
+			for c := 0; c < 64; c++ {
+				want := r == rc[1] && c == rc[0]
+				got := a[r]>>uint(c)&1 == 1
+				if got != want {
+					t.Fatalf("bit (%d,%d) transposed wrong: (%d,%d) set=%v", rc[0], rc[1], r, c, got)
+				}
+			}
+		}
+	}
+}
+
+func TestQuickTranspose64Involution(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var a [64]uint64
+		for i := range a {
+			a[i] = rng.Uint64()
+		}
+		b := a
+		Transpose64(&b)
+		// Check the defining property on a sample of bits.
+		for trial := 0; trial < 50; trial++ {
+			r, c := rng.Intn(64), rng.Intn(64)
+			if a[r]>>uint(c)&1 != b[c]>>uint(r)&1 {
+				return false
+			}
+		}
+		Transpose64(&b)
+		return b == a // involution
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromPackedRowsMatchesFromRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, dims := range [][2]int{{1, 1}, {63, 65}, {64, 64}, {100, 130}, {200, 70}, {65, 1}} {
+		snps, samples := dims[0], dims[1]
+		byteRows := make([][]byte, samples)
+		packedRows := make([][]uint64, samples)
+		rowWords := WordsFor(snps)
+		for s := range byteRows {
+			byteRows[s] = make([]byte, snps)
+			packedRows[s] = make([]uint64, rowWords)
+			for i := 0; i < snps; i++ {
+				if rng.Intn(2) == 1 {
+					byteRows[s][i] = 1
+					packedRows[s][i/64] |= 1 << uint(i%64)
+				}
+			}
+		}
+		want, err := FromRows(byteRows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := FromPackedRows(packedRows, snps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("%dx%d: packed transpose mismatch", snps, samples)
+		}
+		if err := got.ValidatePadding(); err != nil {
+			t.Fatalf("%dx%d: %v", snps, samples, err)
+		}
+	}
+}
+
+func TestFromPackedRowsValidation(t *testing.T) {
+	if _, err := FromPackedRows([][]uint64{{0}, {0, 0}}, 64); err == nil {
+		t.Fatal("ragged rows accepted")
+	}
+	// Stray bit beyond the SNP range.
+	if _, err := FromPackedRows([][]uint64{{1 << 10}}, 10); err == nil {
+		t.Fatal("stray bits accepted")
+	}
+	m, err := FromPackedRows(nil, 0)
+	if err != nil || m.SNPs != 0 || m.Samples != 0 {
+		t.Fatalf("empty input: %+v %v", m, err)
+	}
+}
+
+func TestPackedRowsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, dims := range [][2]int{{30, 40}, {64, 128}, {129, 67}} {
+		snps, samples := dims[0], dims[1]
+		m := New(snps, samples)
+		for i := 0; i < snps; i++ {
+			for s := 0; s < samples; s++ {
+				if rng.Intn(2) == 1 {
+					m.SetBit(i, s)
+				}
+			}
+		}
+		rows := m.PackedRows()
+		back, err := FromPackedRows(rows, snps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !back.Equal(m) {
+			t.Fatalf("%dx%d: PackedRows round trip mismatch", snps, samples)
+		}
+	}
+}
+
+func TestQuickPackedRoundTrip(t *testing.T) {
+	f := func(seed int64, n8, s8 uint8) bool {
+		snps := int(n8%150) + 1
+		samples := int(s8%150) + 1
+		rng := rand.New(rand.NewSource(seed))
+		m := New(snps, samples)
+		for i := 0; i < snps; i++ {
+			for s := 0; s < samples; s++ {
+				if rng.Intn(2) == 1 {
+					m.SetBit(i, s)
+				}
+			}
+		}
+		back, err := FromPackedRows(m.PackedRows(), snps)
+		return err == nil && back.Equal(m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkTranspose64(b *testing.B) {
+	var a [64]uint64
+	rng := rand.New(rand.NewSource(1))
+	for i := range a {
+		a[i] = rng.Uint64()
+	}
+	b.SetBytes(64 * 8)
+	for i := 0; i < b.N; i++ {
+		Transpose64(&a)
+	}
+}
+
+func BenchmarkFromPackedRows(b *testing.B) {
+	const snps, samples = 4096, 4096
+	rng := rand.New(rand.NewSource(1))
+	rows := make([][]uint64, samples)
+	for s := range rows {
+		rows[s] = make([]uint64, WordsFor(snps))
+		for w := range rows[s] {
+			rows[s][w] = rng.Uint64()
+		}
+	}
+	b.SetBytes(int64(snps) * samples / 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FromPackedRows(rows, snps); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

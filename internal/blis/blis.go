@@ -1,0 +1,297 @@
+// Package blis implements the GotoBLAS/BLIS layered blocking approach of
+// Section III of the paper for the haplotype-count "GEMM": given genomic
+// matrices whose columns are bit-packed SNPs, it computes
+//
+//	C[i,j] += Σ_l POPCNT(A.SNP(i)[l] & B.SNP(j)[l])
+//
+// using the canonical five-loop structure: the n dimension is partitioned
+// into NC-wide column blocks (loop 5), the k dimension (sample words) into
+// KC-deep slabs (loop 4, the rank-k updates that the paper notes genomic
+// matrices already have the right shape for), the m dimension into MC-tall
+// row blocks (loop 3), and each block-panel multiplication is swept by the
+// register-blocked micro-kernel (loops 2 and 1). B blocks are packed once
+// per (jc, pc) slab and shared by all workers; each worker packs its own A
+// block. Fringe tiles are handled by zero-padding panels to full MR/NR and
+// scattering through a scratch tile, so the micro-kernel never reads or
+// writes out of bounds.
+package blis
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"ldgemm/internal/bitmat"
+	"ldgemm/internal/kernel"
+)
+
+// Config carries the cache blocking parameters and parallelism degree.
+// MC and NC are in SNPs; KC is in 64-bit words of the sample dimension.
+type Config struct {
+	MC int // rows of A packed per L2-resident block
+	NC int // columns of B packed per slab
+	KC int // words per rank-k slab (KC*8 bytes of each SNP)
+	// Kernel is the register-blocked micro-kernel (Default if zero).
+	Kernel kernel.Kernel
+	// Threads is the number of worker goroutines (GOMAXPROCS if 0).
+	Threads int
+}
+
+// DefaultConfig returns blocking parameters sized for common x86 cache
+// hierarchies: the B micro-panel (KC·NR words) stays L1-resident, the
+// packed A block (MC·KC words) L2-resident.
+func DefaultConfig() Config {
+	return Config{
+		MC:     128,
+		NC:     4096,
+		KC:     256, // 2 KiB per SNP slab
+		Kernel: kernel.Default,
+	}
+}
+
+// normalize fills zero fields with defaults and validates the rest.
+func (c Config) normalize() (Config, error) {
+	d := DefaultConfig()
+	if c.MC == 0 {
+		c.MC = d.MC
+	}
+	if c.NC == 0 {
+		c.NC = d.NC
+	}
+	if c.KC == 0 {
+		c.KC = d.KC
+	}
+	if c.Kernel.Fn == nil {
+		c.Kernel = d.Kernel
+	}
+	if c.Threads == 0 {
+		c.Threads = runtime.GOMAXPROCS(0)
+	}
+	if c.MC < 1 || c.NC < 1 || c.KC < 1 || c.Threads < 1 {
+		return c, fmt.Errorf("blis: invalid config %+v", c)
+	}
+	if c.Kernel.MR < 1 || c.Kernel.NR < 1 {
+		return c, fmt.Errorf("blis: invalid kernel shape %dx%d", c.Kernel.MR, c.Kernel.NR)
+	}
+	// Blocks must hold at least one register tile.
+	if c.MC < c.Kernel.MR {
+		c.MC = c.Kernel.MR
+	}
+	if c.NC < c.Kernel.NR {
+		c.NC = c.Kernel.NR
+	}
+	return c, nil
+}
+
+// Gemm computes the full m×n count matrix between the SNPs of a and b:
+// c[i*ldc+j] += dot(a.SNP(i), b.SNP(j)). The matrices must have the same
+// sample count. c must have at least (a.SNPs-1)*ldc + b.SNPs entries.
+func Gemm(cfg Config, a, b *bitmat.Matrix, c []uint32, ldc int) error {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return err
+	}
+	if a.Samples != b.Samples {
+		return fmt.Errorf("blis: sample mismatch %d vs %d", a.Samples, b.Samples)
+	}
+	if err := checkC(a.SNPs, b.SNPs, c, ldc); err != nil {
+		return err
+	}
+	return drive(cfg, a, b, c, ldc, false)
+}
+
+// Syrk computes the upper triangle (j >= i) of the symmetric count matrix
+// GᵀG of a single genomic matrix — the rank-k update of Section III-B.
+// Off-diagonal blocks strictly below the diagonal are skipped entirely;
+// diagonal blocks are computed in full (their lower halves receive correct
+// values as a by-product). With mirror set, the strict lower triangle is
+// filled from the upper triangle afterwards.
+func Syrk(cfg Config, a *bitmat.Matrix, c []uint32, ldc int, mirror bool) error {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return err
+	}
+	if err := checkC(a.SNPs, a.SNPs, c, ldc); err != nil {
+		return err
+	}
+	if err := drive(cfg, a, a, c, ldc, true); err != nil {
+		return err
+	}
+	if mirror {
+		Mirror(c, a.SNPs, ldc)
+	}
+	return nil
+}
+
+// Mirror copies the strict upper triangle of an n×n matrix onto the strict
+// lower triangle.
+func Mirror(c []uint32, n, ldc int) {
+	for i := 1; i < n; i++ {
+		for j := 0; j < i; j++ {
+			c[i*ldc+j] = c[j*ldc+i]
+		}
+	}
+}
+
+func checkC(m, n int, c []uint32, ldc int) error {
+	if ldc < n {
+		return fmt.Errorf("blis: ldc %d < n %d", ldc, n)
+	}
+	if m > 0 && len(c) < (m-1)*ldc+n {
+		return fmt.Errorf("blis: C has %d entries, need %d", len(c), (m-1)*ldc+n)
+	}
+	return nil
+}
+
+// drive runs the five-loop blocked multiplication. With syrk set, (ic, jc)
+// row blocks entirely below the current column block are skipped.
+func drive(cfg Config, a, b *bitmat.Matrix, c []uint32, ldc int, syrk bool) error {
+	m, n, kw := a.SNPs, b.SNPs, a.Words
+	if m == 0 || n == 0 {
+		return nil
+	}
+	if kw == 0 {
+		return nil // zero samples: all counts stay zero
+	}
+	mr, nr := cfg.Kernel.MR, cfg.Kernel.NR
+	// Buffers are sized by the *effective* slab depth, not the nominal
+	// KC: small-k problems (few words per SNP) must not pay a KC-sized
+	// allocation.
+	kcMax := min(cfg.KC, kw)
+
+	// One packed-B slab shared by all workers, repacked per (jc, pc).
+	nc0 := min(cfg.NC, n)
+	// Round the panel count up so fringe packing has room.
+	bpanels := (nc0 + nr - 1) / nr
+	bpack := make([]uint64, bpanels*nr*kcMax)
+
+	workers := cfg.Threads
+	type job struct{ ic, mc int }
+	var (
+		wg     sync.WaitGroup
+		cursor atomic.Int64
+		jobs   []job
+	)
+	apacks := make([][]uint64, workers)
+	tiles := make([][]uint32, workers)
+	for w := range apacks {
+		apanels := (min(cfg.MC, m) + mr - 1) / mr
+		apacks[w] = make([]uint64, apanels*mr*kcMax)
+		tiles[w] = make([]uint32, mr*nr)
+	}
+
+	for jc := 0; jc < n; jc += cfg.NC {
+		nc := min(cfg.NC, n-jc)
+		// Row blocks for this column block. Under syrk, a row block is
+		// needed only if it intersects or precedes the column block's
+		// upper-triangle span: skip when ic >= jc+nc ⇒ every (i,j) in the
+		// block has i > j.
+		jobs = jobs[:0]
+		for ic := 0; ic < m; ic += cfg.MC {
+			if syrk && ic >= jc+nc {
+				continue
+			}
+			jobs = append(jobs, job{ic, min(cfg.MC, m-ic)})
+		}
+		if len(jobs) == 0 {
+			continue
+		}
+		for pc := 0; pc < kw; pc += cfg.KC {
+			kc := min(cfg.KC, kw-pc)
+			// Pack the B slab once.
+			packB(cfg, b, bpack, kcMax, jc, nc, pc, kc)
+
+			cursor.Store(0)
+			nw := min(workers, len(jobs))
+			wg.Add(nw)
+			for w := 0; w < nw; w++ {
+				go func(w int) {
+					defer wg.Done()
+					for {
+						idx := int(cursor.Add(1)) - 1
+						if idx >= len(jobs) {
+							return
+						}
+						jb := jobs[idx]
+						runBlock(cfg, a, kcMax, jb.ic, jb.mc, jc, nc, pc, kc,
+							apacks[w], bpack, tiles[w], c, ldc, syrk)
+					}
+				}(w)
+			}
+			wg.Wait()
+		}
+	}
+	return nil
+}
+
+// packB packs the (jc, pc) slab of B into nr-wide interleaved panels with
+// panel stride nr·kcMax.
+func packB(cfg Config, b *bitmat.Matrix, bpack []uint64, kcMax, jc, nc, pc, kc int) {
+	nr := cfg.Kernel.NR
+	for jr := 0; jr < nc; jr += nr {
+		pw := bpack[(jr/nr)*nr*kcMax:]
+		kernel.PackPanel(pw, b, jc+jr, min(nr, nc-jr), nr, pc, kc)
+	}
+}
+
+// runBlock packs one MC×KC block of A and sweeps it against the packed B
+// slab with the micro-kernel (loops 2 and 1 of the BLIS structure).
+func runBlock(cfg Config, a *bitmat.Matrix, kcMax, ic, mc, jc, nc, pc, kc int,
+	apack, bpack []uint64, tile []uint32, c []uint32, ldc int, syrk bool) {
+	mr, nr := cfg.Kernel.MR, cfg.Kernel.NR
+	for ir := 0; ir < mc; ir += mr {
+		kernel.PackPanel(apack[(ir/mr)*mr*kcMax:], a, ic+ir, min(mr, mc-ir), mr, pc, kc)
+	}
+	for jr := 0; jr < nc; jr += nr {
+		bw := bpack[(jr/nr)*nr*kcMax : (jr/nr)*nr*kcMax+kc*nr]
+		for ir := 0; ir < mc; ir += mr {
+			i0, j0 := ic+ir, jc+jr
+			// Under syrk, skip register tiles strictly below the diagonal.
+			if syrk && i0 >= j0+nr {
+				continue
+			}
+			aw := apack[(ir/mr)*mr*kcMax : (ir/mr)*mr*kcMax+kc*mr]
+			mm, nn := min(mr, mc-ir), min(nr, nc-jr)
+			if mm == mr && nn == nr {
+				cfg.Kernel.Fn(kc, aw, bw, c[i0*ldc+j0:], ldc)
+				continue
+			}
+			// Fringe tile: compute into scratch, scatter the valid region.
+			for t := range tile {
+				tile[t] = 0
+			}
+			cfg.Kernel.Fn(kc, aw, bw, tile, nr)
+			for i := 0; i < mm; i++ {
+				row := c[(i0+i)*ldc+j0:]
+				for j := 0; j < nn; j++ {
+					row[j] += tile[i*nr+j]
+				}
+			}
+		}
+	}
+}
+
+// Reference computes the count matrix with plain per-pair word loops; it is
+// the oracle the blocked drivers are tested against and the "unblocked
+// vector kernel" the ablation benchmarks compare with.
+func Reference(a, b *bitmat.Matrix, c []uint32, ldc int) error {
+	if a.Samples != b.Samples {
+		return fmt.Errorf("blis: sample mismatch %d vs %d", a.Samples, b.Samples)
+	}
+	if err := checkC(a.SNPs, b.SNPs, c, ldc); err != nil {
+		return err
+	}
+	for i := 0; i < a.SNPs; i++ {
+		ai := a.SNP(i)
+		for j := 0; j < b.SNPs; j++ {
+			bj := b.SNP(j)
+			var n uint32
+			for w := range ai {
+				n += popc(ai[w] & bj[w])
+			}
+			c[i*ldc+j] += n
+		}
+	}
+	return nil
+}

@@ -1,0 +1,210 @@
+package blis
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"ldgemm/internal/bitmat"
+	"ldgemm/internal/kernel"
+)
+
+// MaskedGemm computes, for every SNP pair (i of a, j of b), the four
+// Section VII counts needed for gap-aware LD:
+//
+//	c[(i*ldc+j)*4 + kernel.MaskedValid] += popcount(cᵢ & cⱼ)
+//	c[(i*ldc+j)*4 + kernel.MaskedI]     += popcount(cᵢⱼ & sᵢ)
+//	c[(i*ldc+j)*4 + kernel.MaskedJ]     += popcount(cᵢⱼ & sⱼ)
+//	c[(i*ldc+j)*4 + kernel.MaskedIJ]    += popcount(cᵢⱼ & sᵢ & sⱼ)
+//
+// It uses the same five-loop blocked structure as Gemm with the fused
+// masked micro-kernel, packing (value, mask) word pairs. Callers must have
+// applied the masks to the matrices (s = s & c); bitmat.Mask.ApplyTo does
+// this.
+func MaskedGemm(cfg Config, a, b *bitmat.Matrix, ka, kb *bitmat.Mask, c []uint32, ldc int) error {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return err
+	}
+	if a.Samples != b.Samples {
+		return fmt.Errorf("blis: sample mismatch %d vs %d", a.Samples, b.Samples)
+	}
+	if ka.SNPs != a.SNPs || ka.Samples != a.Samples {
+		return fmt.Errorf("blis: mask A shape %dx%d vs matrix %dx%d", ka.SNPs, ka.Samples, a.SNPs, a.Samples)
+	}
+	if kb.SNPs != b.SNPs || kb.Samples != b.Samples {
+		return fmt.Errorf("blis: mask B shape %dx%d vs matrix %dx%d", kb.SNPs, kb.Samples, b.SNPs, b.Samples)
+	}
+	if ldc < b.SNPs {
+		return fmt.Errorf("blis: ldc %d < n %d", ldc, b.SNPs)
+	}
+	if a.SNPs > 0 && len(c) < ((a.SNPs-1)*ldc+b.SNPs)*4 {
+		return fmt.Errorf("blis: masked C has %d entries, need %d", len(c), ((a.SNPs-1)*ldc+b.SNPs)*4)
+	}
+	return driveMasked(cfg, a, b, ka, kb, c, ldc, false)
+}
+
+// MaskedSyrk is the single-matrix gap-aware rank-k update: like Syrk it
+// fills the upper triangle (j ≥ i) of the four-count matrix, skipping
+// blocks and register tiles strictly below the diagonal. MirrorMasked
+// fills the lower triangle afterwards (the counts are symmetric up to
+// swapping the MaskedI/MaskedJ roles).
+func MaskedSyrk(cfg Config, a *bitmat.Matrix, ka *bitmat.Mask, c []uint32, ldc int) error {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return err
+	}
+	if ka.SNPs != a.SNPs || ka.Samples != a.Samples {
+		return fmt.Errorf("blis: mask shape %dx%d vs matrix %dx%d", ka.SNPs, ka.Samples, a.SNPs, a.Samples)
+	}
+	if ldc < a.SNPs {
+		return fmt.Errorf("blis: ldc %d < n %d", ldc, a.SNPs)
+	}
+	if a.SNPs > 0 && len(c) < ((a.SNPs-1)*ldc+a.SNPs)*4 {
+		return fmt.Errorf("blis: masked C has %d entries, need %d", len(c), ((a.SNPs-1)*ldc+a.SNPs)*4)
+	}
+	return driveMasked(cfg, a, a, ka, ka, c, ldc, true)
+}
+
+// MirrorMasked copies the strict upper triangle of an n×n four-count
+// matrix onto the strict lower triangle, swapping the per-SNP counts so
+// that cell (j, i) reads correctly: MaskedI and MaskedJ exchange roles.
+func MirrorMasked(c []uint32, n, ldc int) {
+	for i := 1; i < n; i++ {
+		for j := 0; j < i; j++ {
+			src := c[(j*ldc+i)*4:]
+			dst := c[(i*ldc+j)*4:]
+			dst[kernel.MaskedValid] = src[kernel.MaskedValid]
+			dst[kernel.MaskedI] = src[kernel.MaskedJ]
+			dst[kernel.MaskedJ] = src[kernel.MaskedI]
+			dst[kernel.MaskedIJ] = src[kernel.MaskedIJ]
+		}
+	}
+}
+
+func driveMasked(cfg Config, a, b *bitmat.Matrix, ka, kb *bitmat.Mask, c []uint32, ldc int, syrk bool) error {
+	mk := kernel.Masked2x2()
+	m, n, kw := a.SNPs, b.SNPs, a.Words
+	if m == 0 || n == 0 || kw == 0 {
+		return nil
+	}
+	mr, nr := mk.MR, mk.NR
+	kcMax := min(cfg.KC, kw)
+
+	nc0 := min(cfg.NC, n)
+	bpanels := (nc0 + nr - 1) / nr
+	bpack := make([]uint64, bpanels*nr*kcMax*2)
+
+	workers := cfg.Threads
+	type job struct{ ic, mc int }
+	var (
+		wg     sync.WaitGroup
+		cursor atomic.Int64
+		jobs   []job
+	)
+	apacks := make([][]uint64, workers)
+	tiles := make([][]uint32, workers)
+	for w := range apacks {
+		apanels := (min(cfg.MC, m) + mr - 1) / mr
+		apacks[w] = make([]uint64, apanels*mr*kcMax*2)
+		tiles[w] = make([]uint32, mr*nr*4)
+	}
+
+	for jc := 0; jc < n; jc += cfg.NC {
+		nc := min(cfg.NC, n-jc)
+		jobs = jobs[:0]
+		for ic := 0; ic < m; ic += cfg.MC {
+			if syrk && ic >= jc+nc {
+				continue
+			}
+			jobs = append(jobs, job{ic, min(cfg.MC, m-ic)})
+		}
+		if len(jobs) == 0 {
+			continue
+		}
+		for pc := 0; pc < kw; pc += cfg.KC {
+			kc := min(cfg.KC, kw-pc)
+			for jr := 0; jr < nc; jr += nr {
+				kernel.PackMaskedPanel(bpack[(jr/nr)*nr*kcMax*2:], b, kb, jc+jr, min(nr, nc-jr), nr, pc, kc)
+			}
+			cursor.Store(0)
+			nw := min(workers, len(jobs))
+			wg.Add(nw)
+			for w := 0; w < nw; w++ {
+				go func(w int) {
+					defer wg.Done()
+					for {
+						idx := int(cursor.Add(1)) - 1
+						if idx >= len(jobs) {
+							return
+						}
+						jb := jobs[idx]
+						runMaskedBlock(cfg, mk, kcMax, a, ka, jb.ic, jb.mc, jc, nc, pc, kc,
+							apacks[w], bpack, tiles[w], c, ldc, syrk)
+					}
+				}(w)
+			}
+			wg.Wait()
+		}
+	}
+	return nil
+}
+
+func runMaskedBlock(cfg Config, mk kernel.MaskedKernel, kcMax int, a *bitmat.Matrix, ka *bitmat.Mask,
+	ic, mc, jc, nc, pc, kc int, apack, bpack []uint64, tile []uint32, c []uint32, ldc int, syrk bool) {
+	mr, nr := mk.MR, mk.NR
+	for ir := 0; ir < mc; ir += mr {
+		kernel.PackMaskedPanel(apack[(ir/mr)*mr*kcMax*2:], a, ka, ic+ir, min(mr, mc-ir), mr, pc, kc)
+	}
+	for jr := 0; jr < nc; jr += nr {
+		bw := bpack[(jr/nr)*nr*kcMax*2 : (jr/nr)*nr*kcMax*2+kc*nr*2]
+		for ir := 0; ir < mc; ir += mr {
+			i0, j0 := ic+ir, jc+jr
+			if syrk && i0 >= j0+nr {
+				continue
+			}
+			aw := apack[(ir/mr)*mr*kcMax*2 : (ir/mr)*mr*kcMax*2+kc*mr*2]
+			mm, nn := min(mr, mc-ir), min(nr, nc-jr)
+			if mm == mr && nn == nr {
+				mk.Fn(kc, aw, bw, c[(i0*ldc+j0)*4:], ldc)
+				continue
+			}
+			for t := range tile {
+				tile[t] = 0
+			}
+			mk.Fn(kc, aw, bw, tile, nr)
+			for i := 0; i < mm; i++ {
+				for j := 0; j < nn; j++ {
+					dst := c[((i0+i)*ldc+j0+j)*4:]
+					src := tile[(i*nr+j)*4:]
+					for t := 0; t < 4; t++ {
+						dst[t] += src[t]
+					}
+				}
+			}
+		}
+	}
+}
+
+// MaskedReference computes the four counts with plain loops; oracle for the
+// masked driver.
+func MaskedReference(a, b *bitmat.Matrix, ka, kb *bitmat.Mask, c []uint32, ldc int) error {
+	if a.Samples != b.Samples {
+		return fmt.Errorf("blis: sample mismatch %d vs %d", a.Samples, b.Samples)
+	}
+	for i := 0; i < a.SNPs; i++ {
+		si, ci := a.SNP(i), ka.SNP(i)
+		for j := 0; j < b.SNPs; j++ {
+			sj, cj := b.SNP(j), kb.SNP(j)
+			cell := c[(i*ldc+j)*4:]
+			for w := range si {
+				cij := ci[w] & cj[w]
+				cell[kernel.MaskedValid] += popc(cij)
+				cell[kernel.MaskedI] += popc(cij & si[w])
+				cell[kernel.MaskedJ] += popc(cij & sj[w])
+				cell[kernel.MaskedIJ] += popc(cij & si[w] & sj[w])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+
+	"ldgemm/internal/bitmat"
+)
+
+// BlockOptions configures haplotype-block detection: contiguous runs of
+// SNPs in strong mutual LD (a simplified Gabriel-style definition on
+// |D′|). Blocks are the unit GWAS fine-mapping and LD-map visualizations
+// work with.
+type BlockOptions struct {
+	// DPrimeThreshold is the |D′| above which a pair counts as "strong
+	// LD" (default 0.8).
+	DPrimeThreshold float64
+	// MinStrongFrac is the minimum fraction of within-block pairs that
+	// must be in strong LD (default 0.9).
+	MinStrongFrac float64
+	// MaxBlockSNPs bounds block width, and with it the LD window
+	// computed per block seed (default 200).
+	MaxBlockSNPs int
+	// MinBlockSNPs is the smallest block reported (default 2).
+	MinBlockSNPs int
+	// LD carries blocking/threading options.
+	LD Options
+}
+
+func (o BlockOptions) normalize() (BlockOptions, error) {
+	if o.DPrimeThreshold == 0 {
+		o.DPrimeThreshold = 0.8
+	}
+	if o.MinStrongFrac == 0 {
+		o.MinStrongFrac = 0.9
+	}
+	if o.MaxBlockSNPs == 0 {
+		o.MaxBlockSNPs = 200
+	}
+	if o.MinBlockSNPs == 0 {
+		o.MinBlockSNPs = 2
+	}
+	if o.DPrimeThreshold <= 0 || o.DPrimeThreshold > 1 ||
+		o.MinStrongFrac <= 0 || o.MinStrongFrac > 1 ||
+		o.MinBlockSNPs < 2 || o.MaxBlockSNPs < o.MinBlockSNPs {
+		return o, fmt.Errorf("core: invalid block options %+v", o)
+	}
+	return o, nil
+}
+
+// Block is one detected haplotype block: SNPs [Start, End).
+type Block struct {
+	Start, End int
+	// StrongFrac is the fraction of within-block pairs in strong LD.
+	StrongFrac float64
+}
+
+// SNPs returns the block width.
+func (b Block) SNPs() int { return b.End - b.Start }
+
+// Blocks detects haplotype blocks greedily left to right: from each seed
+// SNP it extends the block while the strong-LD fraction stays above the
+// threshold, computing each candidate window's |D′| matrix with the
+// blocked kernel.
+func Blocks(g *bitmat.Matrix, opt BlockOptions) ([]Block, error) {
+	opt, err := opt.normalize()
+	if err != nil {
+		return nil, err
+	}
+	n := g.SNPs
+	var blocks []Block
+	for start := 0; start < n-1; {
+		hi := min(start+opt.MaxBlockSNPs, n)
+		res, err := Matrix(g.Slice(start, hi), Options{Measures: MeasureDPrime, Blis: opt.LD.Blis})
+		if err != nil {
+			return nil, err
+		}
+		w := hi - start
+		// Incrementally extend: track strong/total pair counts as columns
+		// join the block.
+		strong, total := 0, 0
+		bestEnd, bestFrac := start, 0.0
+		for end := 1; end < w; end++ {
+			for a := 0; a < end; a++ {
+				total++
+				dp := res.DPrime[a*w+end]
+				if dp < 0 {
+					dp = -dp
+				}
+				if dp >= opt.DPrimeThreshold {
+					strong++
+				}
+			}
+			frac := float64(strong) / float64(total)
+			if frac >= opt.MinStrongFrac {
+				bestEnd, bestFrac = start+end+1, frac
+			}
+		}
+		if bestEnd-start >= opt.MinBlockSNPs {
+			blocks = append(blocks, Block{Start: start, End: bestEnd, StrongFrac: bestFrac})
+			start = bestEnd
+		} else {
+			start++
+		}
+	}
+	return blocks, nil
+}

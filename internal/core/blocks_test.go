@@ -1,0 +1,124 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"ldgemm/internal/bitmat"
+)
+
+// blockyMatrix builds SNPs in perfect-LD blocks of the given widths,
+// separated by independent patterns.
+func blockyMatrix(rng *rand.Rand, widths []int, samples int) *bitmat.Matrix {
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	g := bitmat.New(total, samples)
+	i := 0
+	for _, w := range widths {
+		pattern := make([]byte, samples)
+		ones := 0
+		for s := range pattern {
+			pattern[s] = byte(rng.Intn(2))
+			ones += int(pattern[s])
+		}
+		// Keep the pattern polymorphic.
+		if ones == 0 {
+			pattern[0] = 1
+		}
+		if ones == samples {
+			pattern[0] = 0
+		}
+		for k := 0; k < w; k++ {
+			for s, v := range pattern {
+				if v == 1 {
+					g.SetBit(i, s)
+				}
+			}
+			i++
+		}
+	}
+	return g
+}
+
+func TestBlocksRecoverPlantedBlocks(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	widths := []int{5, 8, 3, 6}
+	g := blockyMatrix(rng, widths, 400)
+	blocks, err := Blocks(g, BlockOptions{DPrimeThreshold: 0.9, MinStrongFrac: 0.95, MaxBlockSNPs: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != len(widths) {
+		t.Fatalf("found %d blocks (%+v), want %d", len(blocks), blocks, len(widths))
+	}
+	start := 0
+	for b, w := range widths {
+		if blocks[b].Start != start || blocks[b].End != start+w {
+			t.Fatalf("block %d = [%d,%d), want [%d,%d)", b, blocks[b].Start, blocks[b].End, start, start+w)
+		}
+		if blocks[b].SNPs() != w {
+			t.Fatalf("block %d width %d", b, blocks[b].SNPs())
+		}
+		if blocks[b].StrongFrac < 0.95 {
+			t.Fatalf("block %d strong fraction %v", b, blocks[b].StrongFrac)
+		}
+		start += w
+	}
+}
+
+func TestBlocksOnIndependentData(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := randomMatrix(rng, 40, 600)
+	blocks, err := Blocks(g, BlockOptions{DPrimeThreshold: 0.95, MinStrongFrac: 0.95})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Independent common SNPs on 600 samples essentially never reach
+	// |D′| ≥ 0.95 in runs; a handful of spurious 2-SNP blocks may appear
+	// with rare alleles, but nothing wide.
+	for _, b := range blocks {
+		if b.SNPs() > 3 {
+			t.Fatalf("implausibly wide block %+v on independent data", b)
+		}
+	}
+}
+
+func TestBlocksOptionsValidation(t *testing.T) {
+	g := bitmat.New(10, 40)
+	if _, err := Blocks(g, BlockOptions{DPrimeThreshold: 2}); err == nil {
+		t.Fatal("threshold>1 accepted")
+	}
+	if _, err := Blocks(g, BlockOptions{MinBlockSNPs: 1}); err == nil {
+		t.Fatal("MinBlockSNPs=1 accepted")
+	}
+	if _, err := Blocks(g, BlockOptions{MinBlockSNPs: 10, MaxBlockSNPs: 5}); err == nil {
+		t.Fatal("max<min accepted")
+	}
+}
+
+func TestBlocksEmptyAndTiny(t *testing.T) {
+	blocks, err := Blocks(bitmat.New(0, 10), BlockOptions{})
+	if err != nil || len(blocks) != 0 {
+		t.Fatalf("empty: %v %v", blocks, err)
+	}
+	blocks, err = Blocks(bitmat.New(1, 10), BlockOptions{})
+	if err != nil || len(blocks) != 0 {
+		t.Fatalf("single SNP: %v %v", blocks, err)
+	}
+}
+
+func TestBlocksAreDisjointAndOrdered(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := blockyMatrix(rng, []int{4, 4, 4, 4, 4}, 200)
+	blocks, err := Blocks(g, BlockOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(blocks); i++ {
+		if blocks[i].Start < blocks[i-1].End {
+			t.Fatalf("overlapping blocks %+v and %+v", blocks[i-1], blocks[i])
+		}
+	}
+}

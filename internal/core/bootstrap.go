@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"ldgemm/internal/bitmat"
+)
+
+// LD point estimates from finite samples carry sampling error; r²
+// especially is biased upward for small n (E[r²] ≈ 1/n under
+// independence). BootstrapPair quantifies that uncertainty by resampling
+// samples (haplotypes) with replacement — the standard nonparametric
+// approach when no closed-form variance applies.
+
+// BootstrapOptions configures a bootstrap confidence interval.
+type BootstrapOptions struct {
+	Seed int64
+	// Replicates is the number of bootstrap resamples (default 1000).
+	Replicates int
+	// Confidence is the two-sided interval mass (default 0.95).
+	Confidence float64
+}
+
+func (o BootstrapOptions) normalize() (BootstrapOptions, error) {
+	if o.Replicates == 0 {
+		o.Replicates = 1000
+	}
+	if o.Confidence == 0 {
+		o.Confidence = 0.95
+	}
+	if o.Replicates < 10 {
+		return o, fmt.Errorf("core: need at least 10 bootstrap replicates, have %d", o.Replicates)
+	}
+	if o.Confidence <= 0 || o.Confidence >= 1 {
+		return o, fmt.Errorf("core: invalid confidence %v", o.Confidence)
+	}
+	return o, nil
+}
+
+// Interval is a bootstrap percentile confidence interval around a point
+// estimate.
+type Interval struct {
+	Point float64
+	Lo    float64
+	Hi    float64
+}
+
+// Contains reports whether v lies inside the interval.
+func (iv Interval) Contains(v float64) bool { return v >= iv.Lo && v <= iv.Hi }
+
+// BootstrapPair resamples haplotypes with replacement and returns
+// percentile confidence intervals for r², D, and D′ of the SNP pair
+// (i, j). Only the two SNP columns are resampled, so each replicate costs
+// O(samples) independent of the matrix width.
+func BootstrapPair(g *bitmat.Matrix, i, j int, opt BootstrapOptions) (r2, d, dprime Interval, err error) {
+	opt, err = opt.normalize()
+	if err != nil {
+		return
+	}
+	if g.Samples < 2 {
+		err = fmt.Errorf("core: bootstrap needs at least 2 samples, have %d", g.Samples)
+		return
+	}
+	point := PairLD(g, i, j)
+	r2.Point, d.Point, dprime.Point = point.R2, point.D, point.DPrime
+
+	// Materialize the two columns once; per-replicate work is then a
+	// counting pass over resampled indices.
+	ci, cj := g.Column(i), g.Column(j)
+	rng := rand.New(rand.NewSource(opt.Seed))
+	n := g.Samples
+	r2s := make([]float64, opt.Replicates)
+	ds := make([]float64, opt.Replicates)
+	dps := make([]float64, opt.Replicates)
+	for rep := 0; rep < opt.Replicates; rep++ {
+		var nA, nB, nAB int
+		for s := 0; s < n; s++ {
+			idx := rng.Intn(n)
+			a, b := ci[idx] != 0, cj[idx] != 0
+			if a {
+				nA++
+			}
+			if b {
+				nB++
+			}
+			if a && b {
+				nAB++
+			}
+		}
+		fn := float64(n)
+		p := PairFromFreqs(float64(nAB)/fn, float64(nA)/fn, float64(nB)/fn)
+		r2s[rep], ds[rep], dps[rep] = p.R2, p.D, p.DPrime
+	}
+	alpha := 1 - opt.Confidence
+	r2.Lo, r2.Hi = percentiles(r2s, alpha/2, 1-alpha/2)
+	d.Lo, d.Hi = percentiles(ds, alpha/2, 1-alpha/2)
+	dprime.Lo, dprime.Hi = percentiles(dps, alpha/2, 1-alpha/2)
+	return
+}
+
+// percentiles returns the lo and hi empirical quantiles of xs (sorted in
+// place).
+func percentiles(xs []float64, lo, hi float64) (float64, float64) {
+	sort.Float64s(xs)
+	at := func(q float64) float64 {
+		pos := q * float64(len(xs)-1)
+		k := int(pos)
+		if k+1 >= len(xs) {
+			return xs[len(xs)-1]
+		}
+		frac := pos - float64(k)
+		return xs[k]*(1-frac) + xs[k+1]*frac
+	}
+	return at(lo), at(hi)
+}

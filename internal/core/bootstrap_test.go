@@ -1,0 +1,106 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"ldgemm/internal/bitmat"
+)
+
+func TestBootstrapPairBasics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := randomMatrix(rng, 4, 400)
+	r2, d, dp, err := BootstrapPair(g, 0, 1, BootstrapOptions{Seed: 2, Replicates: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, iv := range map[string]Interval{"r2": r2, "d": d, "dprime": dp} {
+		if iv.Lo > iv.Hi {
+			t.Fatalf("%s: inverted interval %+v", name, iv)
+		}
+	}
+	// Intervals should (essentially always) cover their point estimate on
+	// well-behaved data.
+	if !r2.Contains(r2.Point) || !d.Contains(d.Point) {
+		t.Fatalf("interval excludes point: r2 %+v d %+v", r2, d)
+	}
+	// r² interval stays in [0, 1].
+	if r2.Lo < 0 || r2.Hi > 1 {
+		t.Fatalf("r² interval out of range %+v", r2)
+	}
+}
+
+func TestBootstrapPerfectLDIsTight(t *testing.T) {
+	// Identical SNPs: every resample has r² = 1 → degenerate interval.
+	g := bitmat.New(2, 100)
+	for s := 0; s < 50; s++ {
+		g.SetBit(0, s)
+		g.SetBit(1, s)
+	}
+	r2, _, _, err := BootstrapPair(g, 0, 1, BootstrapOptions{Seed: 3, Replicates: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Lo < 0.999 || r2.Hi > 1.0001 {
+		t.Fatalf("perfect-LD interval %+v", r2)
+	}
+}
+
+func TestBootstrapIntervalNarrowsWithSampleSize(t *testing.T) {
+	width := func(samples int) float64 {
+		g := bitmat.New(2, samples)
+		// Moderate correlation: SNP1 copies SNP0 for 70% of samples.
+		rng := rand.New(rand.NewSource(4))
+		for s := 0; s < samples; s++ {
+			a := rng.Intn(2) == 1
+			b := a
+			if rng.Float64() > 0.7 {
+				b = rng.Intn(2) == 1
+			}
+			if a {
+				g.SetBit(0, s)
+			}
+			if b {
+				g.SetBit(1, s)
+			}
+		}
+		r2, _, _, err := BootstrapPair(g, 0, 1, BootstrapOptions{Seed: 5, Replicates: 300})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r2.Hi - r2.Lo
+	}
+	small, large := width(60), width(2000)
+	if large >= small {
+		t.Fatalf("interval did not narrow: n=60 width %v, n=2000 width %v", small, large)
+	}
+}
+
+func TestBootstrapValidation(t *testing.T) {
+	g := bitmat.New(2, 50)
+	if _, _, _, err := BootstrapPair(g, 0, 1, BootstrapOptions{Replicates: 3}); err == nil {
+		t.Fatal("too few replicates accepted")
+	}
+	if _, _, _, err := BootstrapPair(g, 0, 1, BootstrapOptions{Confidence: 1.5}); err == nil {
+		t.Fatal("confidence > 1 accepted")
+	}
+	if _, _, _, err := BootstrapPair(bitmat.New(2, 1), 0, 1, BootstrapOptions{}); err == nil {
+		t.Fatal("single sample accepted")
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	lo, hi := percentiles(xs, 0, 1)
+	if lo != 1 || hi != 5 {
+		t.Fatalf("full-range percentiles %v %v", lo, hi)
+	}
+	if !sort.Float64sAreSorted(xs) {
+		t.Fatal("percentiles did not sort")
+	}
+	lo, hi = percentiles(xs, 0.25, 0.75)
+	if lo != 2 || hi != 4 {
+		t.Fatalf("quartiles %v %v", lo, hi)
+	}
+}

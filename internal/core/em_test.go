@@ -1,0 +1,168 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ldgemm/internal/bitmat"
+)
+
+// phasedPair builds a diploid genotype matrix from a known haplotype
+// matrix and returns both.
+func phasedPair(rng *rand.Rand, snps, diploids int) (*bitmat.Matrix, *bitmat.GenotypeMatrix) {
+	hap := randomMatrix(rng, snps, 2*diploids)
+	g, err := bitmat.FromHaplotypes(hap)
+	if err != nil {
+		panic(err)
+	}
+	return hap, g
+}
+
+func TestPairGenoTable(t *testing.T) {
+	g := bitmat.NewGenotypeMatrix(2, 5)
+	g.Set(0, 0, bitmat.GenoHomAlt)
+	g.Set(1, 0, bitmat.GenoHet)
+	g.Set(0, 1, bitmat.GenoHet)
+	g.Set(1, 1, bitmat.GenoHet)
+	g.Set(0, 2, bitmat.GenoMissing)
+	tbl := PairGenoTable(g, 0, 1)
+	if tbl.Counts[2][1] != 1 || tbl.Counts[1][1] != 1 || tbl.Counts[0][0] != 2 {
+		t.Fatalf("table %+v", tbl.Counts)
+	}
+	if tbl.Total() != 4 { // missing sample skipped
+		t.Fatalf("total %d", tbl.Total())
+	}
+}
+
+func TestEMRejectsEmpty(t *testing.T) {
+	if _, _, _, _, err := EMHaplotypeFreqs(GenoTable{}); err == nil {
+		t.Fatal("empty table accepted")
+	}
+}
+
+func TestEMNoAmbiguityExact(t *testing.T) {
+	// Without double heterozygotes, EM is exact counting. Construct
+	// genotypes from known haplotype pairs avoiding the (1,1) cell.
+	var tbl GenoTable
+	tbl.Counts[2][2] = 10 // AB/AB
+	tbl.Counts[0][0] = 30 // ab/ab
+	tbl.Counts[2][0] = 20 // Ab/Ab
+	tbl.Counts[0][2] = 40 // aB/aB
+	pAB, pAb, paB, pab, err := EMHaplotypeFreqs(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tot := 100.0
+	if math.Abs(pAB-10/tot) > 1e-12 || math.Abs(pAb-20/tot) > 1e-12 ||
+		math.Abs(paB-40/tot) > 1e-12 || math.Abs(pab-30/tot) > 1e-12 {
+		t.Fatalf("freqs %v %v %v %v", pAB, pAb, paB, pab)
+	}
+}
+
+func TestEMRecoversPhasedTruth(t *testing.T) {
+	// Collapse phased haplotypes to genotypes; EM on the genotypes must
+	// recover haplotype r² closely (it is the MLE, and with thousands of
+	// haplotypes the phase ambiguity resolves).
+	rng := rand.New(rand.NewSource(1))
+	hap, g := phasedPair(rng, 12, 3000)
+	for i := 0; i < 12; i++ {
+		for j := i + 1; j < 12; j++ {
+			truth := PairLD(hap, i, j)
+			est, err := EMPairLD(g, i, j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(est.R2-truth.R2) > 0.02 {
+				t.Fatalf("(%d,%d): EM r² %v vs phased %v", i, j, est.R2, truth.R2)
+			}
+			if math.Abs(est.PAB-truth.PAB) > 0.02 {
+				t.Fatalf("(%d,%d): EM P(AB) %v vs phased %v", i, j, est.PAB, truth.PAB)
+			}
+		}
+	}
+}
+
+func TestEMRecoversStrongLD(t *testing.T) {
+	// Perfect LD: haplotypes only AB or ab. Genotype table has double
+	// heterozygotes (AB/ab) whose correct phasing EM must infer.
+	var tbl GenoTable
+	tbl.Counts[2][2] = 25 // AB/AB
+	tbl.Counts[1][1] = 50 // AB/ab (ambiguous!)
+	tbl.Counts[0][0] = 25 // ab/ab
+	pAB, pAb, paB, pab, err := EMHaplotypeFreqs(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pAB-0.5) > 1e-6 || math.Abs(pab-0.5) > 1e-6 || pAb > 1e-6 || paB > 1e-6 {
+		t.Fatalf("perfect-LD EM gave %v %v %v %v", pAB, pAb, paB, pab)
+	}
+	p := PairFromFreqs(pAB, pAB+pAb, pAB+paB)
+	if math.Abs(p.R2-1) > 1e-6 {
+		t.Fatalf("perfect-LD r² = %v", p.R2)
+	}
+}
+
+func TestEMMatrixSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	_, g := phasedPair(rng, 8, 200)
+	m, err := EMMatrix(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if math.Abs(m[i*8+i]-1) > 1e-9 && g.PairCounts(i, i).N > 0 {
+			// Diagonal should be 1 unless monomorphic.
+			tbl := PairGenoTable(g, i, i)
+			mono := tbl.Counts[0][0] == tbl.Total() || tbl.Counts[2][2] == tbl.Total()
+			if !mono {
+				t.Fatalf("diag %d = %v", i, m[i*8+i])
+			}
+		}
+		for j := 0; j < 8; j++ {
+			if m[i*8+j] != m[j*8+i] {
+				t.Fatalf("asymmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+// Property: EM frequencies are a valid distribution and imply frequencies
+// consistent with the table margins.
+func TestQuickEMConsistency(t *testing.T) {
+	f := func(seed int64, d8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		diploids := int(d8%200) + 20
+		_, g := phasedPair(rng, 2, diploids)
+		tbl := PairGenoTable(g, 0, 1)
+		pAB, pAb, paB, pab, err := EMHaplotypeFreqs(tbl)
+		if err != nil {
+			return false
+		}
+		sum := pAB + pAb + paB + pab
+		if math.Abs(sum-1) > 1e-9 {
+			return false
+		}
+		for _, p := range []float64{pAB, pAb, paB, pab} {
+			if p < -1e-12 || p > 1+1e-12 {
+				return false
+			}
+		}
+		// Margins must match the genotype allele frequencies exactly
+		// (EM preserves them by construction).
+		n := float64(2 * tbl.Total())
+		var dosA, dosB int
+		for a := 0; a < 3; a++ {
+			for b := 0; b < 3; b++ {
+				dosA += a * tbl.Counts[a][b]
+				dosB += b * tbl.Counts[a][b]
+			}
+		}
+		return math.Abs((pAB+pAb)-float64(dosA)/n) < 1e-9 &&
+			math.Abs((pAB+paB)-float64(dosB)/n) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

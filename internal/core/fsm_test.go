@@ -1,0 +1,292 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomDNA(rng *rand.Rand, snps, samples int, gapRate float64) [][]byte {
+	alpha := []byte("ACGT")
+	cols := make([][]byte, snps)
+	for i := range cols {
+		cols[i] = make([]byte, samples)
+		for s := range cols[i] {
+			if rng.Float64() < gapRate {
+				cols[i][s] = '-'
+			} else {
+				cols[i][s] = alpha[rng.Intn(4)]
+			}
+		}
+	}
+	return cols
+}
+
+func TestFromDNAAndState(t *testing.T) {
+	f, err := FromDNA([][]byte{
+		[]byte("ACGT-"),
+		[]byte("aaNtt"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.SNPs != 2 || f.Samples != 5 {
+		t.Fatalf("dims %dx%d", f.SNPs, f.Samples)
+	}
+	wantStates := [][]int{{0, 1, 2, 3, -1}, {0, 0, -1, 3, 3}}
+	for i := range wantStates {
+		for s, want := range wantStates[i] {
+			st, ok := f.State(i, s)
+			if want == -1 {
+				if ok {
+					t.Fatalf("(%d,%d) should be a gap", i, s)
+				}
+				continue
+			}
+			if !ok || st != want {
+				t.Fatalf("State(%d,%d) = %d,%v, want %d", i, s, st, ok, want)
+			}
+		}
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromDNARagged(t *testing.T) {
+	if _, err := FromDNA([][]byte{[]byte("AC"), []byte("A")}); err == nil {
+		t.Fatal("ragged DNA accepted")
+	}
+}
+
+func TestSetClearState(t *testing.T) {
+	f := NewFSMMatrix(1, 4)
+	f.SetState(0, 2, 3)
+	if st, ok := f.State(0, 2); !ok || st != 3 {
+		t.Fatalf("State = %d,%v", st, ok)
+	}
+	f.SetState(0, 2, 1) // reassign must clear previous plane
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := f.State(0, 2); st != 1 {
+		t.Fatalf("reassigned state = %d", st)
+	}
+	f.ClearState(0, 2)
+	if _, ok := f.State(0, 2); ok {
+		t.Fatal("ClearState did not clear")
+	}
+}
+
+func TestValidateDetectsOverlap(t *testing.T) {
+	f := NewFSMMatrix(1, 4)
+	f.Planes[0].SetBit(0, 1)
+	f.Planes[2].SetBit(0, 1)
+	if err := f.Validate(); err == nil {
+		t.Fatal("overlapping states not detected")
+	}
+}
+
+func TestValidMaskAndStateCounts(t *testing.T) {
+	f, err := FromDNA([][]byte{[]byte("AACG-N")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := f.ValidMask()
+	if got := k.ValidCount(0); got != 4 {
+		t.Fatalf("ValidCount = %d, want 4", got)
+	}
+	counts, v := f.StateCounts(0)
+	if counts[0] != 2 || counts[1] != 1 || counts[2] != 1 || counts[3] != 0 {
+		t.Fatalf("counts = %v", counts)
+	}
+	if v != 3 {
+		t.Fatalf("v = %d, want 3", v)
+	}
+}
+
+// naiveFSM computes Σr² and T for one pair directly from characters.
+func naiveFSM(cols [][]byte, i, j int) (sumR2, tstat float64) {
+	valid := func(c byte) (int, bool) {
+		switch c {
+		case 'A', 'a':
+			return 0, true
+		case 'C', 'c':
+			return 1, true
+		case 'G', 'g':
+			return 2, true
+		case 'T', 't':
+			return 3, true
+		}
+		return 0, false
+	}
+	samples := len(cols[i])
+	var joint [4][4]float64
+	nv := 0.0
+	for s := 0; s < samples; s++ {
+		a, oka := valid(cols[i][s])
+		b, okb := valid(cols[j][s])
+		if oka && okb {
+			joint[a][b]++
+			nv++
+		}
+	}
+	if nv == 0 {
+		return 0, 0
+	}
+	var margI, margJ [4]float64
+	for a := 0; a < 4; a++ {
+		for b := 0; b < 4; b++ {
+			margI[a] += joint[a][b]
+			margJ[b] += joint[a][b]
+		}
+	}
+	for a := 0; a < 4; a++ {
+		pa := margI[a] / nv
+		if pa <= 0 || pa >= 1 {
+			continue
+		}
+		for b := 0; b < 4; b++ {
+			pb := margJ[b] / nv
+			if pb <= 0 || pb >= 1 {
+				continue
+			}
+			d := joint[a][b]/nv - pa*pb
+			sumR2 += d * d / (pa * (1 - pa) * pb * (1 - pb))
+		}
+	}
+	// vᵢ per FSMLD: distinct states over *all* valid samples of the SNP.
+	vi, vj := 0.0, 0.0
+	for st := 0; st < 4; st++ {
+		ci, cj := 0, 0
+		for s := 0; s < samples; s++ {
+			if a, ok := valid(cols[i][s]); ok && a == st {
+				ci++
+			}
+			if b, ok := valid(cols[j][s]); ok && b == st {
+				cj++
+			}
+		}
+		if ci > 0 {
+			vi++
+		}
+		if cj > 0 {
+			vj++
+		}
+	}
+	if vi > 0 && vj > 0 {
+		tstat = (vi - 1) * (vj - 1) * nv / (vi * vj) * sumR2
+	}
+	return sumR2, tstat
+}
+
+func TestFSMLDMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cols := randomDNA(rng, 9, 140, 0.1)
+	f, err := FromDNA(cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := FSMLD(f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 9; i++ {
+		for j := 0; j < 9; j++ {
+			wantSum, wantT := naiveFSM(cols, i, j)
+			if math.Abs(res.SumR2[i*9+j]-wantSum) > 1e-9 {
+				t.Fatalf("SumR2(%d,%d) = %v, want %v", i, j, res.SumR2[i*9+j], wantSum)
+			}
+			if math.Abs(res.T[i*9+j]-wantT) > 1e-9 {
+				t.Fatalf("T(%d,%d) = %v, want %v", i, j, res.T[i*9+j], wantT)
+			}
+		}
+	}
+}
+
+func TestFSMLDBiallelicConsistency(t *testing.T) {
+	// A biallelic FSM site with no gaps must reproduce the ISM r²: with
+	// exactly two states per SNP, Σr² counts each of the 4 state pairs,
+	// all equal to r², so Σr² = 4·r² and T = (1·1·n)/(2·2)·4r² = n·r².
+	rng := rand.New(rand.NewSource(2))
+	samples := 120
+	g := randomMatrix(rng, 6, samples)
+	// Avoid monomorphic SNPs for a clean comparison.
+	for i := 0; i < 6; i++ {
+		g.SetBit(i, 0)
+		g.ClearBit(i, 1)
+	}
+	cols := make([][]byte, 6)
+	for i := range cols {
+		cols[i] = make([]byte, samples)
+		for s := 0; s < samples; s++ {
+			if g.Bit(i, s) {
+				cols[i][s] = 'G' // derived
+			} else {
+				cols[i][s] = 'A' // ancestral
+			}
+		}
+	}
+	f, err := FromDNA(cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsm, err := FSMLD(f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ism, err := Matrix(g, Options{Measures: MeasureR2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			idx := i*6 + j
+			if math.Abs(fsm.SumR2[idx]-4*ism.R2[idx]) > 1e-9 {
+				t.Fatalf("(%d,%d): Σr² = %v, want 4·r² = %v", i, j, fsm.SumR2[idx], 4*ism.R2[idx])
+			}
+			wantT := float64(samples) * ism.R2[idx]
+			if math.Abs(fsm.T[idx]-wantT) > 1e-6 {
+				t.Fatalf("(%d,%d): T = %v, want N·r² = %v", i, j, fsm.T[idx], wantT)
+			}
+		}
+	}
+}
+
+func TestFSMLDEmpty(t *testing.T) {
+	res, err := FSMLD(NewFSMMatrix(0, 0), Options{})
+	if err != nil || res.SNPs != 0 {
+		t.Fatalf("empty FSM: %v %+v", err, res)
+	}
+}
+
+func TestQuickFSMLD(t *testing.T) {
+	f := func(seed int64, n8, s8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(n8%6) + 2
+		samples := int(s8%90) + 10
+		cols := randomDNA(rng, n, samples, 0.15)
+		fm, err := FromDNA(cols)
+		if err != nil {
+			return false
+		}
+		res, err := FSMLD(fm, Options{})
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				wantSum, wantT := naiveFSM(cols, i, j)
+				if math.Abs(res.SumR2[i*n+j]-wantSum) > 1e-9 ||
+					math.Abs(res.T[i*n+j]-wantT) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ldgemm/internal/bitmat"
+)
+
+// naiveTriple computes D₃ from explicit per-sample joint frequencies.
+func naiveTriple(g *bitmat.Matrix, i, j, k int) Triple {
+	n := float64(g.Samples)
+	var cI, cJ, cK, cIJ, cIK, cJK, cIJK int
+	for s := 0; s < g.Samples; s++ {
+		a, b, c := g.Bit(i, s), g.Bit(j, s), g.Bit(k, s)
+		if a {
+			cI++
+		}
+		if b {
+			cJ++
+		}
+		if c {
+			cK++
+		}
+		if a && b {
+			cIJ++
+		}
+		if a && c {
+			cIK++
+		}
+		if b && c {
+			cJK++
+		}
+		if a && b && c {
+			cIJK++
+		}
+	}
+	pi, pj, pk := float64(cI)/n, float64(cJ)/n, float64(cK)/n
+	dij := float64(cIJ)/n - pi*pj
+	dik := float64(cIK)/n - pi*pk
+	djk := float64(cJK)/n - pj*pk
+	pabc := float64(cIJK) / n
+	return Triple{I: i, J: j, K: k, PABC: pabc,
+		D3: pabc - pi*djk - pj*dik - pk*dij - pi*pj*pk}
+}
+
+func triplesClose(a, b Triple) bool {
+	return a.I == b.I && a.J == b.J && a.K == b.K &&
+		math.Abs(a.PABC-b.PABC) < 1e-12 && math.Abs(a.D3-b.D3) < 1e-12
+}
+
+func TestTripleLDMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := randomMatrix(rng, 8, 137)
+	for i := 0; i < 8; i++ {
+		for j := i + 1; j < 8; j++ {
+			for k := j + 1; k < 8; k++ {
+				got := TripleLD(g, i, j, k)
+				want := naiveTriple(g, i, j, k)
+				if !triplesClose(got, want) {
+					t.Fatalf("(%d,%d,%d): %+v vs %+v", i, j, k, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestTripleLDIndependentLoci(t *testing.T) {
+	// Three pairwise-independent, jointly-independent loci → D₃ ≈ 0.
+	// Build an explicit product structure: 8 equal-frequency cells.
+	g := bitmat.New(3, 8*50)
+	for s := 0; s < 8*50; s++ {
+		pat := s % 8
+		if pat&1 != 0 {
+			g.SetBit(0, s)
+		}
+		if pat&2 != 0 {
+			g.SetBit(1, s)
+		}
+		if pat&4 != 0 {
+			g.SetBit(2, s)
+		}
+	}
+	tr := TripleLD(g, 0, 1, 2)
+	if math.Abs(tr.D3) > 1e-12 {
+		t.Fatalf("independent loci D₃ = %v", tr.D3)
+	}
+	if math.Abs(tr.PABC-0.125) > 1e-12 {
+		t.Fatalf("PABC = %v", tr.PABC)
+	}
+}
+
+func TestTripleLDDetectsPureThreeWay(t *testing.T) {
+	// XOR structure: every pair independent, but the triple is maximally
+	// associated — exactly what pairwise LD cannot see and D₃ exists for.
+	// Samples uniform over the 4 patterns with c = a XOR b.
+	g := bitmat.New(3, 4*60)
+	for s := 0; s < 4*60; s++ {
+		a := s % 4 & 1
+		b := s % 4 >> 1
+		c := a ^ b
+		if a == 1 {
+			g.SetBit(0, s)
+		}
+		if b == 1 {
+			g.SetBit(1, s)
+		}
+		if c == 1 {
+			g.SetBit(2, s)
+		}
+	}
+	// Pairwise: all D = 0.
+	for _, pr := range [][2]int{{0, 1}, {0, 2}, {1, 2}} {
+		if d := PairLD(g, pr[0], pr[1]).D; math.Abs(d) > 1e-12 {
+			t.Fatalf("pair %v has D = %v", pr, d)
+		}
+	}
+	tr := TripleLD(g, 0, 1, 2)
+	// P(ABC) = 0 (a=b=1 ⇒ c=0), expectation 1/8 ⇒ D₃ = −1/8.
+	if math.Abs(tr.D3+0.125) > 1e-12 {
+		t.Fatalf("XOR triple D₃ = %v, want −0.125", tr.D3)
+	}
+}
+
+func TestTripleScanMatchesTripleLD(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := randomMatrix(rng, 20, 200)
+	got, err := TripleScan(g, TripleScanOptions{MaxSpan: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := 0
+	for i := 0; i < 20; i++ {
+		for j := i + 1; j < 20 && j-i < 5; j++ {
+			for k := j + 1; k <= i+5 && k < 20; k++ {
+				if idx >= len(got) {
+					t.Fatalf("scan ended early at (%d,%d,%d)", i, j, k)
+				}
+				want := TripleLD(g, i, j, k)
+				if !triplesClose(got[idx], want) {
+					t.Fatalf("scan (%d,%d,%d): %+v vs %+v", i, j, k, got[idx], want)
+				}
+				idx++
+			}
+		}
+	}
+	if idx != len(got) {
+		t.Fatalf("scan produced %d extra triples", len(got)-idx)
+	}
+}
+
+func TestTripleScanFilter(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := randomMatrix(rng, 15, 100)
+	all, err := TripleScan(g, TripleScanOptions{MaxSpan: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const cut = 0.01
+	filtered, err := TripleScan(g, TripleScanOptions{MaxSpan: 6, MinAbsD3: cut})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, tr := range all {
+		if math.Abs(tr.D3) >= cut {
+			want++
+		}
+	}
+	if len(filtered) != want {
+		t.Fatalf("filter kept %d, want %d", len(filtered), want)
+	}
+	for _, tr := range filtered {
+		if math.Abs(tr.D3) < cut {
+			t.Fatalf("filtered triple below cut: %+v", tr)
+		}
+	}
+}
+
+func TestTripleScanOptionsValidation(t *testing.T) {
+	g := bitmat.New(5, 10)
+	if _, err := TripleScan(g, TripleScanOptions{MaxSpan: 1}); err == nil {
+		t.Fatal("MaxSpan=1 accepted")
+	}
+	if _, err := TripleScan(g, TripleScanOptions{MinAbsD3: -1}); err == nil {
+		t.Fatal("negative MinAbsD3 accepted")
+	}
+	if _, err := TripleScan(bitmat.New(3, 0), TripleScanOptions{}); err == nil {
+		t.Fatal("zero samples accepted")
+	}
+}
+
+// Property: TripleLD equals the per-sample oracle on random inputs.
+func TestQuickTripleLD(t *testing.T) {
+	f := func(seed int64, s8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		samples := int(s8%150) + 3
+		g := randomMatrix(rng, 3, samples)
+		return triplesClose(TripleLD(g, 0, 1, 2), naiveTriple(g, 0, 1, 2))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

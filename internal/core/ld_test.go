@@ -1,0 +1,363 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ldgemm/internal/bitmat"
+	"ldgemm/internal/blis"
+)
+
+func randomMatrix(rng *rand.Rand, snps, samples int) *bitmat.Matrix {
+	m := bitmat.New(snps, samples)
+	for i := 0; i < snps; i++ {
+		for s := 0; s < samples; s++ {
+			if rng.Intn(2) == 1 {
+				m.SetBit(i, s)
+			}
+		}
+	}
+	return m
+}
+
+// naivePair computes every statistic from per-sample loops: the oracle.
+func naivePair(g *bitmat.Matrix, i, j int) Pair {
+	var nAB, nA, nB int
+	for s := 0; s < g.Samples; s++ {
+		a, b := g.Bit(i, s), g.Bit(j, s)
+		if a {
+			nA++
+		}
+		if b {
+			nB++
+		}
+		if a && b {
+			nAB++
+		}
+	}
+	n := float64(g.Samples)
+	return PairFromFreqs(float64(nAB)/n, float64(nA)/n, float64(nB)/n)
+}
+
+func pairsAlmostEqual(a, b Pair) bool {
+	const eps = 1e-12
+	return math.Abs(a.PAB-b.PAB) < eps && math.Abs(a.PA-b.PA) < eps &&
+		math.Abs(a.PB-b.PB) < eps && math.Abs(a.D-b.D) < eps &&
+		math.Abs(a.R2-b.R2) < eps && math.Abs(a.DPrime-b.DPrime) < eps
+}
+
+func TestPairFromFreqsKnownValues(t *testing.T) {
+	// Perfect association: P(A)=P(B)=P(AB)=0.5 → D=0.25, r²=1, D′=1.
+	p := PairFromFreqs(0.5, 0.5, 0.5)
+	if math.Abs(p.D-0.25) > 1e-15 || math.Abs(p.R2-1) > 1e-12 || math.Abs(p.DPrime-1) > 1e-12 {
+		t.Fatalf("perfect association: %+v", p)
+	}
+	// Independence: P(AB) = P(A)P(B) → everything 0.
+	p = PairFromFreqs(0.12, 0.4, 0.3)
+	if math.Abs(p.D) > 1e-15 || p.R2 > 1e-12 || math.Abs(p.DPrime) > 1e-12 {
+		t.Fatalf("independence: %+v", p)
+	}
+	// Complete repulsion: P(AB)=0, P(A)=P(B)=0.5 → D=−0.25, r²=1, D′=−1.
+	p = PairFromFreqs(0, 0.5, 0.5)
+	if math.Abs(p.D+0.25) > 1e-15 || math.Abs(p.R2-1) > 1e-12 || math.Abs(p.DPrime+1) > 1e-12 {
+		t.Fatalf("repulsion: %+v", p)
+	}
+	// Monomorphic SNP → r² and D′ defined as 0.
+	p = PairFromFreqs(0, 0, 0.5)
+	if p.R2 != 0 || p.DPrime != 0 || p.D != 0 {
+		t.Fatalf("monomorphic: %+v", p)
+	}
+}
+
+func TestChi2(t *testing.T) {
+	p := PairFromFreqs(0.5, 0.5, 0.5)
+	if got := p.Chi2(100); math.Abs(got-100) > 1e-9 {
+		t.Fatalf("Chi2 = %v, want 100", got)
+	}
+}
+
+func TestPairLDMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := randomMatrix(rng, 10, 137)
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 10; j++ {
+			if got, want := PairLD(g, i, j), naivePair(g, i, j); !pairsAlmostEqual(got, want) {
+				t.Fatalf("PairLD(%d,%d) = %+v, want %+v", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestAlleleFrequencies(t *testing.T) {
+	g := bitmat.New(3, 10)
+	for s := 0; s < 5; s++ {
+		g.SetBit(1, s)
+	}
+	for s := 0; s < 10; s++ {
+		g.SetBit(2, s)
+	}
+	p := AlleleFrequencies(g)
+	want := []float64{0, 0.5, 1}
+	for i := range p {
+		if p[i] != want[i] {
+			t.Fatalf("p = %v, want %v", p, want)
+		}
+	}
+}
+
+func TestMatrixAgainstPairs(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := randomMatrix(rng, 33, 211)
+	res, err := Matrix(g, Options{
+		Measures: MeasureD | MeasureR2 | MeasureDPrime | KeepCounts,
+		Blis:     blis.Config{MC: 7, NC: 11, KC: 2, Threads: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 33; i++ {
+		for j := 0; j < 33; j++ {
+			want := naivePair(g, i, j)
+			idx := i*33 + j
+			if math.Abs(res.D[idx]-want.D) > 1e-12 ||
+				math.Abs(res.R2[idx]-want.R2) > 1e-12 ||
+				math.Abs(res.DPrime[idx]-want.DPrime) > 1e-12 {
+				t.Fatalf("Matrix(%d,%d): D=%v r²=%v D′=%v, want %+v",
+					i, j, res.D[idx], res.R2[idx], res.DPrime[idx], want)
+			}
+			if got := res.At(i, j); !pairsAlmostEqual(got, want) {
+				t.Fatalf("At(%d,%d) = %+v, want %+v", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestMatrixSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := randomMatrix(rng, 20, 64)
+	res, err := Matrix(g, Options{Measures: MeasureR2 | MeasureD})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		for j := 0; j < 20; j++ {
+			if res.R2[i*20+j] != res.R2[j*20+i] {
+				t.Fatalf("r² not symmetric at (%d,%d)", i, j)
+			}
+			if res.D[i*20+j] != res.D[j*20+i] {
+				t.Fatalf("D not symmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+	// Diagonal: r² of a polymorphic SNP with itself is 1.
+	for i := 0; i < 20; i++ {
+		c := g.DerivedCount(i)
+		if c == 0 || c == g.Samples {
+			continue
+		}
+		if math.Abs(res.R2[i*20+i]-1) > 1e-12 {
+			t.Fatalf("diag r²[%d] = %v", i, res.R2[i*20+i])
+		}
+	}
+}
+
+func TestMatrixDefaultMeasure(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := randomMatrix(rng, 5, 50)
+	res, err := Matrix(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.R2 == nil || res.D != nil || res.DPrime != nil || res.Counts != nil {
+		t.Fatal("default measures should materialize exactly r²")
+	}
+}
+
+func TestMatrixZeroSamples(t *testing.T) {
+	if _, err := Matrix(bitmat.New(3, 0), Options{}); err == nil {
+		t.Fatal("zero samples accepted")
+	}
+	res, err := Matrix(bitmat.New(0, 0), Options{})
+	if err != nil || res.SNPs != 0 {
+		t.Fatalf("empty matrix: %v %+v", err, res)
+	}
+}
+
+func TestCrossAgainstPairs(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := randomMatrix(rng, 12, 100)
+	b := randomMatrix(rng, 9, 100)
+	joined, err := a.Append(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Cross(a, b, Options{Measures: MeasureR2 | MeasureD | MeasureDPrime})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SNPs != 12 || res.Cols != 9 {
+		t.Fatalf("dims %dx%d", res.SNPs, res.Cols)
+	}
+	for i := 0; i < 12; i++ {
+		for j := 0; j < 9; j++ {
+			want := naivePair(joined, i, 12+j)
+			idx := i*9 + j
+			if math.Abs(res.R2[idx]-want.R2) > 1e-12 || math.Abs(res.D[idx]-want.D) > 1e-12 {
+				t.Fatalf("Cross(%d,%d) mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestCrossErrors(t *testing.T) {
+	if _, err := Cross(bitmat.New(2, 10), bitmat.New(2, 11), Options{}); err == nil {
+		t.Fatal("sample mismatch accepted")
+	}
+	if _, err := Cross(bitmat.New(2, 0), bitmat.New(2, 0), Options{}); err == nil {
+		t.Fatal("zero samples accepted")
+	}
+}
+
+func TestStreamMatchesMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := randomMatrix(rng, 41, 300)
+	res, err := Matrix(g, Options{Measures: MeasureR2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, triangular := range []bool{false, true} {
+		seen := 0
+		err = Stream(g, StreamOptions{StripeRows: 7, Triangular: triangular}, func(i, j0 int, row []float64) {
+			for t2 := range row {
+				j := j0 + t2
+				if math.Abs(row[t2]-res.R2[i*41+j]) > 1e-12 {
+					t.Fatalf("triangular=%v: stream (%d,%d) = %v, want %v",
+						triangular, i, j, row[t2], res.R2[i*41+j])
+				}
+			}
+			seen++
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen != 41 {
+			t.Fatalf("visited %d rows, want 41", seen)
+		}
+	}
+}
+
+func TestStreamMeasureSelection(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := randomMatrix(rng, 10, 80)
+	res, err := Matrix(g, Options{Measures: MeasureD | MeasureDPrime})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = Stream(g, StreamOptions{Options: Options{Measures: MeasureD}}, func(i, j0 int, row []float64) {
+		for t2 := range row {
+			if math.Abs(row[t2]-res.D[i*10+j0+t2]) > 1e-12 {
+				t.Fatalf("MeasureD stream mismatch at (%d,%d)", i, j0+t2)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = Stream(g, StreamOptions{Options: Options{Measures: MeasureDPrime}}, func(i, j0 int, row []float64) {
+		for t2 := range row {
+			if math.Abs(row[t2]-res.DPrime[i*10+j0+t2]) > 1e-12 {
+				t.Fatalf("MeasureDPrime stream mismatch at (%d,%d)", i, j0+t2)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSumR2(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g := randomMatrix(rng, 25, 90)
+	res, err := Matrix(g, Options{Measures: MeasureR2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want float64
+	var wantPairs int64
+	for i := 0; i < 25; i++ {
+		for j := i; j < 25; j++ {
+			want += res.R2[i*25+j]
+			wantPairs++
+		}
+	}
+	sum, pairs, err := SumR2(g, StreamOptions{StripeRows: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pairs != wantPairs {
+		t.Fatalf("pairs = %d, want %d", pairs, wantPairs)
+	}
+	if math.Abs(sum-want) > 1e-9 {
+		t.Fatalf("sum = %v, want %v", sum, want)
+	}
+}
+
+func TestStreamInvalidStripe(t *testing.T) {
+	g := bitmat.New(2, 10)
+	if err := Stream(g, StreamOptions{StripeRows: -1}, func(int, int, []float64) {}); err == nil {
+		t.Fatal("negative stripe accepted")
+	}
+}
+
+// Property: for random matrices, Matrix agrees with the per-sample naive
+// oracle on every statistic.
+func TestQuickMatrix(t *testing.T) {
+	f := func(seed int64, n8, s8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(n8%15) + 2
+		samples := int(s8%120) + 1
+		g := randomMatrix(rng, n, samples)
+		res, err := Matrix(g, Options{Measures: MeasureD | MeasureR2 | MeasureDPrime})
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				want := naivePair(g, i, j)
+				idx := i*n + j
+				if math.Abs(res.D[idx]-want.D) > 1e-12 ||
+					math.Abs(res.R2[idx]-want.R2) > 1e-12 ||
+					math.Abs(res.DPrime[idx]-want.DPrime) > 1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: r² ∈ [0,1] and |D′| ≤ 1 and |D| ≤ 0.25 for any frequencies
+// derived from actual counts.
+func TestQuickRanges(t *testing.T) {
+	f := func(nAB8, nA8, nB8, n8 uint8) bool {
+		n := int(n8%200) + 2
+		nA := int(nA8) % (n + 1)
+		nB := int(nB8) % (n + 1)
+		// P(AB) constrained to the Fréchet bounds so the triple is feasible.
+		lo := max(0, nA+nB-n)
+		hi := min(nA, nB)
+		nAB := lo + int(nAB8)%(hi-lo+1)
+		p := PairFromFreqs(float64(nAB)/float64(n), float64(nA)/float64(n), float64(nB)/float64(n))
+		return p.R2 >= 0 && p.R2 <= 1+1e-9 &&
+			p.DPrime >= -1 && p.DPrime <= 1 &&
+			math.Abs(p.D) <= 0.25+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

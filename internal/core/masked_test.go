@@ -1,0 +1,187 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ldgemm/internal/bitmat"
+	"ldgemm/internal/blis"
+)
+
+func randomMaskedPair(rng *rand.Rand, snps, samples int) (*bitmat.Matrix, *bitmat.Mask) {
+	g := randomMatrix(rng, snps, samples)
+	k := bitmat.NewMask(snps, samples)
+	for i := 0; i < snps; i++ {
+		for s := 0; s < samples; s++ {
+			if rng.Intn(5) == 0 {
+				k.Invalidate(i, s)
+			}
+		}
+	}
+	return g, k
+}
+
+// naiveMaskedPair is the per-sample oracle for gap-aware LD.
+func naiveMaskedPair(g *bitmat.Matrix, k *bitmat.Mask, i, j int) Pair {
+	var nV, nA, nB, nAB int
+	for s := 0; s < g.Samples; s++ {
+		if !k.Bit(i, s) || !k.Bit(j, s) {
+			continue
+		}
+		nV++
+		a, b := g.Bit(i, s), g.Bit(j, s)
+		if a {
+			nA++
+		}
+		if b {
+			nB++
+		}
+		if a && b {
+			nAB++
+		}
+	}
+	if nV == 0 {
+		return Pair{}
+	}
+	n := float64(nV)
+	return PairFromFreqs(float64(nAB)/n, float64(nA)/n, float64(nB)/n)
+}
+
+func TestMaskedPairLDMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g, k := randomMaskedPair(rng, 8, 130)
+	// MaskedPairLD assumes s = s & c; enforce it as MaskedMatrix does.
+	gm := g.Clone()
+	if err := k.ApplyTo(gm); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			got := MaskedPairLD(gm, k, i, j)
+			want := naiveMaskedPair(g, k, i, j)
+			if !pairsAlmostEqual(got, want) {
+				t.Fatalf("(%d,%d): %+v, want %+v", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestMaskedMatrixMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g, k := randomMaskedPair(rng, 21, 190)
+	res, err := MaskedMatrix(g, k, Options{
+		Measures: MeasureD | MeasureR2 | MeasureDPrime,
+		Blis:     blis.Config{MC: 5, NC: 9, KC: 2, Threads: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 21; i++ {
+		for j := 0; j < 21; j++ {
+			want := naiveMaskedPair(g, k, i, j)
+			idx := i*21 + j
+			if math.Abs(res.D[idx]-want.D) > 1e-12 ||
+				math.Abs(res.R2[idx]-want.R2) > 1e-12 ||
+				math.Abs(res.DPrime[idx]-want.DPrime) > 1e-12 {
+				t.Fatalf("(%d,%d): D=%v r²=%v D′=%v, want %+v",
+					i, j, res.D[idx], res.R2[idx], res.DPrime[idx], want)
+			}
+		}
+	}
+}
+
+func TestMaskedMatrixDoesNotMutateInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g, k := randomMaskedPair(rng, 5, 70)
+	orig := g.Clone()
+	if _, err := MaskedMatrix(g, k, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(orig) {
+		t.Fatal("MaskedMatrix mutated its input matrix")
+	}
+}
+
+func TestMaskedMatrixAllValidEqualsMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := randomMatrix(rng, 15, 100)
+	k := bitmat.NewMask(15, 100)
+	masked, err := MaskedMatrix(g, k, Options{Measures: MeasureR2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Matrix(g, Options{Measures: MeasureR2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 15; i++ {
+		for j := 0; j < 15; j++ {
+			if math.Abs(masked.R2[i*15+j]-plain.R2[i*15+j]) > 1e-12 {
+				t.Fatalf("(%d,%d): masked %v vs plain %v", i, j, masked.R2[i*15+j], plain.R2[i*15+j])
+			}
+		}
+	}
+}
+
+func TestMaskedMatrixShapeMismatch(t *testing.T) {
+	if _, err := MaskedMatrix(bitmat.New(3, 10), bitmat.NewMask(4, 10), Options{}); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}
+
+func TestMaskedMatrixFullyInvalidSNP(t *testing.T) {
+	g := bitmat.New(2, 10)
+	for s := 0; s < 10; s++ {
+		g.SetBit(0, s)
+		if s%2 == 0 {
+			g.SetBit(1, s)
+		}
+	}
+	k := bitmat.NewMask(2, 10)
+	for s := 0; s < 10; s++ {
+		k.Invalidate(0, s)
+	}
+	res, err := MaskedMatrix(g, k, Options{Measures: MeasureR2 | MeasureD})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pairs involving the dead SNP must be all-zero, not NaN.
+	for j := 0; j < 2; j++ {
+		if res.R2[j] != 0 || res.D[j] != 0 {
+			t.Fatalf("dead SNP pair (0,%d) nonzero: r²=%v D=%v", j, res.R2[j], res.D[j])
+		}
+		if math.IsNaN(res.R2[j]) || math.IsNaN(res.D[j]) {
+			t.Fatal("NaN leaked from fully-invalid SNP")
+		}
+	}
+	if res.RowFreqs[0] != 0 {
+		t.Fatalf("dead SNP frequency = %v", res.RowFreqs[0])
+	}
+}
+
+func TestQuickMaskedMatrix(t *testing.T) {
+	f := func(seed int64, n8, s8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(n8%10) + 2
+		samples := int(s8%100) + 5
+		g, k := randomMaskedPair(rng, n, samples)
+		res, err := MaskedMatrix(g, k, Options{Measures: MeasureR2})
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				want := naiveMaskedPair(g, k, i, j)
+				if math.Abs(res.R2[i*n+j]-want.R2) > 1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

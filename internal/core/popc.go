@@ -1,0 +1,6 @@
+package core
+
+import "math/bits"
+
+// popc is the 64-bit population count (hardware POPCNT on amd64).
+func popc(x uint64) uint32 { return uint32(bits.OnesCount64(x)) }

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+
+	"ldgemm/internal/bitmat"
+)
+
+// PruneOptions configures LD-based SNP pruning, the preprocessing step
+// GWAS pipelines run before association testing (PLINK's
+// --indep-pairwise). A sliding window moves across the SNPs; within each
+// window, whenever a pair exceeds the r² threshold the member with the
+// lower minor-allele frequency is dropped.
+type PruneOptions struct {
+	// WindowSNPs is the window width in SNPs (default 50).
+	WindowSNPs int
+	// StepSNPs is how far the window slides each iteration (default 5).
+	StepSNPs int
+	// R2Threshold removes one of any pair with r² above it (default 0.5).
+	R2Threshold float64
+	// LD carries blocking/threading for the per-window LD computations.
+	LD Options
+}
+
+func (o PruneOptions) normalize() (PruneOptions, error) {
+	if o.WindowSNPs == 0 {
+		o.WindowSNPs = 50
+	}
+	if o.StepSNPs == 0 {
+		o.StepSNPs = 5
+	}
+	if o.R2Threshold == 0 {
+		o.R2Threshold = 0.5
+	}
+	if o.WindowSNPs < 2 || o.StepSNPs < 1 || o.StepSNPs > o.WindowSNPs {
+		return o, fmt.Errorf("core: invalid prune window/step %d/%d", o.WindowSNPs, o.StepSNPs)
+	}
+	if o.R2Threshold <= 0 || o.R2Threshold > 1 {
+		return o, fmt.Errorf("core: invalid prune threshold %v", o.R2Threshold)
+	}
+	return o, nil
+}
+
+// PruneResult reports which SNPs survive pruning.
+type PruneResult struct {
+	// Kept lists the surviving SNP indices in increasing order.
+	Kept []int
+	// Removed lists the pruned SNP indices in increasing order.
+	Removed []int
+}
+
+// Prune runs sliding-window LD pruning and returns the surviving SNP set.
+// Each window's pairwise r² values come from one blocked rank-k update, so
+// the overall cost is O(windows · w²·k/64) rather than per-pair scans.
+func Prune(g *bitmat.Matrix, opt PruneOptions) (*PruneResult, error) {
+	opt, err := opt.normalize()
+	if err != nil {
+		return nil, err
+	}
+	n := g.SNPs
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	maf := make([]float64, n)
+	for i := range maf {
+		f := g.AlleleFrequency(i)
+		maf[i] = min(f, 1-f)
+	}
+
+	for lo := 0; lo < n; lo += opt.StepSNPs {
+		hi := min(lo+opt.WindowSNPs, n)
+		if hi-lo < 2 {
+			break
+		}
+		res, err := Matrix(g.Slice(lo, hi), Options{Measures: MeasureR2, Blis: opt.LD.Blis})
+		if err != nil {
+			return nil, err
+		}
+		w := hi - lo
+		for a := 0; a < w; a++ {
+			if !alive[lo+a] {
+				continue
+			}
+			for b := a + 1; b < w; b++ {
+				if !alive[lo+b] {
+					continue
+				}
+				if res.R2[a*w+b] <= opt.R2Threshold {
+					continue
+				}
+				// Drop the less informative member (lower MAF); ties drop
+				// the later SNP, matching PLINK's determinism.
+				if maf[lo+a] < maf[lo+b] {
+					alive[lo+a] = false
+				} else {
+					alive[lo+b] = false
+				}
+				if !alive[lo+a] {
+					break
+				}
+			}
+		}
+		if hi == n {
+			break
+		}
+	}
+
+	out := &PruneResult{}
+	for i, a := range alive {
+		if a {
+			out.Kept = append(out.Kept, i)
+		} else {
+			out.Removed = append(out.Removed, i)
+		}
+	}
+	return out, nil
+}
+
+// Extract materializes the pruned matrix: the kept SNPs only.
+func (r *PruneResult) Extract(g *bitmat.Matrix) *bitmat.Matrix {
+	out := bitmat.New(len(r.Kept), g.Samples)
+	for dst, src := range r.Kept {
+		copy(out.SNP(dst), g.SNP(src))
+	}
+	return out
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ldgemm/internal/bitmat"
+)
+
+func TestPruneRemovesPerfectDuplicates(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	base := randomMatrix(rng, 10, 200)
+	// Duplicate every SNP: 20 SNPs where odd indices copy even ones.
+	g := bitmat.New(20, 200)
+	for i := 0; i < 10; i++ {
+		copy(g.SNP(2*i), base.SNP(i))
+		copy(g.SNP(2*i+1), base.SNP(i))
+	}
+	res, err := Prune(g, PruneOptions{WindowSNPs: 20, StepSNPs: 5, R2Threshold: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Kept)+len(res.Removed) != 20 {
+		t.Fatalf("partition broken: %d + %d", len(res.Kept), len(res.Removed))
+	}
+	// Exactly one member of each duplicate pair survives.
+	for i := 0; i < 10; i++ {
+		a, b := contains(res.Kept, 2*i), contains(res.Kept, 2*i+1)
+		if a == b {
+			t.Fatalf("duplicate pair %d: kept(%v,%v)", i, a, b)
+		}
+	}
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func TestPruneKeepsIndependentSNPs(t *testing.T) {
+	// Mutually independent random SNPs with generous threshold: nothing
+	// should be removed.
+	rng := rand.New(rand.NewSource(2))
+	g := randomMatrix(rng, 30, 500)
+	res, err := Prune(g, PruneOptions{R2Threshold: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Removed) != 0 {
+		t.Fatalf("independent SNPs pruned: %v", res.Removed)
+	}
+}
+
+// TestPrunePostcondition: after pruning, no surviving pair within the
+// window exceeds the threshold.
+func TestPrunePostcondition(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// Correlated data: mosaic-like by copying neighbors with noise.
+	g := bitmat.New(60, 300)
+	prev := make([]byte, 300)
+	for s := range prev {
+		prev[s] = byte(rng.Intn(2))
+	}
+	for i := 0; i < 60; i++ {
+		for s := 0; s < 300; s++ {
+			if rng.Float64() < 0.1 {
+				prev[s] ^= 1
+			}
+			if prev[s] == 1 {
+				g.SetBit(i, s)
+			} else {
+				g.ClearBit(i, s)
+			}
+		}
+	}
+	const thr = 0.4
+	const window = 30
+	res, err := Prune(g, PruneOptions{WindowSNPs: window, StepSNPs: 3, R2Threshold: thr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Removed) == 0 {
+		t.Fatal("expected some pruning on correlated data")
+	}
+	for ai, a := range res.Kept {
+		for _, b := range res.Kept[ai+1:] {
+			if b-a >= window {
+				break
+			}
+			if r2 := PairLD(g, a, b).R2; r2 > thr {
+				t.Fatalf("surviving pair (%d,%d) has r² %v > %v", a, b, r2, thr)
+			}
+		}
+	}
+}
+
+func TestPruneExtract(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := randomMatrix(rng, 12, 100)
+	res := &PruneResult{Kept: []int{0, 3, 7}}
+	sub := res.Extract(g)
+	if sub.SNPs != 3 || sub.Samples != 100 {
+		t.Fatalf("dims %dx%d", sub.SNPs, sub.Samples)
+	}
+	for dst, src := range res.Kept {
+		for s := 0; s < 100; s++ {
+			if sub.Bit(dst, s) != g.Bit(src, s) {
+				t.Fatalf("extract mismatch at (%d,%d)", dst, s)
+			}
+		}
+	}
+}
+
+func TestPruneOptionsValidation(t *testing.T) {
+	g := bitmat.New(10, 50)
+	if _, err := Prune(g, PruneOptions{WindowSNPs: 1}); err == nil {
+		t.Fatal("window=1 accepted")
+	}
+	if _, err := Prune(g, PruneOptions{WindowSNPs: 5, StepSNPs: 9}); err == nil {
+		t.Fatal("step>window accepted")
+	}
+	if _, err := Prune(g, PruneOptions{R2Threshold: 1.5}); err == nil {
+		t.Fatal("threshold>1 accepted")
+	}
+}
+
+// Property: Kept ∪ Removed is a partition of 0..n−1, both sorted.
+func TestQuickPrunePartition(t *testing.T) {
+	f := func(seed int64, n8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(n8%40) + 2
+		g := randomMatrix(rng, n, 64)
+		res, err := Prune(g, PruneOptions{WindowSNPs: 10, StepSNPs: 2, R2Threshold: 0.3})
+		if err != nil {
+			return false
+		}
+		seen := make([]int, n)
+		for _, i := range res.Kept {
+			seen[i]++
+		}
+		for _, i := range res.Removed {
+			seen[i]++
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		for i := 1; i < len(res.Kept); i++ {
+			if res.Kept[i] <= res.Kept[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

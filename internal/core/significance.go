@@ -1,0 +1,168 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"ldgemm/internal/bitmat"
+	"ldgemm/internal/stats"
+)
+
+// SignificantPair is one SNP pair whose LD rejects the null of linkage
+// equilibrium after multiple-testing correction.
+type SignificantPair struct {
+	I, J   int
+	R2     float64
+	Chi2   float64
+	PValue float64
+}
+
+// SignificanceOptions configures the equilibrium test scan.
+type SignificanceOptions struct {
+	// Alpha is the family-wise significance level (default 0.05).
+	Alpha float64
+	// Bonferroni applies the correction for the number of tested pairs
+	// (default true via normalize; set AlphaIsPerTest to opt out).
+	AlphaIsPerTest bool
+	// MaxResults caps the returned list (default 10000); the scan still
+	// counts all significant pairs.
+	MaxResults int
+	// LD carries blocking/threading options.
+	LD Options
+}
+
+func (o SignificanceOptions) normalize() (SignificanceOptions, error) {
+	if o.Alpha == 0 {
+		o.Alpha = 0.05
+	}
+	if o.MaxResults == 0 {
+		o.MaxResults = 10000
+	}
+	if o.Alpha <= 0 || o.Alpha >= 1 || o.MaxResults < 1 {
+		return o, fmt.Errorf("core: invalid significance options %+v", o)
+	}
+	return o, nil
+}
+
+// SignificanceResult summarizes an equilibrium-test scan.
+type SignificanceResult struct {
+	// Tested is the number of off-diagonal pairs tested.
+	Tested int64
+	// Significant is the number rejecting the null at the (corrected)
+	// threshold.
+	Significant int64
+	// Threshold is the per-test p-value cutoff actually applied.
+	Threshold float64
+	// Pairs holds up to MaxResults significant pairs, strongest first.
+	Pairs []SignificantPair
+}
+
+// Significance scans all SNP pairs, tests each for linkage disequilibrium
+// with the χ² statistic Nseq·r² (1 df), and returns the pairs passing a
+// Bonferroni-corrected threshold. The χ² values come from the streamed r²
+// scan, so memory stays O(stripe·n).
+func Significance(g *bitmat.Matrix, opt SignificanceOptions) (*SignificanceResult, error) {
+	opt, err := opt.normalize()
+	if err != nil {
+		return nil, err
+	}
+	n := g.SNPs
+	tested := int64(n) * int64(n-1) / 2
+	threshold := opt.Alpha
+	if !opt.AlphaIsPerTest && tested > 0 {
+		threshold = opt.Alpha / float64(tested)
+	}
+	// Invert once: the χ² value whose tail is exactly the threshold; a
+	// pair is significant iff its χ² exceeds it. Bisection on the
+	// monotone tail function avoids per-pair p-value evaluation.
+	chiCut, err := chiSquareQuantile(threshold)
+	if err != nil {
+		return nil, err
+	}
+	r2Cut := chiCut / float64(max(g.Samples, 1))
+
+	res := &SignificanceResult{Tested: tested, Threshold: threshold}
+	// Keep the strongest MaxResults pairs with a min-heap on r²; p-values
+	// are evaluated once at the end, only for the survivors.
+	h := &pairHeap{}
+	err = Stream(g, StreamOptions{Options: Options{Measures: MeasureR2, Blis: opt.LD.Blis}, Triangular: true},
+		func(i, j0 int, row []float64) {
+			for t, r2 := range row {
+				j := j0 + t
+				if j == i || r2 < r2Cut {
+					continue
+				}
+				res.Significant++
+				if h.Len() < opt.MaxResults {
+					heap.Push(h, SignificantPair{I: i, J: j, R2: r2})
+				} else if r2 > (*h)[0].R2 {
+					(*h)[0] = SignificantPair{I: i, J: j, R2: r2}
+					heap.Fix(h, 0)
+				}
+			}
+		})
+	if err != nil {
+		return nil, err
+	}
+	res.Pairs = append(res.Pairs, *h...)
+	for idx := range res.Pairs {
+		p := &res.Pairs[idx]
+		p.Chi2 = float64(g.Samples) * p.R2
+		pv, perr := stats.ChiSquarePValue(p.Chi2, 1)
+		if perr != nil {
+			pv = 0 // deep tail beyond float precision
+		}
+		p.PValue = pv
+	}
+	sort.Slice(res.Pairs, func(a, b int) bool { return res.Pairs[a].R2 > res.Pairs[b].R2 })
+	return res, nil
+}
+
+// pairHeap is a min-heap of SignificantPair ordered by r².
+type pairHeap []SignificantPair
+
+func (h pairHeap) Len() int           { return len(h) }
+func (h pairHeap) Less(i, j int) bool { return h[i].R2 < h[j].R2 }
+func (h pairHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *pairHeap) Push(x any)        { *h = append(*h, x.(SignificantPair)) }
+func (h *pairHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+var _ heap.Interface = (*pairHeap)(nil)
+
+// chiSquareQuantile returns the χ² value (1 df) whose upper-tail
+// probability equals p, by bisection on the monotone tail.
+func chiSquareQuantile(p float64) (float64, error) {
+	if p <= 0 {
+		// Beyond representable tails: effectively infinite cutoff; use a
+		// value whose tail underflows to 0.
+		return 1e8, nil
+	}
+	if p >= 1 {
+		return 0, nil
+	}
+	lo, hi := 0.0, 1.0
+	for {
+		tail, err := stats.ChiSquarePValue(hi, 1)
+		if err != nil {
+			return 0, err
+		}
+		if tail < p || hi > 1e9 {
+			break
+		}
+		hi *= 2
+	}
+	for iter := 0; iter < 200 && hi-lo > 1e-10*(1+hi); iter++ {
+		mid := (lo + hi) / 2
+		tail, err := stats.ChiSquarePValue(mid, 1)
+		if err != nil {
+			return 0, err
+		}
+		if tail > p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2, nil
+}

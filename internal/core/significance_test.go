@@ -1,0 +1,132 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ldgemm/internal/bitmat"
+	"ldgemm/internal/stats"
+)
+
+func TestChiSquareQuantileInvertsTail(t *testing.T) {
+	for _, p := range []float64{0.5, 0.05, 0.01, 1e-6, 1e-12} {
+		q, err := chiSquareQuantile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tail, err := stats.ChiSquarePValue(q, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(tail-p)/p > 1e-5 {
+			t.Fatalf("quantile(%v) = %v has tail %v", p, q, tail)
+		}
+	}
+	if q, _ := chiSquareQuantile(1); q != 0 {
+		t.Fatalf("quantile(1) = %v", q)
+	}
+	if q, _ := chiSquareQuantile(0); q < 1e7 {
+		t.Fatalf("quantile(0) = %v", q)
+	}
+	// Known value: P(χ²₁ ≥ 3.8415) ≈ 0.05.
+	q, _ := chiSquareQuantile(0.05)
+	if math.Abs(q-3.841459) > 1e-4 {
+		t.Fatalf("quantile(0.05) = %v", q)
+	}
+}
+
+func TestSignificanceFindsPlantedPair(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := randomMatrix(rng, 30, 500)
+	// Plant a perfectly correlated pair (5, 17).
+	copy(g.SNP(17), g.SNP(5))
+	res, err := Significance(g, SignificanceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tested != 30*29/2 {
+		t.Fatalf("tested %d", res.Tested)
+	}
+	found := false
+	for _, p := range res.Pairs {
+		if p.I == 5 && p.J == 17 {
+			found = true
+			if p.R2 < 0.999 {
+				t.Fatalf("planted pair r² %v", p.R2)
+			}
+			if p.PValue > res.Threshold {
+				t.Fatalf("planted pair p %v above threshold %v", p.PValue, res.Threshold)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("planted pair not significant; found %+v", res.Pairs)
+	}
+	// Pairs sorted strongest first.
+	for i := 1; i < len(res.Pairs); i++ {
+		if res.Pairs[i].R2 > res.Pairs[i-1].R2 {
+			t.Fatal("pairs not sorted by r²")
+		}
+	}
+}
+
+func TestSignificanceNullControlsFalsePositives(t *testing.T) {
+	// Independent SNPs: with Bonferroni at α=0.05, expect ≈0 rejections.
+	rng := rand.New(rand.NewSource(2))
+	g := randomMatrix(rng, 80, 400)
+	res, err := Significance(g, SignificanceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Significant > 1 {
+		t.Fatalf("null data produced %d significant pairs", res.Significant)
+	}
+}
+
+func TestSignificancePerTestAlpha(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := randomMatrix(rng, 60, 300)
+	perTest, err := Significance(g, SignificanceOptions{Alpha: 0.05, AlphaIsPerTest: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrected, err := Significance(g, SignificanceOptions{Alpha: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Uncorrected testing at α=0.05 on null data rejects ≈5% of pairs;
+	// corrected rejects essentially none.
+	if perTest.Significant <= corrected.Significant {
+		t.Fatalf("per-test %d should exceed corrected %d", perTest.Significant, corrected.Significant)
+	}
+	expect := 0.05 * float64(perTest.Tested)
+	if float64(perTest.Significant) < expect/3 || float64(perTest.Significant) > expect*3 {
+		t.Fatalf("per-test rejections %d far from the expected ≈%v", perTest.Significant, expect)
+	}
+}
+
+func TestSignificanceMaxResults(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := randomMatrix(rng, 40, 100)
+	res, err := Significance(g, SignificanceOptions{Alpha: 0.9, AlphaIsPerTest: true, MaxResults: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pairs) > 5 {
+		t.Fatalf("MaxResults ignored: %d pairs", len(res.Pairs))
+	}
+	if res.Significant < int64(len(res.Pairs)) {
+		t.Fatal("Significant count below returned pairs")
+	}
+}
+
+func TestSignificanceOptionsValidation(t *testing.T) {
+	g := bitmat.New(5, 20)
+	if _, err := Significance(g, SignificanceOptions{Alpha: 1.5}); err == nil {
+		t.Fatal("alpha>1 accepted")
+	}
+	if _, err := Significance(g, SignificanceOptions{MaxResults: -1}); err == nil {
+		t.Fatal("negative MaxResults accepted")
+	}
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"fmt"
+
+	"ldgemm/internal/bitmat"
+	"ldgemm/internal/blis"
+)
+
+// StreamOptions configures a striped streaming LD scan.
+type StreamOptions struct {
+	Options
+	// StripeRows is the number of SNP rows materialized at a time
+	// (default 512). Peak memory is StripeRows × SNPs × 4 bytes for the
+	// counts plus one float64 row.
+	StripeRows int
+	// Triangular restricts the scan to the upper triangle exactly: each
+	// stripe runs a symmetric rank-k update on its diagonal block plus a
+	// GEMM on its off-diagonal rectangle, so both the count work and the
+	// epilogue touch precisely the N(N+1)/2 pairs of the paper's
+	// Tables I–III.
+	Triangular bool
+}
+
+// Stream computes all-pairs LD for matrices too large to materialize n²
+// float64 outputs: it runs the blocked GEMM stripe by stripe and hands
+// each finished row to visit as (i, j0, row) where row[t] is the statistic
+// for the pair (i, j0+t). In full mode j0 is always 0; in triangular mode
+// j0 == i (each row starts at its own diagonal). The row slice is reused
+// across calls; callers must not retain it.
+//
+// The statistic delivered is r² unless Options.Measures selects exactly
+// MeasureD or MeasureDPrime.
+func Stream(g *bitmat.Matrix, opt StreamOptions, visit func(i, j0 int, row []float64)) error {
+	if g.Samples == 0 && g.SNPs > 0 {
+		return fmt.Errorf("core: streaming LD with zero samples")
+	}
+	stripe := opt.StripeRows
+	if stripe == 0 {
+		stripe = 512
+	}
+	if stripe < 1 {
+		return fmt.Errorf("core: invalid StripeRows %d", stripe)
+	}
+	n := g.SNPs
+	p := AlleleFrequencies(g)
+	counts := make([]uint32, min(stripe, max(n, 1))*n)
+	row := make([]float64, n)
+	inv := 0.0
+	if g.Samples > 0 {
+		inv = 1 / float64(g.Samples)
+	}
+	meas := opt.measures()
+	r2Only := meas&MeasureR2 != 0
+	// Fast r² epilogue: precompute the per-SNP variance reciprocals so the
+	// O(n²) loop is five multiplies per pair with no branches on the hot
+	// path (monomorphic SNPs get a zero factor, which zeroes their r²).
+	var invVar []float64
+	if r2Only {
+		invVar = make([]float64, n)
+		for i, pi := range p {
+			if v := pi * (1 - pi); v > 0 {
+				invVar[i] = 1 / v
+			}
+		}
+	}
+	for i0 := 0; i0 < n; i0 += stripe {
+		rows := min(stripe, n-i0)
+		sub := g.Slice(i0, i0+rows)
+		base := 0
+		width := n
+		c := counts[:rows*width]
+		if opt.Triangular {
+			base = i0
+			width = n - i0
+			c = counts[:rows*width]
+			clear(c)
+			// Diagonal block: symmetric rank-k update, upper triangle only.
+			if err := blis.Syrk(opt.Blis, sub, c, width, false); err != nil {
+				return err
+			}
+			// Off-diagonal rectangle against the remaining columns,
+			// written at column offset `rows` within the stripe block.
+			if i0+rows < n {
+				rest := g.Slice(i0+rows, n)
+				if err := blis.Gemm(opt.Blis, sub, rest, counts[rows:], width); err != nil {
+					return err
+				}
+			}
+		} else {
+			clear(c)
+			if err := blis.Gemm(opt.Blis, sub, g, c, width); err != nil {
+				return err
+			}
+		}
+		for i := 0; i < rows; i++ {
+			gi := i0 + i
+			j0 := base
+			off := 0
+			if opt.Triangular {
+				j0 = gi
+				off = gi - i0
+			}
+			pa := p[gi]
+			src := c[i*width+off : (i+1)*width]
+			dst := row[:len(src)]
+			if r2Only {
+				iva := invVar[gi]
+				for t, cnt := range src {
+					d := float64(cnt)*inv - pa*p[j0+t]
+					dst[t] = d * d * iva * invVar[j0+t]
+				}
+			} else {
+				for t, cnt := range src {
+					pr := PairFromFreqs(float64(cnt)*inv, pa, p[j0+t])
+					if meas&MeasureD != 0 {
+						dst[t] = pr.D
+					} else {
+						dst[t] = pr.DPrime
+					}
+				}
+			}
+			visit(gi, j0, dst)
+		}
+	}
+	return nil
+}
+
+// SumR2 runs a triangular streaming scan and returns the sum and count of
+// r² over the upper triangle including the diagonal — the cheap
+// whole-matrix reduction the benchmark harness uses to keep the epilogue
+// honest without storing n² floats.
+func SumR2(g *bitmat.Matrix, opt StreamOptions) (sum float64, pairs int64, err error) {
+	opt.Triangular = true
+	opt.Measures = MeasureR2
+	err = Stream(g, opt, func(i, j0 int, row []float64) {
+		for _, v := range row {
+			sum += v
+		}
+		pairs += int64(len(row))
+	})
+	return sum, pairs, err
+}

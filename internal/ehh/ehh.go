@@ -1,0 +1,252 @@
+// Package ehh implements extended haplotype homozygosity (EHH) and the
+// integrated haplotype score (iHS) of Voight et al. (2006) — the
+// haplotype-length counterpart of the ω statistic for detecting recent
+// positive selection. Where ω looks at the r² structure around a swept
+// site, EHH asks how far identical haplotypes extend from a core SNP:
+// under an ongoing sweep the derived allele rides a long shared haplotype,
+// so homozygosity decays much more slowly on the derived background than
+// on the ancestral one.
+package ehh
+
+import (
+	"fmt"
+	"math"
+
+	"ldgemm/internal/bitmat"
+)
+
+// ehhFloor is the conventional EHH cutoff terminating the iHH integral.
+const ehhFloor = 0.05
+
+// Decay computes EHH at increasing distance from the core SNP, separately
+// to the left and right, over the haplotypes carrying the chosen core
+// allele. out[0] is EHH at the core itself (always 1 when ≥2 carriers);
+// out[d] is the probability that two random carrier haplotypes are
+// identical over all SNPs within distance d on that side.
+func Decay(g *bitmat.Matrix, core int, derived bool, maxSpan int) (left, right []float64, err error) {
+	if core < 0 || core >= g.SNPs {
+		return nil, nil, fmt.Errorf("ehh: core %d outside 0..%d", core, g.SNPs-1)
+	}
+	if maxSpan < 0 {
+		return nil, nil, fmt.Errorf("ehh: negative span %d", maxSpan)
+	}
+	carriers := carrierSet(g, core, derived)
+	if len(carriers) < 2 {
+		return nil, nil, fmt.Errorf("ehh: fewer than 2 haplotypes carry the %s allele at SNP %d",
+			alleleName(derived), core)
+	}
+	right = decaySide(g, core, carriers, maxSpan, +1)
+	left = decaySide(g, core, carriers, maxSpan, -1)
+	return left, right, nil
+}
+
+func alleleName(derived bool) string {
+	if derived {
+		return "derived"
+	}
+	return "ancestral"
+}
+
+// carrierSet lists the haplotypes carrying the requested allele at core.
+func carrierSet(g *bitmat.Matrix, core int, derived bool) []int {
+	var out []int
+	for s := 0; s < g.Samples; s++ {
+		if g.Bit(core, s) == derived {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// decaySide walks outward from the core in the given direction, refining
+// the partition of carriers into identical-haplotype groups and recording
+// the homozygosity after each step.
+func decaySide(g *bitmat.Matrix, core int, carriers []int, maxSpan, dir int) []float64 {
+	group := make([]int, len(carriers)) // all carriers share group 0 at the core
+	nGroups := 1
+	out := []float64{1}
+	for d := 1; d <= maxSpan; d++ {
+		snp := core + dir*d
+		if snp < 0 || snp >= g.SNPs {
+			break
+		}
+		// Split every group by the allele at snp.
+		type key struct {
+			g   int
+			bit bool
+		}
+		next := make(map[key]int, nGroups*2)
+		for ci, s := range carriers {
+			k := key{group[ci], g.Bit(snp, s)}
+			id, ok := next[k]
+			if !ok {
+				id = len(next)
+				next[k] = id
+			}
+			group[ci] = id
+		}
+		nGroups = len(next)
+		out = append(out, homozygosity(group, nGroups, len(carriers)))
+		if out[len(out)-1] == 0 {
+			break // fully partitioned; EHH stays 0 from here
+		}
+	}
+	return out
+}
+
+// homozygosity is Σ_g C(n_g,2) / C(n,2) over the current partition.
+func homozygosity(group []int, nGroups, n int) float64 {
+	counts := make([]int, nGroups)
+	for _, id := range group {
+		counts[id]++
+	}
+	var num float64
+	for _, c := range counts {
+		num += float64(c) * float64(c-1) / 2
+	}
+	return num / (float64(n) * float64(n-1) / 2)
+}
+
+// integrate computes the trapezoidal integral of an EHH curve over SNP
+// distance, truncated where EHH drops below the conventional 0.05 floor.
+func integrate(ehh []float64) float64 {
+	area := 0.0
+	for d := 1; d < len(ehh); d++ {
+		a, b := ehh[d-1], ehh[d]
+		if b < ehhFloor {
+			// Linear interpolation to the crossing point.
+			if a > ehhFloor && a != b {
+				frac := (a - ehhFloor) / (a - b)
+				area += frac * (a + ehhFloor) / 2
+			}
+			break
+		}
+		area += (a + b) / 2
+	}
+	return area
+}
+
+// Score is the unstandardized iHS of one core SNP.
+type Score struct {
+	SNP int
+	// IHHDerived and IHHAncestral are the integrated EHH (left + right)
+	// on each allelic background.
+	IHHDerived, IHHAncestral float64
+	// UnstandardizedIHS is ln(iHH_ancestral / iHH_derived): strongly
+	// negative when the derived allele rides an unusually long haplotype.
+	UnstandardizedIHS float64
+	// DerivedFrequency of the core SNP (iHS is standardized within
+	// frequency bins downstream).
+	DerivedFrequency float64
+}
+
+// IHS computes the unstandardized iHS for one core SNP.
+func IHS(g *bitmat.Matrix, core, maxSpan int) (Score, error) {
+	dl, dr, err := Decay(g, core, true, maxSpan)
+	if err != nil {
+		return Score{}, err
+	}
+	al, ar, err := Decay(g, core, false, maxSpan)
+	if err != nil {
+		return Score{}, err
+	}
+	s := Score{
+		SNP:              core,
+		IHHDerived:       integrate(dl) + integrate(dr),
+		IHHAncestral:     integrate(al) + integrate(ar),
+		DerivedFrequency: g.AlleleFrequency(core),
+	}
+	if s.IHHDerived <= 0 || s.IHHAncestral <= 0 {
+		return Score{}, fmt.Errorf("ehh: degenerate iHH at SNP %d (derived %v, ancestral %v)",
+			core, s.IHHDerived, s.IHHAncestral)
+	}
+	s.UnstandardizedIHS = math.Log(s.IHHAncestral / s.IHHDerived)
+	return s, nil
+}
+
+// ScanOptions configures an iHS scan.
+type ScanOptions struct {
+	// MaxSpan is how far EHH is traced on each side (default 200 SNPs).
+	MaxSpan int
+	// MinMAF drops cores with minor-allele frequency below it (default
+	// 0.05, the standard iHS filter — rare cores have too few carriers
+	// for stable EHH).
+	MinMAF float64
+}
+
+func (o ScanOptions) normalize() (ScanOptions, error) {
+	if o.MaxSpan == 0 {
+		o.MaxSpan = 200
+	}
+	if o.MinMAF == 0 {
+		o.MinMAF = 0.05
+	}
+	if o.MaxSpan < 1 || o.MinMAF < 0 || o.MinMAF >= 0.5 {
+		return o, fmt.Errorf("ehh: invalid scan options %+v", o)
+	}
+	return o, nil
+}
+
+// Scan computes unstandardized iHS for every SNP passing the MAF filter.
+// SNPs whose EHH degenerates (no carriers on one background) are skipped.
+func Scan(g *bitmat.Matrix, opt ScanOptions) ([]Score, error) {
+	opt, err := opt.normalize()
+	if err != nil {
+		return nil, err
+	}
+	var out []Score
+	for i := 0; i < g.SNPs; i++ {
+		f := g.AlleleFrequency(i)
+		if math.Min(f, 1-f) < opt.MinMAF {
+			continue
+		}
+		s, err := IHS(g, i, opt.MaxSpan)
+		if err != nil {
+			continue
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// Standardize converts unstandardized iHS values to z-scores within
+// derived-allele-frequency bins, as Voight et al. prescribe (iHS is
+// frequency-dependent under neutrality). Bins with fewer than 2 scores
+// pass through unstandardized.
+func Standardize(scores []Score, bins int) ([]float64, error) {
+	if bins < 1 {
+		return nil, fmt.Errorf("ehh: invalid bin count %d", bins)
+	}
+	binOf := func(f float64) int {
+		b := int(f * float64(bins))
+		if b >= bins {
+			b = bins - 1
+		}
+		return b
+	}
+	sums := make([]float64, bins)
+	sqs := make([]float64, bins)
+	counts := make([]int, bins)
+	for _, s := range scores {
+		b := binOf(s.DerivedFrequency)
+		sums[b] += s.UnstandardizedIHS
+		sqs[b] += s.UnstandardizedIHS * s.UnstandardizedIHS
+		counts[b]++
+	}
+	out := make([]float64, len(scores))
+	for i, s := range scores {
+		b := binOf(s.DerivedFrequency)
+		if counts[b] < 2 {
+			out[i] = s.UnstandardizedIHS
+			continue
+		}
+		mean := sums[b] / float64(counts[b])
+		varr := sqs[b]/float64(counts[b]) - mean*mean
+		if varr <= 0 {
+			out[i] = 0
+			continue
+		}
+		out[i] = (s.UnstandardizedIHS - mean) / math.Sqrt(varr)
+	}
+	return out, nil
+}

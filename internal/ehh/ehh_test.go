@@ -1,0 +1,214 @@
+package ehh
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ldgemm/internal/bitmat"
+	"ldgemm/internal/popsim"
+)
+
+func TestDecayBasicProperties(t *testing.T) {
+	g, err := popsim.Mosaic(120, 80, popsim.MosaicConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pick a common SNP.
+	core := -1
+	for i := 0; i < g.SNPs; i++ {
+		f := g.AlleleFrequency(i)
+		if f > 0.3 && f < 0.7 {
+			core = i
+			break
+		}
+	}
+	if core < 0 {
+		t.Fatal("no common SNP found")
+	}
+	left, right, err := Decay(g, core, true, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, curve := range [][]float64{left, right} {
+		if curve[0] != 1 {
+			t.Fatalf("EHH at core = %v, want 1", curve[0])
+		}
+		for d := 1; d < len(curve); d++ {
+			if curve[d] > curve[d-1]+1e-12 {
+				t.Fatalf("EHH increased at distance %d: %v > %v", d, curve[d], curve[d-1])
+			}
+			if curve[d] < 0 || curve[d] > 1 {
+				t.Fatalf("EHH out of range: %v", curve[d])
+			}
+		}
+	}
+}
+
+func TestDecayIdenticalHaplotypesStayAtOne(t *testing.T) {
+	// All carriers identical everywhere → EHH stays 1 across the span.
+	g := bitmat.New(20, 10)
+	for i := 0; i < 20; i++ {
+		for s := 0; s < 5; s++ {
+			g.SetBit(i, s) // samples 0–4 all-derived, 5–9 all-ancestral
+		}
+	}
+	left, right, err := Decay(g, 10, true, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range append(append([]float64{}, left...), right...) {
+		if v != 1 {
+			t.Fatalf("EHH dropped to %v on identical haplotypes", v)
+		}
+	}
+}
+
+func TestDecayFullSplit(t *testing.T) {
+	// Neighboring SNP splits carriers into singletons → EHH hits 0 and
+	// the curve stops extending.
+	g := bitmat.New(3, 4)
+	g.SetBit(1, 0)
+	g.SetBit(1, 1) // carriers {0, 1} at core 1
+	g.SetBit(2, 0) // SNP 2 separates them
+	_, right, err := Decay(g, 1, true, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(right) != 2 || right[1] != 0 {
+		t.Fatalf("right curve %v, want [1 0]", right)
+	}
+}
+
+func TestDecayErrors(t *testing.T) {
+	g := bitmat.New(5, 10)
+	if _, _, err := Decay(g, 9, true, 2); err == nil {
+		t.Fatal("core out of range accepted")
+	}
+	if _, _, err := Decay(g, 2, true, -1); err == nil {
+		t.Fatal("negative span accepted")
+	}
+	// No derived carriers at an all-ancestral SNP.
+	if _, _, err := Decay(g, 2, true, 2); err == nil {
+		t.Fatal("zero carriers accepted")
+	}
+}
+
+func TestIntegrate(t *testing.T) {
+	// Simple trapezoid: EHH [1, 0.5] → area 0.75.
+	if got := integrate([]float64{1, 0.5}); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("integrate = %v", got)
+	}
+	// Floor truncation: [1, 0.04] crosses 0.05 — partial trapezoid only.
+	got := integrate([]float64{1, 0.04})
+	if got <= 0 || got >= 0.75 {
+		t.Fatalf("truncated integral %v", got)
+	}
+	if integrate([]float64{1}) != 0 {
+		t.Fatal("single-point integral should be 0")
+	}
+}
+
+// TestIHSDetectsSweep is the headline property: a planted sweep makes the
+// derived haplotypes long, so unstandardized iHS near the center is
+// strongly negative compared to the neutral background.
+func TestIHSDetectsSweep(t *testing.T) {
+	g, err := popsim.Mosaic(500, 200, popsim.MosaicConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := popsim.ApplySweep(g, popsim.SweepConfig{
+		Seed: 4, CenterSNP: 250, Radius: 150, CarrierFraction: 0.8,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	scores, err := Scan(g, ScanOptions{MaxSpan: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) < 50 {
+		t.Fatalf("only %d scannable SNPs", len(scores))
+	}
+	// The swept haplotype rides whichever allele the donor happened to
+	// carry at each SNP, so signed iHS mixes strong positives and
+	// negatives near the center; the robust signature is |iHS|.
+	var nearSum, farSum float64
+	var nearN, farN int
+	for _, s := range scores {
+		d := s.SNP - 250
+		if d < 0 {
+			d = -d
+		}
+		a := math.Abs(s.UnstandardizedIHS)
+		if d <= 40 {
+			nearSum += a
+			nearN++
+		} else if d >= 150 {
+			farSum += a
+			farN++
+		}
+	}
+	if nearN == 0 || farN == 0 {
+		t.Fatalf("bins empty: near %d far %d", nearN, farN)
+	}
+	nearMean := nearSum / float64(nearN)
+	farMean := farSum / float64(farN)
+	if nearMean < farMean+0.2 {
+		t.Fatalf("no sweep signal: mean |iHS| near %v vs far %v", nearMean, farMean)
+	}
+}
+
+func TestScanOptionsValidation(t *testing.T) {
+	g := bitmat.New(10, 20)
+	if _, err := Scan(g, ScanOptions{MinMAF: 0.7}); err == nil {
+		t.Fatal("MinMAF ≥ 0.5 accepted")
+	}
+	if _, err := Scan(g, ScanOptions{MaxSpan: -1}); err == nil {
+		t.Fatal("negative span accepted")
+	}
+}
+
+func TestStandardize(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	scores := make([]Score, 300)
+	for i := range scores {
+		f := 0.1 + 0.8*rng.Float64()
+		scores[i] = Score{SNP: i, DerivedFrequency: f, UnstandardizedIHS: rng.NormFloat64() + f}
+	}
+	z, err := Standardize(scores, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(z) != 300 {
+		t.Fatalf("%d z-scores", len(z))
+	}
+	// Standardized scores should be ~N(0,1) overall: mean near 0.
+	var sum, sq float64
+	for _, v := range z {
+		sum += v
+		sq += v * v
+	}
+	mean := sum / 300
+	sd := math.Sqrt(sq/300 - mean*mean)
+	if math.Abs(mean) > 0.15 || sd < 0.7 || sd > 1.3 {
+		t.Fatalf("standardized scores mean %v sd %v", mean, sd)
+	}
+	if _, err := Standardize(scores, 0); err == nil {
+		t.Fatal("bins=0 accepted")
+	}
+}
+
+func TestHomozygosity(t *testing.T) {
+	// 4 haplotypes in groups {0,0,1,1}: Σ C(2,2)·2 / C(4,2) = 2/6.
+	got := homozygosity([]int{0, 0, 1, 1}, 2, 4)
+	if math.Abs(got-2.0/6) > 1e-12 {
+		t.Fatalf("homozygosity = %v", got)
+	}
+	// All singletons → 0; single group → 1.
+	if homozygosity([]int{0, 1, 2}, 3, 3) != 0 {
+		t.Fatal("singleton homozygosity != 0")
+	}
+	if homozygosity([]int{0, 0, 0}, 1, 3) != 1 {
+		t.Fatal("single-group homozygosity != 1")
+	}
+}

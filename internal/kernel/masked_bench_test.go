@@ -1,0 +1,26 @@
+package kernel
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkMaskedKernel(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const kcWords = 256
+	for _, mk := range []MaskedKernel{Masked2x2(), MaskedGeneric(2, 2), MaskedGeneric(4, 4)} {
+		m, k := randomMasked(rng, max(mk.MR, mk.NR), kcWords*64)
+		ap := make([]uint64, 2*kcWords*mk.MR)
+		bp := make([]uint64, 2*kcWords*mk.NR)
+		PackMaskedPanel(ap, m, k, 0, min(m.SNPs, mk.MR), mk.MR, 0, kcWords)
+		PackMaskedPanel(bp, m, k, 0, min(m.SNPs, mk.NR), mk.NR, 0, kcWords)
+		c := make([]uint32, mk.MR*mk.NR*4)
+		b.Run(mk.Name, func(b *testing.B) {
+			// quad-counts per second: kc × MR × NR cells × 4 counts
+			b.SetBytes(int64(kcWords * mk.MR * mk.NR * 4 * 8))
+			for i := 0; i < b.N; i++ {
+				mk.Fn(kcWords, ap, bp, c, mk.NR)
+			}
+		})
+	}
+}

@@ -1,0 +1,125 @@
+package ldmap
+
+import (
+	"fmt"
+	"math"
+)
+
+// FitResult is a fitted hyperbolic LD decay model
+//
+//	E[r²](d) = c0 / (1 + a·d) + floor
+//
+// — the Sved/Hill–Weir expectation shape, where a is proportional to the
+// population recombination rate per distance unit, c0 is the zero-distance
+// LD level, and floor absorbs the finite-sample baseline (E[r²] ≈ 1/n for
+// unlinked loci).
+type FitResult struct {
+	A     float64 // decay rate per distance unit
+	C0    float64 // r² intercept at d = 0
+	Floor float64 // long-range baseline
+	// RSquared is the fraction of profile variance the fit explains.
+	RSquared float64
+}
+
+// Predict evaluates the fitted curve at distance d.
+func (f FitResult) Predict(d float64) float64 {
+	return f.C0/(1+f.A*d) + f.Floor
+}
+
+// Fit estimates the decay model from a profile by weighted least squares:
+// for each candidate decay rate a (log-spaced search refined by golden
+// section), the conditionally-linear c0 and floor are solved in closed
+// form; the a minimizing the residual wins. Bins are weighted by their
+// pair counts.
+func Fit(p *Profile) (FitResult, error) {
+	var xs, ys, ws []float64
+	for b := range p.Centers {
+		if p.Counts[b] == 0 {
+			continue
+		}
+		xs = append(xs, p.Centers[b])
+		ys = append(ys, p.MeanR2[b])
+		ws = append(ws, float64(p.Counts[b]))
+	}
+	if len(xs) < 3 {
+		return FitResult{}, fmt.Errorf("ldmap: need at least 3 populated bins to fit, have %d", len(xs))
+	}
+
+	// Residual of the best conditionally-linear (c0, floor) for a given a.
+	solve := func(a float64) (FitResult, float64) {
+		// Basis: u(d) = 1/(1+a·d), constant 1. Weighted normal equations.
+		var suu, su1, s11, suy, s1y float64
+		for i := range xs {
+			u := 1 / (1 + a*xs[i])
+			w := ws[i]
+			suu += w * u * u
+			su1 += w * u
+			s11 += w
+			suy += w * u * ys[i]
+			s1y += w * ys[i]
+		}
+		det := suu*s11 - su1*su1
+		var c0, floor float64
+		if math.Abs(det) < 1e-18 {
+			c0, floor = 0, s1y/s11
+		} else {
+			c0 = (suy*s11 - s1y*su1) / det
+			floor = (suu*s1y - su1*suy) / det
+		}
+		res := 0.0
+		for i := range xs {
+			r := ys[i] - (c0/(1+a*xs[i]) + floor)
+			res += ws[i] * r * r
+		}
+		return FitResult{A: a, C0: c0, Floor: floor}, res
+	}
+
+	// Coarse log-spaced scan over plausible decay rates.
+	bestFit, bestRes := solve(0)
+	maxD := xs[len(xs)-1]
+	for e := -3.0; e <= 3.0; e += 0.1 {
+		a := math.Pow(10, e) / maxD * 10 // spans ~1e-3/d̄ to ~1e3/d̄
+		fit, res := solve(a)
+		if res < bestRes {
+			bestFit, bestRes = fit, res
+		}
+	}
+	// Golden-section refinement around the winner.
+	lo, hi := bestFit.A/3, bestFit.A*3
+	if bestFit.A == 0 {
+		lo, hi = 0, 10/maxD
+	}
+	const phi = 0.6180339887498949
+	for iter := 0; iter < 60; iter++ {
+		m1 := hi - phi*(hi-lo)
+		m2 := lo + phi*(hi-lo)
+		_, r1 := solve(m1)
+		_, r2 := solve(m2)
+		if r1 < r2 {
+			hi = m2
+		} else {
+			lo = m1
+		}
+	}
+	fit, res := solve((lo + hi) / 2)
+	if res < bestRes {
+		bestFit, bestRes = fit, res
+	}
+
+	// Weighted R² of the fit.
+	var meanY, totW float64
+	for i := range ys {
+		meanY += ws[i] * ys[i]
+		totW += ws[i]
+	}
+	meanY /= totW
+	var ssTot float64
+	for i := range ys {
+		d := ys[i] - meanY
+		ssTot += ws[i] * d * d
+	}
+	if ssTot > 0 {
+		bestFit.RSquared = 1 - bestRes/ssTot
+	}
+	return bestFit, nil
+}

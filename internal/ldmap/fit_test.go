@@ -1,0 +1,103 @@
+package ldmap
+
+import (
+	"math"
+	"testing"
+
+	"ldgemm/internal/popsim"
+)
+
+// syntheticProfile builds a profile that exactly follows the model.
+func syntheticProfile(a, c0, floor float64, bins int) *Profile {
+	p := &Profile{
+		BinWidth: 10,
+		Centers:  make([]float64, bins),
+		MeanR2:   make([]float64, bins),
+		Counts:   make([]int64, bins),
+	}
+	for b := range p.Centers {
+		d := (float64(b) + 0.5) * p.BinWidth
+		p.Centers[b] = d
+		p.MeanR2[b] = c0/(1+a*d) + floor
+		p.Counts[b] = 1000
+	}
+	return p
+}
+
+func TestFitRecoversExactModel(t *testing.T) {
+	const a, c0, floor = 0.05, 0.4, 0.01
+	p := syntheticProfile(a, c0, floor, 30)
+	fit, err := Fit(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.A-a)/a > 0.02 {
+		t.Fatalf("A = %v, want %v", fit.A, a)
+	}
+	if math.Abs(fit.C0-c0) > 0.01 || math.Abs(fit.Floor-floor) > 0.005 {
+		t.Fatalf("C0 = %v Floor = %v", fit.C0, fit.Floor)
+	}
+	if fit.RSquared < 0.999 {
+		t.Fatalf("R² = %v on exact data", fit.RSquared)
+	}
+	// Predict matches the generating curve.
+	for _, d := range []float64{5, 50, 200} {
+		want := c0/(1+a*d) + floor
+		if math.Abs(fit.Predict(d)-want) > 1e-3 {
+			t.Fatalf("Predict(%v) = %v, want %v", d, fit.Predict(d), want)
+		}
+	}
+}
+
+func TestFitOnSimulatedData(t *testing.T) {
+	g, err := popsim.Mosaic(600, 400, popsim.MosaicConfig{Seed: 11, SwitchRate: 0.03})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Decay(g, Options{MaxDistance: 300, Bins: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit, err := Fit(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.A <= 0 {
+		t.Fatalf("non-positive decay rate %v", fit.A)
+	}
+	if fit.RSquared < 0.7 {
+		t.Fatalf("poor fit R² = %v on mosaic data", fit.RSquared)
+	}
+	// The fitted curve must decay: near < far.
+	if fit.Predict(5) <= fit.Predict(250) {
+		t.Fatalf("fitted curve does not decay: %v vs %v", fit.Predict(5), fit.Predict(250))
+	}
+}
+
+func TestFitFlatProfile(t *testing.T) {
+	// No decay: floor-only data. A is unidentifiable but the curve must
+	// reproduce the flat level.
+	p := syntheticProfile(0, 0, 0.2, 10)
+	fit, err := Fit(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []float64{10, 80} {
+		if math.Abs(fit.Predict(d)-0.2) > 1e-6 {
+			t.Fatalf("flat profile predicted %v at %v", fit.Predict(d), d)
+		}
+	}
+}
+
+func TestFitTooFewBins(t *testing.T) {
+	p := syntheticProfile(0.1, 0.5, 0, 2)
+	if _, err := Fit(p); err == nil {
+		t.Fatal("2-bin fit accepted")
+	}
+	// Empty bins don't count.
+	p = syntheticProfile(0.1, 0.5, 0, 5)
+	p.Counts[0], p.Counts[1], p.Counts[2] = 0, 0, 0
+	if _, err := Fit(p); err == nil {
+		t.Fatal("fit with 2 populated bins accepted")
+	}
+}

@@ -1,0 +1,141 @@
+// Package ldmap builds LD decay profiles: the mean r² as a function of
+// inter-SNP distance, the standard summary of a population's recombination
+// landscape and the curve used to choose window sizes for pruning,
+// clumping, and ω scans. The all-pairs r² values stream out of the
+// blocked GEMM path, so profiling a whole chromosome needs O(stripe·n)
+// memory.
+package ldmap
+
+import (
+	"fmt"
+	"math"
+
+	"ldgemm/internal/bitmat"
+	"ldgemm/internal/core"
+)
+
+// Options configures a decay profile.
+type Options struct {
+	// MaxDistance is the largest pair distance profiled (default: the
+	// full range). Units are SNP indices, or base pairs when Positions
+	// is supplied.
+	MaxDistance int
+	// Bins is the number of distance bins (default 50).
+	Bins int
+	// Positions optionally maps SNP index → genomic coordinate; it must
+	// be non-decreasing and len == SNPs.
+	Positions []int
+	// LD carries blocking/threading options.
+	LD core.Options
+}
+
+// Profile is a binned LD decay curve.
+type Profile struct {
+	// BinWidth is the distance covered by each bin.
+	BinWidth float64
+	// Centers are the bin midpoints.
+	Centers []float64
+	// MeanR2 is the average r² of pairs in each bin (0 for empty bins).
+	MeanR2 []float64
+	// Counts is the number of pairs per bin.
+	Counts []int64
+}
+
+// Decay computes the profile over all SNP pairs within MaxDistance.
+func Decay(g *bitmat.Matrix, opt Options) (*Profile, error) {
+	n := g.SNPs
+	if opt.Positions != nil {
+		if len(opt.Positions) != n {
+			return nil, fmt.Errorf("ldmap: %d positions for %d SNPs", len(opt.Positions), n)
+		}
+		for i := 1; i < n; i++ {
+			if opt.Positions[i] < opt.Positions[i-1] {
+				return nil, fmt.Errorf("ldmap: positions decrease at %d", i)
+			}
+		}
+	}
+	if opt.Bins == 0 {
+		opt.Bins = 50
+	}
+	if opt.Bins < 1 {
+		return nil, fmt.Errorf("ldmap: invalid bin count %d", opt.Bins)
+	}
+	dist := func(i, j int) int {
+		if opt.Positions != nil {
+			return opt.Positions[j] - opt.Positions[i]
+		}
+		return j - i
+	}
+	maxDist := opt.MaxDistance
+	if maxDist == 0 {
+		if n > 1 {
+			maxDist = dist(0, n-1)
+		} else {
+			maxDist = 1
+		}
+	}
+	if maxDist < 1 {
+		return nil, fmt.Errorf("ldmap: invalid max distance %d", maxDist)
+	}
+
+	p := &Profile{
+		BinWidth: float64(maxDist) / float64(opt.Bins),
+		Centers:  make([]float64, opt.Bins),
+		MeanR2:   make([]float64, opt.Bins),
+		Counts:   make([]int64, opt.Bins),
+	}
+	for b := range p.Centers {
+		p.Centers[b] = (float64(b) + 0.5) * p.BinWidth
+	}
+	sums := make([]float64, opt.Bins)
+	sopt := core.StreamOptions{Options: core.Options{Measures: core.MeasureR2, Blis: opt.LD.Blis}, Triangular: true}
+	err := core.Stream(g, sopt, func(i, j0 int, row []float64) {
+		for t, r2 := range row {
+			j := j0 + t
+			if j == i {
+				continue
+			}
+			d := dist(i, j)
+			if d > maxDist || d < 1 {
+				continue
+			}
+			b := min(int(float64(d-1)/p.BinWidth), opt.Bins-1)
+			sums[b] += r2
+			p.Counts[b]++
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	for b := range sums {
+		if p.Counts[b] > 0 {
+			p.MeanR2[b] = sums[b] / float64(p.Counts[b])
+		}
+	}
+	return p, nil
+}
+
+// HalfDecayDistance returns the distance at which the mean r² first drops
+// to half the first bin's level (linear interpolation between bins), or
+// NaN when the curve never falls that far.
+func (p *Profile) HalfDecayDistance() float64 {
+	if len(p.MeanR2) == 0 || p.MeanR2[0] <= 0 {
+		return math.NaN()
+	}
+	half := p.MeanR2[0] / 2
+	for b := 1; b < len(p.MeanR2); b++ {
+		if p.Counts[b] == 0 {
+			continue
+		}
+		if p.MeanR2[b] <= half {
+			// Interpolate between bin b−1 and b.
+			prev := p.MeanR2[b-1]
+			if prev <= p.MeanR2[b] {
+				return p.Centers[b]
+			}
+			frac := (prev - half) / (prev - p.MeanR2[b])
+			return p.Centers[b-1] + frac*(p.Centers[b]-p.Centers[b-1])
+		}
+	}
+	return math.NaN()
+}

@@ -1,0 +1,127 @@
+package ldmap
+
+import (
+	"math"
+	"testing"
+
+	"ldgemm/internal/bitmat"
+	"ldgemm/internal/core"
+	"ldgemm/internal/popsim"
+)
+
+func TestDecayMonotoneOnMosaic(t *testing.T) {
+	g, err := popsim.Mosaic(400, 300, popsim.MosaicConfig{Seed: 1, SwitchRate: 0.03})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Decay(g, Options{MaxDistance: 200, Bins: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.MeanR2) != 10 || len(p.Counts) != 10 || len(p.Centers) != 10 {
+		t.Fatalf("profile shape %+v", p)
+	}
+	// First bin well above last bin: LD decays with distance.
+	if p.MeanR2[0] < 3*p.MeanR2[9] {
+		t.Fatalf("no decay: first %v last %v", p.MeanR2[0], p.MeanR2[9])
+	}
+	// Every in-range pair lands in exactly one bin.
+	var total int64
+	for _, c := range p.Counts {
+		total += c
+	}
+	var want int64
+	for i := 0; i < 400; i++ {
+		for j := i + 1; j < 400 && j-i <= 200; j++ {
+			want++
+		}
+	}
+	if total != want {
+		t.Fatalf("binned %d pairs, want %d", total, want)
+	}
+}
+
+func TestDecayCountsExact(t *testing.T) {
+	g, err := popsim.Mosaic(20, 50, popsim.MosaicConfig{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Decay(g, Options{MaxDistance: 19, Bins: 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bin b covers distance b+1 exactly (width 1): count = 20−(b+1).
+	for b := 0; b < 19; b++ {
+		if p.Counts[b] != int64(19-b) {
+			t.Fatalf("bin %d count %d, want %d", b, p.Counts[b], 19-b)
+		}
+	}
+	// MeanR2 of bin 0 equals the direct mean over adjacent pairs.
+	var s float64
+	for i := 0; i+1 < 20; i++ {
+		s += core.PairLD(g, i, i+1).R2
+	}
+	if math.Abs(p.MeanR2[0]-s/19) > 1e-12 {
+		t.Fatalf("bin 0 mean %v, want %v", p.MeanR2[0], s/19)
+	}
+}
+
+func TestDecayWithPositions(t *testing.T) {
+	g, err := popsim.Mosaic(30, 60, popsim.MosaicConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make([]int, 30)
+	for i := range pos {
+		pos[i] = i * 1000 // 1 kb spacing
+	}
+	p, err := Decay(g, Options{Positions: pos, MaxDistance: 29000, Bins: 29})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.BinWidth != 1000 {
+		t.Fatalf("bin width %v", p.BinWidth)
+	}
+	if p.Counts[0] != 29 { // adjacent pairs at 1000 bp
+		t.Fatalf("bin 0 count %d", p.Counts[0])
+	}
+}
+
+func TestDecayValidation(t *testing.T) {
+	g := bitmat.New(10, 20)
+	if _, err := Decay(g, Options{Positions: []int{1, 2}}); err == nil {
+		t.Fatal("short positions accepted")
+	}
+	if _, err := Decay(g, Options{Positions: []int{5, 4, 3, 2, 1, 0, 0, 0, 0, 0}}); err == nil {
+		t.Fatal("decreasing positions accepted")
+	}
+	if _, err := Decay(g, Options{Bins: -2}); err == nil {
+		t.Fatal("negative bins accepted")
+	}
+	if _, err := Decay(g, Options{MaxDistance: -5}); err == nil {
+		t.Fatal("negative max distance accepted")
+	}
+}
+
+func TestHalfDecayDistance(t *testing.T) {
+	p := &Profile{
+		Centers: []float64{1, 2, 3, 4},
+		MeanR2:  []float64{0.8, 0.6, 0.3, 0.1},
+		Counts:  []int64{5, 5, 5, 5},
+	}
+	// Half of 0.8 = 0.4; crossing between bins 1 (0.6) and 2 (0.3):
+	// frac = (0.6−0.4)/(0.6−0.3) = 2/3 → 2 + 2/3.
+	got := p.HalfDecayDistance()
+	if math.Abs(got-(2+2.0/3)) > 1e-12 {
+		t.Fatalf("half decay %v", got)
+	}
+	// Never decays → NaN.
+	flat := &Profile{Centers: []float64{1, 2}, MeanR2: []float64{0.5, 0.5}, Counts: []int64{1, 1}}
+	if !math.IsNaN(flat.HalfDecayDistance()) {
+		t.Fatal("flat profile should give NaN")
+	}
+	empty := &Profile{}
+	if !math.IsNaN(empty.HalfDecayDistance()) {
+		t.Fatal("empty profile should give NaN")
+	}
+}

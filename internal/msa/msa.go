@@ -1,0 +1,290 @@
+// Package msa implements the preliminary workflow the paper describes
+// before any LD computation can happen (Section I): building a
+// multiple-sequence alignment for a set of individuals and running a SNP
+// calling step that identifies variable biallelic sites, discards
+// monomorphic (non-informative) columns, and emits the bit-packed genomic
+// matrix plus the validity mask of Section VII (gaps and ambiguous
+// characters become invalid states).
+package msa
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ldgemm/internal/bitmat"
+)
+
+// Alignment is a gapped multiple-sequence alignment: Seqs[s][p] is the
+// character of sample s at alignment column p. All rows have equal length.
+type Alignment struct {
+	Seqs  [][]byte
+	Names []string
+}
+
+// Len returns the alignment length (0 when empty).
+func (a *Alignment) Len() int {
+	if len(a.Seqs) == 0 {
+		return 0
+	}
+	return len(a.Seqs[0])
+}
+
+// Validate checks rectangularity and name bookkeeping.
+func (a *Alignment) Validate() error {
+	n := a.Len()
+	for s, seq := range a.Seqs {
+		if len(seq) != n {
+			return fmt.Errorf("msa: sequence %d has length %d, want %d", s, len(seq), n)
+		}
+	}
+	if a.Names != nil && len(a.Names) != len(a.Seqs) {
+		return fmt.Errorf("msa: %d names for %d sequences", len(a.Names), len(a.Seqs))
+	}
+	return nil
+}
+
+// RandomReference returns a uniform-random ACGT sequence.
+func RandomReference(seed int64, length int) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	ref := make([]byte, length)
+	alpha := []byte("ACGT")
+	for i := range ref {
+		ref[i] = alpha[rng.Intn(4)]
+	}
+	return ref
+}
+
+// substitute returns a nucleotide different from ref, chosen
+// deterministically (transition-biased: A↔G, C↔T).
+func substitute(ref byte) byte {
+	switch ref {
+	case 'A':
+		return 'G'
+	case 'G':
+		return 'A'
+	case 'C':
+		return 'T'
+	case 'T':
+		return 'C'
+	default:
+		return 'A'
+	}
+}
+
+// BuildOptions controls alignment synthesis from a variant matrix.
+type BuildOptions struct {
+	Seed int64
+	// GapRate is the per-character probability of replacing a character
+	// with an alignment gap '-' (missing data).
+	GapRate float64
+	// AmbiguityRate is the per-character probability of replacing a
+	// character with 'N' (base miscall / insufficient correction).
+	AmbiguityRate float64
+}
+
+// FromVariants builds an MSA by planting the derived alleles of a binary
+// variant matrix onto a reference sequence: sample s carries
+// substitute(ref[positions[i]]) at column positions[i] whenever bit (i, s)
+// is set, and the reference character everywhere else. Gap and ambiguity
+// noise is then applied position-wise. Positions must be strictly
+// increasing and within the reference.
+func FromVariants(ref []byte, positions []int, m *bitmat.Matrix, opt BuildOptions) (*Alignment, error) {
+	if len(positions) != m.SNPs {
+		return nil, fmt.Errorf("msa: %d positions for %d SNPs", len(positions), m.SNPs)
+	}
+	for i, p := range positions {
+		if p < 0 || p >= len(ref) {
+			return nil, fmt.Errorf("msa: position %d outside reference of length %d", p, len(ref))
+		}
+		if i > 0 && positions[i-1] >= p {
+			return nil, fmt.Errorf("msa: positions not strictly increasing at %d", i)
+		}
+	}
+	if opt.GapRate < 0 || opt.AmbiguityRate < 0 || opt.GapRate+opt.AmbiguityRate > 1 {
+		return nil, fmt.Errorf("msa: invalid noise rates gap=%v ambiguity=%v", opt.GapRate, opt.AmbiguityRate)
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	aln := &Alignment{Seqs: make([][]byte, m.Samples), Names: make([]string, m.Samples)}
+	for s := 0; s < m.Samples; s++ {
+		seq := make([]byte, len(ref))
+		copy(seq, ref)
+		for i, p := range positions {
+			if m.Bit(i, s) {
+				seq[p] = substitute(ref[p])
+			}
+		}
+		for p := range seq {
+			switch r := rng.Float64(); {
+			case r < opt.GapRate:
+				seq[p] = '-'
+			case r < opt.GapRate+opt.AmbiguityRate:
+				seq[p] = 'N'
+			}
+		}
+		aln.Seqs[s] = seq
+		aln.Names[s] = fmt.Sprintf("sample_%d", s)
+	}
+	return aln, nil
+}
+
+// CallOptions controls the SNP caller.
+type CallOptions struct {
+	// MinMAC is the minimum minor-allele count for a site to be retained
+	// (default 1, i.e. any segregating site).
+	MinMAC int
+	// MaxMissingFrac drops sites where more than this fraction of samples
+	// is a gap or ambiguous character (default 1, i.e. keep all).
+	MaxMissingFrac float64
+}
+
+// CallResult is the output of SNP calling: the bit-packed genomic matrix
+// (ancestral=0/derived=1 per the infinite sites encoding of Section II-A),
+// the Section VII validity mask, and per-SNP metadata.
+type CallResult struct {
+	Matrix    *bitmat.Matrix
+	Mask      *bitmat.Mask
+	Positions []int  // alignment columns of the retained SNPs
+	Ancestral []byte // ancestral (majority or reference) allele per SNP
+	Derived   []byte // derived allele per SNP
+	// Multiallelic counts columns skipped for having >2 nucleotide states.
+	Multiallelic int
+}
+
+// CallSNPs scans alignment columns, keeps biallelic segregating sites
+// passing the filters, and encodes them into a genomic matrix + mask. The
+// ancestral state of each site is taken from ref when provided (columns
+// whose reference character is absent from the sample are skipped as
+// misaligned); with a nil ref the majority allele is ancestral.
+func CallSNPs(aln *Alignment, ref []byte, opt CallOptions) (*CallResult, error) {
+	if err := aln.Validate(); err != nil {
+		return nil, err
+	}
+	if ref != nil && len(ref) != aln.Len() {
+		return nil, fmt.Errorf("msa: reference length %d != alignment length %d", len(ref), aln.Len())
+	}
+	if opt.MinMAC == 0 {
+		opt.MinMAC = 1
+	}
+	if opt.MaxMissingFrac == 0 {
+		opt.MaxMissingFrac = 1
+	}
+	if opt.MinMAC < 1 || opt.MaxMissingFrac < 0 || opt.MaxMissingFrac > 1 {
+		return nil, fmt.Errorf("msa: invalid call options %+v", opt)
+	}
+	samples := len(aln.Seqs)
+	length := aln.Len()
+
+	res := &CallResult{}
+	type colInfo struct {
+		pos                 int
+		ancestral, derived  byte
+		derivedSet, present []bool
+	}
+	var kept []colInfo
+	for p := 0; p < length; p++ {
+		var counts [4]int
+		present := make([]bool, samples)
+		missing := 0
+		for s := 0; s < samples; s++ {
+			if k, ok := stateIndex(aln.Seqs[s][p]); ok {
+				counts[k]++
+				present[s] = true
+			} else {
+				missing++
+			}
+		}
+		states := 0
+		for _, c := range counts {
+			if c > 0 {
+				states++
+			}
+		}
+		if states < 2 {
+			continue // monomorphic or fully missing: non-informative
+		}
+		if states > 2 {
+			res.Multiallelic++
+			continue // not representable under the infinite sites model
+		}
+		if samples > 0 && float64(missing) > opt.MaxMissingFrac*float64(samples) {
+			continue
+		}
+		// Identify the two alleles.
+		var alleles [2]int
+		ai := 0
+		for k, c := range counts {
+			if c > 0 {
+				alleles[ai] = k
+				ai++
+			}
+		}
+		anc, der := alleles[0], alleles[1]
+		if ref != nil {
+			rk, ok := stateIndex(ref[p])
+			switch {
+			case ok && rk == alleles[1]:
+				anc, der = alleles[1], alleles[0]
+			case ok && rk == alleles[0]:
+				// already oriented
+			default:
+				continue // reference allele absent: treat as misaligned
+			}
+		} else if counts[alleles[1]] > counts[alleles[0]] {
+			anc, der = alleles[1], alleles[0]
+		}
+		if min(counts[anc], counts[der]) < opt.MinMAC {
+			continue
+		}
+		info := colInfo{
+			pos: p, ancestral: stateChar(anc), derived: stateChar(der),
+			derivedSet: make([]bool, samples), present: present,
+		}
+		for s := 0; s < samples; s++ {
+			if present[s] {
+				k, _ := stateIndex(aln.Seqs[s][p])
+				info.derivedSet[s] = k == der
+			}
+		}
+		kept = append(kept, info)
+	}
+
+	res.Matrix = bitmat.New(len(kept), samples)
+	res.Mask = bitmat.NewMask(len(kept), samples)
+	res.Positions = make([]int, len(kept))
+	res.Ancestral = make([]byte, len(kept))
+	res.Derived = make([]byte, len(kept))
+	for i, info := range kept {
+		res.Positions[i] = info.pos
+		res.Ancestral[i] = info.ancestral
+		res.Derived[i] = info.derived
+		for s := 0; s < samples; s++ {
+			if !info.present[s] {
+				res.Mask.Invalidate(i, s)
+				continue
+			}
+			if info.derivedSet[s] {
+				res.Matrix.SetBit(i, s)
+			}
+		}
+	}
+	return res, nil
+}
+
+// stateIndex maps a nucleotide character to 0..3; gaps and ambiguity
+// codes report ok=false.
+func stateIndex(c byte) (int, bool) {
+	switch c {
+	case 'A', 'a':
+		return 0, true
+	case 'C', 'c':
+		return 1, true
+	case 'G', 'g':
+		return 2, true
+	case 'T', 't':
+		return 3, true
+	default:
+		return 0, false
+	}
+}
+
+func stateChar(k int) byte { return [4]byte{'A', 'C', 'G', 'T'}[k] }

@@ -1,0 +1,295 @@
+package msa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ldgemm/internal/bitmat"
+	"ldgemm/internal/popsim"
+)
+
+func TestRandomReference(t *testing.T) {
+	ref := RandomReference(1, 500)
+	if len(ref) != 500 {
+		t.Fatalf("length %d", len(ref))
+	}
+	seen := map[byte]bool{}
+	for _, c := range ref {
+		switch c {
+		case 'A', 'C', 'G', 'T':
+			seen[c] = true
+		default:
+			t.Fatalf("bad character %q", c)
+		}
+	}
+	if len(seen) != 4 {
+		t.Fatalf("only %d distinct nucleotides in 500bp", len(seen))
+	}
+	other := RandomReference(1, 500)
+	for i := range ref {
+		if ref[i] != other[i] {
+			t.Fatal("same seed produced different references")
+		}
+	}
+}
+
+func TestSubstituteNeverIdentity(t *testing.T) {
+	for _, c := range []byte("ACGT") {
+		if substitute(c) == c {
+			t.Fatalf("substitute(%q) is identity", c)
+		}
+	}
+}
+
+func TestAlignmentValidate(t *testing.T) {
+	a := &Alignment{Seqs: [][]byte{[]byte("ACG"), []byte("AC")}}
+	if a.Validate() == nil {
+		t.Fatal("ragged alignment accepted")
+	}
+	a = &Alignment{Seqs: [][]byte{[]byte("ACG")}, Names: []string{"x", "y"}}
+	if a.Validate() == nil {
+		t.Fatal("name count mismatch accepted")
+	}
+	if (&Alignment{}).Len() != 0 {
+		t.Fatal("empty alignment length")
+	}
+}
+
+func TestFromVariantsErrors(t *testing.T) {
+	ref := RandomReference(2, 100)
+	m := bitmat.New(3, 5)
+	if _, err := FromVariants(ref, []int{1, 2}, m, BuildOptions{}); err == nil {
+		t.Fatal("position count mismatch accepted")
+	}
+	if _, err := FromVariants(ref, []int{1, 2, 200}, m, BuildOptions{}); err == nil {
+		t.Fatal("out-of-range position accepted")
+	}
+	if _, err := FromVariants(ref, []int{2, 2, 3}, m, BuildOptions{}); err == nil {
+		t.Fatal("non-increasing positions accepted")
+	}
+	if _, err := FromVariants(ref, []int{1, 2, 3}, m, BuildOptions{GapRate: 0.9, AmbiguityRate: 0.2}); err == nil {
+		t.Fatal("noise rates summing over 1 accepted")
+	}
+}
+
+func TestRoundTripNoiseless(t *testing.T) {
+	// variants → alignment → SNP calls must reproduce the matrix exactly
+	// when there is no gap/ambiguity noise and every SNP is polymorphic.
+	m, err := popsim.Mosaic(40, 30, popsim.MosaicConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := RandomReference(4, 400)
+	positions := make([]int, 40)
+	for i := range positions {
+		positions[i] = 5 + i*9
+	}
+	aln, err := FromVariants(ref, positions, m, BuildOptions{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := CallSNPs(aln, ref, CallOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matrix.SNPs != 40 {
+		t.Fatalf("called %d SNPs, want 40", res.Matrix.SNPs)
+	}
+	if !res.Matrix.Equal(m) {
+		t.Fatal("round trip did not reproduce the variant matrix")
+	}
+	for i, p := range res.Positions {
+		if p != positions[i] {
+			t.Fatalf("position %d = %d, want %d", i, p, positions[i])
+		}
+		if res.Ancestral[i] != ref[p] {
+			t.Fatalf("ancestral %d = %q, want ref %q", i, res.Ancestral[i], ref[p])
+		}
+		if res.Derived[i] != substitute(ref[p]) {
+			t.Fatalf("derived %d = %q", i, res.Derived[i])
+		}
+	}
+	// All-valid mask.
+	for i := 0; i < res.Mask.SNPs; i++ {
+		if res.Mask.ValidCount(i) != 30 {
+			t.Fatalf("mask not all-valid at %d", i)
+		}
+	}
+}
+
+func TestCallSNPsSkipsMonomorphic(t *testing.T) {
+	aln := &Alignment{Seqs: [][]byte{
+		[]byte("AAAC"),
+		[]byte("AAAC"),
+		[]byte("AGAC"),
+	}}
+	res, err := CallSNPs(aln, nil, CallOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only column 1 is biallelic segregating.
+	if res.Matrix.SNPs != 1 || res.Positions[0] != 1 {
+		t.Fatalf("called %d SNPs at %v", res.Matrix.SNPs, res.Positions)
+	}
+	// Majority allele A is ancestral.
+	if res.Ancestral[0] != 'A' || res.Derived[0] != 'G' {
+		t.Fatalf("alleles %q/%q", res.Ancestral[0], res.Derived[0])
+	}
+	if !res.Matrix.Bit(0, 2) || res.Matrix.Bit(0, 0) {
+		t.Fatal("derived encoding wrong")
+	}
+}
+
+func TestCallSNPsSkipsMultiallelic(t *testing.T) {
+	aln := &Alignment{Seqs: [][]byte{
+		[]byte("AT"),
+		[]byte("CT"),
+		[]byte("GA"),
+	}}
+	res, err := CallSNPs(aln, nil, CallOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Multiallelic != 1 {
+		t.Fatalf("Multiallelic = %d", res.Multiallelic)
+	}
+	if res.Matrix.SNPs != 1 || res.Positions[0] != 1 {
+		t.Fatalf("kept %v", res.Positions)
+	}
+}
+
+func TestCallSNPsGapsBecomeMask(t *testing.T) {
+	aln := &Alignment{Seqs: [][]byte{
+		[]byte("A-"),
+		[]byte("GN"),
+		[]byte("AC"),
+		[]byte("GT"),
+	}}
+	res, err := CallSNPs(aln, nil, CallOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matrix.SNPs != 2 {
+		t.Fatalf("called %d SNPs", res.Matrix.SNPs)
+	}
+	// Column 0: no gaps. Column 1: samples 0,1 invalid.
+	if res.Mask.ValidCount(0) != 4 || res.Mask.ValidCount(1) != 2 {
+		t.Fatalf("valid counts %d %d", res.Mask.ValidCount(0), res.Mask.ValidCount(1))
+	}
+	if res.Mask.Bit(1, 0) || res.Mask.Bit(1, 1) {
+		t.Fatal("gap samples marked valid")
+	}
+	// Gap positions must carry 0 in the matrix (s = s & c invariant).
+	if res.Matrix.Bit(1, 0) || res.Matrix.Bit(1, 1) {
+		t.Fatal("gap positions carry derived bits")
+	}
+}
+
+func TestCallSNPsMaxMissing(t *testing.T) {
+	aln := &Alignment{Seqs: [][]byte{
+		[]byte("A-"),
+		[]byte("G-"),
+		[]byte("A-"),
+		[]byte("GT"),
+	}}
+	// Column 1 is 75% missing and monomorphic among present → dropped
+	// regardless; use a column that is segregating but missing-heavy.
+	aln.Seqs[0][1] = 'T'
+	aln.Seqs[1][1] = 'C'
+	// Column 1 is 25% missing: a 0.2 cutoff drops it, a 0.3 cutoff keeps it.
+	res, err := CallSNPs(aln, nil, CallOptions{MaxMissingFrac: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matrix.SNPs != 1 || res.Positions[0] != 0 {
+		t.Fatalf("missing filter failed: %v", res.Positions)
+	}
+	res, err = CallSNPs(aln, nil, CallOptions{MaxMissingFrac: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matrix.SNPs != 2 {
+		t.Fatalf("lenient filter kept %d", res.Matrix.SNPs)
+	}
+}
+
+func TestCallSNPsMinMAC(t *testing.T) {
+	aln := &Alignment{Seqs: [][]byte{
+		[]byte("AG"),
+		[]byte("AG"),
+		[]byte("AG"),
+		[]byte("GA"),
+	}}
+	res, err := CallSNPs(aln, nil, CallOptions{MinMAC: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matrix.SNPs != 0 {
+		t.Fatal("singleton sites not filtered")
+	}
+}
+
+func TestCallSNPsRefAbsent(t *testing.T) {
+	// Reference allele not present in the sample → column skipped.
+	aln := &Alignment{Seqs: [][]byte{[]byte("C"), []byte("T")}}
+	res, err := CallSNPs(aln, []byte("A"), CallOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matrix.SNPs != 0 {
+		t.Fatal("column with absent reference allele kept")
+	}
+}
+
+// Property: with noise, every called SNP is biallelic among valid samples
+// and the matrix/mask pair satisfies the s = s & c invariant.
+func TestQuickCallInvariants(t *testing.T) {
+	f := func(seed int64, n8, s8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		snps := int(n8%20) + 2
+		samples := int(s8%25) + 4
+		m, err := popsim.Mosaic(snps, samples, popsim.MosaicConfig{Seed: seed})
+		if err != nil {
+			return false
+		}
+		reflen := snps*4 + 10
+		ref := RandomReference(seed, reflen)
+		positions := make([]int, snps)
+		for i := range positions {
+			positions[i] = 2 + i*4
+		}
+		aln, err := FromVariants(ref, positions, m, BuildOptions{
+			Seed: seed + 1, GapRate: 0.05, AmbiguityRate: 0.03,
+		})
+		if err != nil {
+			return false
+		}
+		res, err := CallSNPs(aln, ref, CallOptions{})
+		if err != nil {
+			return false
+		}
+		_ = rng
+		for i := 0; i < res.Matrix.SNPs; i++ {
+			derived, valid := 0, 0
+			for s := 0; s < samples; s++ {
+				if res.Matrix.Bit(i, s) && !res.Mask.Bit(i, s) {
+					return false // derived bit outside the mask
+				}
+				if res.Mask.Bit(i, s) {
+					valid++
+					if res.Matrix.Bit(i, s) {
+						derived++
+					}
+				}
+			}
+			if derived == 0 || derived == valid {
+				return false // not segregating among valid samples
+			}
+		}
+		return res.Matrix.ValidatePadding() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,232 @@
+// Package omega implements the Kim–Nielsen ω statistic for selective-sweep
+// detection — the LD consumer that OmegaPlus (one of the paper's two
+// comparison codes) is built around.
+//
+// Selective sweep theory (Section I of the paper) predicts high LD on each
+// side of a positively selected site and low LD across it. For a candidate
+// site splitting a window of SNPs into a left set L and right set R, with
+// l = |L| and r = |R|:
+//
+//	        ( C(l,2)+C(r,2) )⁻¹ · ( Σ_{i<j∈L} r²ᵢⱼ + Σ_{i<j∈R} r²ᵢⱼ )
+//	ω = ─────────────────────────────────────────────────────────────
+//	        ( l·r )⁻¹ · Σ_{i∈L, j∈R} r²ᵢⱼ
+//
+// The scan maximizes ω over the window split for every grid position,
+// exactly the "only the LD values required for the ω statistic" workload
+// the paper contrasts with all-pairs computation. The r² sub-matrices come
+// from the blocked GEMM path; block sums use 2-D prefix sums so each
+// (left, right) candidate costs O(1).
+package omega
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"ldgemm/internal/bitmat"
+	"ldgemm/internal/core"
+)
+
+// Config controls the grid scan.
+type Config struct {
+	// GridPoints is the number of evaluation positions spread evenly
+	// across the SNP index range (default 100, capped by SNPs−1).
+	GridPoints int
+	// MinEach is the minimum number of SNPs required on each side of a
+	// candidate site (default 2; values below 2 make ω undefined).
+	MinEach int
+	// MaxEach is the maximum number of SNPs considered on each side
+	// (default 100). The r² window is 2·MaxEach wide.
+	MaxEach int
+	// Threads parallelizes the grid scan across goroutines (default 1).
+	// Grid positions are independent, so this is OmegaPlus's coarse-grain
+	// parallelization scheme.
+	Threads int
+	// LD carries the blocking/threading options for the per-window r²
+	// computations (fine-grain parallelism; usually leave single-threaded
+	// when Threads > 1).
+	LD core.Options
+}
+
+func (c Config) normalize(snps int) (Config, error) {
+	if c.GridPoints == 0 {
+		c.GridPoints = 100
+	}
+	if c.MinEach == 0 {
+		c.MinEach = 2
+	}
+	if c.MaxEach == 0 {
+		c.MaxEach = 100
+	}
+	if c.Threads == 0 {
+		c.Threads = 1
+	}
+	if c.GridPoints < 1 || c.MinEach < 2 || c.MaxEach < c.MinEach || c.Threads < 1 {
+		return c, fmt.Errorf("omega: invalid config %+v", c)
+	}
+	if snps < 2*c.MinEach {
+		return c, fmt.Errorf("omega: %d SNPs is too few for MinEach=%d", snps, c.MinEach)
+	}
+	return c, nil
+}
+
+// Point is the scan result at one grid position.
+type Point struct {
+	// Center is the SNP boundary index: the candidate site lies between
+	// SNP Center−1 and SNP Center.
+	Center int
+	// Omega is the maximized ω value (0 when undefined everywhere).
+	Omega float64
+	// Left and Right are the SNP index bounds [Left, Center) and
+	// [Center, Right) of the maximizing split.
+	Left, Right int
+}
+
+// Scan evaluates the maximized ω statistic at GridPoints boundaries evenly
+// spaced over the SNP range of g.
+func Scan(g *bitmat.Matrix, cfg Config) ([]Point, error) {
+	cfg, err := cfg.normalize(g.SNPs)
+	if err != nil {
+		return nil, err
+	}
+	n := g.SNPs
+	// Candidate boundaries range over [MinEach, n−MinEach].
+	lo, hi := cfg.MinEach, n-cfg.MinEach
+	points := min(cfg.GridPoints, hi-lo+1)
+	out := make([]Point, points)
+
+	eval := func(p int) error {
+		center := lo
+		if points > 1 {
+			center = lo + p*(hi-lo)/(points-1)
+		}
+		pt, err := At(g, center, cfg)
+		if err != nil {
+			return err
+		}
+		out[p] = pt
+		return nil
+	}
+
+	if cfg.Threads == 1 {
+		for p := 0; p < points; p++ {
+			if err := eval(p); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+
+	// Coarse-grain parallelism: independent grid positions on a shared
+	// atomic cursor.
+	var (
+		wg      sync.WaitGroup
+		cursor  atomic.Int64
+		errOnce sync.Once
+		scanErr error
+	)
+	workers := min(cfg.Threads, points)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				p := int(cursor.Add(1)) - 1
+				if p >= points {
+					return
+				}
+				if err := eval(p); err != nil {
+					errOnce.Do(func() { scanErr = err })
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if scanErr != nil {
+		return nil, scanErr
+	}
+	return out, nil
+}
+
+// At computes the maximized ω for a single candidate boundary.
+func At(g *bitmat.Matrix, center int, cfg Config) (Point, error) {
+	cfg, err := cfg.normalize(g.SNPs)
+	if err != nil {
+		return Point{}, err
+	}
+	if center < cfg.MinEach || center > g.SNPs-cfg.MinEach {
+		return Point{}, fmt.Errorf("omega: center %d leaves fewer than %d SNPs on a side", center, cfg.MinEach)
+	}
+	winLo := max(0, center-cfg.MaxEach)
+	winHi := min(g.SNPs, center+cfg.MaxEach)
+	res, err := core.Matrix(g.Slice(winLo, winHi), core.Options{Measures: core.MeasureR2, Blis: cfg.LD.Blis})
+	if err != nil {
+		return Point{}, err
+	}
+	w := winHi - winLo
+	ps := newPrefixSum(res.R2, w)
+	c := center - winLo
+
+	best := Point{Center: center}
+	for l := cfg.MinEach; l <= c; l++ {
+		a := c - l
+		withinL := ps.within(a, c)
+		for r := cfg.MinEach; r <= w-c; r++ {
+			b := c + r
+			cross := ps.rect(a, c, c, b)
+			if cross <= 0 {
+				continue
+			}
+			withinR := ps.within(c, b)
+			numPairs := float64(l*(l-1)/2 + r*(r-1)/2)
+			om := ((withinL + withinR) / numPairs) / (cross / float64(l*r))
+			if om > best.Omega {
+				best.Omega = om
+				best.Left = winLo + a
+				best.Right = winLo + b
+			}
+		}
+	}
+	return best, nil
+}
+
+// prefixSum supports O(1) rectangle sums over a dense w×w matrix.
+type prefixSum struct {
+	w int
+	p []float64 // (w+1)×(w+1)
+}
+
+func newPrefixSum(m []float64, w int) *prefixSum {
+	ps := &prefixSum{w: w, p: make([]float64, (w+1)*(w+1))}
+	for i := 0; i < w; i++ {
+		rowSum := 0.0
+		for j := 0; j < w; j++ {
+			rowSum += m[i*w+j]
+			ps.p[(i+1)*(w+1)+j+1] = ps.p[i*(w+1)+j+1] + rowSum
+		}
+	}
+	return ps
+}
+
+// rect returns the sum over rows [r0,r1) × cols [c0,c1).
+func (ps *prefixSum) rect(r0, r1, c0, c1 int) float64 {
+	w1 := ps.w + 1
+	return ps.p[r1*w1+c1] - ps.p[r0*w1+c1] - ps.p[r1*w1+c0] + ps.p[r0*w1+c0]
+}
+
+// diag returns the sum of diagonal entries in [a, b).
+func (ps *prefixSum) diag(a, b int) float64 {
+	// The diagonal is not in the prefix table; recompute it from unit
+	// rectangles (b−a of them, still cheap relative to the scan).
+	s := 0.0
+	for i := a; i < b; i++ {
+		s += ps.rect(i, i+1, i, i+1)
+	}
+	return s
+}
+
+// within returns Σ_{a ≤ i < j < b} r²ᵢⱼ for the symmetric matrix.
+func (ps *prefixSum) within(a, b int) float64 {
+	return (ps.rect(a, b, a, b) - ps.diag(a, b)) / 2
+}

@@ -1,0 +1,250 @@
+package omega
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ldgemm/internal/bitmat"
+	"ldgemm/internal/core"
+)
+
+func randomMatrix(rng *rand.Rand, snps, samples int) *bitmat.Matrix {
+	m := bitmat.New(snps, samples)
+	for i := 0; i < snps; i++ {
+		for s := 0; s < samples; s++ {
+			if rng.Intn(2) == 1 {
+				m.SetBit(i, s)
+			}
+		}
+	}
+	return m
+}
+
+// naiveOmega computes ω for a fixed split directly from pair r² values.
+func naiveOmega(g *bitmat.Matrix, a, c, b int) float64 {
+	var withinL, withinR, cross float64
+	for i := a; i < c; i++ {
+		for j := i + 1; j < c; j++ {
+			withinL += core.PairLD(g, i, j).R2
+		}
+	}
+	for i := c; i < b; i++ {
+		for j := i + 1; j < b; j++ {
+			withinR += core.PairLD(g, i, j).R2
+		}
+	}
+	for i := a; i < c; i++ {
+		for j := c; j < b; j++ {
+			cross += core.PairLD(g, i, j).R2
+		}
+	}
+	l, r := c-a, b-c
+	if cross <= 0 {
+		return 0
+	}
+	pairs := float64(l*(l-1)/2 + r*(r-1)/2)
+	return (withinL + withinR) / pairs / (cross / float64(l*r))
+}
+
+// naiveBest maximizes naiveOmega over all admissible splits.
+func naiveBest(g *bitmat.Matrix, center int, cfg Config) float64 {
+	winLo := max(0, center-cfg.MaxEach)
+	winHi := min(g.SNPs, center+cfg.MaxEach)
+	best := 0.0
+	for a := winLo; a <= center-cfg.MinEach; a++ {
+		for b := center + cfg.MinEach; b <= winHi; b++ {
+			if om := naiveOmega(g, a, center, b); om > best {
+				best = om
+			}
+		}
+	}
+	return best
+}
+
+func TestAtMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := randomMatrix(rng, 30, 100)
+	cfg := Config{MinEach: 2, MaxEach: 10, GridPoints: 1}
+	for _, center := range []int{2, 10, 15, 28} {
+		got, err := At(g, center, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := naiveBest(g, center, cfg)
+		if math.Abs(got.Omega-want) > 1e-9 {
+			t.Fatalf("center %d: ω = %v, want %v", center, got.Omega, want)
+		}
+		if got.Omega > 0 {
+			// The reported split must reproduce the reported value.
+			if om := naiveOmega(g, got.Left, center, got.Right); math.Abs(om-got.Omega) > 1e-9 {
+				t.Fatalf("center %d: reported split gives %v, not %v", center, om, got.Omega)
+			}
+		}
+	}
+}
+
+func TestAtRejectsBadCenter(t *testing.T) {
+	g := randomMatrix(rand.New(rand.NewSource(2)), 10, 50)
+	if _, err := At(g, 1, Config{}); err == nil {
+		t.Fatal("center too close to edge accepted")
+	}
+	if _, err := At(g, 9, Config{}); err == nil {
+		t.Fatal("center too close to right edge accepted")
+	}
+}
+
+func TestScanGrid(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := randomMatrix(rng, 60, 80)
+	pts, err := Scan(g, Config{GridPoints: 7, MinEach: 2, MaxEach: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 7 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	if pts[0].Center != 2 || pts[len(pts)-1].Center != 58 {
+		t.Fatalf("grid endpoints %d..%d", pts[0].Center, pts[len(pts)-1].Center)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Center <= pts[i-1].Center {
+			t.Fatal("grid not increasing")
+		}
+	}
+}
+
+func TestScanErrors(t *testing.T) {
+	g := randomMatrix(rand.New(rand.NewSource(4)), 3, 20)
+	if _, err := Scan(g, Config{}); err == nil {
+		t.Fatal("too few SNPs accepted")
+	}
+	g = randomMatrix(rand.New(rand.NewSource(4)), 30, 20)
+	if _, err := Scan(g, Config{MinEach: 1}); err == nil {
+		t.Fatal("MinEach=1 accepted")
+	}
+	if _, err := Scan(g, Config{MinEach: 5, MaxEach: 3}); err == nil {
+		t.Fatal("MaxEach<MinEach accepted")
+	}
+}
+
+// TestSweepSignal builds the textbook sweep signature — perfect LD within
+// each flank, independence across — and checks ω peaks at the true center.
+func TestSweepSignal(t *testing.T) {
+	const samples = 200
+	rng := rand.New(rand.NewSource(5))
+	left := make([]byte, samples)
+	right := make([]byte, samples)
+	for s := range left {
+		left[s] = byte(rng.Intn(2))
+		right[s] = byte(rng.Intn(2))
+	}
+	cols := make([][]byte, 20)
+	for i := range cols {
+		if i < 10 {
+			cols[i] = left
+		} else {
+			cols[i] = right
+		}
+	}
+	g, err := bitmat.FromColumns(cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{GridPoints: 17, MinEach: 2, MaxEach: 10}
+	pts, err := Scan(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := pts[0]
+	for _, p := range pts {
+		if p.Omega > best.Omega {
+			best = p
+		}
+	}
+	if best.Center != 10 {
+		t.Fatalf("ω peak at %d (ω=%v), want 10; points %+v", best.Center, best.Omega, pts)
+	}
+	// The peak must dominate an off-center boundary decisively.
+	off, err := At(g, 5, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Omega < 2*off.Omega {
+		t.Fatalf("peak ω %v does not dominate off-center ω %v", best.Omega, off.Omega)
+	}
+}
+
+func TestPrefixSum(t *testing.T) {
+	m := []float64{
+		1, 2, 3,
+		4, 5, 6,
+		7, 8, 9,
+	}
+	ps := newPrefixSum(m, 3)
+	if got := ps.rect(0, 3, 0, 3); got != 45 {
+		t.Fatalf("full rect = %v", got)
+	}
+	if got := ps.rect(1, 3, 0, 2); got != 4+5+7+8 {
+		t.Fatalf("sub rect = %v", got)
+	}
+	if got := ps.diag(0, 3); got != 15 {
+		t.Fatalf("diag = %v", got)
+	}
+	if got := ps.within(0, 3); got != (45-15)/2 {
+		t.Fatalf("within = %v", got)
+	}
+	if got := ps.rect(2, 2, 0, 3); got != 0 {
+		t.Fatalf("empty rect = %v", got)
+	}
+}
+
+// Property: At never returns a larger ω than the brute-force maximum, and
+// matches it exactly.
+func TestQuickAt(t *testing.T) {
+	f := func(seed int64, n8, s8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(n8%15) + 8
+		samples := int(s8%60) + 10
+		g := randomMatrix(rng, n, samples)
+		cfg := Config{MinEach: 2, MaxEach: 5, GridPoints: 1}
+		center := n / 2
+		got, err := At(g, center, cfg)
+		if err != nil {
+			return false
+		}
+		return math.Abs(got.Omega-naiveBest(g, center, cfg)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScanParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := randomMatrix(rng, 80, 120)
+	serial, err := Scan(g, Config{GridPoints: 15, MinEach: 3, MaxEach: 12, Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Scan(g, Config{GridPoints: 15, MinEach: 3, MaxEach: 12, Threads: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(parallel) {
+		t.Fatalf("lengths %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("point %d: %+v vs %+v", i, serial[i], parallel[i])
+		}
+	}
+}
+
+func TestScanInvalidThreads(t *testing.T) {
+	g := randomMatrix(rand.New(rand.NewSource(7)), 30, 40)
+	if _, err := Scan(g, Config{Threads: -1}); err == nil {
+		t.Fatal("negative threads accepted")
+	}
+}

@@ -1,0 +1,128 @@
+// Package perfmodel implements the Section V analytical performance model
+// of the paper: the issue-rate argument showing that widening SIMD
+// registers does not speed up LD computation unless the hardware provides
+// a vectorized population count.
+//
+// The model counts the time to process one 64-bit word triple
+// (AND, POPCNT, ADD) per output cell:
+//
+//	scalar:      T      = max(T_and, T_popcnt, T_add)             = 1 cycle/word
+//	SIMD, no HW: T_SIMD = max(T_and/v, T_popcnt, T_add/v) + stall ≥ 1 cycle/word
+//	SIMD + HW:   T_HW   = max(T_and, T_popcnt, T_add)/v           = 1/v cycle/word
+//
+// where v is the number of 64-bit lanes per SIMD register. Without a
+// vector popcount, every lane must be extracted to a scalar register,
+// counted, and the counts reinserted; extract and insert contend for the
+// same shuffle hardware, so the popcount stream stalls and T_SIMD can
+// exceed the scalar time — the paper's "potential decrease in performance".
+package perfmodel
+
+import "fmt"
+
+// Model carries per-instruction issue costs in cycles. All costs are
+// throughput reciprocals (cycles between issues), not latencies: the LD
+// inner loop is long enough that throughput dominates.
+type Model struct {
+	// And, Add, Popcnt are the scalar issue costs (default 1 each, with
+	// the three issuable in parallel — the paper's 3-ops/cycle peak).
+	And, Add, Popcnt float64
+	// Extract and Insert are the per-lane SIMD↔scalar move costs. They
+	// share one shuffle port (the paper's "same hardware resources"), so
+	// their costs add on the critical resource.
+	Extract, Insert float64
+}
+
+// Default returns the paper's idealized machine: every instruction one
+// cycle, one of each issuable per cycle.
+func Default() Model {
+	return Model{And: 1, Add: 1, Popcnt: 1, Extract: 1, Insert: 1}
+}
+
+func (m Model) validate() error {
+	if m.And <= 0 || m.Add <= 0 || m.Popcnt <= 0 || m.Extract < 0 || m.Insert < 0 {
+		return fmt.Errorf("perfmodel: non-positive instruction cost in %+v", m)
+	}
+	return nil
+}
+
+// ScalarCyclesPerWord is the scalar-kernel cost per 64-bit word: the three
+// instructions issue in parallel, so the max governs.
+func (m Model) ScalarCyclesPerWord() float64 {
+	return max(m.And, max(m.Add, m.Popcnt))
+}
+
+// ScalarPeakOpsPerCycle is the theoretical peak of Section IV-B: with all
+// three instructions co-issued, 3 operations complete per cycle.
+func (m Model) ScalarPeakOpsPerCycle() float64 {
+	return 3 / m.ScalarCyclesPerWord()
+}
+
+// SIMDCyclesPerWord returns the per-word cost with v-lane SIMD registers
+// and no hardware vector popcount. The AND and ADD amortize over v lanes,
+// but each lane still needs one scalar POPCNT plus an extract and an
+// insert on the shared shuffle port; the busiest resource governs.
+func (m Model) SIMDCyclesPerWord(v int) (float64, error) {
+	if err := m.validate(); err != nil {
+		return 0, err
+	}
+	if v < 1 {
+		return 0, fmt.Errorf("perfmodel: invalid lane count %d", v)
+	}
+	vectorALU := (m.And + m.Add) / float64(v)
+	popcntPort := m.Popcnt
+	shufflePort := m.Extract + m.Insert // per word, both on one port
+	return max(vectorALU, max(popcntPort, shufflePort)), nil
+}
+
+// HWCyclesPerWord returns the per-word cost with a hardware vector
+// popcount of v lanes: all three streams vectorize, no lane moves needed.
+func (m Model) HWCyclesPerWord(v int) (float64, error) {
+	if err := m.validate(); err != nil {
+		return 0, err
+	}
+	if v < 1 {
+		return 0, fmt.Errorf("perfmodel: invalid lane count %d", v)
+	}
+	return m.ScalarCyclesPerWord() / float64(v), nil
+}
+
+// Row is one line of the Section V prediction table.
+type Row struct {
+	V             int     // 64-bit lanes (1=scalar, 2=SSE, 4=AVX, 8=AVX-512)
+	ScalarCycles  float64 // cycles per word, scalar kernel
+	SIMDCycles    float64 // cycles per word, SIMD without HW popcount
+	HWCycles      float64 // cycles per word, SIMD with HW popcount
+	SIMDSpeedup   float64 // scalar/SIMD (≤1 means no benefit)
+	HWSpeedup     float64 // scalar/HW (ideally v)
+	SIMDPeakShare float64 // fraction of the v-lane peak the SIMD kernel reaches
+}
+
+// Table evaluates the model at the given lane counts.
+func (m Model) Table(lanes []int) ([]Row, error) {
+	rows := make([]Row, 0, len(lanes))
+	for _, v := range lanes {
+		simd, err := m.SIMDCyclesPerWord(v)
+		if err != nil {
+			return nil, err
+		}
+		hw, err := m.HWCyclesPerWord(v)
+		if err != nil {
+			return nil, err
+		}
+		s := m.ScalarCyclesPerWord()
+		rows = append(rows, Row{
+			V:             v,
+			ScalarCycles:  s,
+			SIMDCycles:    simd,
+			HWCycles:      hw,
+			SIMDSpeedup:   s / simd,
+			HWSpeedup:     s / hw,
+			SIMDPeakShare: hw / simd,
+		})
+	}
+	return rows, nil
+}
+
+// StandardLanes are the register widths the paper discusses: scalar,
+// 128-bit SSE, 256-bit AVX, and 512-bit AVX-512.
+var StandardLanes = []int{1, 2, 4, 8}

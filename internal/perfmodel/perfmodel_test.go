@@ -1,0 +1,128 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestScalarPeak(t *testing.T) {
+	m := Default()
+	if got := m.ScalarCyclesPerWord(); got != 1 {
+		t.Fatalf("scalar cycles/word = %v", got)
+	}
+	if got := m.ScalarPeakOpsPerCycle(); got != 3 {
+		t.Fatalf("scalar peak = %v ops/cycle, want 3 (Section IV-B)", got)
+	}
+}
+
+func TestSIMDNoBenefit(t *testing.T) {
+	// The paper's core claim: for every v, SIMD without hardware popcount
+	// is no faster than scalar (and with shuffle contention, slower).
+	m := Default()
+	for _, v := range StandardLanes {
+		simd, err := m.SIMDCyclesPerWord(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if simd < m.ScalarCyclesPerWord() {
+			t.Fatalf("v=%d: SIMD %v cycles/word beats scalar %v", v, simd, m.ScalarCyclesPerWord())
+		}
+	}
+}
+
+func TestHWSpeedupIsV(t *testing.T) {
+	m := Default()
+	for _, v := range StandardLanes {
+		hw, err := m.HWCyclesPerWord(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(hw-1/float64(v)) > 1e-12 {
+			t.Fatalf("v=%d: HW cycles/word = %v, want %v", v, hw, 1/float64(v))
+		}
+	}
+}
+
+func TestTable(t *testing.T) {
+	rows, err := Default().Table(StandardLanes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for i, r := range rows {
+		if r.V != StandardLanes[i] {
+			t.Fatalf("row %d lane %d", i, r.V)
+		}
+		if r.SIMDSpeedup > 1+1e-12 {
+			t.Fatalf("v=%d: SIMD speedup %v > 1", r.V, r.SIMDSpeedup)
+		}
+		if math.Abs(r.HWSpeedup-float64(r.V)) > 1e-12 {
+			t.Fatalf("v=%d: HW speedup %v", r.V, r.HWSpeedup)
+		}
+		// The gap the paper warns about: SIMD achieves a shrinking share
+		// of the widening peak.
+		if math.Abs(r.SIMDPeakShare-r.HWCycles/r.SIMDCycles) > 1e-12 {
+			t.Fatalf("v=%d: inconsistent peak share", r.V)
+		}
+	}
+	// The peak-share gap must widen with v.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].SIMDPeakShare >= rows[i-1].SIMDPeakShare {
+			t.Fatalf("peak share not diverging: %v then %v", rows[i-1].SIMDPeakShare, rows[i].SIMDPeakShare)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := Model{And: 0, Add: 1, Popcnt: 1}
+	if _, err := bad.SIMDCyclesPerWord(2); err == nil {
+		t.Fatal("zero cost accepted")
+	}
+	m := Default()
+	if _, err := m.SIMDCyclesPerWord(0); err == nil {
+		t.Fatal("v=0 accepted")
+	}
+	if _, err := m.HWCyclesPerWord(-1); err == nil {
+		t.Fatal("v=-1 accepted")
+	}
+	if _, err := m.Table([]int{0}); err == nil {
+		t.Fatal("table with v=0 accepted")
+	}
+}
+
+// Property: with free lane moves (Extract=Insert=0) and large v, SIMD time
+// converges to exactly T_popcnt — the paper's idealized T_SIMD = mn·T_POPCNT.
+func TestIdealizedTSIMDIsPopcnt(t *testing.T) {
+	m := Default()
+	m.Extract, m.Insert = 0, 0
+	for _, v := range []int{2, 4, 8, 64} {
+		simd, err := m.SIMDCyclesPerWord(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v >= 2 && simd != m.Popcnt {
+			t.Fatalf("v=%d: idealized SIMD %v, want T_popcnt %v", v, simd, m.Popcnt)
+		}
+	}
+}
+
+func TestQuickMonotoneInV(t *testing.T) {
+	f := func(v8 uint8) bool {
+		v := int(v8%16) + 1
+		m := Default()
+		s1, err1 := m.SIMDCyclesPerWord(v)
+		s2, err2 := m.SIMDCyclesPerWord(v + 1)
+		h1, err3 := m.HWCyclesPerWord(v)
+		h2, err4 := m.HWCyclesPerWord(v + 1)
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+			return false
+		}
+		return s2 <= s1 && h2 < h1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,172 @@
+package popsim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ldgemm/internal/bitmat"
+)
+
+// Population structure is the classic LD confounder: when a sample mixes
+// two diverged demes, allele-frequency differences between the demes
+// induce LD between *physically unlinked* loci (the admixture LD that
+// GWAS must correct for). StructuredConfig generates that scenario so the
+// long-range analyses have a realistic negative control.
+type StructuredConfig struct {
+	Seed int64
+	// Demes is the number of subpopulations (default 2).
+	Demes int
+	// Fst controls how far deme allele frequencies diverge from the
+	// shared ancestral frequency (Balding–Nichols beta model; default
+	// 0.1).
+	Fst float64
+	// Proportions gives each deme's share of the sample (default equal).
+	Proportions []float64
+}
+
+func (c StructuredConfig) normalize() (StructuredConfig, error) {
+	if c.Demes == 0 {
+		c.Demes = 2
+	}
+	if c.Fst == 0 {
+		c.Fst = 0.1
+	}
+	if c.Demes < 2 {
+		return c, fmt.Errorf("popsim: need at least 2 demes, have %d", c.Demes)
+	}
+	if c.Fst <= 0 || c.Fst >= 1 {
+		return c, fmt.Errorf("popsim: invalid Fst %v", c.Fst)
+	}
+	if c.Proportions == nil {
+		c.Proportions = make([]float64, c.Demes)
+		for i := range c.Proportions {
+			c.Proportions[i] = 1 / float64(c.Demes)
+		}
+	}
+	if len(c.Proportions) != c.Demes {
+		return c, fmt.Errorf("popsim: %d proportions for %d demes", len(c.Proportions), c.Demes)
+	}
+	sum := 0.0
+	for _, p := range c.Proportions {
+		if p <= 0 {
+			return c, fmt.Errorf("popsim: non-positive deme proportion %v", p)
+		}
+		sum += p
+	}
+	if sum < 0.999 || sum > 1.001 {
+		return c, fmt.Errorf("popsim: proportions sum to %v", sum)
+	}
+	return c, nil
+}
+
+// StructuredResult carries the generated matrix plus the deme assignment.
+type StructuredResult struct {
+	Matrix *bitmat.Matrix
+	// Deme[s] is the subpopulation of sample s.
+	Deme []int
+	// DemeFreqs[d][i] is deme d's allele frequency at SNP i.
+	DemeFreqs [][]float64
+}
+
+// Structured generates unlinked SNPs under the Balding–Nichols model:
+// each SNP has an ancestral frequency p drawn from the neutral spectrum;
+// each deme draws its own frequency from Beta(p(1−F)/F, (1−p)(1−F)/F);
+// samples draw alleles independently given their deme. SNPs are unlinked
+// by construction, so any LD in the pooled sample is pure population
+// structure.
+func Structured(snps, samples int, cfg StructuredConfig) (*StructuredResult, error) {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
+	if snps < 0 || samples < 1 {
+		return nil, fmt.Errorf("popsim: invalid dimensions %dx%d", snps, samples)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	res := &StructuredResult{
+		Matrix:    bitmat.New(snps, samples),
+		Deme:      make([]int, samples),
+		DemeFreqs: make([][]float64, cfg.Demes),
+	}
+	for d := range res.DemeFreqs {
+		res.DemeFreqs[d] = make([]float64, snps)
+	}
+	// Assign samples to demes by cumulative proportion.
+	cum := make([]float64, cfg.Demes)
+	acc := 0.0
+	for d, p := range cfg.Proportions {
+		acc += p
+		cum[d] = acc
+	}
+	for s := 0; s < samples; s++ {
+		u := (float64(s) + 0.5) / float64(samples) // stratified assignment
+		d := 0
+		for d < cfg.Demes-1 && u > cum[d] {
+			d++
+		}
+		res.Deme[s] = d
+	}
+
+	f := cfg.Fst
+	for i := 0; i < snps; i++ {
+		// Ancestral frequency: uniform in [0.05, 0.95] — common variants,
+		// where structure-LD is strongest.
+		p := 0.05 + 0.9*rng.Float64()
+		for d := 0; d < cfg.Demes; d++ {
+			a := p * (1 - f) / f
+			b := (1 - p) * (1 - f) / f
+			res.DemeFreqs[d][i] = betaSample(rng, a, b)
+		}
+		for s := 0; s < samples; s++ {
+			if rng.Float64() < res.DemeFreqs[res.Deme[s]][i] {
+				res.Matrix.SetBit(i, s)
+			}
+		}
+	}
+	ensurePolymorphic(rng, res.Matrix)
+	return res, nil
+}
+
+// betaSample draws from Beta(a, b) via two gamma draws.
+func betaSample(rng *rand.Rand, a, b float64) float64 {
+	x := gammaSample(rng, a)
+	y := gammaSample(rng, b)
+	if x+y == 0 {
+		return 0.5
+	}
+	return x / (x + y)
+}
+
+// gammaSample draws from Gamma(shape, 1) with the Marsaglia–Tsang method
+// (with the shape<1 boost).
+func gammaSample(rng *rand.Rand, shape float64) float64 {
+	if shape <= 0 {
+		return 0
+	}
+	if shape < 1 {
+		// Boost: Gamma(a) = Gamma(a+1) · U^(1/a).
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		return gammaSample(rng, shape+1) * pow(u, 1/shape)
+	}
+	d := shape - 1.0/3
+	c := 1 / (3 * sqrt(d))
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u > 0 && log(u) < 0.5*x*x+d*(1-v+log(v)) {
+			return d * v
+		}
+	}
+}

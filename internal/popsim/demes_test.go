@@ -1,0 +1,144 @@
+package popsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ldgemm/internal/bitmat"
+	"ldgemm/internal/core"
+	"ldgemm/internal/stats"
+)
+
+func TestStructuredShapeAndAssignment(t *testing.T) {
+	res, err := Structured(100, 200, StructuredConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matrix.SNPs != 100 || res.Matrix.Samples != 200 {
+		t.Fatalf("dims %dx%d", res.Matrix.SNPs, res.Matrix.Samples)
+	}
+	counts := map[int]int{}
+	for _, d := range res.Deme {
+		counts[d]++
+	}
+	if len(counts) != 2 || counts[0] != 100 || counts[1] != 100 {
+		t.Fatalf("deme split %v", counts)
+	}
+	if err := res.Matrix.ValidatePadding(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStructuredValidation(t *testing.T) {
+	if _, err := Structured(10, 20, StructuredConfig{Demes: 1}); err == nil {
+		t.Fatal("single deme accepted")
+	}
+	if _, err := Structured(10, 20, StructuredConfig{Fst: 2}); err == nil {
+		t.Fatal("Fst>1 accepted")
+	}
+	if _, err := Structured(10, 20, StructuredConfig{Proportions: []float64{0.5}}); err == nil {
+		t.Fatal("proportion count mismatch accepted")
+	}
+	if _, err := Structured(10, 20, StructuredConfig{Proportions: []float64{0.9, 0.5}}); err == nil {
+		t.Fatal("proportions summing past 1 accepted")
+	}
+}
+
+// TestStructureInducesLD is the textbook effect: unlinked loci show LD in
+// the pooled sample but not within a single deme.
+func TestStructureInducesLD(t *testing.T) {
+	res, err := Structured(80, 1000, StructuredConfig{Seed: 3, Fst: 0.35})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pooled, _, err := core.SumR2(res.Matrix, core.StreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Within-deme LD: restrict to deme 0 samples.
+	var deme0 []int
+	for s, d := range res.Deme {
+		if d == 0 {
+			deme0 = append(deme0, s)
+		}
+	}
+	sub := res.Matrix
+	within := 0.0
+	{
+		cols := make([][]byte, sub.SNPs)
+		for i := range cols {
+			col := make([]byte, len(deme0))
+			for si, s := range deme0 {
+				if sub.Bit(i, s) {
+					col[si] = 1
+				}
+			}
+			cols[i] = col
+		}
+		m, err := bitmat.FromColumns(cols)
+		if err != nil {
+			t.Fatal(err)
+		}
+		within, _, err = core.SumR2(m, core.StreamOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	n := float64(80 * 81 / 2)
+	meanPooled := (pooled - 80) / (n - 80) // subtract diagonal
+	meanWithin := (within - 80) / (n - 80)
+	if meanPooled < 2*meanWithin {
+		t.Fatalf("structure LD absent: pooled %v vs within-deme %v", meanPooled, meanWithin)
+	}
+}
+
+func TestDemeFrequenciesDiverge(t *testing.T) {
+	res, err := Structured(200, 100, StructuredConfig{Seed: 4, Fst: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffs := make([]float64, 200)
+	for i := range diffs {
+		diffs[i] = math.Abs(res.DemeFreqs[0][i] - res.DemeFreqs[1][i])
+	}
+	if stats.Mean(diffs) < 0.1 {
+		t.Fatalf("demes barely diverged: mean |Δp| = %v at Fst 0.3", stats.Mean(diffs))
+	}
+}
+
+func TestGammaSampleMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, shape := range []float64{0.5, 1, 2.5, 8} {
+		const n = 20000
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += gammaSample(rng, shape)
+		}
+		mean := sum / n
+		if math.Abs(mean-shape)/shape > 0.05 {
+			t.Fatalf("Gamma(%v) mean %v", shape, mean)
+		}
+	}
+	if gammaSample(rng, 0) != 0 {
+		t.Fatal("shape 0 should give 0")
+	}
+}
+
+func TestBetaSampleRangeAndMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	const a, b = 2.0, 5.0
+	const n = 20000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := betaSample(rng, a, b)
+		if v < 0 || v > 1 {
+			t.Fatalf("beta sample %v outside [0,1]", v)
+		}
+		sum += v
+	}
+	want := a / (a + b)
+	if math.Abs(sum/n-want) > 0.02 {
+		t.Fatalf("Beta(%v,%v) mean %v, want %v", a, b, sum/n, want)
+	}
+}

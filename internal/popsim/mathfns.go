@@ -1,0 +1,9 @@
+package popsim
+
+import "math"
+
+// Thin wrappers keep the sampling code in demes.go readable.
+
+func sqrt(x float64) float64   { return math.Sqrt(x) }
+func log(x float64) float64    { return math.Log(x) }
+func pow(x, y float64) float64 { return math.Pow(x, y) }

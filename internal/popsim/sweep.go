@@ -1,0 +1,95 @@
+package popsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ldgemm/internal/bitmat"
+)
+
+// SweepConfig parameterizes the selective-sweep overlay.
+type SweepConfig struct {
+	Seed int64
+	// CenterSNP is the index of the swept site.
+	CenterSNP int
+	// CarrierFraction is the final frequency of the beneficial haplotype
+	// (default 0.8).
+	CarrierFraction float64
+	// Radius is the hitchhiking half-width in SNPs: at the center every
+	// carrier copies the beneficial haplotype; the copying probability
+	// decays exponentially to ~5% at Radius (recombination escape).
+	// Default 100.
+	Radius int
+}
+
+func (c SweepConfig) normalize(snps int) (SweepConfig, error) {
+	if c.CarrierFraction == 0 {
+		c.CarrierFraction = 0.8
+	}
+	if c.Radius == 0 {
+		c.Radius = 100
+	}
+	if c.CenterSNP < 0 || c.CenterSNP >= snps {
+		return c, fmt.Errorf("popsim: sweep center %d outside 0..%d", c.CenterSNP, snps-1)
+	}
+	if c.CarrierFraction <= 0 || c.CarrierFraction > 1 {
+		return c, fmt.Errorf("popsim: invalid carrier fraction %v", c.CarrierFraction)
+	}
+	if c.Radius < 1 {
+		return c, fmt.Errorf("popsim: invalid radius %d", c.Radius)
+	}
+	return c, nil
+}
+
+// ApplySweep overwrites a neutral matrix in place with the hitchhiking
+// signature of a recent selective sweep: a random "beneficial" haplotype
+// is chosen, a CarrierFraction of samples become carriers, and each
+// carrier copies the beneficial haplotype at SNP i with probability
+// exp(−3·|i−center|/Radius) — total copying at the swept site, decaying
+// with distance as recombination breaks up the swept haplotype. The result
+// is the classic pattern the ω statistic detects: strong LD among SNPs on
+// the same side of the sweep, little LD across it. Monomorphic sites
+// created by the sweep are re-polymorphized with a single flip (as a SNP
+// caller retaining only segregating sites would effectively do).
+func ApplySweep(m *bitmat.Matrix, cfg SweepConfig) error {
+	cfg, err := cfg.normalize(m.SNPs)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	donor := rng.Intn(m.Samples)
+
+	carriers := rng.Perm(m.Samples)[:int(math.Round(cfg.CarrierFraction*float64(m.Samples)))]
+	lo := max(0, cfg.CenterSNP-cfg.Radius)
+	hi := min(m.SNPs-1, cfg.CenterSNP+cfg.Radius)
+	for _, s := range carriers {
+		if s == donor {
+			continue
+		}
+		// Recombination escape: a carrier keeps the donor haplotype on a
+		// contiguous tract around the center; the tract ends are geometric
+		// in distance, matching the exponential escape probability.
+		left := cfg.CenterSNP - escapeLength(rng, cfg.Radius)
+		right := cfg.CenterSNP + escapeLength(rng, cfg.Radius)
+		for i := max(lo, left); i <= min(hi, right); i++ {
+			if m.Bit(i, donor) {
+				m.SetBit(i, s)
+			} else {
+				m.ClearBit(i, s)
+			}
+		}
+	}
+	ensurePolymorphic(rng, m)
+	return nil
+}
+
+// escapeLength draws the one-sided tract length: exponential with mean
+// Radius/3, so copying probability at distance d is exp(−3d/Radius).
+func escapeLength(rng *rand.Rand, radius int) int {
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	return int(-math.Log(u) * float64(radius) / 3)
+}

@@ -1,0 +1,185 @@
+package popsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ldgemm/internal/bitmat"
+)
+
+// WFConfig parameterizes the forward Wright–Fisher simulator.
+type WFConfig struct {
+	Seed int64
+	// PopSize is the number of haploid individuals (default 200).
+	PopSize int
+	// Sites is the number of mutable positions along the chromosome
+	// (default 1000).
+	Sites int
+	// Generations to evolve (default 4·PopSize, on the order of the
+	// coalescent time scale).
+	Generations int
+	// MutationRate is the expected number of new mutations per offspring
+	// per generation (default 0.5). Mutations flip a uniform site
+	// (finite-sites, recurrent mutation allowed).
+	MutationRate float64
+	// RecombinationRate is the expected number of crossovers per
+	// offspring per generation (default 0.5).
+	RecombinationRate float64
+}
+
+func (c WFConfig) normalize() (WFConfig, error) {
+	if c.PopSize == 0 {
+		c.PopSize = 200
+	}
+	if c.Sites == 0 {
+		c.Sites = 1000
+	}
+	if c.Generations == 0 {
+		c.Generations = 4 * c.PopSize
+	}
+	if c.MutationRate == 0 {
+		c.MutationRate = 0.5
+	}
+	if c.RecombinationRate == 0 {
+		c.RecombinationRate = 0.5
+	}
+	if c.PopSize < 2 || c.Sites < 1 || c.Generations < 1 {
+		return c, fmt.Errorf("popsim: invalid WF config %+v", c)
+	}
+	if c.MutationRate < 0 || c.RecombinationRate < 0 {
+		return c, fmt.Errorf("popsim: negative WF rates %+v", c)
+	}
+	return c, nil
+}
+
+// WFResult is the output of a Wright–Fisher run.
+type WFResult struct {
+	// Matrix holds the segregating (polymorphic) sites of the sampled
+	// haplotypes, one SNP per column.
+	Matrix *bitmat.Matrix
+	// Positions are the original site indices of the retained SNPs.
+	Positions []int
+	// Segregating is the number of polymorphic sites observed.
+	Segregating int
+}
+
+// WrightFisher runs a forward haploid Wright–Fisher simulation with
+// mutation and recombination, samples `samples` haplotypes from the final
+// generation, and returns the segregating sites. Recombination between
+// two uniformly chosen parents creates the LD block structure; mutation
+// maintains diversity.
+func WrightFisher(samples int, cfg WFConfig) (*WFResult, error) {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
+	if samples < 1 || samples > cfg.PopSize {
+		return nil, fmt.Errorf("popsim: sample size %d outside 1..PopSize=%d", samples, cfg.PopSize)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	cur := make([][]byte, cfg.PopSize)
+	next := make([][]byte, cfg.PopSize)
+	for i := range cur {
+		cur[i] = make([]byte, cfg.Sites)
+		next[i] = make([]byte, cfg.Sites)
+	}
+
+	for g := 0; g < cfg.Generations; g++ {
+		for child := range next {
+			p1 := cur[rng.Intn(cfg.PopSize)]
+			offspring := next[child]
+			ncross := poisson(rng, cfg.RecombinationRate)
+			if ncross == 0 {
+				copy(offspring, p1)
+			} else {
+				p2 := cur[rng.Intn(cfg.PopSize)]
+				crossover(rng, offspring, p1, p2, ncross)
+			}
+			for m := poisson(rng, cfg.MutationRate); m > 0; m-- {
+				site := rng.Intn(cfg.Sites)
+				offspring[site] ^= 1
+			}
+		}
+		cur, next = next, cur
+	}
+
+	// Sample without replacement from the final generation.
+	idx := rng.Perm(cfg.PopSize)[:samples]
+	rows := make([][]byte, samples)
+	for s, i := range idx {
+		rows[s] = cur[i]
+	}
+
+	// SNP calling: keep polymorphic columns only.
+	var positions []int
+	for site := 0; site < cfg.Sites; site++ {
+		ones := 0
+		for s := range rows {
+			ones += int(rows[s][site])
+		}
+		if ones > 0 && ones < samples {
+			positions = append(positions, site)
+		}
+	}
+	cols := make([][]byte, len(positions))
+	for c, site := range positions {
+		col := make([]byte, samples)
+		for s := range rows {
+			col[s] = rows[s][site]
+		}
+		cols[c] = col
+	}
+	m, err := bitmat.FromColumns(cols)
+	if err != nil {
+		return nil, err
+	}
+	if m.SNPs == 0 {
+		m = bitmat.New(0, samples)
+	}
+	return &WFResult{Matrix: m, Positions: positions, Segregating: len(positions)}, nil
+}
+
+// crossover fills child with an alternating mosaic of p1 and p2 split at
+// ncross uniform points.
+func crossover(rng *rand.Rand, child, p1, p2 []byte, ncross int) {
+	sites := len(child)
+	cuts := make([]int, 0, ncross)
+	for i := 0; i < ncross; i++ {
+		cuts = append(cuts, rng.Intn(sites))
+	}
+	// Insertion sort: ncross is tiny.
+	for i := 1; i < len(cuts); i++ {
+		for j := i; j > 0 && cuts[j] < cuts[j-1]; j-- {
+			cuts[j], cuts[j-1] = cuts[j-1], cuts[j]
+		}
+	}
+	src, other := p1, p2
+	prev := 0
+	for _, cut := range cuts {
+		copy(child[prev:cut], src[prev:cut])
+		src, other = other, src
+		prev = cut
+	}
+	copy(child[prev:], src[prev:])
+	_ = other
+}
+
+// poisson draws from Poisson(lambda) with Knuth's product method
+// (lambda is small everywhere this package uses it).
+func poisson(rng *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}

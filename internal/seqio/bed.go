@@ -1,0 +1,73 @@
+package seqio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"ldgemm/internal/bitmat"
+)
+
+// bedMagic is the PLINK .bed magic plus the variant-major mode byte.
+var bedMagic = [3]byte{0x6c, 0x1b, 0x01}
+
+// WriteBED writes a genotype matrix in PLINK .bed variant-major format:
+// the 3-byte magic, then ceil(samples/4) bytes per variant, sample genotype
+// fields packed 4 per byte starting at the low bits. Field codes match
+// bitmat's constants (00 hom-ref, 01 missing, 10 het, 11 hom-alt); padding
+// fields in the final byte are written as zero, as PLINK does.
+func WriteBED(w io.Writer, g *bitmat.GenotypeMatrix) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(bedMagic[:]); err != nil {
+		return err
+	}
+	bytesPerVariant := (g.Samples + 3) / 4
+	row := make([]byte, bytesPerVariant)
+	for i := 0; i < g.SNPs; i++ {
+		for b := range row {
+			row[b] = 0
+		}
+		for s := 0; s < g.Samples; s++ {
+			row[s/4] |= g.Get(i, s) << (2 * uint(s%4))
+		}
+		if _, err := bw.Write(row); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBED reads a variant-major PLINK .bed stream. The variant and sample
+// counts must be supplied (PLINK keeps them in the companion .bim/.fam
+// files).
+func ReadBED(r io.Reader, snps, samples int) (*bitmat.GenotypeMatrix, error) {
+	if snps < 0 || samples < 1 {
+		return nil, fmt.Errorf("seqio: invalid bed dimensions %d×%d", snps, samples)
+	}
+	br := bufio.NewReader(r)
+	var magic [3]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("seqio: reading bed magic: %w", err)
+	}
+	if magic[0] != bedMagic[0] || magic[1] != bedMagic[1] {
+		return nil, fmt.Errorf("seqio: bad bed magic %#x %#x", magic[0], magic[1])
+	}
+	if magic[2] != 0x01 {
+		return nil, fmt.Errorf("seqio: only variant-major bed supported (mode %#x)", magic[2])
+	}
+	g := bitmat.NewGenotypeMatrix(snps, samples)
+	bytesPerVariant := (samples + 3) / 4
+	row := make([]byte, bytesPerVariant)
+	for i := 0; i < snps; i++ {
+		if _, err := io.ReadFull(br, row); err != nil {
+			return nil, fmt.Errorf("seqio: bed truncated at variant %d: %w", i, err)
+		}
+		for s := 0; s < samples; s++ {
+			g.Set(i, s, row[s/4]>>(2*uint(s%4))&0b11)
+		}
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("seqio: trailing bytes after %d bed variants", snps)
+	}
+	return g, nil
+}

@@ -1,0 +1,164 @@
+package seqio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// BimRecord is one variant line of a PLINK .bim file (the per-variant
+// companion to .bed).
+type BimRecord struct {
+	Chrom   string
+	ID      string
+	CM      float64 // genetic distance in centimorgans
+	Pos     int     // base-pair position
+	Allele1 byte    // corresponds to bit value 0b11 (hom-alt) side
+	Allele2 byte
+}
+
+// FamRecord is one sample line of a PLINK .fam file.
+type FamRecord struct {
+	FamilyID  string
+	SampleID  string
+	FatherID  string
+	MotherID  string
+	Sex       int // 1 male, 2 female, 0 unknown
+	Phenotype string
+}
+
+// WriteBim writes variant records, tab-delimited.
+func WriteBim(w io.Writer, recs []BimRecord) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range recs {
+		id := r.ID
+		if id == "" {
+			id = "."
+		}
+		fmt.Fprintf(bw, "%s\t%s\t%g\t%d\t%c\t%c\n", r.Chrom, id, r.CM, r.Pos, r.Allele1, r.Allele2)
+	}
+	return bw.Flush()
+}
+
+// ReadBim parses a .bim file (whitespace-delimited, 6 columns).
+func ReadBim(r io.Reader) ([]BimRecord, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var out []BimRecord
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		f := strings.Fields(text)
+		if len(f) != 6 {
+			return nil, fmt.Errorf("seqio: bim line %d has %d fields, want 6", line, len(f))
+		}
+		cm, err := strconv.ParseFloat(f[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("seqio: bim line %d: bad cM %q", line, f[2])
+		}
+		pos, err := strconv.Atoi(f[3])
+		if err != nil {
+			return nil, fmt.Errorf("seqio: bim line %d: bad position %q", line, f[3])
+		}
+		if len(f[4]) != 1 || len(f[5]) != 1 {
+			return nil, fmt.Errorf("seqio: bim line %d: only single-base alleles supported", line)
+		}
+		out = append(out, BimRecord{
+			Chrom: f[0], ID: f[1], CM: cm, Pos: pos, Allele1: f[4][0], Allele2: f[5][0],
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("seqio: reading bim: %w", err)
+	}
+	return out, nil
+}
+
+// WriteFam writes sample records, tab-delimited.
+func WriteFam(w io.Writer, recs []FamRecord) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range recs {
+		pheno := r.Phenotype
+		if pheno == "" {
+			pheno = "-9"
+		}
+		fam := r.FamilyID
+		if fam == "" {
+			fam = r.SampleID
+		}
+		orDot := func(s string) string {
+			if s == "" {
+				return "0"
+			}
+			return s
+		}
+		fmt.Fprintf(bw, "%s\t%s\t%s\t%s\t%d\t%s\n",
+			fam, r.SampleID, orDot(r.FatherID), orDot(r.MotherID), r.Sex, pheno)
+	}
+	return bw.Flush()
+}
+
+// ReadFam parses a .fam file (whitespace-delimited, 6 columns).
+func ReadFam(r io.Reader) ([]FamRecord, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var out []FamRecord
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		f := strings.Fields(text)
+		if len(f) != 6 {
+			return nil, fmt.Errorf("seqio: fam line %d has %d fields, want 6", line, len(f))
+		}
+		sex, err := strconv.Atoi(f[4])
+		if err != nil || sex < 0 || sex > 2 {
+			return nil, fmt.Errorf("seqio: fam line %d: bad sex code %q", line, f[4])
+		}
+		out = append(out, FamRecord{
+			FamilyID: f[0], SampleID: f[1], FatherID: zeroEmpty(f[2]), MotherID: zeroEmpty(f[3]),
+			Sex: sex, Phenotype: f[5],
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("seqio: reading fam: %w", err)
+	}
+	return out, nil
+}
+
+func zeroEmpty(s string) string {
+	if s == "0" {
+		return ""
+	}
+	return s
+}
+
+// DefaultBim synthesizes variant records for a matrix with n SNPs: ids
+// snp_<i>, positions spaced basePairSpacing apart.
+func DefaultBim(n int, chrom string, basePairSpacing int) []BimRecord {
+	out := make([]BimRecord, n)
+	for i := range out {
+		out[i] = BimRecord{
+			Chrom: chrom, ID: fmt.Sprintf("snp_%d", i),
+			Pos: 1 + i*basePairSpacing, Allele1: 'G', Allele2: 'A',
+		}
+	}
+	return out
+}
+
+// DefaultFam synthesizes sample records for n diploid samples.
+func DefaultFam(n int) []FamRecord {
+	out := make([]FamRecord, n)
+	for i := range out {
+		out[i] = FamRecord{SampleID: fmt.Sprintf("sample_%d", i)}
+	}
+	return out
+}

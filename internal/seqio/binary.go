@@ -1,0 +1,91 @@
+package seqio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"ldgemm/internal/bitmat"
+)
+
+// binaryMagic identifies the compact bit-matrix container.
+var binaryMagic = [4]byte{'L', 'D', 'G', 'M'}
+
+// binaryVersion is the current container version.
+const binaryVersion uint32 = 1
+
+// MaxBinaryWords caps the matrix size ReadBinary will allocate (default
+// 2³⁰ words = 8 GiB of packed genotypes). Raise it for larger datasets on
+// machines that can hold them.
+var MaxBinaryWords uint64 = 1 << 30
+
+// WriteBinary writes the matrix in the compact container: a 4-byte magic,
+// a version, the dimensions, and the raw little-endian packed words. This
+// is the storage scheme of Section IV-A made durable: loading it back
+// requires no repacking before the GEMM kernels can run on it.
+func WriteBinary(w io.Writer, m *bitmat.Matrix) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(binaryMagic[:]); err != nil {
+		return err
+	}
+	hdr := []uint64{uint64(binaryVersion), uint64(m.SNPs), uint64(m.Samples)}
+	for _, v := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	buf := make([]byte, 8)
+	for _, word := range m.Data {
+		binary.LittleEndian.PutUint64(buf, word)
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary reads a matrix written by WriteBinary, validating the magic,
+// version, dimensions, and the zero-padding invariant.
+func ReadBinary(r io.Reader) (*bitmat.Matrix, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("seqio: reading binary magic: %w", err)
+	}
+	if magic != binaryMagic {
+		return nil, fmt.Errorf("seqio: bad magic %q", magic[:])
+	}
+	var version, snps, samples uint64
+	for _, p := range []*uint64{&version, &snps, &samples} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, fmt.Errorf("seqio: reading binary header: %w", err)
+		}
+	}
+	if version != uint64(binaryVersion) {
+		return nil, fmt.Errorf("seqio: unsupported binary version %d", version)
+	}
+	const maxDim = 1 << 32
+	if snps > maxDim || samples > maxDim {
+		return nil, fmt.Errorf("seqio: implausible dimensions %d×%d", snps, samples)
+	}
+	// Bound the allocation implied by the header before trusting it: a
+	// corrupt or malicious header must not drive an out-of-memory
+	// allocation before the (truncated) payload is even read.
+	words := snps * uint64(bitmat.WordsFor(int(samples)))
+	if words > MaxBinaryWords {
+		return nil, fmt.Errorf("seqio: matrix of %d words exceeds MaxBinaryWords (%d)", words, MaxBinaryWords)
+	}
+	m := bitmat.New(int(snps), int(samples))
+	buf := make([]byte, 8)
+	for i := range m.Data {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("seqio: binary truncated at word %d: %w", i, err)
+		}
+		m.Data[i] = binary.LittleEndian.Uint64(buf)
+	}
+	if err := m.ValidatePadding(); err != nil {
+		return nil, fmt.Errorf("seqio: %w", err)
+	}
+	return m, nil
+}

@@ -1,0 +1,78 @@
+package seqio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"ldgemm/internal/msa"
+)
+
+// fastaLineWidth is the sequence wrap width used by WriteFASTA.
+const fastaLineWidth = 70
+
+// WriteFASTA writes an alignment in FASTA format, one record per sequence,
+// wrapped at 70 columns. Records are named from aln.Names, falling back to
+// seq_<index>.
+func WriteFASTA(w io.Writer, aln *msa.Alignment) error {
+	if err := aln.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	for s, seq := range aln.Seqs {
+		name := fmt.Sprintf("seq_%d", s)
+		if aln.Names != nil && aln.Names[s] != "" {
+			name = aln.Names[s]
+		}
+		fmt.Fprintf(bw, ">%s\n", name)
+		for off := 0; off < len(seq); off += fastaLineWidth {
+			end := min(off+fastaLineWidth, len(seq))
+			bw.Write(seq[off:end])
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadFASTA parses FASTA records into an alignment. Sequences may span
+// multiple lines; leading/trailing whitespace is ignored. The records must
+// form a rectangular alignment.
+func ReadFASTA(r io.Reader) (*msa.Alignment, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	aln := &msa.Alignment{}
+	var cur []byte
+	flush := func() {
+		if cur != nil {
+			aln.Seqs = append(aln.Seqs, cur)
+			cur = nil
+		}
+	}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case strings.HasPrefix(line, ">"):
+			flush()
+			aln.Names = append(aln.Names, strings.TrimSpace(line[1:]))
+			cur = []byte{}
+		case cur == nil:
+			return nil, fmt.Errorf("seqio: FASTA sequence data before first header: %q", line)
+		default:
+			cur = append(cur, line...)
+		}
+	}
+	flush()
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("seqio: reading FASTA: %w", err)
+	}
+	if len(aln.Seqs) == 0 {
+		return nil, fmt.Errorf("seqio: empty FASTA input")
+	}
+	if err := aln.Validate(); err != nil {
+		return nil, err
+	}
+	return aln, nil
+}

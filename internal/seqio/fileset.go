@@ -1,0 +1,103 @@
+package seqio
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"ldgemm/internal/bitmat"
+)
+
+// PlinkFileset is a loaded PLINK binary fileset: the genotype matrix with
+// its variant and sample metadata.
+type PlinkFileset struct {
+	Genotypes *bitmat.GenotypeMatrix
+	Variants  []BimRecord
+	Samples   []FamRecord
+}
+
+// ReadPlinkFileset loads the .bed/.bim/.fam triple for the given path
+// (any of the three extensions, or the bare prefix). Dimensions come from
+// the companion files, as PLINK defines them.
+func ReadPlinkFileset(path string) (*PlinkFileset, error) {
+	prefix := path
+	for _, ext := range []string{".bed", ".bim", ".fam"} {
+		prefix = strings.TrimSuffix(prefix, ext)
+	}
+	bim, err := readBimFile(prefix + ".bim")
+	if err != nil {
+		return nil, err
+	}
+	fam, err := readFamFile(prefix + ".fam")
+	if err != nil {
+		return nil, err
+	}
+	bedPath := prefix + ".bed"
+	r, closer, err := OpenMaybeGzip(bedPath)
+	if err != nil {
+		return nil, err
+	}
+	defer closer.Close()
+	g, err := ReadBED(r, len(bim), len(fam))
+	if err != nil {
+		return nil, fmt.Errorf("seqio: %s: %w", bedPath, err)
+	}
+	return &PlinkFileset{Genotypes: g, Variants: bim, Samples: fam}, nil
+}
+
+// WritePlinkFileset writes the .bed/.bim/.fam triple under the prefix.
+// Variant/sample metadata defaults are synthesized when nil.
+func WritePlinkFileset(prefix string, g *bitmat.GenotypeMatrix, bim []BimRecord, fam []FamRecord) error {
+	if bim == nil {
+		bim = DefaultBim(g.SNPs, "1", 100)
+	}
+	if fam == nil {
+		fam = DefaultFam(g.Samples)
+	}
+	if len(bim) != g.SNPs {
+		return fmt.Errorf("seqio: %d bim records for %d variants", len(bim), g.SNPs)
+	}
+	if len(fam) != g.Samples {
+		return fmt.Errorf("seqio: %d fam records for %d samples", len(fam), g.Samples)
+	}
+	bedFile, err := os.Create(prefix + ".bed")
+	if err != nil {
+		return err
+	}
+	defer bedFile.Close()
+	if err := WriteBED(bedFile, g); err != nil {
+		return err
+	}
+	bimFile, err := os.Create(prefix + ".bim")
+	if err != nil {
+		return err
+	}
+	defer bimFile.Close()
+	if err := WriteBim(bimFile, bim); err != nil {
+		return err
+	}
+	famFile, err := os.Create(prefix + ".fam")
+	if err != nil {
+		return err
+	}
+	defer famFile.Close()
+	return WriteFam(famFile, fam)
+}
+
+func readBimFile(path string) ([]BimRecord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadBim(f)
+}
+
+func readFamFile(path string) ([]FamRecord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadFam(f)
+}

@@ -1,0 +1,85 @@
+package seqio
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ldgemm/internal/bitmat"
+	"ldgemm/internal/popsim"
+)
+
+func TestPlinkFilesetRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	hap, err := popsim.Mosaic(17, 40, popsim.MosaicConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := bitmat.FromHaplotypes(hap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Set(2, 3, bitmat.GenoMissing)
+	prefix := filepath.Join(dir, "cohort")
+	if err := WritePlinkFileset(prefix, g, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Load by any of the three paths.
+	for _, p := range []string{prefix, prefix + ".bed", prefix + ".bim", prefix + ".fam"} {
+		fs, err := ReadPlinkFileset(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if fs.Genotypes.SNPs != 17 || fs.Genotypes.Samples != 20 {
+			t.Fatalf("dims %dx%d", fs.Genotypes.SNPs, fs.Genotypes.Samples)
+		}
+		if len(fs.Variants) != 17 || len(fs.Samples) != 20 {
+			t.Fatalf("metadata %d/%d", len(fs.Variants), len(fs.Samples))
+		}
+		for i := 0; i < 17; i++ {
+			for s := 0; s < 20; s++ {
+				if fs.Genotypes.Get(i, s) != g.Get(i, s) {
+					t.Fatalf("genotype (%d,%d) mismatch", i, s)
+				}
+			}
+		}
+	}
+}
+
+func TestPlinkFilesetValidation(t *testing.T) {
+	dir := t.TempDir()
+	g := bitmat.NewGenotypeMatrix(3, 4)
+	if err := WritePlinkFileset(filepath.Join(dir, "x"), g, make([]BimRecord, 2), nil); err == nil {
+		t.Fatal("bim count mismatch accepted")
+	}
+	if err := WritePlinkFileset(filepath.Join(dir, "x"), g, nil, make([]FamRecord, 9)); err == nil {
+		t.Fatal("fam count mismatch accepted")
+	}
+	if _, err := ReadPlinkFileset(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("missing fileset accepted")
+	}
+}
+
+func TestPlinkFilesetDimensionMismatch(t *testing.T) {
+	// A .bed that does not match its .bim/.fam dims must be rejected.
+	dir := t.TempDir()
+	g := bitmat.NewGenotypeMatrix(4, 8)
+	prefix := filepath.Join(dir, "bad")
+	if err := WritePlinkFileset(prefix, g, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite the .bim with too many variants.
+	bimFile := prefix + ".bim"
+	recs := DefaultBim(6, "1", 10)
+	f, err := os.Create(bimFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBim(f, recs); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := ReadPlinkFileset(prefix); err == nil {
+		t.Fatal("inconsistent fileset accepted")
+	}
+}

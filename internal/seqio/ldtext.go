@@ -1,0 +1,93 @@
+package seqio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// LDRecord is one pairwise LD result in the tabular format PLINK's --r2
+// emits (CHR_A BP_A SNP_A CHR_B BP_B SNP_B R2) plus the D and D′ columns
+// our kernels also produce.
+type LDRecord struct {
+	ChromA string
+	PosA   int
+	IDA    string
+	ChromB string
+	PosB   int
+	IDB    string
+	R2     float64
+	D      float64
+	DPrime float64
+}
+
+// ldHeader is the column header line.
+const ldHeader = "CHR_A\tBP_A\tSNP_A\tCHR_B\tBP_B\tSNP_B\tR2\tD\tDP"
+
+// WriteLD writes records in the tabular .ld format with a header line.
+func WriteLD(w io.Writer, recs []LDRecord) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString(ldHeader)
+	bw.WriteByte('\n')
+	for _, r := range recs {
+		ida, idb := r.IDA, r.IDB
+		if ida == "" {
+			ida = "."
+		}
+		if idb == "" {
+			idb = "."
+		}
+		fmt.Fprintf(bw, "%s\t%d\t%s\t%s\t%d\t%s\t%.6g\t%.6g\t%.6g\n",
+			r.ChromA, r.PosA, ida, r.ChromB, r.PosB, idb, r.R2, r.D, r.DPrime)
+	}
+	return bw.Flush()
+}
+
+// ReadLD parses the tabular .ld format (header required).
+func ReadLD(r io.Reader) ([]LDRecord, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("seqio: empty ld input")
+	}
+	if got := strings.Join(strings.Fields(sc.Text()), "\t"); got != ldHeader {
+		return nil, fmt.Errorf("seqio: unexpected ld header %q", sc.Text())
+	}
+	var out []LDRecord
+	line := 1
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		f := strings.Fields(text)
+		if len(f) != 9 {
+			return nil, fmt.Errorf("seqio: ld line %d has %d fields, want 9", line, len(f))
+		}
+		rec := LDRecord{ChromA: f[0], IDA: f[2], ChromB: f[3], IDB: f[5]}
+		var err error
+		if rec.PosA, err = strconv.Atoi(f[1]); err != nil {
+			return nil, fmt.Errorf("seqio: ld line %d: bad BP_A %q", line, f[1])
+		}
+		if rec.PosB, err = strconv.Atoi(f[4]); err != nil {
+			return nil, fmt.Errorf("seqio: ld line %d: bad BP_B %q", line, f[4])
+		}
+		if rec.R2, err = strconv.ParseFloat(f[6], 64); err != nil {
+			return nil, fmt.Errorf("seqio: ld line %d: bad R2 %q", line, f[6])
+		}
+		if rec.D, err = strconv.ParseFloat(f[7], 64); err != nil {
+			return nil, fmt.Errorf("seqio: ld line %d: bad D %q", line, f[7])
+		}
+		if rec.DPrime, err = strconv.ParseFloat(f[8], 64); err != nil {
+			return nil, fmt.Errorf("seqio: ld line %d: bad DP %q", line, f[8])
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("seqio: reading ld: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,166 @@
+package seqio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"ldgemm/internal/bitmat"
+)
+
+// VCFSite is the per-record metadata of a VCF variant.
+type VCFSite struct {
+	Chrom string
+	Pos   int // 1-based, per VCF convention
+	ID    string
+	Ref   byte
+	Alt   byte
+}
+
+// VCF is the minimal phased-haplotype VCF subset this package supports:
+// biallelic SNPs with GT-only FORMAT and phased diploid ("0|1") or haploid
+// ("0"/"1") genotype fields.
+type VCF struct {
+	Sites []VCFSite
+	// Matrix holds one column per site and one row per *haplotype*
+	// (diploid samples contribute two rows each, in sample order).
+	Matrix *bitmat.Matrix
+	// SampleNames are the VCF column headers past FORMAT.
+	SampleNames []string
+	// Ploidy is 1 or 2 (uniform across the file).
+	Ploidy int
+}
+
+// WriteVCF writes haplotypes as a phased VCF. With ploidy 2 consecutive
+// haplotype pairs form one diploid sample; the haplotype count must then
+// be even.
+func WriteVCF(w io.Writer, m *bitmat.Matrix, sites []VCFSite, ploidy int) error {
+	if len(sites) != m.SNPs {
+		return fmt.Errorf("seqio: %d sites for %d SNPs", len(sites), m.SNPs)
+	}
+	if ploidy != 1 && ploidy != 2 {
+		return fmt.Errorf("seqio: unsupported ploidy %d", ploidy)
+	}
+	if ploidy == 2 && m.Samples%2 != 0 {
+		return fmt.Errorf("seqio: odd haplotype count %d for diploid VCF", m.Samples)
+	}
+	bw := bufio.NewWriter(w)
+	bw.WriteString("##fileformat=VCFv4.2\n##source=ldgemm\n")
+	bw.WriteString("#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\tFORMAT")
+	n := m.Samples / ploidy
+	for s := 0; s < n; s++ {
+		fmt.Fprintf(bw, "\tsample_%d", s)
+	}
+	bw.WriteByte('\n')
+	for i, site := range sites {
+		id := site.ID
+		if id == "" {
+			id = "."
+		}
+		fmt.Fprintf(bw, "%s\t%d\t%s\t%c\t%c\t.\tPASS\t.\tGT", site.Chrom, site.Pos, id, site.Ref, site.Alt)
+		for s := 0; s < n; s++ {
+			if ploidy == 1 {
+				fmt.Fprintf(bw, "\t%d", b2i(m.Bit(i, s)))
+			} else {
+				fmt.Fprintf(bw, "\t%d|%d", b2i(m.Bit(i, 2*s)), b2i(m.Bit(i, 2*s+1)))
+			}
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// ReadVCF parses the supported VCF subset. Records with multi-base or
+// multi-allelic REF/ALT are rejected.
+func ReadVCF(r io.Reader) (*VCF, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	var out VCF
+	type record struct {
+		site VCFSite
+		gts  []string
+	}
+	var records []record
+	headerSeen := false
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "##"):
+			continue
+		case strings.HasPrefix(line, "#CHROM"):
+			fields := strings.Split(line, "\t")
+			if len(fields) < 10 {
+				return nil, fmt.Errorf("seqio: VCF header has no sample columns")
+			}
+			out.SampleNames = fields[9:]
+			headerSeen = true
+		case strings.TrimSpace(line) == "":
+			continue
+		default:
+			if !headerSeen {
+				return nil, fmt.Errorf("seqio: VCF record before #CHROM header")
+			}
+			fields := strings.Split(line, "\t")
+			if len(fields) != 9+len(out.SampleNames) {
+				return nil, fmt.Errorf("seqio: VCF record has %d fields, want %d", len(fields), 9+len(out.SampleNames))
+			}
+			pos, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("seqio: bad POS %q: %w", fields[1], err)
+			}
+			if len(fields[3]) != 1 || len(fields[4]) != 1 {
+				return nil, fmt.Errorf("seqio: only biallelic SNPs supported (REF=%q ALT=%q)", fields[3], fields[4])
+			}
+			if !strings.HasPrefix(fields[8], "GT") {
+				return nil, fmt.Errorf("seqio: FORMAT %q does not lead with GT", fields[8])
+			}
+			records = append(records, record{
+				site: VCFSite{Chrom: fields[0], Pos: pos, ID: fields[2], Ref: fields[3][0], Alt: fields[4][0]},
+				gts:  fields[9:],
+			})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("seqio: reading VCF: %w", err)
+	}
+	if !headerSeen {
+		return nil, fmt.Errorf("seqio: missing #CHROM header")
+	}
+
+	// Determine ploidy from the first genotype.
+	out.Ploidy = 1
+	if len(records) > 0 && strings.ContainsAny(records[0].gts[0], "|/") {
+		out.Ploidy = 2
+	}
+	haps := len(out.SampleNames) * out.Ploidy
+	out.Matrix = bitmat.New(len(records), haps)
+	for i, rec := range records {
+		out.Sites = append(out.Sites, rec.site)
+		for s, gt := range rec.gts {
+			gt = strings.SplitN(gt, ":", 2)[0]
+			alleles := strings.FieldsFunc(gt, func(r rune) bool { return r == '|' || r == '/' })
+			if len(alleles) != out.Ploidy {
+				return nil, fmt.Errorf("seqio: genotype %q has ploidy %d, want %d", gt, len(alleles), out.Ploidy)
+			}
+			for h, a := range alleles {
+				switch a {
+				case "0":
+				case "1":
+					out.Matrix.SetBit(i, s*out.Ploidy+h)
+				default:
+					return nil, fmt.Errorf("seqio: unsupported allele %q in genotype %q", a, gt)
+				}
+			}
+		}
+	}
+	return &out, nil
+}

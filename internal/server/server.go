@@ -1,0 +1,418 @@
+// Package server exposes a loaded genomic dataset over HTTP as a small
+// LD query service: per-pair statistics, dense regional matrices,
+// strongest associations, pruning, haplotype blocks, and ω scans — the
+// query patterns a GWAS browser issues against an LD backend. Heavy
+// endpoints are bounded (region width caps, top-K caps) so a single
+// request cannot compute an unbounded n² workload.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"ldgemm/internal/bitmat"
+	"ldgemm/internal/blis"
+	"ldgemm/internal/core"
+	"ldgemm/internal/omega"
+	"ldgemm/internal/stats"
+)
+
+// Config bounds the service.
+type Config struct {
+	// MaxRegionSNPs caps the width of a dense region request (default 512).
+	MaxRegionSNPs int
+	// MaxTopK caps the top-pairs list (default 1000).
+	MaxTopK int
+	// Threads for the LD kernels (default GOMAXPROCS via blis).
+	Threads int
+}
+
+func (c Config) normalize() Config {
+	if c.MaxRegionSNPs == 0 {
+		c.MaxRegionSNPs = 512
+	}
+	if c.MaxTopK == 0 {
+		c.MaxTopK = 1000
+	}
+	return c
+}
+
+// Server serves LD queries over one genomic matrix.
+type Server struct {
+	g   *bitmat.Matrix
+	cfg Config
+	mux *http.ServeMux
+	// freqs is precomputed at construction.
+	freqs []float64
+}
+
+// New builds a Server for the matrix.
+func New(g *bitmat.Matrix, cfg Config) *Server {
+	s := &Server{g: g, cfg: cfg.normalize(), freqs: core.AlleleFrequencies(g)}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /api/info", s.handleInfo)
+	mux.HandleFunc("GET /api/freq", s.handleFreq)
+	mux.HandleFunc("GET /api/ld", s.handlePair)
+	mux.HandleFunc("GET /api/ld/region", s.handleRegion)
+	mux.HandleFunc("GET /api/ld/top", s.handleTop)
+	mux.HandleFunc("GET /api/prune", s.handlePrune)
+	mux.HandleFunc("GET /api/blocks", s.handleBlocks)
+	mux.HandleFunc("GET /api/omega", s.handleOmega)
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) blisConfig() blis.Config { return blis.Config{Threads: s.cfg.Threads} }
+
+// writeJSON emits a 200 response with the JSON payload.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// httpError emits a JSON error payload.
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// intParam parses a required integer query parameter.
+func intParam(r *http.Request, name string) (int, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return 0, fmt.Errorf("missing parameter %q", name)
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %q: %v", name, err)
+	}
+	return n, nil
+}
+
+// intParamDefault parses an optional integer query parameter.
+func intParamDefault(r *http.Request, name string, def int) (int, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %q: %v", name, err)
+	}
+	return n, nil
+}
+
+// floatParamDefault parses an optional float query parameter.
+func floatParamDefault(r *http.Request, name string, def float64) (float64, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %q: %v", name, err)
+	}
+	return f, nil
+}
+
+func (s *Server) checkSNP(name string, i int) error {
+	if i < 0 || i >= s.g.SNPs {
+		return fmt.Errorf("%s=%d outside 0..%d", name, i, s.g.SNPs-1)
+	}
+	return nil
+}
+
+// InfoResponse is the /api/info payload.
+type InfoResponse struct {
+	SNPs          int     `json:"snps"`
+	Samples       int     `json:"samples"`
+	MeanFrequency float64 `json:"mean_derived_frequency"`
+	Polymorphic   int     `json:"polymorphic_snps"`
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	poly := 0
+	for i := 0; i < s.g.SNPs; i++ {
+		if c := s.g.DerivedCount(i); c > 0 && c < s.g.Samples {
+			poly++
+		}
+	}
+	writeJSON(w, InfoResponse{
+		SNPs: s.g.SNPs, Samples: s.g.Samples,
+		MeanFrequency: stats.Mean(s.freqs), Polymorphic: poly,
+	})
+}
+
+// FreqResponse is the /api/freq payload.
+type FreqResponse struct {
+	SNP       int     `json:"snp"`
+	Frequency float64 `json:"derived_frequency"`
+	Count     int     `json:"derived_count"`
+}
+
+func (s *Server) handleFreq(w http.ResponseWriter, r *http.Request) {
+	i, err := intParam(r, "i")
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := s.checkSNP("i", i); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, FreqResponse{SNP: i, Frequency: s.freqs[i], Count: s.g.DerivedCount(i)})
+}
+
+// PairResponse is the /api/ld payload.
+type PairResponse struct {
+	I      int     `json:"i"`
+	J      int     `json:"j"`
+	PAB    float64 `json:"p_ab"`
+	PA     float64 `json:"p_a"`
+	PB     float64 `json:"p_b"`
+	D      float64 `json:"d"`
+	R2     float64 `json:"r2"`
+	DPrime float64 `json:"d_prime"`
+	Chi2   float64 `json:"chi2"`
+	PValue float64 `json:"p_value"`
+}
+
+func (s *Server) handlePair(w http.ResponseWriter, r *http.Request) {
+	i, err := intParam(r, "i")
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	j, err := intParam(r, "j")
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := s.checkSNP("i", i); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := s.checkSNP("j", j); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	p := core.PairLD(s.g, i, j)
+	chi2 := p.Chi2(s.g.Samples)
+	pv, err := stats.ChiSquarePValue(chi2, 1)
+	if err != nil {
+		pv = 0
+	}
+	writeJSON(w, PairResponse{
+		I: i, J: j, PAB: p.PAB, PA: p.PA, PB: p.PB,
+		D: p.D, R2: p.R2, DPrime: p.DPrime, Chi2: chi2, PValue: pv,
+	})
+}
+
+// RegionResponse is the /api/ld/region payload: a dense row-major matrix
+// for SNPs [Start, End).
+type RegionResponse struct {
+	Start   int         `json:"start"`
+	End     int         `json:"end"`
+	Measure string      `json:"measure"`
+	Values  [][]float64 `json:"values"`
+}
+
+func (s *Server) handleRegion(w http.ResponseWriter, r *http.Request) {
+	start, err := intParam(r, "start")
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	end, err := intParam(r, "end")
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if start < 0 || end <= start || end > s.g.SNPs {
+		httpError(w, http.StatusBadRequest, "invalid region [%d,%d) of %d SNPs", start, end, s.g.SNPs)
+		return
+	}
+	if end-start > s.cfg.MaxRegionSNPs {
+		httpError(w, http.StatusUnprocessableEntity,
+			"region width %d exceeds cap %d", end-start, s.cfg.MaxRegionSNPs)
+		return
+	}
+	measure := r.URL.Query().Get("measure")
+	var meas core.Measure
+	switch measure {
+	case "", "r2":
+		measure, meas = "r2", core.MeasureR2
+	case "d":
+		meas = core.MeasureD
+	case "dprime":
+		meas = core.MeasureDPrime
+	default:
+		httpError(w, http.StatusBadRequest, "unknown measure %q", measure)
+		return
+	}
+	res, err := core.Matrix(s.g.Slice(start, end), core.Options{Measures: meas, Blis: s.blisConfig()})
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	var flat []float64
+	switch meas {
+	case core.MeasureR2:
+		flat = res.R2
+	case core.MeasureD:
+		flat = res.D
+	default:
+		flat = res.DPrime
+	}
+	wdt := end - start
+	values := make([][]float64, wdt)
+	for i := range values {
+		values[i] = flat[i*wdt : (i+1)*wdt]
+	}
+	writeJSON(w, RegionResponse{Start: start, End: end, Measure: measure, Values: values})
+}
+
+// TopResponse is the /api/ld/top payload.
+type TopResponse struct {
+	K     int            `json:"k"`
+	Pairs []PairResponse `json:"pairs"`
+}
+
+func (s *Server) handleTop(w http.ResponseWriter, r *http.Request) {
+	k, err := intParamDefault(r, "k", 20)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if k < 1 || k > s.cfg.MaxTopK {
+		httpError(w, http.StatusBadRequest, "k=%d outside 1..%d", k, s.cfg.MaxTopK)
+		return
+	}
+	res, err := core.Significance(s.g, core.SignificanceOptions{
+		Alpha: 0.999999, AlphaIsPerTest: true, MaxResults: s.cfg.MaxTopK * 4,
+		LD: core.Options{Blis: s.blisConfig()},
+	})
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	out := TopResponse{K: k}
+	for _, p := range res.Pairs {
+		if len(out.Pairs) == k {
+			break
+		}
+		full := core.PairLD(s.g, p.I, p.J)
+		out.Pairs = append(out.Pairs, PairResponse{
+			I: p.I, J: p.J, PAB: full.PAB, PA: full.PA, PB: full.PB,
+			D: full.D, R2: full.R2, DPrime: full.DPrime, Chi2: p.Chi2, PValue: p.PValue,
+		})
+	}
+	writeJSON(w, out)
+}
+
+// PruneResponse is the /api/prune payload.
+type PruneResponse struct {
+	Kept    []int `json:"kept"`
+	Removed []int `json:"removed"`
+}
+
+func (s *Server) handlePrune(w http.ResponseWriter, r *http.Request) {
+	window, err := intParamDefault(r, "window", 50)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	step, err := intParamDefault(r, "step", 5)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	r2, err := floatParamDefault(r, "r2", 0.5)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	res, err := core.Prune(s.g, core.PruneOptions{
+		WindowSNPs: window, StepSNPs: step, R2Threshold: r2,
+		LD: core.Options{Blis: s.blisConfig()},
+	})
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, PruneResponse{Kept: res.Kept, Removed: res.Removed})
+}
+
+// BlocksResponse is the /api/blocks payload.
+type BlocksResponse struct {
+	Blocks []core.Block `json:"blocks"`
+}
+
+func (s *Server) handleBlocks(w http.ResponseWriter, r *http.Request) {
+	dprime, err := floatParamDefault(r, "dprime", 0.8)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	frac, err := floatParamDefault(r, "frac", 0.9)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	blocks, err := core.Blocks(s.g, core.BlockOptions{
+		DPrimeThreshold: dprime, MinStrongFrac: frac,
+		LD: core.Options{Blis: s.blisConfig()},
+	})
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, BlocksResponse{Blocks: blocks})
+}
+
+// OmegaResponse is the /api/omega payload.
+type OmegaResponse struct {
+	Points []omega.Point `json:"points"`
+	Peak   omega.Point   `json:"peak"`
+}
+
+func (s *Server) handleOmega(w http.ResponseWriter, r *http.Request) {
+	grid, err := intParamDefault(r, "grid", 50)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	minEach, err := intParamDefault(r, "min_each", 2)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	maxEach, err := intParamDefault(r, "max_each", 100)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	points, err := omega.Scan(s.g, omega.Config{
+		GridPoints: grid, MinEach: minEach, MaxEach: maxEach,
+		LD: core.Options{Blis: s.blisConfig()},
+	})
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	resp := OmegaResponse{Points: points}
+	for _, p := range points {
+		if p.Omega > resp.Peak.Omega {
+			resp.Peak = p
+		}
+	}
+	writeJSON(w, resp)
+}

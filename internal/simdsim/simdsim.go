@@ -1,0 +1,286 @@
+// Package simdsim is a small instruction-stream cost simulator that
+// validates the Section V analysis mechanically: it builds the actual
+// dependency graph of the LD inner loop under three instruction-set
+// scenarios (scalar, SIMD without hardware popcount, SIMD with a
+// vectorized popcount), schedules it against a port model with a greedy
+// list scheduler, and reports cycles per 64-bit word.
+//
+// Go exposes no vector intrinsics, so the paper's SIMD experiments cannot
+// run natively; this simulator is the substitution (see DESIGN.md). Its
+// port model mirrors the paper's assumptions: one AND, one POPCNT, and one
+// ADD issuable per cycle, and SIMD lane extraction/insertion contending
+// for a single shuffle port.
+package simdsim
+
+import "fmt"
+
+// Op enumerates the instruction kinds the LD inner loop uses.
+type Op int
+
+const (
+	// OpAnd is a scalar or vector bitwise AND.
+	OpAnd Op = iota
+	// OpAdd is a scalar or vector accumulate.
+	OpAdd
+	// OpPopcnt is the scalar 64-bit population count.
+	OpPopcnt
+	// OpVPopcnt is the hypothetical hardware vector population count.
+	OpVPopcnt
+	// OpExtract moves one lane from a SIMD register to a scalar register.
+	OpExtract
+	// OpInsert moves one scalar back into a SIMD lane.
+	OpInsert
+	numOps
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case OpAnd:
+		return "and"
+	case OpAdd:
+		return "add"
+	case OpPopcnt:
+		return "popcnt"
+	case OpVPopcnt:
+		return "vpopcnt"
+	case OpExtract:
+		return "extract"
+	case OpInsert:
+		return "insert"
+	default:
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+}
+
+// Port identifies an execution resource.
+type Port int
+
+const (
+	// PortALU executes AND and ADD (vector or scalar).
+	PortALU Port = iota
+	// PortALU2 is a second ALU so an AND and an ADD co-issue, matching
+	// the paper's "all three instructions can be issued in the same
+	// clock cycle".
+	PortALU2
+	// PortPopcnt executes the (scalar or vector) population count; on
+	// real x86 exactly one POPCNT issues per cycle.
+	PortPopcnt
+	// PortShuffle executes lane extraction and insertion; there is one,
+	// which is the crux of the Section V stall argument.
+	PortShuffle
+	numPorts
+)
+
+// defaultPorts maps each op to the ports able to execute it.
+var defaultPorts = map[Op][]Port{
+	OpAnd:     {PortALU, PortALU2},
+	OpAdd:     {PortALU, PortALU2},
+	OpPopcnt:  {PortPopcnt},
+	OpVPopcnt: {PortPopcnt},
+	OpExtract: {PortShuffle},
+	OpInsert:  {PortShuffle},
+}
+
+// Instr is one node of the dependency graph.
+type Instr struct {
+	Op   Op
+	Deps []int // indices of instructions that must complete first
+}
+
+// Program is an instruction stream with dependencies.
+type Program struct {
+	Instrs []Instr
+}
+
+// add appends an instruction and returns its index.
+func (p *Program) add(op Op, deps ...int) int {
+	p.Instrs = append(p.Instrs, Instr{Op: op, Deps: deps})
+	return len(p.Instrs) - 1
+}
+
+// Schedule runs a greedy in-order-ready list scheduler: every cycle, each
+// port executes at most one ready instruction (all latencies are one
+// cycle, matching the paper's simplification). It returns the total cycle
+// count.
+func (p *Program) Schedule() (int, error) {
+	n := len(p.Instrs)
+	done := make([]bool, n)
+	remaining := n
+	cycle := 0
+	for remaining > 0 {
+		cycle++
+		if cycle > 64*n+64 {
+			return 0, fmt.Errorf("simdsim: schedule did not converge (dependency cycle?)")
+		}
+		var busy [numPorts]bool
+		issuedThisCycle := make([]int, 0, numPorts)
+		for i, ins := range p.Instrs {
+			if done[i] {
+				continue
+			}
+			ready := true
+			for _, d := range ins.Deps {
+				if d < 0 || d >= n {
+					return 0, fmt.Errorf("simdsim: instruction %d has invalid dep %d", i, d)
+				}
+				if !done[d] {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				continue
+			}
+			ports, ok := defaultPorts[ins.Op]
+			if !ok {
+				return 0, fmt.Errorf("simdsim: no port mapping for %v", ins.Op)
+			}
+			for _, port := range ports {
+				if !busy[port] {
+					busy[port] = true
+					issuedThisCycle = append(issuedThisCycle, i)
+					break
+				}
+			}
+		}
+		// Results become visible at end of cycle: mark after issue so two
+		// dependent instructions cannot co-issue.
+		for _, i := range issuedThisCycle {
+			done[i] = true
+			remaining--
+		}
+		if len(issuedThisCycle) == 0 && remaining > 0 {
+			return 0, fmt.Errorf("simdsim: deadlock with %d instructions left", remaining)
+		}
+	}
+	return cycle, nil
+}
+
+// Scenario selects the instruction-set variant to simulate.
+type Scenario int
+
+const (
+	// Scalar is the Section IV kernel: AND+POPCNT+ADD per word.
+	Scalar Scenario = iota
+	// SIMDNoHW uses v-lane vector AND/ADD but must extract every lane,
+	// scalar-popcount it, and insert it back (Section V-A).
+	SIMDNoHW
+	// SIMDHW assumes the hardware vector popcount of Section V-B.
+	SIMDHW
+)
+
+// String implements fmt.Stringer.
+func (s Scenario) String() string {
+	switch s {
+	case Scalar:
+		return "scalar"
+	case SIMDNoHW:
+		return "simd-no-hw-popcnt"
+	case SIMDHW:
+		return "simd-hw-popcnt"
+	default:
+		return fmt.Sprintf("scenario(%d)", int(s))
+	}
+}
+
+// Build constructs the inner-loop dependency graph processing `words`
+// 64-bit words with v lanes per vector register. For the scalar scenario v
+// is ignored. Accumulator chains are kept per lane (as a real unrolled
+// kernel does), so the ADD chain does not serialize the whole stream.
+func Build(sc Scenario, words, v int) (*Program, error) {
+	if words < 1 {
+		return nil, fmt.Errorf("simdsim: invalid word count %d", words)
+	}
+	if sc != Scalar && v < 1 {
+		return nil, fmt.Errorf("simdsim: invalid lane count %d", v)
+	}
+	p := &Program{}
+	switch sc {
+	case Scalar:
+		// Independent accumulators per unrolled slot (use 4, ample).
+		const unroll = 4
+		lastAdd := make([]int, unroll)
+		for i := range lastAdd {
+			lastAdd[i] = -1
+		}
+		for w := 0; w < words; w++ {
+			and := p.add(OpAnd)
+			pop := p.add(OpPopcnt, and)
+			deps := []int{pop}
+			if lastAdd[w%unroll] >= 0 {
+				deps = append(deps, lastAdd[w%unroll])
+			}
+			lastAdd[w%unroll] = p.add(OpAdd, deps...)
+		}
+	case SIMDNoHW:
+		lastAdd := -1
+		for w := 0; w < words; w += v {
+			vand := p.add(OpAnd) // vector AND covering v words
+			inserts := make([]int, 0, v)
+			prevInsert := -1
+			for lane := 0; lane < v && w+lane < words; lane++ {
+				ext := p.add(OpExtract, vand)
+				pop := p.add(OpPopcnt, ext)
+				deps := []int{pop}
+				if prevInsert >= 0 {
+					// Inserts build up the same destination register, so
+					// they chain.
+					deps = append(deps, prevInsert)
+				}
+				prevInsert = p.add(OpInsert, deps...)
+				inserts = append(inserts, prevInsert)
+			}
+			deps := []int{inserts[len(inserts)-1]}
+			if lastAdd >= 0 {
+				deps = append(deps, lastAdd)
+			}
+			lastAdd = p.add(OpAdd, deps...) // vector accumulate
+		}
+	case SIMDHW:
+		const unroll = 4
+		lastAdd := make([]int, unroll)
+		for i := range lastAdd {
+			lastAdd[i] = -1
+		}
+		slot := 0
+		for w := 0; w < words; w += v {
+			vand := p.add(OpAnd)
+			vpop := p.add(OpVPopcnt, vand)
+			deps := []int{vpop}
+			if lastAdd[slot%unroll] >= 0 {
+				deps = append(deps, lastAdd[slot%unroll])
+			}
+			lastAdd[slot%unroll] = p.add(OpAdd, deps...)
+			slot++
+		}
+	default:
+		return nil, fmt.Errorf("simdsim: unknown scenario %d", sc)
+	}
+	return p, nil
+}
+
+// Result summarizes one simulation.
+type Result struct {
+	Scenario      Scenario
+	Lanes         int
+	Words         int
+	Cycles        int
+	CyclesPerWord float64
+}
+
+// Run builds and schedules the scenario, returning cycles per word.
+func Run(sc Scenario, words, v int) (Result, error) {
+	p, err := Build(sc, words, v)
+	if err != nil {
+		return Result{}, err
+	}
+	cycles, err := p.Schedule()
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Scenario: sc, Lanes: v, Words: words, Cycles: cycles,
+		CyclesPerWord: float64(cycles) / float64(words),
+	}, nil
+}

@@ -1,0 +1,193 @@
+package simdsim
+
+import (
+	"math"
+	"testing"
+
+	"ldgemm/internal/perfmodel"
+)
+
+func TestScalarApproachesOneCyclePerWord(t *testing.T) {
+	res, err := Run(Scalar, 512, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Steady state is one word per cycle (popcount port bound), with a
+	// short pipeline warm-up.
+	if res.CyclesPerWord > 1.05 {
+		t.Fatalf("scalar %v cycles/word, want ≈1", res.CyclesPerWord)
+	}
+	if res.CyclesPerWord < 1 {
+		t.Fatalf("scalar %v cycles/word beats the popcount port bound", res.CyclesPerWord)
+	}
+}
+
+func TestSIMDNoHWIsNotFaster(t *testing.T) {
+	// The paper's Section V-A conclusion: for every width, SIMD without a
+	// hardware popcount does not beat scalar — and with extract/insert
+	// contention it is strictly slower.
+	scalar, err := Run(Scalar, 512, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []int{2, 4, 8} {
+		simd, err := Run(SIMDNoHW, 512, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if simd.CyclesPerWord < scalar.CyclesPerWord {
+			t.Fatalf("v=%d: SIMD %v cycles/word beats scalar %v",
+				v, simd.CyclesPerWord, scalar.CyclesPerWord)
+		}
+		// Shuffle port does 2 ops per word → ≥ 2 cycles/word.
+		if simd.CyclesPerWord < 1.9 {
+			t.Fatalf("v=%d: %v cycles/word below shuffle-port bound", v, simd.CyclesPerWord)
+		}
+	}
+}
+
+func TestSIMDHWScalesWithV(t *testing.T) {
+	for _, v := range []int{2, 4, 8} {
+		res, err := Run(SIMDHW, 512, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 1 / float64(v)
+		if res.CyclesPerWord > want*1.1 {
+			t.Fatalf("v=%d: %v cycles/word, want ≈%v", v, res.CyclesPerWord, want)
+		}
+	}
+}
+
+// TestSimulatorMatchesAnalyticalModel cross-validates the two Section V
+// artifacts: the greedy port simulation must land within 10% of the
+// closed-form model for every scenario and width.
+func TestSimulatorMatchesAnalyticalModel(t *testing.T) {
+	m := perfmodel.Default()
+	const words = 1024
+	scalar, err := Run(Scalar, words, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(scalar.CyclesPerWord-m.ScalarCyclesPerWord()) > 0.1 {
+		t.Fatalf("scalar: sim %v vs model %v", scalar.CyclesPerWord, m.ScalarCyclesPerWord())
+	}
+	for _, v := range []int{2, 4, 8} {
+		simd, err := Run(SIMDNoHW, words, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		predicted, err := m.SIMDCyclesPerWord(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(simd.CyclesPerWord-predicted)/predicted > 0.1 {
+			t.Fatalf("SIMD v=%d: sim %v vs model %v", v, simd.CyclesPerWord, predicted)
+		}
+		hw, err := Run(SIMDHW, words, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		predictedHW, err := m.HWCyclesPerWord(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(hw.CyclesPerWord-predictedHW)/predictedHW > 0.1 {
+			t.Fatalf("HW v=%d: sim %v vs model %v", v, hw.CyclesPerWord, predictedHW)
+		}
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build(Scalar, 0, 1); err == nil {
+		t.Fatal("zero words accepted")
+	}
+	if _, err := Build(SIMDNoHW, 4, 0); err == nil {
+		t.Fatal("zero lanes accepted")
+	}
+	if _, err := Build(Scenario(99), 4, 1); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}
+
+func TestScheduleDetectsBadDeps(t *testing.T) {
+	p := &Program{Instrs: []Instr{{Op: OpAnd, Deps: []int{5}}}}
+	if _, err := p.Schedule(); err == nil {
+		t.Fatal("invalid dep accepted")
+	}
+	// Self-dependency can never become ready.
+	p = &Program{Instrs: []Instr{{Op: OpAnd, Deps: []int{0}}}}
+	if _, err := p.Schedule(); err == nil {
+		t.Fatal("dependency cycle accepted")
+	}
+}
+
+func TestScheduleTinyPrograms(t *testing.T) {
+	// A single instruction takes one cycle.
+	p := &Program{Instrs: []Instr{{Op: OpAnd}}}
+	c, err := p.Schedule()
+	if err != nil || c != 1 {
+		t.Fatalf("single instr: %d cycles, %v", c, err)
+	}
+	// A dependent chain of 3 takes 3 cycles.
+	p = &Program{}
+	a := p.add(OpAnd)
+	b := p.add(OpPopcnt, a)
+	p.add(OpAdd, b)
+	c, err = p.Schedule()
+	if err != nil || c != 3 {
+		t.Fatalf("chain: %d cycles, %v", c, err)
+	}
+	// Two independent ANDs co-issue on the two ALU ports.
+	p = &Program{}
+	p.add(OpAnd)
+	p.add(OpAnd)
+	c, err = p.Schedule()
+	if err != nil || c != 1 {
+		t.Fatalf("co-issue: %d cycles, %v", c, err)
+	}
+	// Three independent ANDs need two cycles (two ALU ports).
+	p = &Program{}
+	p.add(OpAnd)
+	p.add(OpAnd)
+	p.add(OpAnd)
+	c, err = p.Schedule()
+	if err != nil || c != 2 {
+		t.Fatalf("port pressure: %d cycles, %v", c, err)
+	}
+	// Two extracts serialize on the single shuffle port.
+	p = &Program{}
+	p.add(OpExtract)
+	p.add(OpInsert)
+	c, err = p.Schedule()
+	if err != nil || c != 2 {
+		t.Fatalf("shuffle contention: %d cycles, %v", c, err)
+	}
+}
+
+func TestStrings(t *testing.T) {
+	for op := Op(0); op < numOps; op++ {
+		if op.String() == "" {
+			t.Fatalf("empty name for op %d", op)
+		}
+	}
+	for _, sc := range []Scenario{Scalar, SIMDNoHW, SIMDHW, Scenario(42)} {
+		if sc.String() == "" {
+			t.Fatalf("empty name for scenario %d", sc)
+		}
+	}
+}
+
+func TestWordsNotMultipleOfLanes(t *testing.T) {
+	// 10 words with v=4 → chunks of 4,4,2; must still schedule correctly.
+	res, err := Run(SIMDNoHW, 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles < 20 { // 2 shuffle ops per word minimum
+		t.Fatalf("suspiciously fast: %d cycles for 10 words", res.Cycles)
+	}
+	if _, err := Run(SIMDHW, 10, 4); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,212 @@
+// Package stats provides the small statistical utilities the LD library
+// and its examples need: descriptive statistics, the site-frequency
+// spectrum, and the χ² tail probability used to assess LD significance
+// (χ² = Nseq·r² with one degree of freedom for biallelic SNPs).
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance (0 for fewer than two
+// values).
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// MinMax returns the extrema of xs; it panics on an empty slice.
+func MinMax(xs []float64) (lo, hi float64) {
+	if len(xs) == 0 {
+		panic("stats: MinMax of empty slice")
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+// SFS computes the folded or unfolded site-frequency spectrum from
+// per-SNP derived-allele counts: bin i of the unfolded spectrum counts
+// SNPs with exactly i derived copies (i in 1..n−1; monomorphic sites are
+// ignored). The folded spectrum merges i and n−i.
+func SFS(counts []int, samples int, folded bool) []int {
+	if samples < 2 {
+		return nil
+	}
+	var out []int
+	if folded {
+		out = make([]int, samples/2+1)
+	} else {
+		out = make([]int, samples)
+	}
+	for _, c := range counts {
+		if c <= 0 || c >= samples {
+			continue
+		}
+		if folded {
+			f := c
+			if samples-c < f {
+				f = samples - c
+			}
+			out[f]++
+		} else {
+			out[c]++
+		}
+	}
+	return out
+}
+
+// ExpectedNeutralSFS returns the expected unfolded neutral spectrum shape:
+// bin i proportional to 1/i, normalized to sum to 1 over 1..n−1.
+func ExpectedNeutralSFS(samples int) []float64 {
+	if samples < 2 {
+		return nil
+	}
+	out := make([]float64, samples)
+	var norm float64
+	for i := 1; i < samples; i++ {
+		out[i] = 1 / float64(i)
+		norm += out[i]
+	}
+	for i := 1; i < samples; i++ {
+		out[i] /= norm
+	}
+	return out
+}
+
+// ChiSquarePValue returns P(X ≥ x) for a χ² random variable with df
+// degrees of freedom, via the regularized upper incomplete gamma function
+// Q(df/2, x/2).
+func ChiSquarePValue(x float64, df int) (float64, error) {
+	if df < 1 {
+		return 0, fmt.Errorf("stats: invalid degrees of freedom %d", df)
+	}
+	if x < 0 {
+		return 1, nil
+	}
+	return regularizedGammaQ(float64(df)/2, x/2)
+}
+
+// regularizedGammaQ computes Q(a, x) = Γ(a, x)/Γ(a) with the standard
+// series/continued-fraction split (Numerical Recipes §6.2).
+func regularizedGammaQ(a, x float64) (float64, error) {
+	switch {
+	case x < 0 || a <= 0:
+		return 0, fmt.Errorf("stats: invalid gamma args a=%v x=%v", a, x)
+	case x == 0:
+		return 1, nil
+	case x < a+1:
+		p, err := gammaPSeries(a, x)
+		return 1 - p, err
+	default:
+		return gammaQContinuedFraction(a, x)
+	}
+}
+
+const (
+	gammaEps     = 1e-14
+	gammaMaxIter = 500
+)
+
+// gammaPSeries evaluates P(a, x) by its power series.
+func gammaPSeries(a, x float64) (float64, error) {
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1 / a
+	del := sum
+	for i := 0; i < gammaMaxIter; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*gammaEps {
+			return sum * math.Exp(-x+a*math.Log(x)-lg), nil
+		}
+	}
+	return 0, fmt.Errorf("stats: gamma series did not converge (a=%v x=%v)", a, x)
+}
+
+// gammaQContinuedFraction evaluates Q(a, x) by the Lentz continued
+// fraction.
+func gammaQContinuedFraction(a, x float64) (float64, error) {
+	lg, _ := math.Lgamma(a)
+	const tiny = 1e-300
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i <= gammaMaxIter; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < gammaEps {
+			return math.Exp(-x+a*math.Log(x)-lg) * h, nil
+		}
+	}
+	return 0, fmt.Errorf("stats: gamma continued fraction did not converge (a=%v x=%v)", a, x)
+}
+
+// Pearson returns the Pearson correlation of two equal-length vectors
+// (0 when either is constant).
+func Pearson(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, fmt.Errorf("stats: Pearson length mismatch %d vs %d", len(xs), len(ys))
+	}
+	n := float64(len(xs))
+	if n == 0 {
+		return 0, nil
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, nil
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}

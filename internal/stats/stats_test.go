@@ -1,0 +1,160 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestMeanVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Fatalf("Mean = %v", got)
+	}
+	if got := Variance(xs); !almost(got, 32.0/7, 1e-12) {
+		t.Fatalf("Variance = %v", got)
+	}
+	if got := StdDev(xs); !almost(got, math.Sqrt(32.0/7), 1e-12) {
+		t.Fatalf("StdDev = %v", got)
+	}
+	if Mean(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Fatal("degenerate cases wrong")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi := MinMax([]float64{3, -1, 7, 2})
+	if lo != -1 || hi != 7 {
+		t.Fatalf("MinMax = %v %v", lo, hi)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty MinMax did not panic")
+		}
+	}()
+	MinMax(nil)
+}
+
+func TestSFS(t *testing.T) {
+	counts := []int{1, 1, 2, 5, 0, 6, 3}
+	unfolded := SFS(counts, 6, false)
+	// monomorphic 0 and 6 ignored; bins: 1→2, 2→1, 3→1, 5→1
+	want := []int{0, 2, 1, 1, 0, 1}
+	for i := range want {
+		if unfolded[i] != want[i] {
+			t.Fatalf("unfolded = %v", unfolded)
+		}
+	}
+	folded := SFS(counts, 6, true)
+	// fold: min(c, 6−c): 1,1,2,1,3 → bins 1→3, 2→1, 3→1
+	wantF := []int{0, 3, 1, 1}
+	for i := range wantF {
+		if folded[i] != wantF[i] {
+			t.Fatalf("folded = %v", folded)
+		}
+	}
+	if SFS(counts, 1, false) != nil {
+		t.Fatal("samples<2 should give nil")
+	}
+}
+
+func TestExpectedNeutralSFS(t *testing.T) {
+	e := ExpectedNeutralSFS(4)
+	// 1 + 1/2 + 1/3 = 11/6; bins: (6/11, 3/11, 2/11)
+	if !almost(e[1], 6.0/11, 1e-12) || !almost(e[2], 3.0/11, 1e-12) || !almost(e[3], 2.0/11, 1e-12) {
+		t.Fatalf("ExpectedNeutralSFS = %v", e)
+	}
+	var sum float64
+	for _, v := range e {
+		sum += v
+	}
+	if !almost(sum, 1, 1e-12) {
+		t.Fatalf("spectrum sums to %v", sum)
+	}
+}
+
+func TestChiSquarePValueKnown(t *testing.T) {
+	cases := []struct {
+		x    float64
+		df   int
+		want float64
+	}{
+		{0, 1, 1},
+		{3.841459, 1, 0.05},   // 95th percentile, df=1
+		{6.634897, 1, 0.01},   // 99th percentile, df=1
+		{5.991465, 2, 0.05},   // df=2
+		{18.307038, 10, 0.05}, // df=10
+	}
+	for _, c := range cases {
+		got, err := ChiSquarePValue(c.x, c.df)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almost(got, c.want, 1e-6) {
+			t.Fatalf("P(χ²_%d ≥ %v) = %v, want %v", c.df, c.x, got, c.want)
+		}
+	}
+	if _, err := ChiSquarePValue(1, 0); err == nil {
+		t.Fatal("df=0 accepted")
+	}
+	if p, _ := ChiSquarePValue(-3, 1); p != 1 {
+		t.Fatalf("negative x should give 1, got %v", p)
+	}
+}
+
+func TestChiSquareDF2ClosedForm(t *testing.T) {
+	// For df=2 the tail is exactly exp(−x/2).
+	for _, x := range []float64{0.1, 1, 2.5, 10, 30} {
+		got, err := ChiSquarePValue(x, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almost(got, math.Exp(-x/2), 1e-10) {
+			t.Fatalf("df=2 tail at %v: %v vs %v", x, got, math.Exp(-x/2))
+		}
+	}
+}
+
+func TestQuickChiSquareMonotone(t *testing.T) {
+	f := func(a, b float64, df8 uint8) bool {
+		x1 := math.Abs(a)
+		x2 := math.Abs(b)
+		if math.IsNaN(x1) || math.IsNaN(x2) || math.IsInf(x1, 0) || math.IsInf(x2, 0) {
+			return true
+		}
+		x1, x2 = math.Mod(x1, 100), math.Mod(x2, 100)
+		if x1 > x2 {
+			x1, x2 = x2, x1
+		}
+		df := int(df8%20) + 1
+		p1, err1 := ChiSquarePValue(x1, df)
+		p2, err2 := ChiSquarePValue(x2, df)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return p1 >= p2-1e-12 && p1 <= 1 && p2 >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	r, err := Pearson([]float64{1, 2, 3}, []float64{2, 4, 6})
+	if err != nil || !almost(r, 1, 1e-12) {
+		t.Fatalf("perfect correlation: %v %v", r, err)
+	}
+	r, err = Pearson([]float64{1, 2, 3}, []float64{3, 2, 1})
+	if err != nil || !almost(r, -1, 1e-12) {
+		t.Fatalf("perfect anticorrelation: %v %v", r, err)
+	}
+	r, err = Pearson([]float64{1, 1, 1}, []float64{1, 2, 3})
+	if err != nil || r != 0 {
+		t.Fatalf("constant vector: %v %v", r, err)
+	}
+	if _, err := Pearson([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}

@@ -1,0 +1,6 @@
+package tanimoto
+
+import "math/bits"
+
+// onesCount is the 64-bit population count.
+func onesCount(x uint64) int { return bits.OnesCount64(x) }

@@ -1,0 +1,166 @@
+package tanimoto
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ldgemm/internal/blis"
+)
+
+// naiveTanimoto computes Eq. 7 from per-bit loops.
+func naiveTanimoto(f *Fingerprints, i, j int) float64 {
+	var x, p, q int
+	for b := 0; b < f.Bits(); b++ {
+		bi, bj := f.Has(i, b), f.Has(j, b)
+		if bi {
+			p++
+		}
+		if bj {
+			q++
+		}
+		if bi && bj {
+			x++
+		}
+	}
+	if p+q-x == 0 {
+		return 0
+	}
+	return float64(x) / float64(p+q-x)
+}
+
+func TestPairKnownValues(t *testing.T) {
+	f := New(3, 8)
+	// A = {0,1,2}, B = {1,2,3}, C = {}
+	for _, b := range []int{0, 1, 2} {
+		f.Set(0, b)
+	}
+	for _, b := range []int{1, 2, 3} {
+		f.Set(1, b)
+	}
+	// x=2, p=3, q=3 → 2/4 = 0.5
+	if got := f.Pair(0, 1); got != 0.5 {
+		t.Fatalf("Pair = %v, want 0.5", got)
+	}
+	if got := f.Pair(0, 0); got != 1 {
+		t.Fatalf("self similarity = %v", got)
+	}
+	if got := f.Pair(2, 2); got != 0 {
+		t.Fatalf("empty-empty similarity = %v, want 0", got)
+	}
+	if got := f.Pair(0, 2); got != 0 {
+		t.Fatalf("disjoint similarity = %v", got)
+	}
+}
+
+func TestAllPairsMatchesNaive(t *testing.T) {
+	f, err := Random(25, 300, 0.3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := f.AllPairs(blis.Config{MC: 6, NC: 10, KC: 2, Threads: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := f.Compounds()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			want := naiveTanimoto(f, i, j)
+			if math.Abs(m[i*n+j]-want) > 1e-12 {
+				t.Fatalf("(%d,%d) = %v, want %v", i, j, m[i*n+j], want)
+			}
+			if m[i*n+j] != m[j*n+i] {
+				t.Fatalf("asymmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestRandomDensity(t *testing.T) {
+	f, err := Random(50, 400, 0.25, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for c := 0; c < f.Compounds(); c++ {
+		total += f.Popcount(c)
+	}
+	got := float64(total) / float64(50*400)
+	if math.Abs(got-0.25) > 0.03 {
+		t.Fatalf("density %v, want ≈0.25", got)
+	}
+	if _, err := Random(5, 5, 1.5, 1); err == nil {
+		t.Fatal("invalid density accepted")
+	}
+}
+
+func TestTopK(t *testing.T) {
+	f := New(4, 8)
+	// query 0: bits {0,1,2,3}
+	for _, b := range []int{0, 1, 2, 3} {
+		f.Set(0, b)
+	}
+	// compound 1: identical → sim 1
+	for _, b := range []int{0, 1, 2, 3} {
+		f.Set(1, b)
+	}
+	// compound 2: half overlap {2,3,4,5} → x=2, p=q=4 → 2/6
+	for _, b := range []int{2, 3, 4, 5} {
+		f.Set(2, b)
+	}
+	// compound 3: disjoint {6,7}
+	for _, b := range []int{6, 7} {
+		f.Set(3, b)
+	}
+	got, err := f.TopK(0, 2, blis.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Compound != 1 || got[1].Compound != 2 {
+		t.Fatalf("TopK = %+v", got)
+	}
+	if got[0].Similarity != 1 || math.Abs(got[1].Similarity-2.0/6) > 1e-12 {
+		t.Fatalf("similarities %+v", got)
+	}
+	all, err := f.TopK(0, 100, blis.Config{})
+	if err != nil || len(all) != 3 {
+		t.Fatalf("k beyond n: %v %+v", err, all)
+	}
+	if _, err := f.TopK(9, 1, blis.Config{}); err == nil {
+		t.Fatal("bad query accepted")
+	}
+	if _, err := f.TopK(0, -1, blis.Config{}); err == nil {
+		t.Fatal("negative k accepted")
+	}
+}
+
+// Property: AllPairs equals the naive coefficient and stays in [0, 1].
+func TestQuickAllPairs(t *testing.T) {
+	f := func(seed int64, n8, b8 uint8) bool {
+		n := int(n8%12) + 1
+		bits := int(b8%200) + 1
+		fp, err := Random(n, bits, 0.4, seed)
+		if err != nil {
+			return false
+		}
+		m, err := fp.AllPairs(blis.Config{})
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				v := m[i*n+j]
+				if v < 0 || v > 1 {
+					return false
+				}
+				if math.Abs(v-naiveTanimoto(fp, i, j)) > 1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,150 @@
+package ldgemm
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// TestFacadeEndToEnd drives the public API the way the README quickstart
+// does: simulate, compute LD three ways, round-trip through a file format,
+// and scan for a sweep.
+func TestFacadeEndToEnd(t *testing.T) {
+	g, err := GenerateMosaic(120, 300, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := LD(g, Options{Measures: MeasureR2 | MeasureD | MeasureDPrime})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SNPs != 120 || res.R2 == nil || res.D == nil || res.DPrime == nil {
+		t.Fatalf("unexpected result shape %+v", res)
+	}
+	// Facade entries agree with each other.
+	p := PairLD(g, 3, 77)
+	if math.Abs(res.R2[3*120+77]-p.R2) > 1e-12 {
+		t.Fatalf("LD vs PairLD: %v vs %v", res.R2[3*120+77], p.R2)
+	}
+
+	// Cross of two halves equals the corresponding block of the full run.
+	a, b := g.Slice(0, 60), g.Slice(60, 120)
+	cross, err := CrossLD(a, b, Options{Measures: MeasureR2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 60; i += 13 {
+		for j := 0; j < 60; j += 11 {
+			if math.Abs(cross.R2[i*60+j]-res.R2[i*120+60+j]) > 1e-12 {
+				t.Fatalf("cross block mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+
+	// Streaming reduction equals the dense sum.
+	sum, pairs, err := SumR2(g, StreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want float64
+	for i := 0; i < 120; i++ {
+		for j := i; j < 120; j++ {
+			want += res.R2[i*120+j]
+		}
+	}
+	if pairs != 120*121/2 || math.Abs(sum-want) > 1e-9 {
+		t.Fatalf("SumR2 = %v over %d pairs, want %v", sum, pairs, want)
+	}
+
+	// Binary round trip.
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBinary(&buf)
+	if err != nil || !back.Equal(g) {
+		t.Fatalf("binary round trip: %v", err)
+	}
+
+	// Sweep + ω scan: the peak should land near the planted center.
+	if err := ApplySweep(g, SweepConfig{Seed: 7, CenterSNP: 60, Radius: 40, CarrierFraction: 0.85}); err != nil {
+		t.Fatal(err)
+	}
+	pts, err := OmegaScan(g, OmegaConfig{GridPoints: 24, MinEach: 2, MaxEach: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := pts[0]
+	for _, pt := range pts {
+		if pt.Omega > best.Omega {
+			best = pt
+		}
+	}
+	if best.Center < 40 || best.Center > 80 {
+		t.Fatalf("ω peak at %d, planted sweep at 60", best.Center)
+	}
+}
+
+func TestFacadeMaskedAndFSM(t *testing.T) {
+	cols := [][]byte{
+		[]byte("AAGGAAGG"),
+		[]byte("AAGGGGAA"),
+		[]byte("AAAAGG--"),
+	}
+	f, err := FromDNA(cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fres, err := FSMLD(f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fres.SNPs != 3 || len(fres.T) != 9 {
+		t.Fatalf("FSM result %+v", fres)
+	}
+
+	g := NewMatrix(2, 8)
+	mask := NewMask(2, 8)
+	for s := 0; s < 8; s++ {
+		if s%2 == 0 {
+			g.SetBit(0, s)
+			g.SetBit(1, s)
+		}
+	}
+	mask.Invalidate(1, 0)
+	mres, err := MaskedLD(g, mask, Options{Measures: MeasureR2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mres.R2[1] <= 0.9 { // identical SNPs, still near-perfect LD under the mask
+		t.Fatalf("masked r² = %v", mres.R2[1])
+	}
+
+	freqs := AlleleFrequencies(g)
+	if freqs[0] != 0.5 {
+		t.Fatalf("freqs = %v", freqs)
+	}
+}
+
+func TestFacadeMSRoundTrip(t *testing.T) {
+	g, err := GenerateMosaic(9, 14, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make([]float64, 9)
+	for i := range pos {
+		pos[i] = float64(i) / 10
+	}
+	var buf bytes.Buffer
+	if err := WriteMS(&buf, []MSReplicate{{Matrix: g, Positions: pos}}); err != nil {
+		t.Fatal(err)
+	}
+	reps, err := ReadMS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 1 || !reps[0].Matrix.Equal(g) {
+		t.Fatal("ms round trip through facade failed")
+	}
+}
