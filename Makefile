@@ -1,0 +1,25 @@
+# Tier-1: everything must build and every test pass.
+.PHONY: verify
+verify:
+	go build ./...
+	go test ./...
+
+# Race tier: vet plus the race detector on the concurrency-bearing
+# packages (the parallel blis driver, the pack kernels it calls from many
+# goroutines, and the HTTP server that shares the arena pool across
+# requests).
+.PHONY: verify-race
+verify-race:
+	go vet ./...
+	go test -race ./internal/blis/... ./internal/kernel/... ./internal/server/...
+
+# Driver benchmark: seed fork/join vs pooled slab-pipelined at 1 and 4
+# threads on the acceptance shape.
+.PHONY: bench-driver
+bench-driver:
+	go test -run xxx -bench BenchmarkSyrkDriver -benchtime 3x .
+
+# Machine-readable perf trajectory (BENCH_ld.json).
+.PHONY: bench-json
+bench-json:
+	go run ./cmd/ldbench -scale 10 -threads 1,2,4 -json BENCH_ld.json

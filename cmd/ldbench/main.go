@@ -15,9 +15,13 @@
 //	            (default 1,2,4,8,12 as in the paper)
 //	-reps N     best-of repetitions for the peak-fraction figures
 //	-csv        emit CSV instead of aligned tables
+//	-json PATH  also write a machine-readable BENCH_ld.json benchmark
+//	            (shape, threads, triples/sec, speedup vs Reference); with
+//	            -json, the experiment list may be empty
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -26,6 +30,7 @@ import (
 	"strings"
 	"time"
 
+	"ldgemm/internal/blis"
 	"ldgemm/internal/experiments"
 	"ldgemm/internal/harness"
 	"ldgemm/internal/popsim"
@@ -50,6 +55,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	threadsFlag := fs.String("threads", "1,2,4,8,12", "comma-separated thread counts for comparison tables")
 	reps := fs.Int("reps", 3, "best-of repetitions for peak-fraction figures")
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
+	jsonPath := fs.String("json", "", "write a machine-readable benchmark to this path (e.g. BENCH_ld.json)")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr,
 			"usage: ldbench [flags] <experiment>...\nexperiments: %s all\nflags:\n",
@@ -61,7 +67,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	names := fs.Args()
-	if len(names) == 0 {
+	if len(names) == 0 && *jsonPath == "" {
 		fs.Usage()
 		return fmt.Errorf("no experiment named")
 	}
@@ -72,6 +78,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 	threads, err := parseThreads(*threadsFlag)
 	if err != nil {
 		return err
+	}
+	if *jsonPath != "" {
+		if err := writeBenchJSON(*jsonPath, *scale, threads, stderr); err != nil {
+			return err
+		}
+		if len(names) == 0 {
+			return nil
+		}
 	}
 	fmt.Fprintf(stderr, "calibrating host peak... ")
 	peak := harness.CalibratePeak(300 * time.Millisecond)
@@ -130,6 +144,71 @@ func dispatch(name string, cfg experiments.Config) (*harness.Table, error) {
 	default:
 		return nil, fmt.Errorf("unknown experiment (have: %s all)", strings.Join(experimentOrder, " "))
 	}
+}
+
+// benchRun is one threads point of the JSON benchmark.
+type benchRun struct {
+	Threads            int     `json:"threads"`
+	TriplesPerSec      float64 `json:"triples_per_sec"`
+	SpeedupVsReference float64 `json:"speedup_vs_reference"`
+}
+
+// benchReport is the BENCH_ld.json schema: the perf trajectory tracked
+// across PRs.
+type benchReport struct {
+	SNPs                   int        `json:"snps"`
+	Samples                int        `json:"samples"`
+	Words                  int        `json:"words"`
+	ReferenceTriplesPerSec float64    `json:"reference_triples_per_sec"`
+	Runs                   []benchRun `json:"runs"`
+}
+
+// writeBenchJSON measures the blocked Syrk against Reference on a probe
+// matrix sized by scale and writes the machine-readable report.
+func writeBenchJSON(path string, scale int, threads []int, stderr io.Writer) error {
+	snps := max(64, 4096/scale)
+	samples := max(128, 2048/scale)
+	g, err := popsim.Mosaic(snps, samples, popsim.MosaicConfig{Seed: 1})
+	if err != nil {
+		return err
+	}
+	c := make([]uint32, snps*snps)
+	// Syrk fills the upper triangle: n(n+1)/2 SNP pairs, Words words each.
+	triangle := float64(snps) * float64(snps+1) / 2 * float64(g.Words)
+	full := float64(snps) * float64(snps) * float64(g.Words)
+
+	clear(c)
+	start := time.Now()
+	if err := blis.Reference(g, g, c, snps); err != nil {
+		return err
+	}
+	refRate := full / time.Since(start).Seconds()
+
+	rep := benchReport{
+		SNPs: snps, Samples: samples, Words: g.Words,
+		ReferenceTriplesPerSec: refRate,
+	}
+	for _, t := range threads {
+		clear(c)
+		start := time.Now()
+		if err := blis.Syrk(blis.Config{Threads: t}, g, c, snps, false); err != nil {
+			return err
+		}
+		rate := triangle / time.Since(start).Seconds()
+		rep.Runs = append(rep.Runs, benchRun{
+			Threads: t, TriplesPerSec: rate, SpeedupVsReference: rate / refRate,
+		})
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "ldbench: wrote %s (%d×%d, %d thread points)\n",
+		path, snps, samples, len(threads))
+	return nil
 }
 
 func parseThreads(s string) ([]int, error) {

@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -32,6 +35,37 @@ func TestLdbenchNoExperiment(t *testing.T) {
 	}
 	if !strings.Contains(errBuf.String(), "usage: ldbench") {
 		t.Fatal("usage not printed")
+	}
+}
+
+func TestLdbenchJSONBenchmark(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_ld.json")
+	var out, errBuf bytes.Buffer
+	// -json with no experiments is a pure benchmark run.
+	if err := run([]string{"-scale", "64", "-threads", "1,2", "-json", path}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep benchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.SNPs < 64 || rep.Samples < 128 || rep.Words < 1 {
+		t.Fatalf("implausible shape %+v", rep)
+	}
+	if rep.ReferenceTriplesPerSec <= 0 {
+		t.Fatalf("reference rate %v", rep.ReferenceTriplesPerSec)
+	}
+	if len(rep.Runs) != 2 || rep.Runs[0].Threads != 1 || rep.Runs[1].Threads != 2 {
+		t.Fatalf("runs %+v", rep.Runs)
+	}
+	for _, r := range rep.Runs {
+		if r.TriplesPerSec <= 0 || r.SpeedupVsReference <= 0 {
+			t.Fatalf("implausible run %+v", r)
+		}
 	}
 }
 

@@ -50,6 +50,7 @@ func setup(args []string, stderr io.Writer) (http.Handler, string, error) {
 	addr := fs.String("addr", ":8080", "listen address")
 	maxRegion := fs.Int("max-region", 512, "cap on dense region width")
 	threads := fs.Int("threads", 0, "LD kernel threads (0 = GOMAXPROCS)")
+	chunk := fs.Int("chunk", 0, "parallel-driver chunk granularity in micro-tiles (0 = derived)")
 	if err := fs.Parse(args); err != nil {
 		return nil, "", err
 	}
@@ -63,7 +64,9 @@ func setup(args []string, stderr io.Writer) (http.Handler, string, error) {
 	}
 	fmt.Fprintf(stderr, "ldserver: loaded %d SNPs × %d sequences; listening on %s\n",
 		g.SNPs, g.Samples, *addr)
-	return server.New(g, server.Config{MaxRegionSNPs: *maxRegion, Threads: *threads}), *addr, nil
+	return server.New(g, server.Config{
+		MaxRegionSNPs: *maxRegion, Threads: *threads, ChunkTiles: *chunk,
+	}), *addr, nil
 }
 
 func load(path string) (*bitmat.Matrix, error) {

@@ -9,18 +9,23 @@
 // KC-deep slabs (loop 4, the rank-k updates that the paper notes genomic
 // matrices already have the right shape for), the m dimension into MC-tall
 // row blocks (loop 3), and each block-panel multiplication is swept by the
-// register-blocked micro-kernel (loops 2 and 1). B blocks are packed once
-// per (jc, pc) slab and shared by all workers; each worker packs its own A
-// block. Fringe tiles are handled by zero-padding panels to full MR/NR and
-// scattering through a scratch tile, so the micro-kernel never reads or
-// writes out of bounds.
+// register-blocked micro-kernel (loops 2 and 1). Fringe tiles are handled
+// by zero-padding panels to full MR/NR and scattering through a scratch
+// tile, so the micro-kernel never reads or writes out of bounds.
+//
+// Parallel execution uses a persistent worker pool per call: B-slab
+// packing is a parallel phase, compute work is distributed as fine-grained
+// tile-range chunks (cost-balanced under the SYRK triangle), successive
+// KC slab groups are pipelined through a double buffer, and pack buffers
+// are recycled across calls through a pooled arena. See parallel.go and
+// pool.go.
 package blis
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
-	"sync/atomic"
 
 	"ldgemm/internal/bitmat"
 	"ldgemm/internal/kernel"
@@ -36,6 +41,12 @@ type Config struct {
 	Kernel kernel.Kernel
 	// Threads is the number of worker goroutines (GOMAXPROCS if 0).
 	Threads int
+	// ChunkTiles is the work-queue granularity of the parallel driver:
+	// the target number of micro-tiles per scheduler chunk. 0 derives it
+	// from the workload and thread count (tiles per column block divided
+	// by 4·Threads). Smaller chunks balance the triangular SYRK workload
+	// better at the cost of more queue traffic.
+	ChunkTiles int
 }
 
 // DefaultConfig returns blocking parameters sized for common x86 cache
@@ -68,7 +79,7 @@ func (c Config) normalize() (Config, error) {
 	if c.Threads == 0 {
 		c.Threads = runtime.GOMAXPROCS(0)
 	}
-	if c.MC < 1 || c.NC < 1 || c.KC < 1 || c.Threads < 1 {
+	if c.MC < 1 || c.NC < 1 || c.KC < 1 || c.Threads < 1 || c.ChunkTiles < 0 {
 		return c, fmt.Errorf("blis: invalid config %+v", c)
 	}
 	if c.Kernel.MR < 1 || c.Kernel.NR < 1 {
@@ -119,19 +130,89 @@ func Syrk(cfg Config, a *bitmat.Matrix, c []uint32, ldc int, mirror bool) error 
 		return err
 	}
 	if mirror {
-		Mirror(c, a.SNPs, ldc)
+		mirrorThreads(c, a.SNPs, ldc, cfg.Threads)
 	}
 	return nil
 }
 
 // Mirror copies the strict upper triangle of an n×n matrix onto the strict
-// lower triangle.
+// lower triangle. Large matrices are mirrored in parallel (up to
+// GOMAXPROCS goroutines); use Syrk's mirror argument to bound the
+// parallelism by Config.Threads instead.
 func Mirror(c []uint32, n, ldc int) {
-	for i := 1; i < n; i++ {
-		for j := 0; j < i; j++ {
-			c[i*ldc+j] = c[j*ldc+i]
+	mirrorThreads(c, n, ldc, runtime.GOMAXPROCS(0))
+}
+
+func mirrorThreads(c []uint32, n, ldc, threads int) {
+	forEachTriangleSpan(n, threads, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for j := 0; j < i; j++ {
+				c[i*ldc+j] = c[j*ldc+i]
+			}
 		}
+	})
+}
+
+// mirrorParallelMin is the matrix order below which mirroring runs on the
+// calling goroutine: an n² pointer-chase over less than ~a megabyte is
+// cheaper than any fork/join.
+const mirrorParallelMin = 512
+
+// forEachTriangleSpan partitions rows [1, n) into at most parts contiguous
+// spans of roughly equal strict-lower-triangle area (row i holds i cells,
+// so span boundaries follow a square-root law) and runs fn on each span,
+// concurrently when it helps.
+func forEachTriangleSpan(n, parts int, fn func(lo, hi int)) {
+	if n < 2 {
+		return
 	}
+	if parts > n-1 {
+		parts = n - 1
+	}
+	if parts <= 1 || n < mirrorParallelMin {
+		fn(1, n)
+		return
+	}
+	spans := make([][2]int, 0, parts)
+	lo := 1
+	for p := 1; p <= parts && lo < n; p++ {
+		hi := n
+		if p < parts {
+			// Rows [1, hi) hold hi(hi−1)/2 ≈ hi²/2 of the n(n−1)/2 total;
+			// give each span an equal share of the area.
+			hi = isqrt(int64(n) * int64(n-1) * int64(p) / int64(parts))
+			if hi <= lo {
+				hi = lo + 1
+			}
+			if hi > n {
+				hi = n
+			}
+		}
+		spans = append(spans, [2]int{lo, hi})
+		lo = hi
+	}
+	var wg sync.WaitGroup
+	for _, sp := range spans[1:] {
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(sp[0], sp[1])
+	}
+	fn(spans[0][0], spans[0][1])
+	wg.Wait()
+}
+
+// isqrt returns ⌊√x⌋ for non-negative x.
+func isqrt(x int64) int {
+	r := int64(math.Sqrt(float64(x)))
+	for r*r > x {
+		r--
+	}
+	for (r+1)*(r+1) <= x {
+		r++
+	}
+	return int(r)
 }
 
 func checkC(m, n int, c []uint32, ldc int) error {
@@ -144,132 +225,41 @@ func checkC(m, n int, c []uint32, ldc int) error {
 	return nil
 }
 
-// drive runs the five-loop blocked multiplication. With syrk set, (ic, jc)
-// row blocks entirely below the current column block are skipped.
+// drive instantiates the slab-pipelined parallel driver (parallel.go) for
+// the plain count kernel. With syrk set, register tiles strictly below the
+// diagonal are skipped and — when the column block spans the whole matrix
+// and the register tile is square — the packed B slab doubles as the
+// packed A panels.
 func drive(cfg Config, a, b *bitmat.Matrix, c []uint32, ldc int, syrk bool) error {
-	m, n, kw := a.SNPs, b.SNPs, a.Words
-	if m == 0 || n == 0 {
-		return nil
-	}
-	if kw == 0 {
-		return nil // zero samples: all counts stay zero
-	}
-	mr, nr := cfg.Kernel.MR, cfg.Kernel.NR
-	// Buffers are sized by the *effective* slab depth, not the nominal
-	// KC: small-k problems (few words per SNP) must not pay a KC-sized
-	// allocation.
-	kcMax := min(cfg.KC, kw)
-
-	// One packed-B slab shared by all workers, repacked per (jc, pc).
-	nc0 := min(cfg.NC, n)
-	// Round the panel count up so fringe packing has room.
-	bpanels := (nc0 + nr - 1) / nr
-	bpack := make([]uint64, bpanels*nr*kcMax)
-
-	workers := cfg.Threads
-	type job struct{ ic, mc int }
-	var (
-		wg     sync.WaitGroup
-		cursor atomic.Int64
-		jobs   []job
-	)
-	apacks := make([][]uint64, workers)
-	tiles := make([][]uint32, workers)
-	for w := range apacks {
-		apanels := (min(cfg.MC, m) + mr - 1) / mr
-		apacks[w] = make([]uint64, apanels*mr*kcMax)
-		tiles[w] = make([]uint32, mr*nr)
-	}
-
-	for jc := 0; jc < n; jc += cfg.NC {
-		nc := min(cfg.NC, n-jc)
-		// Row blocks for this column block. Under syrk, a row block is
-		// needed only if it intersects or precedes the column block's
-		// upper-triangle span: skip when ic >= jc+nc ⇒ every (i,j) in the
-		// block has i > j.
-		jobs = jobs[:0]
-		for ic := 0; ic < m; ic += cfg.MC {
-			if syrk && ic >= jc+nc {
-				continue
-			}
-			jobs = append(jobs, job{ic, min(cfg.MC, m-ic)})
-		}
-		if len(jobs) == 0 {
-			continue
-		}
-		for pc := 0; pc < kw; pc += cfg.KC {
-			kc := min(cfg.KC, kw-pc)
-			// Pack the B slab once.
-			packB(cfg, b, bpack, kcMax, jc, nc, pc, kc)
-
-			cursor.Store(0)
-			nw := min(workers, len(jobs))
-			wg.Add(nw)
-			for w := 0; w < nw; w++ {
-				go func(w int) {
-					defer wg.Done()
-					for {
-						idx := int(cursor.Add(1)) - 1
-						if idx >= len(jobs) {
-							return
-						}
-						jb := jobs[idx]
-						runBlock(cfg, a, kcMax, jb.ic, jb.mc, jc, nc, pc, kc,
-							apacks[w], bpack, tiles[w], c, ldc, syrk)
-					}
-				}(w)
-			}
-			wg.Wait()
-		}
-	}
-	return nil
-}
-
-// packB packs the (jc, pc) slab of B into nr-wide interleaved panels with
-// panel stride nr·kcMax.
-func packB(cfg Config, b *bitmat.Matrix, bpack []uint64, kcMax, jc, nc, pc, kc int) {
-	nr := cfg.Kernel.NR
-	for jr := 0; jr < nc; jr += nr {
-		pw := bpack[(jr/nr)*nr*kcMax:]
-		kernel.PackPanel(pw, b, jc+jr, min(nr, nc-jr), nr, pc, kc)
-	}
-}
-
-// runBlock packs one MC×KC block of A and sweeps it against the packed B
-// slab with the micro-kernel (loops 2 and 1 of the BLIS structure).
-func runBlock(cfg Config, a *bitmat.Matrix, kcMax, ic, mc, jc, nc, pc, kc int,
-	apack, bpack []uint64, tile []uint32, c []uint32, ldc int, syrk bool) {
-	mr, nr := cfg.Kernel.MR, cfg.Kernel.NR
-	for ir := 0; ir < mc; ir += mr {
-		kernel.PackPanel(apack[(ir/mr)*mr*kcMax:], a, ic+ir, min(mr, mc-ir), mr, pc, kc)
-	}
-	for jr := 0; jr < nc; jr += nr {
-		bw := bpack[(jr/nr)*nr*kcMax : (jr/nr)*nr*kcMax+kc*nr]
-		for ir := 0; ir < mc; ir += mr {
-			i0, j0 := ic+ir, jc+jr
-			// Under syrk, skip register tiles strictly below the diagonal.
-			if syrk && i0 >= j0+nr {
-				continue
-			}
-			aw := apack[(ir/mr)*mr*kcMax : (ir/mr)*mr*kcMax+kc*mr]
-			mm, nn := min(mr, mc-ir), min(nr, nc-jr)
-			if mm == mr && nn == nr {
-				cfg.Kernel.Fn(kc, aw, bw, c[i0*ldc+j0:], ldc)
-				continue
-			}
-			// Fringe tile: compute into scratch, scatter the valid region.
+	k := cfg.Kernel
+	mr, nr := k.MR, k.NR
+	ops := tileOps{
+		mr: mr, nr: nr, stride: 1, cells: 1,
+		shareable: a == b && mr == nr,
+		packA: func(dst []uint64, snp, count, pc, kc int) {
+			kernel.PackPanel(dst, a, snp, count, mr, pc, kc)
+		},
+		packB: func(dst []uint64, snp, count, pc, kc int) {
+			kernel.PackPanel(dst, b, snp, count, nr, pc, kc)
+		},
+		full: func(kc int, aw, bw []uint64, c []uint32, i0, j0, ldc int) {
+			k.Fn(kc, aw, bw, c[i0*ldc+j0:], ldc)
+		},
+		fringe: func(kc int, aw, bw []uint64, tile, c []uint32, i0, j0, mm, nn, ldc int) {
+			// Compute into scratch, scatter the valid region.
 			for t := range tile {
 				tile[t] = 0
 			}
-			cfg.Kernel.Fn(kc, aw, bw, tile, nr)
+			k.Fn(kc, aw, bw, tile, nr)
 			for i := 0; i < mm; i++ {
 				row := c[(i0+i)*ldc+j0:]
 				for j := 0; j < nn; j++ {
 					row[j] += tile[i*nr+j]
 				}
 			}
-		}
+		},
 	}
+	return driveTiles(cfg, ops, a.SNPs, b.SNPs, a.Words, c, ldc, syrk)
 }
 
 // Reference computes the count matrix with plain per-pair word loops; it is

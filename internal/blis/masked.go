@@ -2,8 +2,7 @@ package blis
 
 import (
 	"fmt"
-	"sync"
-	"sync/atomic"
+	"runtime"
 
 	"ldgemm/internal/bitmat"
 	"ldgemm/internal/kernel"
@@ -69,106 +68,41 @@ func MaskedSyrk(cfg Config, a *bitmat.Matrix, ka *bitmat.Mask, c []uint32, ldc i
 // MirrorMasked copies the strict upper triangle of an n×n four-count
 // matrix onto the strict lower triangle, swapping the per-SNP counts so
 // that cell (j, i) reads correctly: MaskedI and MaskedJ exchange roles.
+// Large matrices are mirrored in parallel, like Mirror.
 func MirrorMasked(c []uint32, n, ldc int) {
-	for i := 1; i < n; i++ {
-		for j := 0; j < i; j++ {
-			src := c[(j*ldc+i)*4:]
-			dst := c[(i*ldc+j)*4:]
-			dst[kernel.MaskedValid] = src[kernel.MaskedValid]
-			dst[kernel.MaskedI] = src[kernel.MaskedJ]
-			dst[kernel.MaskedJ] = src[kernel.MaskedI]
-			dst[kernel.MaskedIJ] = src[kernel.MaskedIJ]
+	forEachTriangleSpan(n, runtime.GOMAXPROCS(0), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for j := 0; j < i; j++ {
+				src := c[(j*ldc+i)*4:]
+				dst := c[(i*ldc+j)*4:]
+				dst[kernel.MaskedValid] = src[kernel.MaskedValid]
+				dst[kernel.MaskedI] = src[kernel.MaskedJ]
+				dst[kernel.MaskedJ] = src[kernel.MaskedI]
+				dst[kernel.MaskedIJ] = src[kernel.MaskedIJ]
+			}
 		}
-	}
+	})
 }
 
+// driveMasked instantiates the slab-pipelined parallel driver (parallel.go)
+// for the fused masked kernel: panels interleave (value, mask) word pairs
+// and every C entry is the four Section VII counts.
 func driveMasked(cfg Config, a, b *bitmat.Matrix, ka, kb *bitmat.Mask, c []uint32, ldc int, syrk bool) error {
 	mk := kernel.Masked2x2()
-	m, n, kw := a.SNPs, b.SNPs, a.Words
-	if m == 0 || n == 0 || kw == 0 {
-		return nil
-	}
 	mr, nr := mk.MR, mk.NR
-	kcMax := min(cfg.KC, kw)
-
-	nc0 := min(cfg.NC, n)
-	bpanels := (nc0 + nr - 1) / nr
-	bpack := make([]uint64, bpanels*nr*kcMax*2)
-
-	workers := cfg.Threads
-	type job struct{ ic, mc int }
-	var (
-		wg     sync.WaitGroup
-		cursor atomic.Int64
-		jobs   []job
-	)
-	apacks := make([][]uint64, workers)
-	tiles := make([][]uint32, workers)
-	for w := range apacks {
-		apanels := (min(cfg.MC, m) + mr - 1) / mr
-		apacks[w] = make([]uint64, apanels*mr*kcMax*2)
-		tiles[w] = make([]uint32, mr*nr*4)
-	}
-
-	for jc := 0; jc < n; jc += cfg.NC {
-		nc := min(cfg.NC, n-jc)
-		jobs = jobs[:0]
-		for ic := 0; ic < m; ic += cfg.MC {
-			if syrk && ic >= jc+nc {
-				continue
-			}
-			jobs = append(jobs, job{ic, min(cfg.MC, m-ic)})
-		}
-		if len(jobs) == 0 {
-			continue
-		}
-		for pc := 0; pc < kw; pc += cfg.KC {
-			kc := min(cfg.KC, kw-pc)
-			for jr := 0; jr < nc; jr += nr {
-				kernel.PackMaskedPanel(bpack[(jr/nr)*nr*kcMax*2:], b, kb, jc+jr, min(nr, nc-jr), nr, pc, kc)
-			}
-			cursor.Store(0)
-			nw := min(workers, len(jobs))
-			wg.Add(nw)
-			for w := 0; w < nw; w++ {
-				go func(w int) {
-					defer wg.Done()
-					for {
-						idx := int(cursor.Add(1)) - 1
-						if idx >= len(jobs) {
-							return
-						}
-						jb := jobs[idx]
-						runMaskedBlock(cfg, mk, kcMax, a, ka, jb.ic, jb.mc, jc, nc, pc, kc,
-							apacks[w], bpack, tiles[w], c, ldc, syrk)
-					}
-				}(w)
-			}
-			wg.Wait()
-		}
-	}
-	return nil
-}
-
-func runMaskedBlock(cfg Config, mk kernel.MaskedKernel, kcMax int, a *bitmat.Matrix, ka *bitmat.Mask,
-	ic, mc, jc, nc, pc, kc int, apack, bpack []uint64, tile []uint32, c []uint32, ldc int, syrk bool) {
-	mr, nr := mk.MR, mk.NR
-	for ir := 0; ir < mc; ir += mr {
-		kernel.PackMaskedPanel(apack[(ir/mr)*mr*kcMax*2:], a, ka, ic+ir, min(mr, mc-ir), mr, pc, kc)
-	}
-	for jr := 0; jr < nc; jr += nr {
-		bw := bpack[(jr/nr)*nr*kcMax*2 : (jr/nr)*nr*kcMax*2+kc*nr*2]
-		for ir := 0; ir < mc; ir += mr {
-			i0, j0 := ic+ir, jc+jr
-			if syrk && i0 >= j0+nr {
-				continue
-			}
-			aw := apack[(ir/mr)*mr*kcMax*2 : (ir/mr)*mr*kcMax*2+kc*mr*2]
-			mm, nn := min(mr, mc-ir), min(nr, nc-jr)
-			if mm == mr && nn == nr {
-				mk.Fn(kc, aw, bw, c[(i0*ldc+j0)*4:], ldc)
-				continue
-			}
+	ops := tileOps{
+		mr: mr, nr: nr, stride: 2, cells: 4,
+		shareable: a == b && ka == kb && mr == nr,
+		packA: func(dst []uint64, snp, count, pc, kc int) {
+			kernel.PackMaskedPanel(dst, a, ka, snp, count, mr, pc, kc)
+		},
+		packB: func(dst []uint64, snp, count, pc, kc int) {
+			kernel.PackMaskedPanel(dst, b, kb, snp, count, nr, pc, kc)
+		},
+		full: func(kc int, aw, bw []uint64, c []uint32, i0, j0, ldc int) {
+			mk.Fn(kc, aw, bw, c[(i0*ldc+j0)*4:], ldc)
+		},
+		fringe: func(kc int, aw, bw []uint64, tile, c []uint32, i0, j0, mm, nn, ldc int) {
 			for t := range tile {
 				tile[t] = 0
 			}
@@ -182,8 +116,9 @@ func runMaskedBlock(cfg Config, mk kernel.MaskedKernel, kcMax int, a *bitmat.Mat
 					}
 				}
 			}
-		}
+		},
 	}
+	return driveTiles(cfg, ops, a.SNPs, b.SNPs, a.Words, c, ldc, syrk)
 }
 
 // MaskedReference computes the four counts with plain loops; oracle for the

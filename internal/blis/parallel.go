@@ -1,0 +1,291 @@
+package blis
+
+// The slab-pipelined parallel driver. Both the plain and the masked
+// five-loop drivers are instances of the same structure, differing only in
+// panel layout (one word per (SNP, sample-word) versus interleaved
+// (value, mask) pairs), micro-kernel, and C-cell width (1 count versus the
+// four Section VII counts). tileOps captures those differences so drive
+// logic — blocking, packing, scheduling, the triangle skip — lives here
+// once.
+//
+// Scheduling replaces the original fork/join-per-slab design:
+//
+//   - Workers are persistent for the whole call (workerPool) and pull
+//     fine-grained tile-range jobs from an atomic cursor instead of whole
+//     MC row blocks, so the triangular SYRK workload stays balanced.
+//   - B-slab packing is itself a parallel phase over (slab, panel) pairs.
+//   - Slabs are processed in groups sized to a packing budget; while a
+//     group is being computed, the next group's B panels are packed into
+//     the other half of a double buffer by the same job queue, so there is
+//     a single wait per slab group rather than a pack barrier plus a
+//     compute barrier per slab.
+//   - Under SYRK with a square register tile, the packed B slab of a
+//     column block that spans the whole matrix is byte-identical to the
+//     packed A slab, so A packing is skipped entirely and the micro-kernel
+//     reads both panels out of the shared B buffer.
+
+// tileOps specializes the unified driver for one kernel family.
+type tileOps struct {
+	mr, nr int
+	// stride is packed uint64 words per (SNP, sample-word): 1 for the
+	// plain kernel, 2 for the masked (value, mask) layout.
+	stride int
+	// cells is uint32 outputs per C entry: 1 plain, 4 masked.
+	cells int
+	// shareable reports that A and B are the same matrix with a square
+	// register tile, so packed row panels equal packed column panels.
+	shareable bool
+	// packA/packB pack one micro-panel over the word range [pc, pc+kc).
+	packA func(dst []uint64, snp, count, pc, kc int)
+	packB func(dst []uint64, snp, count, pc, kc int)
+	// full applies the micro-kernel to a full tile at (i0, j0) in C.
+	full func(kc int, aw, bw []uint64, c []uint32, i0, j0, ldc int)
+	// fringe computes a partial mm×nn tile through the scratch tile.
+	fringe func(kc int, aw, bw []uint64, tile, c []uint32, i0, j0, mm, nn, ldc int)
+}
+
+// tileJob is one scheduler chunk: micro-tile columns [jr0, jr1) of row
+// block [ic, ic+mc), across every slab of the current slab group. Chunk
+// boundaries are cost-adapted (see buildTileJobs) so jobs near the SYRK
+// diagonal, which hold fewer active tiles, cover more columns.
+type tileJob struct {
+	ic, mc, jr0, jr1 int
+}
+
+// maxGroupWords bounds the packed-B storage of one slab group (4 Mi words
+// = 32 MiB); it controls how many KC-deep slabs are packed per phase.
+const maxGroupWords = 4 << 20
+
+// chunksPerWorker is the default work-queue overpartition factor: the
+// target chunk cost is totalTiles/(workers·chunksPerWorker) unless
+// Config.ChunkTiles overrides it.
+const chunksPerWorker = 4
+
+func roundUp(x, m int) int { return (x + m - 1) / m * m }
+
+// activeTiles counts the micro-tiles of micro-column jr within row block
+// [ic, ic+mc) that survive the SYRK triangle skip (i0 < j0+nr).
+func activeTiles(ic, mc, jc, jr, mr, nr int, syrk bool) int {
+	apanels := (mc + mr - 1) / mr
+	if !syrk {
+		return apanels
+	}
+	span := jc + jr + nr - ic
+	if span <= 0 {
+		return 0
+	}
+	if span > mc {
+		span = mc
+	}
+	return (span + mr - 1) / mr
+}
+
+// buildTileJobs chunks the active micro-tiles of column block [jc, jc+nc)
+// into jobs of roughly target cost each, appending to jobs.
+func buildTileJobs(jobs []tileJob, m, jc, nc, mcBlk, mr, nr, target int, syrk bool) []tileJob {
+	if target < 1 {
+		target = 1
+	}
+	for ic := 0; ic < m; ic += mcBlk {
+		mc := min(mcBlk, m-ic)
+		cur := tileJob{ic: ic, mc: mc, jr0: -1}
+		acc := 0
+		for jr := 0; jr < nc; jr += nr {
+			t := activeTiles(ic, mc, jc, jr, mr, nr, syrk)
+			if t == 0 {
+				continue // tiles activate monotonically in jr
+			}
+			if cur.jr0 < 0 {
+				cur.jr0 = jr
+			}
+			acc += t
+			if acc >= target {
+				cur.jr1 = jr + nr
+				jobs = append(jobs, cur)
+				cur = tileJob{ic: ic, mc: mc, jr0: -1}
+				acc = 0
+			}
+		}
+		if cur.jr0 >= 0 {
+			cur.jr1 = nc
+			jobs = append(jobs, cur)
+		}
+	}
+	return jobs
+}
+
+// countTiles sums the active micro-tiles of one column block.
+func countTiles(m, jc, nc, mcBlk, mr, nr int, syrk bool) int {
+	total := 0
+	for ic := 0; ic < m; ic += mcBlk {
+		mc := min(mcBlk, m-ic)
+		for jr := 0; jr < nc; jr += nr {
+			total += activeTiles(ic, mc, jc, jr, mr, nr, syrk)
+		}
+	}
+	return total
+}
+
+// tileDriver carries the per-call invariants of driveTiles.
+type tileDriver struct {
+	cfg       Config
+	ops       tileOps
+	m, n, kw  int
+	c         []uint32
+	ldc       int
+	syrk      bool
+	mcBlk     int
+	kcMax     int
+	slabWords int // packed words of one slab at the widest column block
+	apanelLen int // packed words of one A micro-panel per slab
+}
+
+// driveTiles runs the five-loop blocked multiplication for any tileOps.
+func driveTiles(cfg Config, ops tileOps, m, n, kw int, c []uint32, ldc int, syrk bool) error {
+	if m == 0 || n == 0 || kw == 0 {
+		return nil
+	}
+	mr, nr := ops.mr, ops.nr
+	// Row and column blocks are rounded to whole micro-tiles so block
+	// boundaries always align with panel boundaries (required for the
+	// SYRK pack-sharing path, and harmless otherwise).
+	mcBlk := roundUp(max(cfg.MC, mr), mr)
+	ncBlk := roundUp(max(cfg.NC, nr), nr)
+	kcMax := min(cfg.KC, kw)
+	nslabs := (kw + cfg.KC - 1) / cfg.KC
+
+	bpanelsMax := (min(ncBlk, roundUp(n, nr)) + nr - 1) / nr
+	slabWords := bpanelsMax * nr * kcMax * ops.stride
+	group := max(1, min(maxGroupWords/slabWords, nslabs))
+	ngroups := (nslabs + group - 1) / group
+	nbufs := 1
+	if ngroups > 1 {
+		nbufs = 2 // double buffer: pack group g+1 while computing group g
+	}
+
+	workers := cfg.Threads
+	// When every column block can share the packed B slab as A panels, no
+	// worker ever packs an A block.
+	allShare := ops.shareable && syrk && n <= ncBlk && m == n
+	apanelLen := mr * kcMax * ops.stride
+	apackWords := 0
+	if !allShare {
+		apackWords = (mcBlk / mr) * apanelLen * group
+	}
+
+	ar := getArena()
+	defer ar.release()
+	ar.prepare(workers, nbufs*group*slabWords, apackWords, mr*nr*ops.cells)
+	bpack := ar.bpack
+
+	pool := newWorkerPool(workers)
+	defer pool.close()
+
+	d := &tileDriver{
+		cfg: cfg, ops: ops, m: m, n: n, kw: kw, c: c, ldc: ldc, syrk: syrk,
+		mcBlk: mcBlk, kcMax: kcMax, slabWords: slabWords, apanelLen: apanelLen,
+	}
+
+	var jobs []tileJob
+	for jc := 0; jc < n; jc += ncBlk {
+		nc := min(ncBlk, n-jc)
+		target := cfg.ChunkTiles
+		if target == 0 {
+			target = countTiles(m, jc, nc, mcBlk, mr, nr, syrk) / (workers * chunksPerWorker)
+		}
+		jobs = buildTileJobs(jobs[:0], m, jc, nc, mcBlk, mr, nr, target, syrk)
+		if len(jobs) == 0 {
+			continue
+		}
+		bpanels := (nc + nr - 1) / nr
+		share := ops.shareable && syrk && jc == 0 && nc == n && m == n
+
+		// packGroup returns the job count and job body that pack every B
+		// panel of slab group gi into its half of the double buffer.
+		packGroup := func(gi int) (int, func(worker, job int)) {
+			pg := gi * group * cfg.KC
+			gs := min(group, nslabs-gi*group)
+			buf := bpack[(gi%nbufs)*group*slabWords:]
+			return gs * bpanels, func(_, idx int) {
+				s, p := idx/bpanels, idx%bpanels
+				pc := pg + s*cfg.KC
+				kc := min(cfg.KC, d.kw-pc)
+				dst := buf[s*slabWords+p*nr*kcMax*ops.stride:]
+				ops.packB(dst, jc+p*nr, min(nr, nc-p*nr), pc, kc)
+			}
+		}
+
+		np, prun := packGroup(0)
+		pool.do(np, prun)
+		for gi := 0; gi < ngroups; gi++ {
+			pg := gi * group * cfg.KC
+			gs := min(group, nslabs-gi*group)
+			buf := bpack[(gi%nbufs)*group*slabWords:]
+			nextN := 0
+			var nextRun func(worker, job int)
+			if gi+1 < ngroups {
+				nextN, nextRun = packGroup(gi + 1)
+			}
+			// One queue, one wait: the next group's pack jobs ride ahead
+			// of this group's compute jobs (they touch disjoint buffers).
+			pool.do(nextN+len(jobs), func(w, idx int) {
+				if idx < nextN {
+					nextRun(w, idx)
+					return
+				}
+				d.runJob(ar.ws[w], jobs[idx-nextN], jc, nc, pg, gs, buf, share)
+			})
+		}
+	}
+	return nil
+}
+
+// runJob computes one tile-range chunk over every slab of the current
+// group. Unless the SYRK pack-sharing path is active, the worker lazily
+// packs (and memoizes) the A panels of the job's row block first.
+func (d *tileDriver) runJob(st *tileWorker, jb tileJob, jc, nc, pg, gs int, buf []uint64, share bool) {
+	ops := &d.ops
+	mr, nr := ops.mr, ops.nr
+	apanels := (jb.mc + mr - 1) / mr
+	if !share && (st.lastIC != jb.ic || st.lastPG != pg) {
+		for s := 0; s < gs; s++ {
+			pc := pg + s*d.cfg.KC
+			kc := min(d.cfg.KC, d.kw-pc)
+			base := s * apanels * d.apanelLen
+			for ir := 0; ir < jb.mc; ir += mr {
+				ops.packA(st.apack[base+(ir/mr)*d.apanelLen:], jb.ic+ir, min(mr, jb.mc-ir), pc, kc)
+			}
+		}
+		st.lastIC, st.lastPG = jb.ic, pg
+	}
+	panelB := nr * d.kcMax * ops.stride
+	for s := 0; s < gs; s++ {
+		pc := pg + s*d.cfg.KC
+		kc := min(d.cfg.KC, d.kw-pc)
+		sbase := s * d.slabWords
+		abase := s * apanels * d.apanelLen
+		for jr := jb.jr0; jr < jb.jr1; jr += nr {
+			j0 := jc + jr
+			bw := buf[sbase+(jr/nr)*panelB:][:kc*nr*ops.stride]
+			nn := min(nr, nc-jr)
+			for ir := 0; ir < jb.mc; ir += mr {
+				i0 := jb.ic + ir
+				if d.syrk && i0 >= j0+nr {
+					break // rows only sink further below the diagonal
+				}
+				var aw []uint64
+				if share {
+					aw = buf[sbase+(i0/mr)*panelB:][:kc*mr*ops.stride]
+				} else {
+					aw = st.apack[abase+(ir/mr)*d.apanelLen:][:kc*mr*ops.stride]
+				}
+				mm := min(mr, jb.mc-ir)
+				if mm == mr && nn == nr {
+					ops.full(kc, aw, bw, d.c, i0, j0, d.ldc)
+				} else {
+					ops.fringe(kc, aw, bw, st.tile, d.c, i0, j0, mm, nn, d.ldc)
+				}
+			}
+		}
+	}
+}

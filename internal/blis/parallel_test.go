@@ -1,0 +1,296 @@
+package blis
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// adversarialConfigs exercises the parallel driver at scheduling extremes:
+// blocks smaller than a micro-tile, single-slab and many-slab k, more
+// threads than jobs, and forced chunk granularities.
+func adversarialConfigs() []Config {
+	return []Config{
+		{},
+		{MC: 1, NC: 1, KC: 1},
+		{MC: 5, NC: 7, KC: 3, Threads: 7},
+		{MC: 8, NC: 8, KC: 2, Threads: 3, ChunkTiles: 1},
+		{MC: 64, NC: 16, KC: 4, Threads: 2, ChunkTiles: 1000},
+		{MC: 16, NC: 4096, KC: 8, Threads: 5},
+		{Threads: 13, ChunkTiles: 2},
+	}
+}
+
+// adversarialShapes holds (m, n, samples) triples around the MR/NR/KC
+// boundaries: sub-tile matrices, fringe-only tiles, and shapes large
+// enough to cross block boundaries.
+var adversarialShapes = [][3]int{
+	{1, 1, 1},
+	{1, 3, 64},
+	{3, 1, 65},
+	{2, 2, 63},
+	{5, 5, 200},
+	{7, 13, 129},
+	{17, 9, 320},
+	{33, 47, 500},
+	{65, 64, 1000},
+}
+
+func TestGemmAdversarialCrossCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, sh := range adversarialShapes {
+		m, n, samples := sh[0], sh[1], sh[2]
+		a := randomMatrix(rng, m, samples)
+		b := randomMatrix(rng, n, samples)
+		ldc := n + rng.Intn(3) // exercise ldc > n too
+		want := make([]uint32, m*ldc)
+		if err := Reference(a, b, want, ldc); err != nil {
+			t.Fatal(err)
+		}
+		for ci, cfg := range adversarialConfigs() {
+			got := make([]uint32, m*ldc)
+			if err := Gemm(cfg, a, b, got, ldc); err != nil {
+				t.Fatalf("shape %v cfg %d: %v", sh, ci, err)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("shape %v cfg %d: mismatch at %d: %d != %d",
+						sh, ci, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestSyrkAdversarialCrossCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for _, sh := range adversarialShapes {
+		n, samples := sh[0]+sh[1], sh[2]
+		g := randomMatrix(rng, n, samples)
+		want := make([]uint32, n*n)
+		if err := Reference(g, g, want, n); err != nil {
+			t.Fatal(err)
+		}
+		for ci, cfg := range adversarialConfigs() {
+			got := make([]uint32, n*n)
+			if err := Syrk(cfg, g, got, n, true); err != nil {
+				t.Fatalf("n=%d cfg %d: %v", n, ci, err)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d cfg %d: mismatch at %d: %d != %d",
+						n, ci, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestMaskedAdversarialCrossCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for _, sh := range [][3]int{{1, 1, 1}, {2, 3, 64}, {3, 2, 65}, {7, 5, 200}, {17, 19, 320}} {
+		m, n, samples := sh[0], sh[1], sh[2]
+		a, ka := randomMasked(rng, m, samples)
+		b, kb := randomMasked(rng, n, samples)
+		want := make([]uint32, m*n*4)
+		if err := MaskedReference(a, b, ka, kb, want, n); err != nil {
+			t.Fatal(err)
+		}
+		for ci, cfg := range adversarialConfigs() {
+			got := make([]uint32, m*n*4)
+			if err := MaskedGemm(cfg, a, b, ka, kb, got, n); err != nil {
+				t.Fatalf("shape %v cfg %d: %v", sh, ci, err)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("shape %v cfg %d: mismatch at %d", sh, ci, i)
+				}
+			}
+		}
+	}
+}
+
+// TestConcurrentSyrkSharedArena drives many simultaneous Syrk and
+// MaskedSyrk calls, all drawing pack buffers from the shared arena pool —
+// the -race exercise for the pooled-arena path (the HTTP server computes
+// a region per request this way).
+func TestConcurrentSyrkSharedArena(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	n, samples := 70, 400
+	g := randomMatrix(rng, n, samples)
+	mg, mk := randomMasked(rng, n, samples)
+	want := make([]uint32, n*n)
+	if err := Reference(g, g, want, n); err != nil {
+		t.Fatal(err)
+	}
+	mwant := make([]uint32, n*n*4)
+	if err := MaskedReference(mg, mg, mk, mk, mwant, n); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := Config{MC: 16, NC: 32, KC: 2, Threads: 3, ChunkTiles: 1}
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for call := 0; call < 8; call++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			got := make([]uint32, n*n)
+			if err := Syrk(cfg, g, got, n, true); err != nil {
+				errs <- err
+				return
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Errorf("concurrent Syrk mismatch at %d", i)
+					return
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			got := make([]uint32, n*n*4)
+			if err := MaskedSyrk(cfg, mg, mk, got, n); err != nil {
+				errs <- err
+				return
+			}
+			MirrorMasked(got, n, n)
+			for i := range got {
+				if got[i] != mwant[i] {
+					t.Errorf("concurrent MaskedSyrk mismatch at %d", i)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestMirrorParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	// Past mirrorParallelMin so forEachTriangleSpan actually forks.
+	n := mirrorParallelMin + 37
+	c := make([]uint32, n*n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			c[i*n+j] = rng.Uint32()
+		}
+	}
+	want := make([]uint32, n*n)
+	copy(want, c)
+	for i := 1; i < n; i++ {
+		for j := 0; j < i; j++ {
+			want[i*n+j] = want[j*n+i]
+		}
+	}
+	Mirror(c, n, n)
+	for i := range c {
+		if c[i] != want[i] {
+			t.Fatalf("mirror mismatch at (%d,%d)", i/n, i%n)
+		}
+	}
+}
+
+func TestForEachTriangleSpanCoversRows(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, mirrorParallelMin, mirrorParallelMin + 100} {
+		for _, parts := range []int{1, 2, 3, 8, 1000} {
+			var mu sync.Mutex
+			seen := make([]bool, n)
+			forEachTriangleSpan(n, parts, func(lo, hi int) {
+				mu.Lock()
+				defer mu.Unlock()
+				for i := lo; i < hi; i++ {
+					if seen[i] {
+						t.Fatalf("n=%d parts=%d: row %d covered twice", n, parts, i)
+					}
+					seen[i] = true
+				}
+			})
+			for i := 1; i < n; i++ {
+				if !seen[i] {
+					t.Fatalf("n=%d parts=%d: row %d not covered", n, parts, i)
+				}
+			}
+		}
+	}
+}
+
+func TestActiveTilesMatchesEnumeration(t *testing.T) {
+	for _, syrk := range []bool{false, true} {
+		for _, mr := range []int{2, 4} {
+			for _, nr := range []int{2, 4} {
+				for ic := 0; ic < 24; ic += mr {
+					for jr := 0; jr < 24; jr += nr {
+						mc := 8
+						want := 0
+						for ir := 0; ir < mc; ir += mr {
+							if syrk && ic+ir >= jr+nr {
+								continue
+							}
+							want++
+						}
+						got := activeTiles(ic, mc, 0, jr, mr, nr, syrk)
+						if got != want {
+							t.Fatalf("activeTiles(ic=%d jr=%d mr=%d nr=%d syrk=%v) = %d, want %d",
+								ic, jr, mr, nr, syrk, got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestTuneDeadlineAbortsDescent(t *testing.T) {
+	// A budget this small exhausts during (or before) the descent; the
+	// labeled break must prevent probing every remaining axis, so the
+	// whole call stays near the budget.
+	start := time.Now()
+	res, err := Tune(TuneOptions{SNPs: 256, Samples: 4096, Budget: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el > 5*time.Second {
+		t.Fatalf("tuning took %v with a 1ms budget", el)
+	}
+	if res.Evaluated < 1 {
+		t.Fatal("no configurations evaluated")
+	}
+}
+
+func TestTuneMaxThreadsPhase(t *testing.T) {
+	res, err := Tune(TuneOptions{
+		SNPs: 96, Samples: 256, Budget: 2 * time.Second, MaxThreads: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The phase may or may not beat single-threaded on this host; either
+	// way the config must stay usable and ChunkTiles non-negative.
+	cfg := res.Config
+	if cfg.Threads < 0 || cfg.ChunkTiles < 0 {
+		t.Fatalf("invalid parallel knobs %+v", cfg)
+	}
+	got := make([]uint32, 50*50)
+	g := randomMatrix(rand.New(rand.NewSource(7)), 50, 300)
+	if err := Syrk(cfg, g, got, 50, true); err != nil {
+		t.Fatal(err)
+	}
+	want := make([]uint32, 50*50)
+	if err := Reference(g, g, want, 50); err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("MaxThreads-tuned config wrong at %d", i)
+		}
+	}
+	if _, err := Tune(TuneOptions{MaxThreads: -1}); err == nil {
+		t.Fatal("negative MaxThreads accepted")
+	}
+}

@@ -1,0 +1,154 @@
+package blis
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// This file provides the two reuse mechanisms of the parallel driver:
+//
+//   - workerPool: a set of goroutines spawned once per driver call.
+//     Work arrives in phases (pack a slab group, run the compute jobs of
+//     a column block); each phase's jobs are pulled from a shared atomic
+//     cursor so fast workers absorb the slow jobs, and the caller blocks
+//     on exactly one wait per phase instead of forking and joining fresh
+//     goroutines per (jc, pc) slab as the original driver did.
+//
+//   - arena: the packing buffers and scratch tiles of a driver call,
+//     recycled through a sync.Pool so repeated calls — the HTTP serving
+//     path computes a region per request — do not reallocate packing
+//     storage every time.
+
+// poolPhase is one batch of homogeneous jobs distributed over the pool.
+type poolPhase struct {
+	jobs   int64
+	cursor atomic.Int64
+	run    func(worker, job int)
+	done   sync.WaitGroup
+}
+
+// runJobs pulls job indices until the phase is drained.
+func (ph *poolPhase) runJobs(worker int) {
+	for {
+		idx := ph.cursor.Add(1) - 1
+		if idx >= ph.jobs {
+			return
+		}
+		ph.run(worker, int(idx))
+	}
+}
+
+// workerPool runs phases across persistent goroutines. The calling
+// goroutine participates as worker 0, so a pool of size 1 spawns no
+// goroutines at all and runs every phase inline.
+type workerPool struct {
+	feeds []chan *poolPhase // one per extra worker
+}
+
+// newWorkerPool starts workers-1 goroutines (worker 0 is the caller).
+func newWorkerPool(workers int) *workerPool {
+	p := &workerPool{feeds: make([]chan *poolPhase, workers-1)}
+	for i := range p.feeds {
+		ch := make(chan *poolPhase, 1)
+		p.feeds[i] = ch
+		go func(w int) {
+			for ph := range ch {
+				ph.runJobs(w)
+				ph.done.Done()
+			}
+		}(i + 1)
+	}
+	return p
+}
+
+// do runs njobs jobs across the pool and returns when every job has
+// finished — the single wait of a phase. Workers beyond the job count are
+// left sleeping on their feed channels.
+func (p *workerPool) do(njobs int, run func(worker, job int)) {
+	if njobs <= 0 {
+		return
+	}
+	ph := &poolPhase{jobs: int64(njobs), run: run}
+	extra := min(len(p.feeds), njobs-1)
+	ph.done.Add(extra)
+	for i := 0; i < extra; i++ {
+		p.feeds[i] <- ph
+	}
+	ph.runJobs(0)
+	ph.done.Wait()
+}
+
+// close releases the pool's goroutines.
+func (p *workerPool) close() {
+	for _, ch := range p.feeds {
+		close(ch)
+	}
+}
+
+// tileWorker is the per-worker private state of the compute phase: a
+// packed-A block (covering every slab of the current slab group) and the
+// fringe scratch tile. lastIC/lastPG memoize which (row block, slab group)
+// the A buffer currently holds, so consecutive jobs on the same row block
+// skip repacking; the key is valid across column blocks because packed A
+// panels do not depend on jc.
+type tileWorker struct {
+	apack  []uint64
+	tile   []uint32
+	lastIC int
+	lastPG int
+}
+
+// arena owns every buffer of one driver call.
+type arena struct {
+	bpack []uint64
+	ws    []*tileWorker
+}
+
+var arenaPool = sync.Pool{New: func() any { return &arena{} }}
+
+// maxPooledWords caps how much packing storage a recycled arena may pin
+// (16 Mi words = 128 MiB); larger arenas are dropped for the GC instead.
+const maxPooledWords = 16 << 20
+
+func getArena() *arena { return arenaPool.Get().(*arena) }
+
+// release returns the arena to the pool unless it grew past the cap.
+func (a *arena) release() {
+	total := cap(a.bpack)
+	for _, w := range a.ws {
+		total += cap(w.apack)
+	}
+	if total > maxPooledWords {
+		return
+	}
+	arenaPool.Put(a)
+}
+
+// prepare sizes the arena for one driver call and resets the per-worker
+// packing memos.
+func (a *arena) prepare(workers, bpackWords, apackWords, tileLen int) {
+	a.bpack = growU64(a.bpack, bpackWords)
+	for len(a.ws) < workers {
+		a.ws = append(a.ws, &tileWorker{})
+	}
+	for i := 0; i < workers; i++ {
+		w := a.ws[i]
+		w.apack = growU64(w.apack, apackWords)
+		w.tile = growU32(w.tile, tileLen)
+		w.lastIC, w.lastPG = -1, -1
+	}
+}
+
+func growU64(s []uint64, n int) []uint64 {
+	if cap(s) < n {
+		return make([]uint64, n)
+	}
+	return s[:n]
+}
+
+func growU32(s []uint32, n int) []uint32 {
+	if cap(s) < n {
+		return make([]uint32, n)
+	}
+	return s[:n]
+}

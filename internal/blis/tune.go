@@ -26,6 +26,11 @@ type TuneOptions struct {
 	// Threads for the probe runs (default 1: tuning targets the
 	// per-core kernel, as the paper's peak analysis does).
 	Threads int
+	// MaxThreads enables the multi-threaded phase: after the single-core
+	// descent, thread counts up to MaxThreads and work-queue chunk sizes
+	// are searched against the block-size winner. 0 skips the phase and
+	// the returned config leaves Threads unpinned.
+	MaxThreads int
 }
 
 func (o TuneOptions) normalize() TuneOptions {
@@ -58,7 +63,7 @@ type TuneResult struct {
 // is capped so tuning stays cheap even for huge target shapes.
 func Tune(opt TuneOptions) (*TuneResult, error) {
 	opt = opt.normalize()
-	if opt.SNPs < 1 || opt.Samples < 1 || opt.Budget <= 0 || opt.Threads < 1 {
+	if opt.SNPs < 1 || opt.Samples < 1 || opt.Budget <= 0 || opt.Threads < 1 || opt.MaxThreads < 0 {
 		return nil, fmt.Errorf("blis: invalid tune options %+v", opt)
 	}
 	probeN := min(opt.SNPs, 768)
@@ -68,8 +73,8 @@ func Tune(opt TuneOptions) (*TuneResult, error) {
 	deadline := time.Now().Add(opt.Budget)
 
 	res := &TuneResult{}
-	measure := func(cfg Config) (float64, error) {
-		cfg.Threads = opt.Threads
+	measure := func(cfg Config, threads int) (float64, error) {
+		cfg.Threads = threads
 		clear(c)
 		start := time.Now()
 		if err := Syrk(cfg, g, c, probeN, false); err != nil {
@@ -82,7 +87,7 @@ func Tune(opt TuneOptions) (*TuneResult, error) {
 	}
 
 	best := DefaultConfig()
-	bestRate, err := measure(best)
+	bestRate, err := measure(best, opt.Threads)
 	if err != nil {
 		return nil, err
 	}
@@ -94,7 +99,7 @@ func Tune(opt TuneOptions) (*TuneResult, error) {
 		}
 		cfg := best
 		cfg.Kernel = k
-		rate, err := measure(cfg)
+		rate, err := measure(cfg, opt.Threads)
 		if err != nil {
 			return nil, err
 		}
@@ -103,7 +108,8 @@ func Tune(opt TuneOptions) (*TuneResult, error) {
 		}
 	}
 
-	// Phase 2: greedy coordinate descent over the block sizes.
+	// Phase 2: greedy coordinate descent over the block sizes. An exhausted
+	// budget aborts the whole descent, not just the current axis.
 	axes := []struct {
 		name   string
 		values []int
@@ -113,14 +119,15 @@ func Tune(opt TuneOptions) (*TuneResult, error) {
 		{"MC", []int{32, 64, 128, 256, 512}, func(c *Config, v int) { c.MC = v }},
 		{"NC", []int{512, 1024, 2048, 4096, 8192}, func(c *Config, v int) { c.NC = v }},
 	}
+descent:
 	for _, axis := range axes {
 		for _, v := range axis.values {
 			if time.Now().After(deadline) {
-				break
+				break descent
 			}
 			cfg := best
 			axis.set(&cfg, v)
-			rate, err := measure(cfg)
+			rate, err := measure(cfg, opt.Threads)
 			if err != nil {
 				return nil, err
 			}
@@ -131,6 +138,34 @@ func Tune(opt TuneOptions) (*TuneResult, error) {
 	}
 
 	best.Threads = 0 // leave thread choice to the caller
+	// Phase 3 (MaxThreads > 0): search thread counts and work-queue chunk
+	// granularity against the single-core winner. Pins Threads/ChunkTiles
+	// only when a parallel config beats it.
+	if opt.MaxThreads > 1 {
+		var grid []int
+		for t := 2; t < opt.MaxThreads; t *= 2 {
+			grid = append(grid, t)
+		}
+		grid = append(grid, opt.MaxThreads)
+	threaded:
+		for _, threads := range grid {
+			for _, chunk := range []int{0, 8, 32, 128} {
+				if time.Now().After(deadline) {
+					break threaded
+				}
+				cfg := best
+				cfg.ChunkTiles = chunk
+				rate, err := measure(cfg, threads)
+				if err != nil {
+					return nil, err
+				}
+				if rate > bestRate {
+					cfg.Threads = threads
+					best, bestRate = cfg, rate
+				}
+			}
+		}
+	}
 	res.Config = best
 	res.TriplesPerSecond = bestRate
 	return res, nil

@@ -11,6 +11,11 @@ import "ldgemm/internal/bitmat"
 // dst must have kc*rr capacity. Zero padding rows (i >= count) are the
 // mechanism by which fringe tiles are computed at full micro-kernel speed:
 // an all-zero SNP contributes zero to every count.
+//
+// PackPanel only reads the source matrix and only writes dst[:kc*rr], so
+// concurrent calls are safe whenever their dst panels do not overlap — the
+// parallel driver relies on this to pack a slab's panels from many
+// goroutines at once. The same holds for PackMaskedPanel.
 func PackPanel(dst []uint64, m *bitmat.Matrix, snp, count, rr, pc, kc int) {
 	dst = dst[:kc*rr]
 	for i := 0; i < count; i++ {

@@ -27,6 +27,9 @@ type Config struct {
 	MaxTopK int
 	// Threads for the LD kernels (default GOMAXPROCS via blis).
 	Threads int
+	// ChunkTiles is the parallel driver's work-queue granularity
+	// (blis.Config.ChunkTiles; default 0 = derived).
+	ChunkTiles int
 }
 
 func (c Config) normalize() Config {
@@ -67,7 +70,12 @@ func New(g *bitmat.Matrix, cfg Config) *Server {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-func (s *Server) blisConfig() blis.Config { return blis.Config{Threads: s.cfg.Threads} }
+// blisConfig is the per-request kernel configuration. Requests served
+// concurrently share packing storage through the blis arena pool, so the
+// hot region/prune/blocks endpoints do not reallocate pack buffers.
+func (s *Server) blisConfig() blis.Config {
+	return blis.Config{Threads: s.cfg.Threads, ChunkTiles: s.cfg.ChunkTiles}
+}
 
 // writeJSON emits a 200 response with the JSON payload.
 func writeJSON(w http.ResponseWriter, v any) {

@@ -6,6 +6,7 @@ import (
 	"math"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"testing"
 
 	"ldgemm/internal/core"
@@ -122,6 +123,55 @@ func TestRegionEndpoint(t *testing.T) {
 	if rr.Measure != "dprime" {
 		t.Fatalf("measure %q", rr.Measure)
 	}
+}
+
+// TestConcurrentRegionRequests drives the region endpoint from many
+// goroutines with ChunkTiles pinned: the per-request blis calls share the
+// pooled pack arena, so this doubles as the server leg of the race tier.
+func TestConcurrentRegionRequests(t *testing.T) {
+	g, err := popsim.Mosaic(120, 200, popsim.MosaicConfig{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(g, Config{MaxRegionSNPs: 64, Threads: 2, ChunkTiles: 1})
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+
+	var want RegionResponse
+	if code := getJSON(t, ts.URL+"/api/ld/region?start=10&end=40", &want); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	var wg sync.WaitGroup
+	for r := 0; r < 8; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var rr RegionResponse
+			resp, err := http.Get(ts.URL + "/api/ld/region?start=10&end=40")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("status %d", resp.StatusCode)
+				return
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+				t.Error(err)
+				return
+			}
+			for i := range rr.Values {
+				for j := range rr.Values[i] {
+					if rr.Values[i][j] != want.Values[i][j] {
+						t.Errorf("concurrent region mismatch at (%d,%d)", i, j)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 func TestTopEndpoint(t *testing.T) {

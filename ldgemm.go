@@ -64,7 +64,9 @@ func NewMask(snps, samples int) *Mask { return bitmat.NewMask(snps, samples) }
 // Options configures an LD computation (measures + blocking/threads).
 type Options = core.Options
 
-// BlockConfig carries the GotoBLAS blocking parameters and thread count.
+// BlockConfig carries the GotoBLAS blocking parameters plus the parallel
+// driver's knobs: Threads (worker count) and ChunkTiles (work-queue
+// granularity; 0 derives it from the workload).
 type BlockConfig = blis.Config
 
 // Measure flags select which statistics to materialize.
