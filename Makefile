@@ -6,12 +6,12 @@ verify:
 
 # Race tier: vet plus the race detector on the concurrency-bearing
 # packages (the parallel blis driver, the pack kernels it calls from many
-# goroutines, and the HTTP server that shares the arena pool across
-# requests).
+# goroutines, the HTTP server that shares the arena pool and in-flight
+# semaphore across requests, and the ldserver lifecycle).
 .PHONY: verify-race
 verify-race:
 	go vet ./...
-	go test -race ./internal/blis/... ./internal/kernel/... ./internal/server/...
+	go test -race ./internal/blis/... ./internal/kernel/... ./internal/server/... ./cmd/ldserver/...
 
 # Driver benchmark: seed fork/join vs pooled slab-pipelined at 1 and 4
 # threads on the acceptance shape.

@@ -16,16 +16,31 @@
 //	/api/prune?window=&step=&r2=      LD pruning
 //	/api/blocks?dprime=&frac=         haplotype blocks
 //	/api/omega?grid=&min_each=&max_each=   selective-sweep scan
+//	/debug/vars                       ops metrics (expvar JSON)
+//
+// Request lifecycle: every request runs under -request-timeout (the
+// kernel drivers observe the deadline through context cancellation and
+// abort mid-computation), at most -max-inflight heavy requests compute
+// concurrently (excess requests are shed with 503 + Retry-After), and
+// SIGINT/SIGTERM drain in-flight requests for up to -grace before the
+// process exits. With -admin set, net/http/pprof and a second /debug/vars
+// are served on a separate listener that is never exposed to clients.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
+	"time"
 
 	"ldgemm/internal/bitmat"
 	"ldgemm/internal/seqio"
@@ -33,17 +48,29 @@ import (
 )
 
 func main() {
-	handler, addr, err := setup(os.Args[1:], os.Stderr)
+	app, err := setup(os.Args[1:], os.Stderr)
 	if err != nil {
 		log.Fatalf("ldserver: %v", err)
 	}
-	log.Fatal(http.ListenAndServe(addr, handler))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := app.run(ctx); err != nil && err != http.ErrServerClosed {
+		log.Fatalf("ldserver: %v", err)
+	}
 }
 
-// setup parses flags, loads the dataset, and returns the ready handler;
+// app is a configured ldserver: the main API server plus the optional
+// admin (pprof/metrics) server, ready to run until a signal drains it.
+type app struct {
+	srv   *http.Server
+	admin *http.Server // nil unless -admin was given
+	grace time.Duration
+}
+
+// setup parses flags, loads the dataset, and returns the ready app;
 // separated from main so tests can drive the full configuration path
 // without binding a socket.
-func setup(args []string, stderr io.Writer) (http.Handler, string, error) {
+func setup(args []string, stderr io.Writer) (*app, error) {
 	fs := flag.NewFlagSet("ldserver", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	in := fs.String("in", "", "dataset path (.ldgm or .ms, optionally gzipped; required)")
@@ -51,22 +78,94 @@ func setup(args []string, stderr io.Writer) (http.Handler, string, error) {
 	maxRegion := fs.Int("max-region", 512, "cap on dense region width")
 	threads := fs.Int("threads", 0, "LD kernel threads (0 = GOMAXPROCS)")
 	chunk := fs.Int("chunk", 0, "parallel-driver chunk granularity in micro-tiles (0 = derived)")
+	reqTimeout := fs.Duration("request-timeout", 30*time.Second,
+		"per-request deadline; in-flight kernels are cancelled when it expires (0 = none)")
+	maxInFlight := fs.Int("max-inflight", 0,
+		"cap on concurrently-computing heavy requests; excess get 503 (0 = unlimited)")
+	adminAddr := fs.String("admin", "",
+		"admin listen address for /debug/pprof and /debug/vars (empty = disabled)")
+	grace := fs.Duration("grace", 10*time.Second, "shutdown drain window after SIGINT/SIGTERM")
+	accessLog := fs.Bool("access-log", true, "emit one structured (JSON) log line per request")
 	if err := fs.Parse(args); err != nil {
-		return nil, "", err
+		return nil, err
 	}
 	if *in == "" {
 		fs.Usage()
-		return nil, "", fmt.Errorf("-in is required")
+		return nil, fmt.Errorf("-in is required")
 	}
 	g, err := load(*in)
 	if err != nil {
-		return nil, "", err
+		return nil, err
 	}
+	cfg := server.Config{
+		MaxRegionSNPs: *maxRegion, Threads: *threads, ChunkTiles: *chunk,
+		RequestTimeout: *reqTimeout, MaxInFlight: *maxInFlight,
+	}
+	if *accessLog {
+		cfg.AccessLog = slog.New(slog.NewJSONHandler(stderr, nil))
+	}
+	s := server.New(g, cfg)
 	fmt.Fprintf(stderr, "ldserver: loaded %d SNPs × %d sequences; listening on %s\n",
 		g.SNPs, g.Samples, *addr)
-	return server.New(g, server.Config{
-		MaxRegionSNPs: *maxRegion, Threads: *threads, ChunkTiles: *chunk,
-	}), *addr, nil
+
+	a := &app{grace: *grace, srv: newHTTPServer(*addr, s, *reqTimeout)}
+	if *adminAddr != "" {
+		a.admin = newHTTPServer(*adminAddr, adminMux(s), 0)
+	}
+	return a, nil
+}
+
+// newHTTPServer wraps a handler in an http.Server with conservative edge
+// timeouts: ReadHeaderTimeout defeats slowloris handshakes, and the write
+// timeout leaves room past the per-request deadline so timeout responses
+// are still delivered instead of the connection being cut mid-body.
+func newHTTPServer(addr string, h http.Handler, reqTimeout time.Duration) *http.Server {
+	write := 5 * time.Minute
+	if reqTimeout > 0 {
+		write = reqTimeout + 30*time.Second
+	}
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      write,
+		IdleTimeout:       2 * time.Minute,
+	}
+}
+
+// adminMux serves the operator-only surface: pprof profiles and the
+// metric tree, on a listener separate from client traffic.
+func adminMux(s *server.Server) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("GET /debug/vars", s.VarsHandler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// run serves until the context is cancelled (SIGINT/SIGTERM), then drains
+// in-flight requests for up to the grace window.
+func (a *app) run(ctx context.Context) error {
+	errc := make(chan error, 2)
+	go func() { errc <- a.srv.ListenAndServe() }()
+	if a.admin != nil {
+		go func() { errc <- a.admin.ListenAndServe() }()
+	}
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), a.grace)
+	defer cancel()
+	if a.admin != nil {
+		a.admin.Shutdown(sctx)
+	}
+	return a.srv.Shutdown(sctx)
 }
 
 func load(path string) (*bitmat.Matrix, error) {

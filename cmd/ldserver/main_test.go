@@ -3,11 +3,13 @@ package main
 import (
 	"bytes"
 	"compress/gzip"
+	"context"
 	"encoding/json"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"ldgemm/internal/popsim"
 	"ldgemm/internal/seqio"
@@ -45,15 +47,21 @@ func TestSetupServesInfo(t *testing.T) {
 	for _, gz := range []bool{false, true} {
 		path := writeServerDataset(t, gz)
 		var errBuf bytes.Buffer
-		handler, addr, err := setup([]string{"-in", path, "-addr", ":9999"}, &errBuf)
+		a, err := setup([]string{"-in", path, "-addr", ":9999", "-access-log=false"}, &errBuf)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if addr != ":9999" {
-			t.Fatalf("addr %q", addr)
+		if a.srv.Addr != ":9999" {
+			t.Fatalf("addr %q", a.srv.Addr)
+		}
+		if a.admin != nil {
+			t.Fatal("admin server configured without -admin")
+		}
+		if a.srv.ReadHeaderTimeout == 0 || a.srv.WriteTimeout == 0 {
+			t.Fatalf("edge timeouts not set: %+v", a.srv)
 		}
 		rec := httptest.NewRecorder()
-		handler.ServeHTTP(rec, httptest.NewRequest("GET", "/api/info", nil))
+		a.srv.Handler.ServeHTTP(rec, httptest.NewRequest("GET", "/api/info", nil))
 		if rec.Code != 200 {
 			t.Fatalf("status %d", rec.Code)
 		}
@@ -72,13 +80,69 @@ func TestSetupServesInfo(t *testing.T) {
 
 func TestSetupErrors(t *testing.T) {
 	var errBuf bytes.Buffer
-	if _, _, err := setup(nil, &errBuf); err == nil {
+	if _, err := setup(nil, &errBuf); err == nil {
 		t.Fatal("missing -in accepted")
 	}
-	if _, _, err := setup([]string{"-in", "/nonexistent"}, &errBuf); err == nil {
+	if _, err := setup([]string{"-in", "/nonexistent"}, &errBuf); err == nil {
 		t.Fatal("missing file accepted")
 	}
-	if _, _, err := setup([]string{"-bogus"}, &errBuf); err == nil {
+	if _, err := setup([]string{"-bogus"}, &errBuf); err == nil {
 		t.Fatal("unknown flag accepted")
+	}
+}
+
+// TestSetupAdminSurface checks that -admin builds a second server carrying
+// pprof and the metric tree, isolated from the client mux.
+func TestSetupAdminSurface(t *testing.T) {
+	path := writeServerDataset(t, false)
+	var errBuf bytes.Buffer
+	a, err := setup([]string{
+		"-in", path, "-addr", ":9999", "-admin", "127.0.0.1:0", "-access-log=false",
+	}, &errBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.admin == nil {
+		t.Fatal("-admin did not configure an admin server")
+	}
+	for _, p := range []string{"/debug/vars", "/debug/pprof/cmdline"} {
+		rec := httptest.NewRecorder()
+		a.admin.Handler.ServeHTTP(rec, httptest.NewRequest("GET", p, nil))
+		if rec.Code != 200 {
+			t.Fatalf("admin %s status %d", p, rec.Code)
+		}
+	}
+	// The heavy pprof index must NOT leak onto the client-facing mux.
+	rec := httptest.NewRecorder()
+	a.srv.Handler.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if rec.Code == 200 {
+		t.Fatal("pprof exposed on the client listener")
+	}
+}
+
+// TestRunGracefulShutdown boots the real servers on ephemeral ports and
+// checks that cancelling the run context drains them promptly.
+func TestRunGracefulShutdown(t *testing.T) {
+	path := writeServerDataset(t, false)
+	var errBuf bytes.Buffer
+	a, err := setup([]string{
+		"-in", path, "-addr", "127.0.0.1:0", "-admin", "127.0.0.1:0",
+		"-grace", "2s", "-access-log=false",
+	}, &errBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- a.run(ctx) }()
+	time.Sleep(50 * time.Millisecond) // let the listeners bind
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("run did not drain after cancel")
 	}
 }

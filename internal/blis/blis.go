@@ -22,6 +22,7 @@
 package blis
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -47,6 +48,12 @@ type Config struct {
 	// by 4·Threads). Smaller chunks balance the triangular SYRK workload
 	// better at the cost of more queue traffic.
 	ChunkTiles int
+	// Ctx, when non-nil, cancels an in-flight driver call cooperatively:
+	// workers observe the cancellation between tile jobs and the driver
+	// returns Ctx.Err() at the next phase or slab-group boundary, with
+	// its packing arena still recycled. A nil Ctx (the zero value) means
+	// the call runs to completion, exactly as before.
+	Ctx context.Context
 }
 
 // DefaultConfig returns blocking parameters sized for common x86 cache

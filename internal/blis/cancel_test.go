@@ -1,0 +1,147 @@
+package blis
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ldgemm/internal/bitmat"
+	"ldgemm/internal/kernel"
+)
+
+// slowKernel wraps the default micro-kernel with a per-tile delay and a
+// started signal, so tests can cancel a driver call that is provably
+// mid-flight instead of racing a real kernel to completion.
+func slowKernel(started chan<- struct{}, delay time.Duration) kernel.Kernel {
+	k := kernel.Default
+	inner := k.Fn
+	var first atomic.Bool
+	k.Fn = func(kc int, aw, bw []uint64, c []uint32, ldc int) {
+		if first.CompareAndSwap(false, true) {
+			select {
+			case started <- struct{}{}:
+			default:
+			}
+		}
+		time.Sleep(delay)
+		inner(kc, aw, bw, c, ldc)
+	}
+	return k
+}
+
+func TestDriverPreCancelled(t *testing.T) {
+	g := probeMatrix(64, 256)
+	c := make([]uint32, 64*64)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := Syrk(Config{Threads: 2, Ctx: ctx}, g, c, 64, true)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled driver returned %v, want context.Canceled", err)
+	}
+	for i, v := range c {
+		if v != 0 {
+			t.Fatalf("pre-cancelled driver wrote c[%d]=%d", i, v)
+		}
+	}
+}
+
+func TestDriverCancelMidFlight(t *testing.T) {
+	base := runtime.NumGoroutine()
+	g := probeMatrix(128, 512)
+	c := make([]uint32, 128*128)
+	started := make(chan struct{}, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// Small KC so the call has many slab-group phases; the slow kernel
+	// guarantees plenty of them remain when the cancel lands.
+	cfg := Config{Threads: 4, KC: 1, ChunkTiles: 1, Ctx: ctx,
+		Kernel: slowKernel(started, 200*time.Microsecond)}
+	done := make(chan error, 1)
+	go func() { done <- Syrk(cfg, g, c, 128, true) }()
+
+	<-started
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled driver returned %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled driver did not return within 10s")
+	}
+
+	// The pool's workers and the context watcher must all have exited.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked after cancellation: %d > %d baseline",
+				runtime.NumGoroutine(), base)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestDriverDeadlineExceeded(t *testing.T) {
+	g := probeMatrix(96, 512)
+	c := make([]uint32, 96*96)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	time.Sleep(time.Millisecond) // let the deadline pass
+	err := Syrk(Config{Threads: 2, Ctx: ctx}, g, c, 96, true)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired driver returned %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestDriverCancelMasked covers the masked instantiation of the unified
+// driver: the same cooperative-cancel machinery must serve both kernels.
+func TestDriverCancelMasked(t *testing.T) {
+	g := probeMatrix(64, 256)
+	mask := bitmat.NewMask(64, 256)
+	c := make([]uint32, 64*64*4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := MaskedSyrk(Config{Threads: 2, Ctx: ctx}, g, mask, c, 64)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled masked driver returned %v, want context.Canceled", err)
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	before := ReadStats()
+	g := probeMatrix(64, 512)
+	c := make([]uint32, 64*64)
+	if err := Syrk(Config{Threads: 2}, g, c, 64, true); err != nil {
+		t.Fatal(err)
+	}
+	after := ReadStats()
+	if after.Calls <= before.Calls {
+		t.Fatalf("calls did not advance: %d -> %d", before.Calls, after.Calls)
+	}
+	wantCells := uint64(64) * 65 / 2 * uint64(g.Words)
+	if after.Cells < before.Cells+wantCells {
+		t.Fatalf("cells advanced by %d, want at least %d", after.Cells-before.Cells, wantCells)
+	}
+	if after.ArenaGets <= before.ArenaGets {
+		t.Fatalf("arena gets did not advance")
+	}
+	if after.CellRate() <= 0 {
+		t.Fatalf("cell rate %v", after.CellRate())
+	}
+	if hr := after.ArenaHitRate(); hr < 0 || hr > 1 {
+		t.Fatalf("arena hit rate %v", hr)
+	}
+}
+
+func TestTuneCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Tune(TuneOptions{SNPs: 64, Samples: 512, Budget: time.Second, Ctx: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled tune returned %v, want context.Canceled", err)
+	}
+}

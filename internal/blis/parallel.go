@@ -1,5 +1,10 @@
 package blis
 
+import (
+	"context"
+	"time"
+)
+
 // The slab-pipelined parallel driver. Both the plain and the masked
 // five-loop drivers are instances of the same structure, differing only in
 // panel layout (one word per (SNP, sample-word) versus interleaved
@@ -140,11 +145,31 @@ type tileDriver struct {
 	apanelLen int // packed words of one A micro-panel per slab
 }
 
+// ctxErr reports the context's error, tolerating a nil context.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
 // driveTiles runs the five-loop blocked multiplication for any tileOps.
+//
+// Cancellation is cooperative: a watcher goroutine trips the pool's stop
+// flag the moment cfg.Ctx is done, workers abandon their phase at the
+// next job boundary, and the driver observes the context after every
+// phase wait — so a cancelled call returns ctx.Err() within one
+// slab-group phase, with its arena still recycled through the pool.
 func driveTiles(cfg Config, ops tileOps, m, n, kw int, c []uint32, ldc int, syrk bool) error {
 	if m == 0 || n == 0 || kw == 0 {
 		return nil
 	}
+	ctx := cfg.Ctx
+	if err := ctxErr(ctx); err != nil {
+		stats.cancelled.Add(1)
+		return err
+	}
+	start := time.Now()
 	mr, nr := ops.mr, ops.nr
 	// Row and column blocks are rounded to whole micro-tiles so block
 	// boundaries always align with panel boundaries (required for the
@@ -180,6 +205,19 @@ func driveTiles(cfg Config, ops tileOps, m, n, kw int, c []uint32, ldc int, syrk
 
 	pool := newWorkerPool(workers)
 	defer pool.close()
+	if ctx != nil {
+		if done := ctx.Done(); done != nil {
+			unwatch := make(chan struct{})
+			defer close(unwatch)
+			go func() {
+				select {
+				case <-done:
+					pool.stop.Store(true)
+				case <-unwatch:
+				}
+			}()
+		}
+	}
 
 	d := &tileDriver{
 		cfg: cfg, ops: ops, m: m, n: n, kw: kw, c: c, ldc: ldc, syrk: syrk,
@@ -217,6 +255,10 @@ func driveTiles(cfg Config, ops tileOps, m, n, kw int, c []uint32, ldc int, syrk
 
 		np, prun := packGroup(0)
 		pool.do(np, prun)
+		if err := ctxErr(ctx); err != nil {
+			stats.cancelled.Add(1)
+			return err
+		}
 		for gi := 0; gi < ngroups; gi++ {
 			pg := gi * group * cfg.KC
 			gs := min(group, nslabs-gi*group)
@@ -235,8 +277,21 @@ func driveTiles(cfg Config, ops tileOps, m, n, kw int, c []uint32, ldc int, syrk
 				}
 				d.runJob(ar.ws[w], jobs[idx-nextN], jc, nc, pg, gs, buf, share)
 			})
+			if err := ctxErr(ctx); err != nil {
+				stats.cancelled.Add(1)
+				return err
+			}
 		}
 	}
+	cells := uint64(m) * uint64(n) * uint64(kw)
+	if syrk {
+		// Only the upper triangle (plus diagonal blocks' mirrors) is
+		// computed; count the triangle as the useful work.
+		cells = uint64(n) * uint64(n+1) / 2 * uint64(kw)
+	}
+	stats.calls.Add(1)
+	stats.cells.Add(cells)
+	stats.nanos.Add(uint64(time.Since(start)))
 	return nil
 }
 

@@ -25,11 +25,17 @@ type poolPhase struct {
 	cursor atomic.Int64
 	run    func(worker, job int)
 	done   sync.WaitGroup
+	stop   *atomic.Bool // the owning pool's cancel flag
 }
 
-// runJobs pulls job indices until the phase is drained.
+// runJobs pulls job indices until the phase is drained or the pool is
+// cancelled. Bailing between jobs leaves the remaining indices unclaimed —
+// correct only because a cancelled driver call discards its output.
 func (ph *poolPhase) runJobs(worker int) {
 	for {
+		if ph.stop.Load() {
+			return
+		}
 		idx := ph.cursor.Add(1) - 1
 		if idx >= ph.jobs {
 			return
@@ -43,6 +49,10 @@ func (ph *poolPhase) runJobs(worker int) {
 // goroutines at all and runs every phase inline.
 type workerPool struct {
 	feeds []chan *poolPhase // one per extra worker
+	// stop is the cooperative cancel flag: set (by the context watcher in
+	// driveTiles) it makes every worker abandon its phase at the next job
+	// boundary, so do() returns within one job of cancellation.
+	stop atomic.Bool
 }
 
 // newWorkerPool starts workers-1 goroutines (worker 0 is the caller).
@@ -68,7 +78,7 @@ func (p *workerPool) do(njobs int, run func(worker, job int)) {
 	if njobs <= 0 {
 		return
 	}
-	ph := &poolPhase{jobs: int64(njobs), run: run}
+	ph := &poolPhase{jobs: int64(njobs), run: run, stop: &p.stop}
 	extra := min(len(p.feeds), njobs-1)
 	ph.done.Add(extra)
 	for i := 0; i < extra; i++ {
@@ -104,13 +114,19 @@ type arena struct {
 	ws    []*tileWorker
 }
 
-var arenaPool = sync.Pool{New: func() any { return &arena{} }}
+var arenaPool = sync.Pool{New: func() any {
+	stats.arenaMisses.Add(1)
+	return &arena{}
+}}
 
 // maxPooledWords caps how much packing storage a recycled arena may pin
 // (16 Mi words = 128 MiB); larger arenas are dropped for the GC instead.
 const maxPooledWords = 16 << 20
 
-func getArena() *arena { return arenaPool.Get().(*arena) }
+func getArena() *arena {
+	stats.arenaGets.Add(1)
+	return arenaPool.Get().(*arena)
+}
 
 // release returns the arena to the pool unless it grew past the cap.
 func (a *arena) release() {

@@ -1,0 +1,68 @@
+package blis
+
+import "sync/atomic"
+
+// Package-wide driver instrumentation. The serving path needs to answer
+// "how fast is the kernel actually running" and "is the arena pool doing
+// its job" without per-call plumbing, so the driver maintains cumulative
+// atomic counters that any observer (the HTTP /debug/vars surface, a
+// benchmark harness) can snapshot with ReadStats and difference over time.
+var stats struct {
+	calls     atomic.Uint64
+	cancelled atomic.Uint64
+	cells     atomic.Uint64
+	nanos     atomic.Uint64
+
+	arenaGets   atomic.Uint64
+	arenaMisses atomic.Uint64
+}
+
+// DriverStats is a snapshot of the cumulative driver counters.
+type DriverStats struct {
+	// Calls counts completed driver invocations (Gemm/Syrk, plain and
+	// masked); Cancelled counts invocations aborted by their context.
+	Calls     uint64
+	Cancelled uint64
+	// Cells is Σ C-cells × k-words over completed calls — the paper's
+	// (SNP, SNP, word) triple count, the unit of kernel work. Dividing a
+	// Cells delta by the matching Nanos delta gives the giga-cell rate.
+	Cells uint64
+	// Nanos is the total wall time spent inside completed driver calls.
+	Nanos uint64
+	// ArenaGets/ArenaMisses count arena-pool checkouts and the subset
+	// that had to allocate fresh storage; 1 − misses/gets is the pool
+	// hit rate the HTTP path relies on.
+	ArenaGets   uint64
+	ArenaMisses uint64
+}
+
+// CellRate returns the mean throughput over the counted work in cells
+// (SNP-pair-word triples) per second, or 0 when nothing has run.
+func (s DriverStats) CellRate() float64 {
+	if s.Nanos == 0 {
+		return 0
+	}
+	return float64(s.Cells) / (float64(s.Nanos) * 1e-9)
+}
+
+// ArenaHitRate returns the fraction of arena checkouts served from the
+// pool, or 0 before the first checkout.
+func (s DriverStats) ArenaHitRate() float64 {
+	if s.ArenaGets == 0 {
+		return 0
+	}
+	return 1 - float64(s.ArenaMisses)/float64(s.ArenaGets)
+}
+
+// ReadStats snapshots the cumulative driver counters. Counters only grow;
+// observers difference successive snapshots for rates.
+func ReadStats() DriverStats {
+	return DriverStats{
+		Calls:       stats.calls.Load(),
+		Cancelled:   stats.cancelled.Load(),
+		Cells:       stats.cells.Load(),
+		Nanos:       stats.nanos.Load(),
+		ArenaGets:   stats.arenaGets.Load(),
+		ArenaMisses: stats.arenaMisses.Load(),
+	}
+}

@@ -1,6 +1,7 @@
 package blis
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -31,6 +32,9 @@ type TuneOptions struct {
 	// are searched against the block-size winner. 0 skips the phase and
 	// the returned config leaves Threads unpinned.
 	MaxThreads int
+	// Ctx, when non-nil, aborts the search: probe runs are cancelled
+	// in-flight (through Config.Ctx) and Tune returns Ctx.Err().
+	Ctx context.Context
 }
 
 func (o TuneOptions) normalize() TuneOptions {
@@ -74,7 +78,11 @@ func Tune(opt TuneOptions) (*TuneResult, error) {
 
 	res := &TuneResult{}
 	measure := func(cfg Config, threads int) (float64, error) {
+		if err := ctxErr(opt.Ctx); err != nil {
+			return 0, err
+		}
 		cfg.Threads = threads
+		cfg.Ctx = opt.Ctx
 		clear(c)
 		start := time.Now()
 		if err := Syrk(cfg, g, c, probeN, false); err != nil {

@@ -64,7 +64,7 @@ func BandedStream(g *bitmat.Matrix, opt BandOptions, visit func(i, j0 int, row [
 		w := hi - i0
 		c := counts[:rows*w]
 		clear(c)
-		if err := blis.Gemm(opt.Blis, g.Slice(i0, i0+rows), g.Slice(i0, hi), c, w); err != nil {
+		if err := blis.Gemm(opt.blisCfg(), g.Slice(i0, i0+rows), g.Slice(i0, hi), c, w); err != nil {
 			return err
 		}
 		for i := 0; i < rows; i++ {

@@ -70,7 +70,9 @@ func Blocks(g *bitmat.Matrix, opt BlockOptions) ([]Block, error) {
 	var blocks []Block
 	for start := 0; start < n-1; {
 		hi := min(start+opt.MaxBlockSNPs, n)
-		res, err := Matrix(g.Slice(start, hi), Options{Measures: MeasureDPrime, Blis: opt.LD.Blis})
+		ld := opt.LD
+		ld.Measures = MeasureDPrime
+		res, err := Matrix(g.Slice(start, hi), ld)
 		if err != nil {
 			return nil, err
 		}

@@ -15,6 +15,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -42,6 +43,11 @@ type Options struct {
 	Measures Measure
 	// Blis carries blocking parameters and thread count for the GEMM.
 	Blis blis.Config
+	// Ctx, when non-nil, cancels an in-flight computation cooperatively:
+	// the blocked driver observes it at phase and slab-group boundaries
+	// and the computation returns Ctx.Err(). Serving paths set it to the
+	// request context so abandoned requests stop burning workers.
+	Ctx context.Context
 }
 
 func (o Options) measures() Measure {
@@ -49,6 +55,16 @@ func (o Options) measures() Measure {
 		return o.Measures | MeasureR2
 	}
 	return o.Measures
+}
+
+// blisCfg returns the kernel configuration with the computation's context
+// folded in (an explicit Blis.Ctx wins over Options.Ctx).
+func (o Options) blisCfg() blis.Config {
+	cfg := o.Blis
+	if cfg.Ctx == nil {
+		cfg.Ctx = o.Ctx
+	}
+	return cfg
 }
 
 // Pair holds every per-pair LD quantity for one SNP pair.
@@ -164,7 +180,7 @@ func Matrix(g *bitmat.Matrix, opt Options) (*Result, error) {
 	}
 	n := g.SNPs
 	counts := make([]uint32, n*n)
-	if err := blis.Syrk(opt.Blis, g, counts, n, true); err != nil {
+	if err := blis.Syrk(opt.blisCfg(), g, counts, n, true); err != nil {
 		return nil, err
 	}
 	p := AlleleFrequencies(g)
@@ -185,7 +201,7 @@ func Cross(a, b *bitmat.Matrix, opt Options) (*Result, error) {
 	}
 	m, n := a.SNPs, b.SNPs
 	counts := make([]uint32, m*n)
-	if err := blis.Gemm(opt.Blis, a, b, counts, n); err != nil {
+	if err := blis.Gemm(opt.blisCfg(), a, b, counts, n); err != nil {
 		return nil, err
 	}
 	res := &Result{

@@ -44,7 +44,7 @@ func MaskedMatrix(g *bitmat.Matrix, mask *bitmat.Mask, opt Options) (*Result, er
 	}
 	n := g.SNPs
 	quad := make([]uint32, n*n*4)
-	if err := blis.MaskedSyrk(opt.Blis, gm, mask, quad, n); err != nil {
+	if err := blis.MaskedSyrk(opt.blisCfg(), gm, mask, quad, n); err != nil {
 		return nil, err
 	}
 	blis.MirrorMasked(quad, n, n)

@@ -73,7 +73,9 @@ func Prune(g *bitmat.Matrix, opt PruneOptions) (*PruneResult, error) {
 		if hi-lo < 2 {
 			break
 		}
-		res, err := Matrix(g.Slice(lo, hi), Options{Measures: MeasureR2, Blis: opt.LD.Blis})
+		ld := opt.LD
+		ld.Measures = MeasureR2
+		res, err := Matrix(g.Slice(lo, hi), ld)
 		if err != nil {
 			return nil, err
 		}

@@ -86,7 +86,9 @@ func Significance(g *bitmat.Matrix, opt SignificanceOptions) (*SignificanceResul
 	// Keep the strongest MaxResults pairs with a min-heap on r²; p-values
 	// are evaluated once at the end, only for the survivors.
 	h := &pairHeap{}
-	err = Stream(g, StreamOptions{Options: Options{Measures: MeasureR2, Blis: opt.LD.Blis}, Triangular: true},
+	ld := opt.LD
+	ld.Measures = MeasureR2
+	err = Stream(g, StreamOptions{Options: ld, Triangular: true},
 		func(i, j0 int, row []float64) {
 			for t, r2 := range row {
 				j := j0 + t

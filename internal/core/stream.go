@@ -76,20 +76,20 @@ func Stream(g *bitmat.Matrix, opt StreamOptions, visit func(i, j0 int, row []flo
 			c = counts[:rows*width]
 			clear(c)
 			// Diagonal block: symmetric rank-k update, upper triangle only.
-			if err := blis.Syrk(opt.Blis, sub, c, width, false); err != nil {
+			if err := blis.Syrk(opt.blisCfg(), sub, c, width, false); err != nil {
 				return err
 			}
 			// Off-diagonal rectangle against the remaining columns,
 			// written at column offset `rows` within the stripe block.
 			if i0+rows < n {
 				rest := g.Slice(i0+rows, n)
-				if err := blis.Gemm(opt.Blis, sub, rest, counts[rows:], width); err != nil {
+				if err := blis.Gemm(opt.blisCfg(), sub, rest, counts[rows:], width); err != nil {
 					return err
 				}
 			}
 		} else {
 			clear(c)
-			if err := blis.Gemm(opt.Blis, sub, g, c, width); err != nil {
+			if err := blis.Gemm(opt.blisCfg(), sub, g, c, width); err != nil {
 				return err
 			}
 		}

@@ -88,7 +88,9 @@ func Decay(g *bitmat.Matrix, opt Options) (*Profile, error) {
 		p.Centers[b] = (float64(b) + 0.5) * p.BinWidth
 	}
 	sums := make([]float64, opt.Bins)
-	sopt := core.StreamOptions{Options: core.Options{Measures: core.MeasureR2, Blis: opt.LD.Blis}, Triangular: true}
+	ld := opt.LD
+	ld.Measures = core.MeasureR2
+	sopt := core.StreamOptions{Options: ld, Triangular: true}
 	err := core.Stream(g, sopt, func(i, j0 int, row []float64) {
 		for t, r2 := range row {
 			j := j0 + t

@@ -160,7 +160,9 @@ func At(g *bitmat.Matrix, center int, cfg Config) (Point, error) {
 	}
 	winLo := max(0, center-cfg.MaxEach)
 	winHi := min(g.SNPs, center+cfg.MaxEach)
-	res, err := core.Matrix(g.Slice(winLo, winHi), core.Options{Measures: core.MeasureR2, Blis: cfg.LD.Blis})
+	ld := cfg.LD
+	ld.Measures = core.MeasureR2
+	res, err := core.Matrix(g.Slice(winLo, winHi), ld)
 	if err != nil {
 		return Point{}, err
 	}

@@ -1,0 +1,88 @@
+package server
+
+import (
+	"expvar"
+	"fmt"
+	"net/http"
+	"time"
+
+	"ldgemm/internal/blis"
+)
+
+// metrics is the per-Server ops surface, served on /debug/vars. The
+// counters are expvar vars held in a private map rather than published to
+// the process-global expvar registry, so many Servers (tests, multi-tenant
+// embedding) can coexist without duplicate-name panics.
+//
+// Exposed names:
+//
+//	requests        per-endpoint request counts (by URL path)
+//	statuses        response counts by HTTP status code
+//	latency_ns      per-endpoint cumulative handling time, nanoseconds
+//	in_flight       heavy requests currently holding a semaphore slot
+//	shed            requests rejected with 503 by the in-flight cap
+//	cancelled       compute requests abandoned by the client (499)
+//	timed_out       compute requests that hit the deadline (504)
+//	uptime_seconds  seconds since the Server was constructed
+//	blis            cumulative kernel-driver counters: calls, cancelled,
+//	                cells, nanos, kernel_gcells_per_sec (mean giga-cells
+//	                of C×k work per second), arena_gets, arena_misses,
+//	                arena_hit_rate
+type metrics struct {
+	start     time.Time
+	root      *expvar.Map
+	requests  *expvar.Map
+	statuses  *expvar.Map
+	latency   *expvar.Map
+	inFlight  expvar.Int
+	shed      expvar.Int
+	cancelled expvar.Int
+	timedOut  expvar.Int
+}
+
+func newMetrics() *metrics {
+	m := &metrics{
+		start:    time.Now(),
+		root:     new(expvar.Map).Init(),
+		requests: new(expvar.Map).Init(),
+		statuses: new(expvar.Map).Init(),
+		latency:  new(expvar.Map).Init(),
+	}
+	m.root.Set("requests", m.requests)
+	m.root.Set("statuses", m.statuses)
+	m.root.Set("latency_ns", m.latency)
+	m.root.Set("in_flight", &m.inFlight)
+	m.root.Set("shed", &m.shed)
+	m.root.Set("cancelled", &m.cancelled)
+	m.root.Set("timed_out", &m.timedOut)
+	m.root.Set("uptime_seconds", expvar.Func(func() any {
+		return time.Since(m.start).Seconds()
+	}))
+	m.root.Set("blis", expvar.Func(func() any {
+		s := blis.ReadStats()
+		return map[string]any{
+			"calls":                 s.Calls,
+			"cancelled":             s.Cancelled,
+			"cells":                 s.Cells,
+			"nanos":                 s.Nanos,
+			"kernel_gcells_per_sec": s.CellRate() / 1e9,
+			"arena_gets":            s.ArenaGets,
+			"arena_misses":          s.ArenaMisses,
+			"arena_hit_rate":        s.ArenaHitRate(),
+		}
+	}))
+	return m
+}
+
+// observe records one finished request.
+func (m *metrics) observe(path string, status int, d time.Duration) {
+	m.requests.Add(path, 1)
+	m.statuses.Add(fmt.Sprintf("%d", status), 1)
+	m.latency.Add(path, int64(d))
+}
+
+// serveVars writes the metric tree in expvar's JSON format.
+func (m *metrics) serveVars(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	fmt.Fprintln(w, m.root.String())
+}

@@ -7,10 +7,14 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
+	"time"
 
 	"ldgemm/internal/bitmat"
 	"ldgemm/internal/blis"
@@ -30,6 +34,19 @@ type Config struct {
 	// ChunkTiles is the parallel driver's work-queue granularity
 	// (blis.Config.ChunkTiles; default 0 = derived).
 	ChunkTiles int
+	// RequestTimeout bounds each request's total handling time; past it
+	// the request context is cancelled, the kernel drivers abort at their
+	// next phase boundary, and the client gets 504. 0 disables.
+	RequestTimeout time.Duration
+	// MaxInFlight caps concurrently-executing heavy (LD-computing)
+	// requests across the region/top/prune/blocks/omega endpoints;
+	// excess requests are shed with 503 + Retry-After. 0 disables.
+	MaxInFlight int
+	// RetryAfter is the backoff hint attached to shed requests
+	// (default 1s).
+	RetryAfter time.Duration
+	// AccessLog, when non-nil, receives one structured line per request.
+	AccessLog *slog.Logger
 }
 
 func (c Config) normalize() Config {
@@ -39,42 +56,88 @@ func (c Config) normalize() Config {
 	if c.MaxTopK == 0 {
 		c.MaxTopK = 1000
 	}
+	if c.RetryAfter == 0 {
+		c.RetryAfter = time.Second
+	}
 	return c
 }
 
 // Server serves LD queries over one genomic matrix.
 type Server struct {
-	g   *bitmat.Matrix
-	cfg Config
-	mux *http.ServeMux
-	// freqs is precomputed at construction.
+	g       *bitmat.Matrix
+	cfg     Config
+	mux     *http.ServeMux
+	handler http.Handler // mux wrapped in the lifecycle middleware
+	metrics *metrics
+	// freqs and poly are precomputed at construction so /api/info and
+	// /api/freq never rescan the matrix per request.
 	freqs []float64
+	poly  int
 }
 
 // New builds a Server for the matrix.
 func New(g *bitmat.Matrix, cfg Config) *Server {
-	s := &Server{g: g, cfg: cfg.normalize(), freqs: core.AlleleFrequencies(g)}
+	s := &Server{
+		g: g, cfg: cfg.normalize(),
+		freqs:   core.AlleleFrequencies(g),
+		metrics: newMetrics(),
+	}
+	for i := 0; i < g.SNPs; i++ {
+		if c := g.DerivedCount(i); c > 0 && c < g.Samples {
+			s.poly++
+		}
+	}
+	heavy := inFlightLimiter(s.cfg.MaxInFlight, s.cfg.RetryAfter, s.metrics)
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /api/info", s.handleInfo)
 	mux.HandleFunc("GET /api/freq", s.handleFreq)
 	mux.HandleFunc("GET /api/ld", s.handlePair)
-	mux.HandleFunc("GET /api/ld/region", s.handleRegion)
-	mux.HandleFunc("GET /api/ld/top", s.handleTop)
-	mux.HandleFunc("GET /api/prune", s.handlePrune)
-	mux.HandleFunc("GET /api/blocks", s.handleBlocks)
-	mux.HandleFunc("GET /api/omega", s.handleOmega)
+	mux.Handle("GET /api/ld/region", heavy(http.HandlerFunc(s.handleRegion)))
+	mux.Handle("GET /api/ld/top", heavy(http.HandlerFunc(s.handleTop)))
+	mux.Handle("GET /api/prune", heavy(http.HandlerFunc(s.handlePrune)))
+	mux.Handle("GET /api/blocks", heavy(http.HandlerFunc(s.handleBlocks)))
+	mux.Handle("GET /api/omega", heavy(http.HandlerFunc(s.handleOmega)))
+	mux.HandleFunc("GET /debug/vars", s.metrics.serveVars)
 	s.mux = mux
+	s.handler = observe(s.metrics, s.cfg.AccessLog, withDeadline(s.cfg.RequestTimeout, mux))
 	return s
 }
 
 // ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
 
-// blisConfig is the per-request kernel configuration. Requests served
-// concurrently share packing storage through the blis arena pool, so the
-// hot region/prune/blocks endpoints do not reallocate pack buffers.
-func (s *Server) blisConfig() blis.Config {
-	return blis.Config{Threads: s.cfg.Threads, ChunkTiles: s.cfg.ChunkTiles}
+// VarsHandler exposes the /debug/vars metric surface for mounting on a
+// separate admin listener.
+func (s *Server) VarsHandler() http.Handler { return http.HandlerFunc(s.metrics.serveVars) }
+
+// blisConfig is the per-request kernel configuration: the request context
+// flows into the parallel driver so an abandoned or timed-out request
+// stops the GEMM at its next phase boundary. Requests served concurrently
+// share packing storage through the blis arena pool, so the hot
+// region/prune/blocks endpoints do not reallocate pack buffers.
+func (s *Server) blisConfig(ctx context.Context) blis.Config {
+	return blis.Config{Threads: s.cfg.Threads, ChunkTiles: s.cfg.ChunkTiles, Ctx: ctx}
+}
+
+// statusClientClosedRequest is nginx's convention for "the client went
+// away before we finished"; the response is never delivered, but the
+// status keeps logs and metrics honest.
+const statusClientClosedRequest = 499
+
+// computeError answers a failed LD computation: requests abandoned by the
+// client map to 499, deadline hits to 504 Gateway Timeout, anything else
+// — parameters were already validated — is an internal error (500).
+func (s *Server) computeError(w http.ResponseWriter, r *http.Request, err error) {
+	switch {
+	case errors.Is(err, context.Canceled):
+		s.metrics.cancelled.Add(1)
+		httpError(w, statusClientClosedRequest, "request cancelled: %v", err)
+	case errors.Is(err, context.DeadlineExceeded):
+		s.metrics.timedOut.Add(1)
+		httpError(w, http.StatusGatewayTimeout, "deadline exceeded: %v", err)
+	default:
+		httpError(w, http.StatusInternalServerError, "%v", err)
+	}
 }
 
 // writeJSON emits a 200 response with the JSON payload.
@@ -147,15 +210,9 @@ type InfoResponse struct {
 }
 
 func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
-	poly := 0
-	for i := 0; i < s.g.SNPs; i++ {
-		if c := s.g.DerivedCount(i); c > 0 && c < s.g.Samples {
-			poly++
-		}
-	}
 	writeJSON(w, InfoResponse{
 		SNPs: s.g.SNPs, Samples: s.g.Samples,
-		MeanFrequency: stats.Mean(s.freqs), Polymorphic: poly,
+		MeanFrequency: stats.Mean(s.freqs), Polymorphic: s.poly,
 	})
 }
 
@@ -266,9 +323,10 @@ func (s *Server) handleRegion(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "unknown measure %q", measure)
 		return
 	}
-	res, err := core.Matrix(s.g.Slice(start, end), core.Options{Measures: meas, Blis: s.blisConfig()})
+	res, err := core.Matrix(s.g.Slice(start, end),
+		core.Options{Measures: meas, Blis: s.blisConfig(r.Context())})
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, "%v", err)
+		s.computeError(w, r, err)
 		return
 	}
 	var flat []float64
@@ -306,10 +364,10 @@ func (s *Server) handleTop(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := core.Significance(s.g, core.SignificanceOptions{
 		Alpha: 0.999999, AlphaIsPerTest: true, MaxResults: s.cfg.MaxTopK * 4,
-		LD: core.Options{Blis: s.blisConfig()},
+		LD: core.Options{Blis: s.blisConfig(r.Context())},
 	})
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, "%v", err)
+		s.computeError(w, r, err)
 		return
 	}
 	out := TopResponse{K: k}
@@ -348,12 +406,22 @@ func (s *Server) handlePrune(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	// Parameter errors are the client's fault (400); once past this
+	// check, core failures are classified by computeError.
+	if window < 2 || step < 1 || step > window {
+		httpError(w, http.StatusBadRequest, "invalid window/step %d/%d", window, step)
+		return
+	}
+	if r2 <= 0 || r2 > 1 {
+		httpError(w, http.StatusBadRequest, "r2 threshold %v outside (0,1]", r2)
+		return
+	}
 	res, err := core.Prune(s.g, core.PruneOptions{
 		WindowSNPs: window, StepSNPs: step, R2Threshold: r2,
-		LD: core.Options{Blis: s.blisConfig()},
+		LD: core.Options{Blis: s.blisConfig(r.Context())},
 	})
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		s.computeError(w, r, err)
 		return
 	}
 	writeJSON(w, PruneResponse{Kept: res.Kept, Removed: res.Removed})
@@ -375,21 +443,28 @@ func (s *Server) handleBlocks(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	if dprime <= 0 || dprime > 1 || frac <= 0 || frac > 1 {
+		httpError(w, http.StatusBadRequest,
+			"dprime %v and frac %v must lie in (0,1]", dprime, frac)
+		return
+	}
 	blocks, err := core.Blocks(s.g, core.BlockOptions{
 		DPrimeThreshold: dprime, MinStrongFrac: frac,
-		LD: core.Options{Blis: s.blisConfig()},
+		LD: core.Options{Blis: s.blisConfig(r.Context())},
 	})
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		s.computeError(w, r, err)
 		return
 	}
 	writeJSON(w, BlocksResponse{Blocks: blocks})
 }
 
-// OmegaResponse is the /api/omega payload.
+// OmegaResponse is the /api/omega payload. Peak is the grid point with
+// the highest ω, seeded from the first point so an all-zero scan still
+// reports a real grid position; it is omitted when there are no points.
 type OmegaResponse struct {
 	Points []omega.Point `json:"points"`
-	Peak   omega.Point   `json:"peak"`
+	Peak   *omega.Point  `json:"peak,omitempty"`
 }
 
 func (s *Server) handleOmega(w http.ResponseWriter, r *http.Request) {
@@ -408,19 +483,35 @@ func (s *Server) handleOmega(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	if grid < 1 || minEach < 2 || maxEach < minEach {
+		httpError(w, http.StatusBadRequest,
+			"invalid scan: grid=%d min_each=%d max_each=%d", grid, minEach, maxEach)
+		return
+	}
+	if s.g.SNPs < 2*minEach {
+		httpError(w, http.StatusBadRequest,
+			"%d SNPs is too few for min_each=%d", s.g.SNPs, minEach)
+		return
+	}
 	points, err := omega.Scan(s.g, omega.Config{
 		GridPoints: grid, MinEach: minEach, MaxEach: maxEach,
-		LD: core.Options{Blis: s.blisConfig()},
+		LD: core.Options{Blis: s.blisConfig(r.Context())},
 	})
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		s.computeError(w, r, err)
 		return
 	}
 	resp := OmegaResponse{Points: points}
-	for _, p := range points {
-		if p.Omega > resp.Peak.Omega {
-			resp.Peak = p
+	if len(points) > 0 {
+		// Seed from the first point: an all-nonpositive scan used to
+		// report a bogus zero-value peak at position 0.
+		peak := points[0]
+		for _, p := range points[1:] {
+			if p.Omega > peak.Omega {
+				peak = p
+			}
 		}
+		resp.Peak = &peak
 	}
 	writeJSON(w, resp)
 }

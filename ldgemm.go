@@ -62,11 +62,15 @@ func FromColumns(cols [][]byte) (*Matrix, error) { return bitmat.FromColumns(col
 func NewMask(snps, samples int) *Mask { return bitmat.NewMask(snps, samples) }
 
 // Options configures an LD computation (measures + blocking/threads).
+// Set Options.Ctx to bound the computation: the blocked drivers observe
+// cancellation cooperatively at slab and phase boundaries, return the
+// context's error, and recycle their packing arenas on the way out.
 type Options = core.Options
 
 // BlockConfig carries the GotoBLAS blocking parameters plus the parallel
-// driver's knobs: Threads (worker count) and ChunkTiles (work-queue
-// granularity; 0 derives it from the workload).
+// driver's knobs: Threads (worker count), ChunkTiles (work-queue
+// granularity; 0 derives it from the workload), and Ctx for cooperative
+// cancellation (nil runs to completion).
 type BlockConfig = blis.Config
 
 // Measure flags select which statistics to materialize.
@@ -234,7 +238,8 @@ func Significance(g *Matrix, opt SignificanceOptions) (*SignificanceResult, erro
 	return core.Significance(g, opt)
 }
 
-// TuneOptions bounds the blocking auto-tuner search.
+// TuneOptions bounds the blocking auto-tuner search; its Ctx field lets a
+// caller abandon a long tuning sweep between measurements.
 type TuneOptions = blis.TuneOptions
 
 // TuneResult reports the winning blocked configuration.
@@ -243,6 +248,15 @@ type TuneResult = blis.TuneResult
 // Tune searches micro-kernel shapes and cache block sizes for the host,
 // returning a BlockConfig to pass via Options.Blis.
 func Tune(opt TuneOptions) (*TuneResult, error) { return blis.Tune(opt) }
+
+// DriverStats is a snapshot of the blocked drivers' cumulative counters:
+// completed and cancelled calls, C-cells×k-words of kernel work, wall
+// time, and packing-arena reuse.
+type DriverStats = blis.DriverStats
+
+// KernelStats reads the process-wide driver counters — the same numbers
+// ldserver exports on /debug/vars under "blis".
+func KernelStats() DriverStats { return blis.ReadStats() }
 
 // DecayOptions configures an LD decay profile.
 type DecayOptions = ldmap.Options
