@@ -11,7 +11,13 @@ verify:
 .PHONY: verify-race
 verify-race:
 	go vet ./...
-	go test -race ./internal/blis/... ./internal/kernel/... ./internal/server/... ./cmd/ldserver/...
+	go test -race ./internal/blis/... ./internal/kernel/... ./internal/ldstore/... ./internal/server/... ./cmd/ldserver/...
+
+# Short fuzz smoke on the tile-store open path: hostile and truncated
+# files must error, never panic or over-allocate (CI runs this too).
+.PHONY: fuzz-smoke
+fuzz-smoke:
+	go test ./internal/ldstore -run=Fuzz -fuzz=FuzzStoreOpen -fuzztime=10s
 
 # Driver benchmark: seed fork/join vs pooled slab-pipelined at 1 and 4
 # threads on the acceptance shape.

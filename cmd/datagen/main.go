@@ -7,7 +7,9 @@
 //	datagen -dataset A -scale 10 -out a.ldgm
 //	datagen -snps 5000 -samples 1000 -sweep 2500 -format ms -out sweep.ms
 //
-// Formats: ldgm (compact binary), ms (Hudson), vcf (phased diploid).
+// Formats: ldgm (compact binary), ms (Hudson), vcf (phased diploid), bed
+// (PLINK .bed/.bim/.fam fileset; haplotypes are paired into diploid
+// genotypes).
 package main
 
 import (
@@ -42,7 +44,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	sweep := fs.Int("sweep", -1, "plant a selective sweep centered at this SNP index (-1 = none)")
 	sweepRadius := fs.Int("sweep-radius", 0, "sweep hitchhiking radius in SNPs (0 = default)")
 	sweepFrac := fs.Float64("sweep-frac", 0, "sweep carrier fraction (0 = default)")
-	format := fs.String("format", "ldgm", "output format: ldgm, ms, or vcf")
+	format := fs.String("format", "ldgm", "output format: ldgm, ms, vcf, or bed")
 	out := fs.String("out", "", "output path (default stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -81,6 +83,29 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 
+	// The bed format is a three-file PLINK fileset addressed by prefix, so
+	// it cannot share the single-stream writer below.
+	if *format == "bed" {
+		if *out == "" {
+			return fmt.Errorf("bed output requires -out (a fileset prefix, e.g. -out data for data.bed/.bim/.fam)")
+		}
+		if m.Samples%2 != 0 {
+			return fmt.Errorf("bed output needs an even haplotype count, have %d", m.Samples)
+		}
+		geno, err := bitmat.FromHaplotypes(m)
+		if err != nil {
+			return err
+		}
+		prefix := strings.TrimSuffix(*out, ".bed")
+		if err := seqio.WritePlinkFileset(prefix,
+			geno, seqio.DefaultBim(m.SNPs, "1", 100), seqio.DefaultFam(geno.Samples)); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "datagen: wrote %d SNPs × %d sequences (bed: %s.bed/.bim/.fam, %d diploid samples)\n",
+			m.SNPs, m.Samples, prefix, geno.Samples)
+		return nil
+	}
+
 	var w io.Writer = stdout
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -110,7 +135,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		err = seqio.WriteVCF(w, m, sites, 2)
 	default:
-		return fmt.Errorf("unknown format %q (want ldgm, ms, or vcf)", *format)
+		return fmt.Errorf("unknown format %q (want ldgm, ms, vcf, or bed)", *format)
 	}
 	if err != nil {
 		return err

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"ldgemm/internal/bitmat"
 	"ldgemm/internal/seqio"
 )
 
@@ -110,5 +111,63 @@ func TestDatagenErrors(t *testing.T) {
 	}
 	if _, _, err := runDatagen(t, "-not-a-flag"); err == nil {
 		t.Fatal("unknown flag accepted")
+	}
+}
+
+func TestDatagenBed(t *testing.T) {
+	dir := t.TempDir()
+	prefix := filepath.Join(dir, "geno")
+	_, stderr, err := runDatagen(t,
+		"-snps", "24", "-samples", "20", "-format", "bed", "-out", prefix+".bed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stderr, "10 diploid samples") {
+		t.Fatalf("stderr %q", stderr)
+	}
+	for _, ext := range []string{".bed", ".bim", ".fam"} {
+		if _, err := os.Stat(prefix + ext); err != nil {
+			t.Fatalf("missing fileset member %s: %v", ext, err)
+		}
+	}
+	fsRead, err := seqio.ReadPlinkFileset(prefix + ".bed")
+	if err != nil {
+		t.Fatalf("ReadPlinkFileset: %v", err)
+	}
+	g := fsRead.Genotypes
+	if g.SNPs != 24 || g.Samples != 10 {
+		t.Fatalf("fileset dims %dx%d, want 24x10", g.SNPs, g.Samples)
+	}
+	if len(fsRead.Variants) != 24 || len(fsRead.Samples) != 10 {
+		t.Fatalf("bim/fam lengths %d/%d", len(fsRead.Variants), len(fsRead.Samples))
+	}
+	// Pseudo-phasing the written genotypes must reproduce their dosages:
+	// the .bed content is FromHaplotypes of the generated haplotypes, and
+	// PseudoPhase is its dosage-exact inverse.
+	m, err := g.PseudoPhase()
+	if err != nil {
+		t.Fatalf("PseudoPhase: %v", err)
+	}
+	back, err := bitmat.FromHaplotypes(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < g.SNPs; i++ {
+		for s := 0; s < g.Samples; s++ {
+			if back.Get(i, s) != g.Get(i, s) {
+				t.Fatalf("dosage changed at (%d,%d)", i, s)
+			}
+		}
+	}
+}
+
+func TestDatagenBedErrors(t *testing.T) {
+	if _, _, err := runDatagen(t, "-snps", "8", "-samples", "6", "-format", "bed"); err == nil {
+		t.Fatal("bed without -out accepted")
+	}
+	prefix := filepath.Join(t.TempDir(), "odd")
+	if _, _, err := runDatagen(t,
+		"-snps", "8", "-samples", "7", "-format", "bed", "-out", prefix); err == nil {
+		t.Fatal("odd haplotype count accepted for bed")
 	}
 }

@@ -6,6 +6,12 @@
 //
 //	ldserver -in data.ldgm -addr :8080
 //
+// With -store pointing at an `ldstore build` output for the same dataset,
+// the /api/ld, /api/ld/region, and /api/ld/top endpoints serve precomputed
+// tiles through an LRU cache instead of running the kernels per request;
+// a store built from a different dataset is rejected at startup by its
+// fingerprint.
+//
 // Endpoints (all GET, JSON):
 //
 //	/api/info                         dataset dimensions and summary
@@ -43,6 +49,7 @@ import (
 	"time"
 
 	"ldgemm/internal/bitmat"
+	"ldgemm/internal/ldstore"
 	"ldgemm/internal/seqio"
 	"ldgemm/internal/server"
 )
@@ -63,7 +70,8 @@ func main() {
 // admin (pprof/metrics) server, ready to run until a signal drains it.
 type app struct {
 	srv   *http.Server
-	admin *http.Server // nil unless -admin was given
+	admin *http.Server   // nil unless -admin was given
+	store *ldstore.Store // nil unless -store was given; closed after drain
 	grace time.Duration
 }
 
@@ -86,6 +94,9 @@ func setup(args []string, stderr io.Writer) (*app, error) {
 		"admin listen address for /debug/pprof and /debug/vars (empty = disabled)")
 	grace := fs.Duration("grace", 10*time.Second, "shutdown drain window after SIGINT/SIGTERM")
 	accessLog := fs.Bool("access-log", true, "emit one structured (JSON) log line per request")
+	storePath := fs.String("store", "",
+		"precomputed tile store (ldstore build output) backing the LD endpoints (empty = compute on the fly)")
+	storeCache := fs.Int("store-cache", 0, "tile-store LRU capacity in tiles (0 = default)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -104,11 +115,28 @@ func setup(args []string, stderr io.Writer) (*app, error) {
 	if *accessLog {
 		cfg.AccessLog = slog.New(slog.NewJSONHandler(stderr, nil))
 	}
+	var st *ldstore.Store
+	if *storePath != "" {
+		st, err = ldstore.Open(*storePath, ldstore.Options{CacheTiles: *storeCache})
+		if err != nil {
+			return nil, err
+		}
+		// A stale store silently serving wrong statistics would be worse
+		// than no store: refuse to start rather than quietly fall back.
+		if fp := ldstore.Fingerprint(g); st.Fingerprint() != fp {
+			st.Close()
+			return nil, fmt.Errorf("store %s was built for a different dataset (fingerprint %016x, dataset %016x)",
+				*storePath, st.Fingerprint(), fp)
+		}
+		cfg.Store = st
+		fmt.Fprintf(stderr, "ldserver: tile store %s: %d tiles of %s, %d×%d\n",
+			*storePath, st.Info().Tiles, st.Stat(), st.SNPs(), st.Samples())
+	}
 	s := server.New(g, cfg)
 	fmt.Fprintf(stderr, "ldserver: loaded %d SNPs × %d sequences; listening on %s\n",
 		g.SNPs, g.Samples, *addr)
 
-	a := &app{grace: *grace, srv: newHTTPServer(*addr, s, *reqTimeout)}
+	a := &app{grace: *grace, store: st, srv: newHTTPServer(*addr, s, *reqTimeout)}
 	if *adminAddr != "" {
 		a.admin = newHTTPServer(*adminAddr, adminMux(s), 0)
 	}
@@ -165,7 +193,11 @@ func (a *app) run(ctx context.Context) error {
 	if a.admin != nil {
 		a.admin.Shutdown(sctx)
 	}
-	return a.srv.Shutdown(sctx)
+	err := a.srv.Shutdown(sctx)
+	if a.store != nil {
+		a.store.Close()
+	}
+	return err
 }
 
 func load(path string) (*bitmat.Matrix, error) {

@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"ldgemm/internal/ldstore"
 	"ldgemm/internal/popsim"
 	"ldgemm/internal/seqio"
 )
@@ -144,5 +145,60 @@ func TestRunGracefulShutdown(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("run did not drain after cancel")
+	}
+}
+
+func TestSetupWithStore(t *testing.T) {
+	path := writeServerDataset(t, false)
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := seqio.ReadBinary(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	storePath := filepath.Join(t.TempDir(), "d.ldts")
+	if _, err := ldstore.BuildFile(storePath, g, ldstore.BuildOptions{TileSize: 16}); err != nil {
+		t.Fatal(err)
+	}
+
+	var errBuf bytes.Buffer
+	a, err := setup([]string{"-in", path, "-store", storePath, "-access-log=false"}, &errBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.store == nil {
+		t.Fatal("store not retained for shutdown close")
+	}
+	rec := httptest.NewRecorder()
+	a.srv.Handler.ServeHTTP(rec, httptest.NewRequest("GET", "/api/info", nil))
+	var info struct {
+		StoreLoaded bool   `json:"store_loaded"`
+		StoreStat   string `json:"store_stat"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &info); err != nil {
+		t.Fatal(err)
+	}
+	if !info.StoreLoaded || info.StoreStat != "r2" {
+		t.Fatalf("info %+v", info)
+	}
+	a.store.Close()
+}
+
+func TestSetupRejectsMismatchedStore(t *testing.T) {
+	path := writeServerDataset(t, false)
+	other, err := popsim.Mosaic(50, 40, popsim.MosaicConfig{Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	storePath := filepath.Join(t.TempDir(), "other.ldts")
+	if _, err := ldstore.BuildFile(storePath, other, ldstore.BuildOptions{TileSize: 16}); err != nil {
+		t.Fatal(err)
+	}
+	var errBuf bytes.Buffer
+	if _, err := setup([]string{"-in", path, "-store", storePath, "-access-log=false"}, &errBuf); err == nil {
+		t.Fatal("mismatched store accepted at startup")
 	}
 }

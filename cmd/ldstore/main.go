@@ -1,0 +1,192 @@
+// Command ldstore builds and inspects on-disk tile stores of precomputed
+// LD statistics: run the blocked GEMM once, then serve any number of
+// point, region, or top-K queries without touching the kernels again.
+//
+// Usage:
+//
+//	ldstore build -in data.ldgm -out data.ldts [-tile 256] [-stat r2] [-compress]
+//	ldstore info -store data.ldts
+//	ldstore query -store data.ldts -i 3 -j 7
+//	ldstore query -store data.ldts -start 100 -end 120
+//	ldstore query -store data.ldts -top 25
+//
+// The build output is the file ldserver's -store flag consumes. All query
+// output is JSON on stdout.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"ldgemm/internal/bitmat"
+	"ldgemm/internal/blis"
+	"ldgemm/internal/core"
+	"ldgemm/internal/ldstore"
+	"ldgemm/internal/seqio"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "ldstore:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: ldstore build|info|query [flags] (-h for details)")
+	}
+	switch args[0] {
+	case "build":
+		return runBuild(args[1:], stdout, stderr)
+	case "info":
+		return runInfo(args[1:], stdout, stderr)
+	case "query":
+		return runQuery(args[1:], stdout, stderr)
+	}
+	return fmt.Errorf("unknown subcommand %q (want build, info, or query)", args[0])
+}
+
+func runBuild(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("ldstore build", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	in := fs.String("in", "", "dataset path (.ldgm or .ms, optionally gzipped; required)")
+	out := fs.String("out", "", "tile store output path (required)")
+	tile := fs.Int("tile", 0, "tile side NT in SNPs (0 = default 256)")
+	stat := fs.String("stat", "r2", "statistic to precompute: r2, d, or dprime")
+	compress := fs.Bool("compress", false, "DEFLATE-compress each tile")
+	threads := fs.Int("threads", 0, "kernel threads (0 = GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *out == "" {
+		fs.Usage()
+		return fmt.Errorf("-in and -out are required")
+	}
+	st, err := ldstore.ParseStat(*stat)
+	if err != nil {
+		return err
+	}
+	g, err := load(*in)
+	if err != nil {
+		return err
+	}
+	res, err := ldstore.BuildFile(*out, g, ldstore.BuildOptions{
+		TileSize: *tile, Stat: st, Compress: *compress,
+		LD: core.Options{Blis: blis.Config{Threads: *threads}},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "ldstore: wrote %s: %d tiles, %d bytes (%s, %d×%d, peak result memory %d bytes)\n",
+		*out, res.Tiles, res.FileBytes, st, g.SNPs, g.Samples, res.PeakResultBytes)
+	return nil
+}
+
+func runInfo(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("ldstore info", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	path := fs.String("store", "", "tile store path (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *path == "" {
+		fs.Usage()
+		return fmt.Errorf("-store is required")
+	}
+	s, err := ldstore.Open(*path, ldstore.Options{})
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	return writeJSON(stdout, s.Info())
+}
+
+func runQuery(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("ldstore query", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	path := fs.String("store", "", "tile store path (required)")
+	i := fs.Int("i", -1, "first SNP of a pair query")
+	j := fs.Int("j", -1, "second SNP of a pair query")
+	start := fs.Int("start", -1, "region start (inclusive)")
+	end := fs.Int("end", -1, "region end (exclusive)")
+	top := fs.Int("top", 0, "return the K strongest off-diagonal pairs")
+	cache := fs.Int("cache", 0, "tile LRU capacity in tiles (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *path == "" {
+		fs.Usage()
+		return fmt.Errorf("-store is required")
+	}
+	s, err := ldstore.Open(*path, ldstore.Options{CacheTiles: *cache})
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	switch {
+	case *i >= 0 || *j >= 0:
+		v, err := s.At(*i, *j)
+		if err != nil {
+			return err
+		}
+		return writeJSON(stdout, map[string]any{
+			"i": *i, "j": *j, "stat": s.Stat().String(), "value": v,
+		})
+	case *start >= 0 || *end >= 0:
+		vals, err := s.Region(*start, *end)
+		if err != nil {
+			return err
+		}
+		w := *end - *start
+		rows := make([][]float64, w)
+		for r := range rows {
+			rows[r] = vals[r*w : (r+1)*w]
+		}
+		return writeJSON(stdout, map[string]any{
+			"start": *start, "end": *end, "stat": s.Stat().String(), "values": rows,
+		})
+	case *top > 0:
+		pairs, err := s.Top(*top)
+		if err != nil {
+			return err
+		}
+		return writeJSON(stdout, map[string]any{
+			"k": *top, "stat": s.Stat().String(), "pairs": pairs,
+		})
+	}
+	fs.Usage()
+	return fmt.Errorf("give a pair (-i/-j), a region (-start/-end), or -top K")
+}
+
+func writeJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// load reads a dataset the same way ldserver does, so a store built here
+// fingerprints identically to the matrix the server loads.
+func load(path string) (*bitmat.Matrix, error) {
+	r, closer, err := seqio.OpenMaybeGzip(path)
+	if err != nil {
+		return nil, err
+	}
+	defer closer.Close()
+	base := path
+	for filepath.Ext(base) == ".gz" {
+		base = base[:len(base)-3]
+	}
+	if filepath.Ext(base) == ".ms" {
+		reps, err := seqio.ReadMS(r)
+		if err != nil {
+			return nil, err
+		}
+		return reps[0].Matrix, nil
+	}
+	return seqio.ReadBinary(r)
+}

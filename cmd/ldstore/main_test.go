@@ -1,0 +1,152 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ldgemm/internal/popsim"
+	"ldgemm/internal/seqio"
+)
+
+func runLdstore(t *testing.T, args ...string) (string, string, error) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	err := run(args, &out, &errBuf)
+	return out.String(), errBuf.String(), err
+}
+
+func writeDataset(t *testing.T) string {
+	t.Helper()
+	m, err := popsim.Mosaic(40, 32, popsim.MosaicConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "d.ldgm")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := seqio.WriteBinary(f, m); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestBuildInfoQuery(t *testing.T) {
+	data := writeDataset(t)
+	store := filepath.Join(t.TempDir(), "d.ldts")
+
+	_, stderr, err := runLdstore(t, "build", "-in", data, "-out", store, "-tile", "16", "-compress")
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	if !strings.Contains(stderr, "wrote "+store) {
+		t.Fatalf("build stderr %q", stderr)
+	}
+
+	stdout, _, err := runLdstore(t, "info", "-store", store)
+	if err != nil {
+		t.Fatalf("info: %v", err)
+	}
+	var info struct {
+		SNPs       int    `json:"snps"`
+		Stat       string `json:"stat"`
+		Tiles      int    `json:"tiles"`
+		Compressed bool   `json:"compressed"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &info); err != nil {
+		t.Fatalf("info output %q: %v", stdout, err)
+	}
+	if info.SNPs != 40 || info.Stat != "r2" || info.Tiles != 6 || !info.Compressed {
+		t.Fatalf("info %+v", info)
+	}
+
+	stdout, _, err = runLdstore(t, "query", "-store", store, "-i", "3", "-j", "17")
+	if err != nil {
+		t.Fatalf("pair query: %v", err)
+	}
+	var pair struct {
+		Value float64 `json:"value"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &pair); err != nil {
+		t.Fatal(err)
+	}
+	if pair.Value < 0 || pair.Value > 1 {
+		t.Fatalf("r2 %v outside [0,1]", pair.Value)
+	}
+
+	stdout, _, err = runLdstore(t, "query", "-store", store, "-start", "5", "-end", "9")
+	if err != nil {
+		t.Fatalf("region query: %v", err)
+	}
+	var region struct {
+		Values [][]float64 `json:"values"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &region); err != nil {
+		t.Fatal(err)
+	}
+	if len(region.Values) != 4 || len(region.Values[0]) != 4 {
+		t.Fatalf("region shape %d", len(region.Values))
+	}
+
+	stdout, _, err = runLdstore(t, "query", "-store", store, "-top", "5")
+	if err != nil {
+		t.Fatalf("top query: %v", err)
+	}
+	var top struct {
+		Pairs []struct {
+			I     int     `json:"i"`
+			J     int     `json:"j"`
+			Value float64 `json:"value"`
+		} `json:"pairs"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &top); err != nil {
+		t.Fatal(err)
+	}
+	if len(top.Pairs) != 5 {
+		t.Fatalf("top returned %d pairs", len(top.Pairs))
+	}
+	for i := 1; i < len(top.Pairs); i++ {
+		if top.Pairs[i].Value > top.Pairs[i-1].Value {
+			t.Fatal("top pairs not sorted")
+		}
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	if _, _, err := runLdstore(t); err == nil {
+		t.Fatal("no subcommand accepted")
+	}
+	if _, _, err := runLdstore(t, "frobnicate"); err == nil {
+		t.Fatal("unknown subcommand accepted")
+	}
+	if _, _, err := runLdstore(t, "build"); err == nil {
+		t.Fatal("build without flags accepted")
+	}
+	if _, _, err := runLdstore(t, "info"); err == nil {
+		t.Fatal("info without -store accepted")
+	}
+	if _, _, err := runLdstore(t, "query", "-store", filepath.Join(t.TempDir(), "missing.ldts"), "-top", "3"); err == nil {
+		t.Fatal("query on missing store accepted")
+	}
+	data := writeDataset(t)
+	if _, _, err := runLdstore(t, "build", "-in", data,
+		"-out", filepath.Join(t.TempDir(), "x.ldts"), "-stat", "nope"); err == nil {
+		t.Fatal("bad stat accepted")
+	}
+	store := filepath.Join(t.TempDir(), "q.ldts")
+	if _, _, err := runLdstore(t, "build", "-in", data, "-out", store); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := runLdstore(t, "query", "-store", store); err == nil {
+		t.Fatal("query without a selector accepted")
+	}
+	if _, _, err := runLdstore(t, "query", "-store", store, "-i", "0", "-j", "400"); err == nil {
+		t.Fatal("out-of-range pair accepted")
+	}
+}

@@ -136,6 +136,33 @@ func FromHaplotypes(m *Matrix) (*GenotypeMatrix, error) {
 	return g, nil
 }
 
+// PseudoPhase expands diploid genotypes into a haplotype matrix with two
+// consecutive rows (2s, 2s+1) per sample, assigning phase
+// deterministically: a heterozygote always puts its derived allele on the
+// first haplotype. The expansion preserves dosage exactly, so
+// FromHaplotypes(PseudoPhase(g)) reproduces g bit for bit; real phase
+// information does not exist in a genotype matrix, so any LD computed from
+// the result is a pseudo-phased approximation. Missing genotypes have no
+// haplotype encoding and are rejected.
+func (g *GenotypeMatrix) PseudoPhase() (*Matrix, error) {
+	m := New(g.SNPs, 2*g.Samples)
+	for i := 0; i < g.SNPs; i++ {
+		for s := 0; s < g.Samples; s++ {
+			switch g.Get(i, s) {
+			case GenoHomRef:
+			case GenoHet:
+				m.SetBit(i, 2*s)
+			case GenoHomAlt:
+				m.SetBit(i, 2*s)
+				m.SetBit(i, 2*s+1)
+			default:
+				return nil, fmt.Errorf("bitmat: PseudoPhase: missing genotype at variant %d, sample %d", i, s)
+			}
+		}
+	}
+	return m, nil
+}
+
 // GenoCounts holds the per-pair joint genotype summary the PLINK-like
 // baseline computes with popcount bit tricks.
 type GenoCounts struct {

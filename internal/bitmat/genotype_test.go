@@ -181,3 +181,51 @@ func TestQuickR2Range(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestPseudoPhaseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := NewGenotypeMatrix(9, 37) // crosses the 32-genotype word boundary
+	codes := []uint8{GenoHomRef, GenoHet, GenoHomAlt}
+	for i := 0; i < g.SNPs; i++ {
+		for s := 0; s < g.Samples; s++ {
+			g.Set(i, s, codes[rng.Intn(len(codes))])
+		}
+	}
+	m, err := g.PseudoPhase()
+	if err != nil {
+		t.Fatalf("PseudoPhase: %v", err)
+	}
+	if m.SNPs != g.SNPs || m.Samples != 2*g.Samples {
+		t.Fatalf("phased dimensions %dx%d, want %dx%d", m.SNPs, m.Samples, g.SNPs, 2*g.Samples)
+	}
+	if err := m.ValidatePadding(); err != nil {
+		t.Fatalf("phased matrix padding: %v", err)
+	}
+	// Deterministic phase: hets put the derived allele on haplotype 2s.
+	for i := 0; i < g.SNPs; i++ {
+		for s := 0; s < g.Samples; s++ {
+			if g.Get(i, s) == GenoHet && (!m.Bit(i, 2*s) || m.Bit(i, 2*s+1)) {
+				t.Fatalf("het at (%d,%d) phased as (%v,%v)", i, s, m.Bit(i, 2*s), m.Bit(i, 2*s+1))
+			}
+		}
+	}
+	back, err := FromHaplotypes(m)
+	if err != nil {
+		t.Fatalf("FromHaplotypes: %v", err)
+	}
+	for i := 0; i < g.SNPs; i++ {
+		for s := 0; s < g.Samples; s++ {
+			if back.Get(i, s) != g.Get(i, s) {
+				t.Fatalf("round trip changed (%d,%d): %d → %d", i, s, g.Get(i, s), back.Get(i, s))
+			}
+		}
+	}
+}
+
+func TestPseudoPhaseRejectsMissing(t *testing.T) {
+	g := NewGenotypeMatrix(2, 3)
+	g.Set(1, 2, GenoMissing)
+	if _, err := g.PseudoPhase(); err == nil {
+		t.Fatal("PseudoPhase accepted a missing genotype")
+	}
+}

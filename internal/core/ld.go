@@ -81,7 +81,10 @@ type Pair struct {
 func PairFromFreqs(pab, pa, pb float64) Pair {
 	d := pab - pa*pb
 	p := Pair{PAB: pab, PA: pa, PB: pb, D: d}
-	den := pa * (1 - pa) * pb * (1 - pb)
+	// Grouping the variance factors per SNP keeps the result bit-symmetric
+	// under pa↔pb (IEEE multiplication commutes), so mirrored matrix
+	// entries and tile-store reads of (j, i) reproduce (i, j) exactly.
+	den := (pa * (1 - pa)) * (pb * (1 - pb))
 	if den > 0 {
 		p.R2 = d * d / den
 	}

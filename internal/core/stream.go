@@ -20,6 +20,14 @@ type StreamOptions struct {
 	// epilogue touch precisely the N(N+1)/2 pairs of the paper's
 	// Tables I–III.
 	Triangular bool
+	// Exact routes every statistic through PairFromFreqs — the same
+	// operation sequence as the dense Matrix epilogue — so streamed
+	// values are bit-identical to Matrix's outputs. The default r² path
+	// multiplies precomputed variance reciprocals instead of dividing,
+	// which is faster but can differ from the dense epilogue in the last
+	// ulp. The ldstore Builder sets Exact so precomputed tiles serve
+	// byte-identical answers to the on-the-fly compute paths.
+	Exact bool
 }
 
 // Stream computes all-pairs LD for matrices too large to materialize n²
@@ -51,7 +59,7 @@ func Stream(g *bitmat.Matrix, opt StreamOptions, visit func(i, j0 int, row []flo
 		inv = 1 / float64(g.Samples)
 	}
 	meas := opt.measures()
-	r2Only := meas&MeasureR2 != 0
+	r2Only := meas&MeasureR2 != 0 && !opt.Exact
 	// Fast r² epilogue: precompute the per-SNP variance reciprocals so the
 	// O(n²) loop is five multiplies per pair with no branches on the hot
 	// path (monomorphic SNPs get a zero factor, which zeroes their r²).
@@ -113,9 +121,12 @@ func Stream(g *bitmat.Matrix, opt StreamOptions, visit func(i, j0 int, row []flo
 			} else {
 				for t, cnt := range src {
 					pr := PairFromFreqs(float64(cnt)*inv, pa, p[j0+t])
-					if meas&MeasureD != 0 {
+					switch {
+					case meas&MeasureR2 != 0:
+						dst[t] = pr.R2
+					case meas&MeasureD != 0:
 						dst[t] = pr.D
-					} else {
+					default:
 						dst[t] = pr.DPrime
 					}
 				}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"ldgemm/internal/bitmat"
+	"ldgemm/internal/popsim"
+)
+
+func streamMatrix(t *testing.T, snps, samples int, seed int64) *bitmat.Matrix {
+	t.Helper()
+	g, err := popsim.Mosaic(snps, samples, popsim.MosaicConfig{Seed: seed})
+	if err != nil {
+		t.Fatalf("popsim.Mosaic: %v", err)
+	}
+	return g
+}
+
+// collectStream materializes a full symmetric matrix from a streaming
+// scan, mirroring triangular rows into both halves.
+func collectStream(t *testing.T, g *bitmat.Matrix, opt StreamOptions) []float64 {
+	t.Helper()
+	n := g.SNPs
+	out := make([]float64, n*n)
+	prev := -1
+	err := Stream(g, opt, func(i, j0 int, row []float64) {
+		if i != prev+1 {
+			t.Fatalf("stream delivered row %d after %d", i, prev)
+		}
+		prev = i
+		if opt.Triangular && j0 != i {
+			t.Fatalf("triangular row %d starts at %d", i, j0)
+		}
+		if !opt.Triangular && j0 != 0 {
+			t.Fatalf("full row %d starts at %d", i, j0)
+		}
+		if len(row) != n-j0 {
+			t.Fatalf("row %d has %d entries, want %d", i, len(row), n-j0)
+		}
+		for tt, v := range row {
+			out[i*n+j0+tt] = v
+			out[(j0+tt)*n+i] = v
+		}
+	})
+	if err != nil {
+		t.Fatalf("Stream: %v", err)
+	}
+	if prev != n-1 {
+		t.Fatalf("stream stopped at row %d of %d", prev, n)
+	}
+	return out
+}
+
+// TestStreamStripeEdges runs triangular and full scans across stripe
+// sizes that divide the SNP count, don't divide it, exceed it, and
+// degenerate to single rows, checking every variant against the dense
+// matrix.
+func TestStreamStripeEdges(t *testing.T) {
+	g := streamMatrix(t, 53, 48, 101) // prime SNP count: nothing divides it
+	n := g.SNPs
+	res, err := Matrix(g, Options{})
+	if err != nil {
+		t.Fatalf("Matrix: %v", err)
+	}
+	for _, stripe := range []int{1, 7, 53, 64, 512} {
+		for _, tri := range []bool{false, true} {
+			got := collectStream(t, g, StreamOptions{StripeRows: stripe, Triangular: tri})
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					if d := math.Abs(got[i*n+j] - res.R2[i*n+j]); d > 1e-12 {
+						t.Fatalf("stripe=%d tri=%v (%d,%d): stream %v dense %v",
+							stripe, tri, i, j, got[i*n+j], res.R2[i*n+j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestStreamExactBitIdentical checks the Exact epilogue against the dense
+// matrices bit for bit, for every statistic — the property the tile-store
+// builder depends on.
+func TestStreamExactBitIdentical(t *testing.T) {
+	g := streamMatrix(t, 41, 32, 103)
+	n := g.SNPs
+	for _, m := range []Measure{MeasureR2, MeasureD, MeasureDPrime} {
+		res, err := Matrix(g, Options{Measures: m})
+		if err != nil {
+			t.Fatalf("Matrix: %v", err)
+		}
+		var want []float64
+		switch m {
+		case MeasureR2:
+			want = res.R2
+		case MeasureD:
+			want = res.D
+		default:
+			want = res.DPrime
+		}
+		got := collectStream(t, g, StreamOptions{
+			Options: Options{Measures: m}, StripeRows: 16, Triangular: true, Exact: true,
+		})
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if math.Float64bits(got[i*n+j]) != math.Float64bits(want[i*n+j]) {
+					t.Fatalf("measure=%d (%d,%d): stream %v, dense %v", m, i, j, got[i*n+j], want[i*n+j])
+				}
+			}
+		}
+	}
+}
+
+// TestStreamTinyInputs covers SNP counts at and below one stripe,
+// including the empty matrix.
+func TestStreamTinyInputs(t *testing.T) {
+	for _, snps := range []int{0, 1, 2, 5} {
+		var g *bitmat.Matrix
+		if snps == 0 {
+			g = bitmat.New(0, 8)
+		} else {
+			g = streamMatrix(t, snps, 24, int64(200+snps))
+		}
+		rows := 0
+		err := Stream(g, StreamOptions{StripeRows: 512, Triangular: true}, func(i, j0 int, row []float64) {
+			rows++
+		})
+		if err != nil {
+			t.Fatalf("snps=%d: %v", snps, err)
+		}
+		if rows != snps {
+			t.Fatalf("snps=%d: visited %d rows", snps, rows)
+		}
+		if snps > 0 {
+			collectStream(t, g, StreamOptions{StripeRows: 3, Triangular: true})
+		}
+	}
+}
+
+func TestStreamErrors(t *testing.T) {
+	g := streamMatrix(t, 8, 16, 107)
+	if err := Stream(g, StreamOptions{StripeRows: -1}, func(int, int, []float64) {}); err == nil {
+		t.Fatal("negative StripeRows accepted")
+	}
+	zero := &bitmat.Matrix{SNPs: 4, Samples: 0}
+	if err := Stream(zero, StreamOptions{}, func(int, int, []float64) {}); err == nil {
+		t.Fatal("zero samples accepted")
+	}
+}

@@ -1,0 +1,64 @@
+package ldstore
+
+import (
+	"container/list"
+	"sync"
+)
+
+// tileCache is a mutex-guarded LRU over decoded tiles, keyed by linear
+// tile id. Capacity is counted in tiles (every tile decodes to at most
+// tileSize² float64s), so the resident bound is CacheTiles × tile bytes.
+// Concurrent misses on the same tile may both load it; the second put
+// simply refreshes the entry, which is correct because tiles are
+// immutable.
+type tileCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[int64]*list.Element
+	lru     *list.List // front = most recently used
+}
+
+type cacheEntry struct {
+	id   int64
+	vals []float64
+}
+
+func newTileCache(capTiles int) *tileCache {
+	return &tileCache{
+		cap:     capTiles,
+		entries: make(map[int64]*list.Element),
+		lru:     list.New(),
+	}
+}
+
+// get returns the cached tile and records a hit or miss.
+func (c *tileCache) get(id int64) ([]float64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[id]; ok {
+		c.lru.MoveToFront(el)
+		stats.cacheHits.Add(1)
+		return el.Value.(*cacheEntry).vals, true
+	}
+	stats.cacheMisses.Add(1)
+	return nil, false
+}
+
+// put inserts a freshly decoded tile, evicting from the cold end past
+// capacity.
+func (c *tileCache) put(id int64, vals []float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[id]; ok {
+		el.Value.(*cacheEntry).vals = vals
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.entries[id] = c.lru.PushFront(&cacheEntry{id: id, vals: vals})
+	for c.lru.Len() > c.cap {
+		back := c.lru.Back()
+		delete(c.entries, back.Value.(*cacheEntry).id)
+		c.lru.Remove(back)
+		stats.evictions.Add(1)
+	}
+}

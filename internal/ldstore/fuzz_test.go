@@ -1,0 +1,82 @@
+package ldstore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ldgemm/internal/popsim"
+)
+
+// storeBytes builds a small valid store and returns its raw file bytes,
+// the seed every mutation starts from.
+func storeBytes(tb testing.TB, compress bool) []byte {
+	tb.Helper()
+	g, err := popsim.Mosaic(20, 16, popsim.MosaicConfig{Seed: 41})
+	if err != nil {
+		tb.Fatalf("popsim.Mosaic: %v", err)
+	}
+	path := filepath.Join(tb.TempDir(), "seed.ldts")
+	if _, err := BuildFile(path, g, BuildOptions{TileSize: 8, Compress: compress}); err != nil {
+		tb.Fatalf("BuildFile: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return data
+}
+
+// FuzzStoreOpen feeds arbitrary bytes to OpenReader and, when a file
+// opens, exercises every query path. The invariant under fuzzing: corrupt
+// input produces an error, never a panic, an index out of range, or an
+// allocation driven by an unvalidated length field.
+func FuzzStoreOpen(f *testing.F) {
+	valid := storeBytes(f, false)
+	f.Add(valid)
+	f.Add(storeBytes(f, true))
+	f.Add([]byte{})
+	f.Add([]byte("LDTS"))
+	f.Add(valid[:headerSize])   // header only, no tiles or index
+	f.Add(valid[:len(valid)-7]) // truncated index
+
+	corrupt := func(mutate func(b []byte)) []byte {
+		b := bytes.Clone(valid)
+		mutate(b)
+		return b
+	}
+	f.Add(corrupt(func(b []byte) { b[0] = 'X' }))                                          // bad magic
+	f.Add(corrupt(func(b []byte) { binary.LittleEndian.PutUint32(b[4:], 99) }))            // bad version
+	f.Add(corrupt(func(b []byte) { binary.LittleEndian.PutUint32(b[12:], 7) }))            // bad stat
+	f.Add(corrupt(func(b []byte) { binary.LittleEndian.PutUint64(b[16:], 1<<40) }))        // huge SNPs
+	f.Add(corrupt(func(b []byte) { binary.LittleEndian.PutUint64(b[24:], 0) }))            // zero samples
+	f.Add(corrupt(func(b []byte) { binary.LittleEndian.PutUint32(b[32:], 0) }))            // zero tile size
+	f.Add(corrupt(func(b []byte) { binary.LittleEndian.PutUint32(b[32:], 1<<30) }))        // huge tile size
+	f.Add(corrupt(func(b []byte) { binary.LittleEndian.PutUint64(b[48:], 0) }))            // index inside header
+	f.Add(corrupt(func(b []byte) { binary.LittleEndian.PutUint64(b[48:], 1<<50) }))        // index past EOF
+	f.Add(corrupt(func(b []byte) { binary.LittleEndian.PutUint64(b[56:], 1<<40) }))        // absurd tile count
+	f.Add(corrupt(func(b []byte) { b[headerSize] ^= 0xFF }))                               // payload bit flip
+	f.Add(corrupt(func(b []byte) { binary.LittleEndian.PutUint64(b[len(b)-24:], 1<<40) })) // entry offset out of range
+	f.Add(corrupt(func(b []byte) { binary.LittleEndian.PutUint32(b[len(b)-16:], 1<<28) })) // entry length out of range
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := OpenReader(bytes.NewReader(data), int64(len(data)), Options{CacheTiles: 4})
+		if err != nil {
+			return
+		}
+		defer s.Close()
+		_ = s.Info()
+		n := s.SNPs()
+		if n == 0 {
+			return
+		}
+		// Query errors (e.g. checksum failures on flipped payload bytes)
+		// are fine; panics are not.
+		_, _ = s.At(0, n-1)
+		_, _ = s.Region(0, min(n, 12))
+		_, _ = s.Top(3)
+		_ = s.Band(0, n, 4, func(int, int, float64) bool { return true })
+	})
+}

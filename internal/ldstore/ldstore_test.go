@@ -1,0 +1,445 @@
+package ldstore
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+
+	"ldgemm/internal/bitmat"
+	"ldgemm/internal/blis"
+	"ldgemm/internal/core"
+	"ldgemm/internal/popsim"
+)
+
+func testMatrix(t *testing.T, snps, samples int, seed int64) *bitmat.Matrix {
+	t.Helper()
+	g, err := popsim.Mosaic(snps, samples, popsim.MosaicConfig{Seed: seed})
+	if err != nil {
+		t.Fatalf("popsim.Mosaic: %v", err)
+	}
+	return g
+}
+
+func buildStore(t *testing.T, g *bitmat.Matrix, opt BuildOptions, so Options) *Store {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "test.ldts")
+	if _, err := BuildFile(path, g, opt); err != nil {
+		t.Fatalf("BuildFile: %v", err)
+	}
+	s, err := Open(path, so)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// dense computes the reference matrix for a statistic via the dense path.
+func dense(t *testing.T, g *bitmat.Matrix, stat Stat) []float64 {
+	t.Helper()
+	res, err := core.Matrix(g, core.Options{Measures: stat.Measure()})
+	if err != nil {
+		t.Fatalf("core.Matrix: %v", err)
+	}
+	switch stat {
+	case StatR2:
+		return res.R2
+	case StatD:
+		return res.D
+	default:
+		return res.DPrime
+	}
+}
+
+// TestStoreBitIdentical verifies the acceptance criterion driving the
+// whole design: every value a store serves — via At and via Region —
+// must be bit-for-bit the value the dense core.Matrix path computes, for
+// every statistic, with and without compression, across tile sizes that
+// do and do not divide the SNP count.
+func TestStoreBitIdentical(t *testing.T) {
+	g := testMatrix(t, 75, 96, 3)
+	n := g.SNPs
+	for _, stat := range []Stat{StatR2, StatD, StatDPrime} {
+		want := dense(t, g, stat)
+		for _, compress := range []bool{false, true} {
+			for _, nt := range []int{16, 25, 128} {
+				s := buildStore(t, g, BuildOptions{TileSize: nt, Stat: stat, Compress: compress}, Options{})
+				if s.SNPs() != n || s.Samples() != g.Samples || s.Stat() != stat {
+					t.Fatalf("stat=%v nt=%d: header mismatch: %+v", stat, nt, s.Info())
+				}
+				for i := 0; i < n; i++ {
+					for j := 0; j < n; j++ {
+						got, err := s.At(i, j)
+						if err != nil {
+							t.Fatalf("At(%d,%d): %v", i, j, err)
+						}
+						if math.Float64bits(got) != math.Float64bits(want[i*n+j]) {
+							t.Fatalf("stat=%v compress=%v nt=%d At(%d,%d) = %v, dense %v",
+								stat, compress, nt, i, j, got, want[i*n+j])
+						}
+					}
+				}
+				start, end := 7, 64
+				reg, err := s.Region(start, end)
+				if err != nil {
+					t.Fatalf("Region: %v", err)
+				}
+				w := end - start
+				for i := 0; i < w; i++ {
+					for j := 0; j < w; j++ {
+						got, ref := reg[i*w+j], want[(i+start)*n+(j+start)]
+						if math.Float64bits(got) != math.Float64bits(ref) {
+							t.Fatalf("stat=%v compress=%v nt=%d Region[%d,%d] = %v, dense %v",
+								stat, compress, nt, i, j, got, ref)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestStoreFingerprint(t *testing.T) {
+	g := testMatrix(t, 30, 40, 1)
+	s := buildStore(t, g, BuildOptions{TileSize: 8}, Options{})
+	if s.Fingerprint() != Fingerprint(g) {
+		t.Fatalf("fingerprint %x, want %x", s.Fingerprint(), Fingerprint(g))
+	}
+	other := testMatrix(t, 30, 40, 2)
+	if s.Fingerprint() == Fingerprint(other) {
+		t.Fatal("distinct datasets share a fingerprint")
+	}
+}
+
+func TestStoreTop(t *testing.T) {
+	g := testMatrix(t, 90, 64, 7)
+	n := g.SNPs
+	want := dense(t, g, StatR2)
+	type pair struct {
+		i, j int
+		v    float64
+	}
+	var all []pair
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			all = append(all, pair{i, j, want[i*n+j]})
+		}
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].v != all[b].v {
+			return all[a].v > all[b].v
+		}
+		if all[a].i != all[b].i {
+			return all[a].i < all[b].i
+		}
+		return all[a].j < all[b].j
+	})
+	s := buildStore(t, g, BuildOptions{TileSize: 16}, Options{})
+	for _, k := range []int{1, 10, 200, n * n} {
+		got, err := s.Top(k)
+		if err != nil {
+			t.Fatalf("Top(%d): %v", k, err)
+		}
+		wantLen := min(k, len(all))
+		if len(got) != wantLen {
+			t.Fatalf("Top(%d) returned %d pairs, want %d", k, len(got), wantLen)
+		}
+		for r, p := range got {
+			ref := all[r]
+			if p.I != ref.i || p.J != ref.j || math.Float64bits(p.Value) != math.Float64bits(ref.v) {
+				t.Fatalf("Top(%d)[%d] = (%d,%d,%v), want (%d,%d,%v)",
+					k, r, p.I, p.J, p.Value, ref.i, ref.j, ref.v)
+			}
+		}
+	}
+	if _, err := s.Top(0); err == nil {
+		t.Fatal("Top(0) succeeded")
+	}
+}
+
+// TestStoreTopPrunes asserts the per-tile maxima actually skip tiles: on
+// a dataset with many tiles, a small Top must read fewer tiles than
+// exist.
+func TestStoreTopPrunes(t *testing.T) {
+	g := testMatrix(t, 200, 64, 11)
+	s := buildStore(t, g, BuildOptions{TileSize: 16}, Options{CacheTiles: 1024})
+	before := ReadStats()
+	if _, err := s.Top(3); err != nil {
+		t.Fatalf("Top: %v", err)
+	}
+	read := ReadStats().TilesRead - before.TilesRead
+	if total := uint64(len(s.index)); read >= total {
+		t.Fatalf("Top(3) read all %d tiles; maxOff pruning is not working", total)
+	}
+}
+
+func TestStoreBand(t *testing.T) {
+	g := testMatrix(t, 60, 48, 5)
+	n := g.SNPs
+	want := dense(t, g, StatR2)
+	s := buildStore(t, g, BuildOptions{TileSize: 16}, Options{})
+	band := 9
+	type cell struct {
+		i, j int
+		v    float64
+	}
+	var got []cell
+	err := s.Band(0, n, band, func(i, j int, v float64) bool {
+		got = append(got, cell{i, j, v})
+		return true
+	})
+	if err != nil {
+		t.Fatalf("Band: %v", err)
+	}
+	idx := 0
+	for i := 0; i < n; i++ {
+		for j := i; j <= min(i+band, n-1); j++ {
+			if idx >= len(got) {
+				t.Fatalf("band visit stopped early at %d cells", len(got))
+			}
+			c := got[idx]
+			if c.i != i || c.j != j || math.Float64bits(c.v) != math.Float64bits(want[i*n+j]) {
+				t.Fatalf("band cell %d = (%d,%d,%v), want (%d,%d,%v)", idx, c.i, c.j, c.v, i, j, want[i*n+j])
+			}
+			idx++
+		}
+	}
+	if idx != len(got) {
+		t.Fatalf("band visited %d cells, want %d", len(got), idx)
+	}
+
+	// Early stop.
+	calls := 0
+	if err := s.Band(0, n, band, func(int, int, float64) bool { calls++; return calls < 5 }); err != nil {
+		t.Fatalf("Band early stop: %v", err)
+	}
+	if calls != 5 {
+		t.Fatalf("early-stopped band made %d visits, want 5", calls)
+	}
+}
+
+func TestStoreCacheCounters(t *testing.T) {
+	g := testMatrix(t, 64, 32, 13)
+	s := buildStore(t, g, BuildOptions{TileSize: 16}, Options{CacheTiles: 2})
+	before := ReadStats()
+	// 4 tile bands → 10 tiles; a full region sweep through a 2-tile cache
+	// must evict, and repeating a single hot query must hit.
+	if _, err := s.Region(0, 64); err != nil {
+		t.Fatalf("Region: %v", err)
+	}
+	mid := ReadStats()
+	if mid.TilesRead-before.TilesRead == 0 || mid.Evictions-before.Evictions == 0 {
+		t.Fatalf("cold sweep through tiny cache: %+v", mid)
+	}
+	if _, err := s.At(63, 63); err != nil { // resident: last tile touched
+		t.Fatalf("At: %v", err)
+	}
+	after := ReadStats()
+	if after.CacheHits-mid.CacheHits != 1 {
+		t.Fatalf("hot re-read missed the cache: %+v vs %+v", after, mid)
+	}
+	if after.BytesServed <= before.BytesServed {
+		t.Fatal("BytesServed did not advance")
+	}
+}
+
+// TestBuildMemoryBound is the acceptance criterion that the builder's
+// result storage is O(StripeRows × SNPs): at n=1536 the full float64
+// matrix alone is n²×8 ≈ 18.9 MB, and the build must allocate less than
+// n²×4 total — impossible if anything materializes the full matrix.
+func TestBuildMemoryBound(t *testing.T) {
+	n := 1536
+	g := testMatrix(t, n, 64, 17)
+	path := filepath.Join(t.TempDir(), "big.ldts")
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	st, err := BuildFile(path, g, BuildOptions{
+		TileSize: 128,
+		LD:       core.Options{Blis: blis.Config{Threads: 1}},
+	})
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		t.Fatalf("BuildFile: %v", err)
+	}
+	budget := int64(n) * int64(n) * 4
+	if alloc := int64(after.TotalAlloc - before.TotalAlloc); alloc >= budget {
+		t.Fatalf("build allocated %d bytes, budget %d (full matrix would be %d)",
+			alloc, budget, int64(n)*int64(n)*8)
+	}
+	if st.PeakResultBytes >= budget {
+		t.Fatalf("PeakResultBytes %d exceeds budget %d", st.PeakResultBytes, budget)
+	}
+	// And the file is still complete and readable.
+	s, err := Open(path, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer s.Close()
+	if s.SNPs() != n || s.Info().Tiles != st.Tiles {
+		t.Fatalf("store mismatch: %+v vs %+v", s.Info(), st)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	g := testMatrix(t, 10, 16, 19)
+	if _, err := BuildFile(filepath.Join(t.TempDir(), "x"), g, BuildOptions{TileSize: -1}); err == nil {
+		t.Fatal("negative tile size accepted")
+	}
+	if _, err := BuildFile(filepath.Join(t.TempDir(), "x"), g, BuildOptions{Stat: Stat(9)}); err == nil {
+		t.Fatal("bad stat accepted")
+	}
+	if _, err := BuildFile(filepath.Join(t.TempDir(), "x"), g, BuildOptions{TileSize: 1 << 20}); err == nil {
+		t.Fatal("tile above MaxTileBytes accepted")
+	}
+}
+
+// TestBuildWriteFailure exercises the error path through the visit
+// callback: a writer that fails mid-build must surface the write error
+// (not a panic, not a zero-stat success), and BuildFile must remove the
+// partial output.
+func TestBuildWriteFailure(t *testing.T) {
+	g := testMatrix(t, 64, 32, 23)
+	w := &failingWriter{failAfter: headerSize + 100}
+	if _, err := Build(w, g, BuildOptions{TileSize: 16}); err == nil {
+		t.Fatal("Build on a failing writer succeeded")
+	}
+	path := filepath.Join(t.TempDir(), "partial.ldts")
+	if _, err := BuildFile(path, g, BuildOptions{TileSize: 1 << 20}); err == nil {
+		t.Fatal("BuildFile succeeded")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("partial file left behind: stat err=%v", err)
+	}
+}
+
+type failingWriter struct {
+	buf       bytes.Buffer
+	failAfter int
+}
+
+func (f *failingWriter) Write(p []byte) (int, error) {
+	if f.buf.Len()+len(p) > f.failAfter {
+		return 0, os.ErrClosed
+	}
+	return f.buf.Write(p)
+}
+
+func (f *failingWriter) Seek(offset int64, whence int) (int64, error) { return 0, nil }
+
+func TestStoreQueryErrors(t *testing.T) {
+	g := testMatrix(t, 20, 16, 29)
+	s := buildStore(t, g, BuildOptions{TileSize: 8}, Options{})
+	if _, err := s.At(-1, 0); err == nil {
+		t.Fatal("At(-1,0) succeeded")
+	}
+	if _, err := s.At(0, 20); err == nil {
+		t.Fatal("At(0,n) succeeded")
+	}
+	if _, err := s.Region(5, 5); err == nil {
+		t.Fatal("empty region succeeded")
+	}
+	if _, err := s.Region(0, 21); err == nil {
+		t.Fatal("overlong region succeeded")
+	}
+	if err := s.Band(0, 20, 0, func(int, int, float64) bool { return true }); err == nil {
+		t.Fatal("zero band succeeded")
+	}
+	if err := s.Band(-1, 20, 3, func(int, int, float64) bool { return true }); err == nil {
+		t.Fatal("negative band start succeeded")
+	}
+}
+
+// TestStoreCorruption flips payload bytes and checks the CRC catches it.
+func TestStoreCorruption(t *testing.T) {
+	g := testMatrix(t, 32, 24, 31)
+	path := filepath.Join(t.TempDir(), "c.ldts")
+	if _, err := BuildFile(path, g, BuildOptions{TileSize: 8}); err != nil {
+		t.Fatalf("BuildFile: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[headerSize+5] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(path, Options{})
+	if err != nil {
+		t.Fatalf("Open after payload corruption should defer to read time: %v", err)
+	}
+	defer s.Close()
+	if _, err := s.At(0, 0); err == nil {
+		t.Fatal("corrupted tile served without a checksum error")
+	}
+}
+
+func TestStoreEmptyAndTiny(t *testing.T) {
+	empty := bitmat.New(0, 8)
+	s := buildStore(t, empty, BuildOptions{TileSize: 4}, Options{})
+	if s.SNPs() != 0 || s.Info().Tiles != 0 {
+		t.Fatalf("empty store: %+v", s.Info())
+	}
+	if _, err := s.At(0, 0); err == nil {
+		t.Fatal("At on empty store succeeded")
+	}
+
+	one := testMatrix(t, 1, 8, 37)
+	s1 := buildStore(t, one, BuildOptions{TileSize: 64}, Options{})
+	v, err := s1.At(0, 0)
+	if err != nil {
+		t.Fatalf("At(0,0): %v", err)
+	}
+	want := dense(t, one, StatR2)
+	if math.Float64bits(v) != math.Float64bits(want[0]) {
+		t.Fatalf("1-SNP store At(0,0)=%v, want %v", v, want[0])
+	}
+}
+
+// TestStoreConcurrentReads hammers one Store from many goroutines — the
+// cache is the only shared mutable state, and the race tier runs this
+// under -race.
+func TestStoreConcurrentReads(t *testing.T) {
+	g := testMatrix(t, 96, 48, 43)
+	want := dense(t, g, StatR2)
+	s := buildStore(t, g, BuildOptions{TileSize: 16}, Options{CacheTiles: 3})
+	n := g.SNPs
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for q := 0; q < 40; q++ {
+				i, j := (w*13+q*7)%n, (w*29+q*3)%n
+				v, err := s.At(i, j)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if math.Float64bits(v) != math.Float64bits(want[i*n+j]) {
+					errs <- fmt.Errorf("concurrent At(%d,%d) = %v, want %v", i, j, v, want[i*n+j])
+					return
+				}
+				if q%10 == 0 {
+					if _, err := s.Region(min(i, j), min(i, j)+16); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"ldgemm/internal/blis"
+	"ldgemm/internal/ldstore"
 )
 
 // metrics is the per-Server ops surface, served on /debug/vars. The
@@ -28,16 +29,23 @@ import (
 //	                cells, nanos, kernel_gcells_per_sec (mean giga-cells
 //	                of C×k work per second), arena_gets, arena_misses,
 //	                arena_hit_rate
+//	store_served    requests answered from the tile store
+//	store_fallbacks requests that hit a store error and recomputed
+//	store           cumulative tile-store counters: tiles_read, bytes_read,
+//	                cache_hits, cache_misses, cache_hit_rate, evictions,
+//	                bytes_served
 type metrics struct {
-	start     time.Time
-	root      *expvar.Map
-	requests  *expvar.Map
-	statuses  *expvar.Map
-	latency   *expvar.Map
-	inFlight  expvar.Int
-	shed      expvar.Int
-	cancelled expvar.Int
-	timedOut  expvar.Int
+	start          time.Time
+	root           *expvar.Map
+	requests       *expvar.Map
+	statuses       *expvar.Map
+	latency        *expvar.Map
+	inFlight       expvar.Int
+	shed           expvar.Int
+	cancelled      expvar.Int
+	timedOut       expvar.Int
+	storeServed    expvar.Int
+	storeFallbacks expvar.Int
 }
 
 func newMetrics() *metrics {
@@ -57,6 +65,20 @@ func newMetrics() *metrics {
 	m.root.Set("timed_out", &m.timedOut)
 	m.root.Set("uptime_seconds", expvar.Func(func() any {
 		return time.Since(m.start).Seconds()
+	}))
+	m.root.Set("store_served", &m.storeServed)
+	m.root.Set("store_fallbacks", &m.storeFallbacks)
+	m.root.Set("store", expvar.Func(func() any {
+		s := ldstore.ReadStats()
+		return map[string]any{
+			"tiles_read":     s.TilesRead,
+			"bytes_read":     s.BytesRead,
+			"cache_hits":     s.CacheHits,
+			"cache_misses":   s.CacheMisses,
+			"cache_hit_rate": s.HitRate(),
+			"evictions":      s.Evictions,
+			"bytes_served":   s.BytesServed,
+		}
 	}))
 	m.root.Set("blis", expvar.Func(func() any {
 		s := blis.ReadStats()

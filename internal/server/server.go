@@ -19,6 +19,7 @@ import (
 	"ldgemm/internal/bitmat"
 	"ldgemm/internal/blis"
 	"ldgemm/internal/core"
+	"ldgemm/internal/ldstore"
 	"ldgemm/internal/omega"
 	"ldgemm/internal/stats"
 )
@@ -47,6 +48,13 @@ type Config struct {
 	RetryAfter time.Duration
 	// AccessLog, when non-nil, receives one structured line per request.
 	AccessLog *slog.Logger
+	// Store, when non-nil, is a precomputed tile store for the dataset:
+	// /api/ld, /api/ld/region, and /api/ld/top requests whose statistic
+	// matches the store's are served from tiles instead of recomputed, and
+	// fall back to on-the-fly compute on any store error. A store whose
+	// fingerprint does not match the matrix is silently ignored (cmd/ldserver
+	// rejects the mismatch loudly before it gets here).
+	Store *ldstore.Store
 }
 
 func (c Config) normalize() Config {
@@ -69,6 +77,7 @@ type Server struct {
 	mux     *http.ServeMux
 	handler http.Handler // mux wrapped in the lifecycle middleware
 	metrics *metrics
+	store   *ldstore.Store // nil without a (fingerprint-matched) tile store
 	// freqs and poly are precomputed at construction so /api/info and
 	// /api/freq never rescan the matrix per request.
 	freqs []float64
@@ -81,6 +90,9 @@ func New(g *bitmat.Matrix, cfg Config) *Server {
 		g: g, cfg: cfg.normalize(),
 		freqs:   core.AlleleFrequencies(g),
 		metrics: newMetrics(),
+	}
+	if cfg.Store != nil && cfg.Store.Fingerprint() == ldstore.Fingerprint(g) {
+		s.store = cfg.Store
 	}
 	for i := 0; i < g.SNPs; i++ {
 		if c := g.DerivedCount(i); c > 0 && c < g.Samples {
@@ -207,13 +219,22 @@ type InfoResponse struct {
 	Samples       int     `json:"samples"`
 	MeanFrequency float64 `json:"mean_derived_frequency"`
 	Polymorphic   int     `json:"polymorphic_snps"`
+	// StoreLoaded reports whether a fingerprint-matched tile store backs
+	// the LD endpoints; StoreStat names its statistic when loaded.
+	StoreLoaded bool   `json:"store_loaded"`
+	StoreStat   string `json:"store_stat,omitempty"`
 }
 
 func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, InfoResponse{
+	resp := InfoResponse{
 		SNPs: s.g.SNPs, Samples: s.g.Samples,
 		MeanFrequency: stats.Mean(s.freqs), Polymorphic: s.poly,
-	})
+	}
+	if s.store != nil {
+		resp.StoreLoaded = true
+		resp.StoreStat = s.store.Stat().String()
+	}
+	writeJSON(w, resp)
 }
 
 // FreqResponse is the /api/freq payload.
@@ -270,6 +291,24 @@ func (s *Server) handlePair(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	p := core.PairLD(s.g, i, j)
+	// With a tile store loaded, the stored statistic is authoritative: it
+	// overrides the per-pair recomputation so /api/ld answers are
+	// bit-identical to the corresponding /api/ld/region cells.
+	if s.store != nil {
+		if v, err := s.store.At(i, j); err == nil {
+			switch s.store.Stat() {
+			case ldstore.StatR2:
+				p.R2 = v
+			case ldstore.StatD:
+				p.D = v
+			case ldstore.StatDPrime:
+				p.DPrime = v
+			}
+			s.metrics.storeServed.Add(1)
+		} else {
+			s.metrics.storeFallbacks.Add(1)
+		}
+	}
 	chi2 := p.Chi2(s.g.Samples)
 	pv, err := stats.ChiSquarePValue(chi2, 1)
 	if err != nil {
@@ -323,22 +362,36 @@ func (s *Server) handleRegion(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "unknown measure %q", measure)
 		return
 	}
-	res, err := core.Matrix(s.g.Slice(start, end),
-		core.Options{Measures: meas, Blis: s.blisConfig(r.Context())})
-	if err != nil {
-		s.computeError(w, r, err)
-		return
-	}
-	var flat []float64
-	switch meas {
-	case core.MeasureR2:
-		flat = res.R2
-	case core.MeasureD:
-		flat = res.D
-	default:
-		flat = res.DPrime
-	}
 	wdt := end - start
+	// Store fast path: a tile store holding this statistic serves the
+	// window from cached tiles — zero kernel invocations, and (because the
+	// builder forces the Exact epilogue) bit-identical to the dense
+	// compute below. Store errors fall through to on-the-fly compute.
+	var flat []float64
+	if s.store != nil && s.store.Stat().Measure() == meas {
+		if vals, err := s.store.Region(start, end); err == nil {
+			flat = vals
+			s.metrics.storeServed.Add(1)
+		} else {
+			s.metrics.storeFallbacks.Add(1)
+		}
+	}
+	if flat == nil {
+		res, err := core.Matrix(s.g.Slice(start, end),
+			core.Options{Measures: meas, Blis: s.blisConfig(r.Context())})
+		if err != nil {
+			s.computeError(w, r, err)
+			return
+		}
+		switch meas {
+		case core.MeasureR2:
+			flat = res.R2
+		case core.MeasureD:
+			flat = res.D
+		default:
+			flat = res.DPrime
+		}
+	}
 	values := make([][]float64, wdt)
 	for i := range values {
 		values[i] = flat[i*wdt : (i+1)*wdt]
@@ -361,6 +414,34 @@ func (s *Server) handleTop(w http.ResponseWriter, r *http.Request) {
 	if k < 1 || k > s.cfg.MaxTopK {
 		httpError(w, http.StatusBadRequest, "k=%d outside 1..%d", k, s.cfg.MaxTopK)
 		return
+	}
+	// Store fast path: an r² tile store already knows the strongest pairs
+	// (per-tile maxima prune the scan), so the whole-matrix significance
+	// stream — the most expensive query the server owns — is skipped.
+	// Per-pair details are recomputed from the two SNP vectors, which
+	// involves no kernel driver.
+	if s.store != nil && s.store.Stat() == ldstore.StatR2 {
+		top, err := s.store.Top(k)
+		if err == nil {
+			out := TopResponse{K: k}
+			for _, p := range top {
+				full := core.PairLD(s.g, p.I, p.J)
+				full.R2 = p.Value
+				chi2 := full.Chi2(s.g.Samples)
+				pv, perr := stats.ChiSquarePValue(chi2, 1)
+				if perr != nil {
+					pv = 0
+				}
+				out.Pairs = append(out.Pairs, PairResponse{
+					I: p.I, J: p.J, PAB: full.PAB, PA: full.PA, PB: full.PB,
+					D: full.D, R2: full.R2, DPrime: full.DPrime, Chi2: chi2, PValue: pv,
+				})
+			}
+			s.metrics.storeServed.Add(1)
+			writeJSON(w, out)
+			return
+		}
+		s.metrics.storeFallbacks.Add(1)
 	}
 	res, err := core.Significance(s.g, core.SignificanceOptions{
 		Alpha: 0.999999, AlphaIsPerTest: true, MaxResults: s.cfg.MaxTopK * 4,

@@ -1,0 +1,227 @@
+package server
+
+import (
+	"fmt"
+	"math"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"ldgemm/internal/bitmat"
+	"ldgemm/internal/blis"
+	"ldgemm/internal/ldstore"
+	"ldgemm/internal/popsim"
+)
+
+// storeServers builds one dataset and two servers over it — one backed by
+// a tile store, one computing on the fly — so tests can compare the two
+// paths request for request.
+func storeServers(t *testing.T, stat ldstore.Stat) (plain, stored *httptest.Server, g *bitmat.Matrix) {
+	t.Helper()
+	gm, err := popsim.Mosaic(120, 200, popsim.MosaicConfig{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "srv.ldts")
+	if _, err := ldstore.BuildFile(path, gm, ldstore.BuildOptions{TileSize: 32, Stat: stat}); err != nil {
+		t.Fatalf("BuildFile: %v", err)
+	}
+	st, err := ldstore.Open(path, ldstore.Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { st.Close() })
+	cfg := Config{MaxRegionSNPs: 64, MaxTopK: 50, Threads: 2}
+	plain = httptest.NewServer(New(gm, cfg))
+	t.Cleanup(plain.Close)
+	cfg.Store = st
+	stored = httptest.NewServer(New(gm, cfg))
+	t.Cleanup(stored.Close)
+	return plain, stored, gm
+}
+
+// TestStoreRegionBitIdentical is the headline acceptance test: for every
+// measure the store holds, the store-backed /api/ld/region response must
+// be bit-for-bit identical to the on-the-fly response, and a repeat of
+// the same (now warm-cached) query must run zero kernel invocations.
+func TestStoreRegionBitIdentical(t *testing.T) {
+	for _, tc := range []struct {
+		stat    ldstore.Stat
+		measure string
+	}{{ldstore.StatR2, "r2"}, {ldstore.StatD, "d"}, {ldstore.StatDPrime, "dprime"}} {
+		t.Run(tc.measure, func(t *testing.T) {
+			plain, stored, _ := storeServers(t, tc.stat)
+			url := fmt.Sprintf("/api/ld/region?start=13&end=70&measure=%s", tc.measure)
+			var want, got RegionResponse
+			if code := getJSON(t, plain.URL+url, &want); code != 200 {
+				t.Fatalf("plain status %d", code)
+			}
+			if code := getJSON(t, stored.URL+url, &got); code != 200 {
+				t.Fatalf("stored status %d", code)
+			}
+			if len(got.Values) != len(want.Values) {
+				t.Fatalf("row counts %d vs %d", len(got.Values), len(want.Values))
+			}
+			for i := range want.Values {
+				for j := range want.Values[i] {
+					w, g := want.Values[i][j], got.Values[i][j]
+					if math.Float64bits(w) != math.Float64bits(g) {
+						t.Fatalf("(%d,%d): store %v, compute %v", i, j, g, w)
+					}
+				}
+			}
+
+			// Warm repeat: all tiles for the window are cached now, so the
+			// request must finish without a single kernel-driver call and
+			// with only cache hits on the store side.
+			kern := blis.ReadStats()
+			st := ldstore.ReadStats()
+			var again RegionResponse
+			if code := getJSON(t, stored.URL+url, &again); code != 200 {
+				t.Fatalf("warm status %d", code)
+			}
+			if d := blis.ReadStats().Calls - kern.Calls; d != 0 {
+				t.Fatalf("warm store-backed region ran %d kernel calls", d)
+			}
+			after := ldstore.ReadStats()
+			if after.CacheHits == st.CacheHits {
+				t.Fatal("warm region made no cache hits")
+			}
+			if after.TilesRead != st.TilesRead {
+				t.Fatalf("warm region re-read %d tiles from disk", after.TilesRead-st.TilesRead)
+			}
+		})
+	}
+}
+
+// TestStorePairAndTop checks the other two fast paths: pair responses
+// match the plain server to rounding (the stored statistic is exact; the
+// others are recomputed identically), and the store-backed top list finds
+// the same leading pairs with zero kernel calls.
+func TestStorePairAndTop(t *testing.T) {
+	plain, stored, _ := storeServers(t, ldstore.StatR2)
+
+	var wantPair, gotPair PairResponse
+	if code := getJSON(t, plain.URL+"/api/ld?i=11&j=87", &wantPair); code != 200 {
+		t.Fatalf("plain pair status %d", code)
+	}
+	kern := blis.ReadStats()
+	if code := getJSON(t, stored.URL+"/api/ld?i=11&j=87", &gotPair); code != 200 {
+		t.Fatalf("stored pair status %d", code)
+	}
+	if d := blis.ReadStats().Calls - kern.Calls; d != 0 {
+		t.Fatalf("store-backed pair ran %d kernel calls", d)
+	}
+	if math.Abs(gotPair.R2-wantPair.R2) > 1e-12 || gotPair.PAB != wantPair.PAB ||
+		gotPair.PA != wantPair.PA || gotPair.PB != wantPair.PB {
+		t.Fatalf("pair mismatch: %+v vs %+v", gotPair, wantPair)
+	}
+
+	var wantTop, gotTop TopResponse
+	if code := getJSON(t, plain.URL+"/api/ld/top?k=10", &wantTop); code != 200 {
+		t.Fatalf("plain top status %d", code)
+	}
+	kern = blis.ReadStats()
+	if code := getJSON(t, stored.URL+"/api/ld/top?k=10", &gotTop); code != 200 {
+		t.Fatalf("stored top status %d", code)
+	}
+	if d := blis.ReadStats().Calls - kern.Calls; d != 0 {
+		t.Fatalf("store-backed top ran %d kernel calls", d)
+	}
+	if len(gotTop.Pairs) != 10 {
+		t.Fatalf("store top returned %d pairs", len(gotTop.Pairs))
+	}
+	// Same strongest pairs in the same order (values can differ in the
+	// last ulp: the significance stream uses the fast epilogue).
+	for i, w := range wantTop.Pairs {
+		g := gotTop.Pairs[i]
+		if g.I != w.I || g.J != w.J || math.Abs(g.R2-w.R2) > 1e-12 {
+			t.Fatalf("top[%d]: store (%d,%d,%v), compute (%d,%d,%v)", i, g.I, g.J, g.R2, w.I, w.J, w.R2)
+		}
+	}
+}
+
+// TestStoreMeasureMismatchFallsBack asks a D-kind store for r²: the fast
+// path must decline and the computed response must equal the plain one.
+func TestStoreMeasureMismatchFallsBack(t *testing.T) {
+	plain, stored, _ := storeServers(t, ldstore.StatD)
+	url := "/api/ld/region?start=0&end=40&measure=r2"
+	var want, got RegionResponse
+	if code := getJSON(t, plain.URL+url, &want); code != 200 {
+		t.Fatalf("plain status %d", code)
+	}
+	if code := getJSON(t, stored.URL+url, &got); code != 200 {
+		t.Fatalf("stored status %d", code)
+	}
+	for i := range want.Values {
+		for j := range want.Values[i] {
+			if math.Float64bits(want.Values[i][j]) != math.Float64bits(got.Values[i][j]) {
+				t.Fatalf("fallback differs at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+// TestStoreFingerprintMismatchIgnored gives New a store built from a
+// different dataset: it must be dropped, leaving every endpoint on the
+// compute path and /api/info reporting no store.
+func TestStoreFingerprintMismatchIgnored(t *testing.T) {
+	g, err := popsim.Mosaic(60, 80, popsim.MosaicConfig{Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := popsim.Mosaic(60, 80, popsim.MosaicConfig{Seed: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "other.ldts")
+	if _, err := ldstore.BuildFile(path, other, ldstore.BuildOptions{TileSize: 16}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := ldstore.Open(path, ldstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	ts := httptest.NewServer(New(g, Config{Store: st}))
+	defer ts.Close()
+	var info InfoResponse
+	if code := getJSON(t, ts.URL+"/api/info", &info); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if info.StoreLoaded {
+		t.Fatal("mismatched store reported as loaded")
+	}
+}
+
+// TestStoreInfoAndVars checks the observable store surface: /api/info
+// store fields and the /debug/vars store counters.
+func TestStoreInfoAndVars(t *testing.T) {
+	_, stored, _ := storeServers(t, ldstore.StatR2)
+	var info InfoResponse
+	if code := getJSON(t, stored.URL+"/api/info", &info); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if !info.StoreLoaded || info.StoreStat != "r2" {
+		t.Fatalf("info %+v", info)
+	}
+	if code := getJSON(t, stored.URL+"/api/ld/region?start=0&end=30", nil); code != 200 {
+		t.Fatalf("region status %d", code)
+	}
+	var vars struct {
+		StoreServed int `json:"store_served"`
+		Store       struct {
+			TilesRead   uint64 `json:"tiles_read"`
+			BytesServed uint64 `json:"bytes_served"`
+		} `json:"store"`
+	}
+	if code := getJSON(t, stored.URL+"/debug/vars", &vars); code != 200 {
+		t.Fatalf("vars status %d", code)
+	}
+	if vars.StoreServed == 0 {
+		t.Fatalf("store_served not incremented: %+v", vars)
+	}
+	if vars.Store.TilesRead == 0 || vars.Store.BytesServed == 0 {
+		t.Fatalf("store counters empty: %+v", vars)
+	}
+}

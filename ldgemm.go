@@ -30,6 +30,7 @@ import (
 	"ldgemm/internal/core"
 	"ldgemm/internal/ehh"
 	"ldgemm/internal/ldmap"
+	"ldgemm/internal/ldstore"
 	"ldgemm/internal/msa"
 	"ldgemm/internal/omega"
 	"ldgemm/internal/popsim"
@@ -257,6 +258,14 @@ type DriverStats = blis.DriverStats
 // KernelStats reads the process-wide driver counters — the same numbers
 // ldserver exports on /debug/vars under "blis".
 func KernelStats() DriverStats { return blis.ReadStats() }
+
+// StoreStats is a snapshot of the tile-store serving counters: tiles and
+// bytes read from disk, cache hits/misses/evictions, and bytes served.
+type StoreStats = ldstore.Stats
+
+// TileStoreStats reads the process-wide tile-store counters — the same
+// numbers ldserver exports on /debug/vars under "store".
+func TileStoreStats() StoreStats { return ldstore.ReadStats() }
 
 // DecayOptions configures an LD decay profile.
 type DecayOptions = ldmap.Options
