@@ -11,7 +11,7 @@ verify:
 .PHONY: verify-race
 verify-race:
 	go vet ./...
-	go test -race ./internal/blis/... ./internal/kernel/... ./internal/ldstore/... ./internal/server/... ./cmd/ldserver/...
+	go test -race ./internal/blis/... ./internal/core/... ./internal/kernel/... ./internal/ldstore/... ./internal/server/... ./cmd/ldserver/...
 
 # Short fuzz smoke on the tile-store open path: hostile and truncated
 # files must error, never panic or over-allocate (CI runs this too).
@@ -29,3 +29,15 @@ bench-driver:
 .PHONY: bench-json
 bench-json:
 	go run ./cmd/ldbench -scale 10 -threads 1,2,4 -json BENCH_ld.json
+
+# Quick fused-vs-split epilogue comparison on a small probe: keeps the
+# benchmark harness compiling and running in CI without full-size cost.
+.PHONY: bench-smoke
+bench-smoke:
+	go run ./cmd/ldbench -scale 20 -threads 1,2 -epilogue-json /tmp/BENCH_epilogue_smoke.json
+
+# Full-size epilogue benchmark (the committed BENCH_epilogue.json:
+# ≥8192 SNPs, thread grid through 8).
+.PHONY: bench-epilogue
+bench-epilogue:
+	go run ./cmd/ldbench -scale 1 -threads 1,2,4,8 -epilogue-json BENCH_epilogue.json

@@ -18,6 +18,11 @@
 //	-json PATH  also write a machine-readable BENCH_ld.json benchmark
 //	            (shape, threads, triples/sec, speedup vs Reference); with
 //	            -json, the experiment list may be empty
+//	-epilogue MODE        fused (default) or split count-to-measure
+//	                      conversion for the experiments' LD pipeline
+//	-epilogue-json PATH   write a fused-vs-split end-to-end benchmark
+//	                      (BENCH_epilogue.json); with it, the experiment
+//	                      list may be empty
 package main
 
 import (
@@ -26,11 +31,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
 
+	"ldgemm/internal/bitmat"
 	"ldgemm/internal/blis"
+	"ldgemm/internal/core"
 	"ldgemm/internal/experiments"
 	"ldgemm/internal/harness"
 	"ldgemm/internal/popsim"
@@ -56,6 +64,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 	reps := fs.Int("reps", 3, "best-of repetitions for peak-fraction figures")
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
 	jsonPath := fs.String("json", "", "write a machine-readable benchmark to this path (e.g. BENCH_ld.json)")
+	epilogue := fs.String("epilogue", "fused",
+		"count-to-measure epilogue for the experiments: fused (in-driver, default) or split (legacy two-phase)")
+	epilogueJSON := fs.String("epilogue-json", "",
+		"write a fused-vs-split epilogue benchmark to this path (e.g. BENCH_epilogue.json); with it, the experiment list may be empty")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr,
 			"usage: ldbench [flags] <experiment>...\nexperiments: %s all\nflags:\n",
@@ -66,8 +78,18 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
+	var emode core.EpilogueMode
+	switch *epilogue {
+	case "fused", "":
+		emode = core.EpilogueAuto
+	case "split":
+		emode = core.EpilogueSplit
+	default:
+		return fmt.Errorf("-epilogue must be \"fused\" or \"split\", got %q", *epilogue)
+	}
+
 	names := fs.Args()
-	if len(names) == 0 && *jsonPath == "" {
+	if len(names) == 0 && *jsonPath == "" && *epilogueJSON == "" {
 		fs.Usage()
 		return fmt.Errorf("no experiment named")
 	}
@@ -83,14 +105,19 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err := writeBenchJSON(*jsonPath, *scale, threads, stderr); err != nil {
 			return err
 		}
-		if len(names) == 0 {
-			return nil
+	}
+	if *epilogueJSON != "" {
+		if err := writeEpilogueJSON(*epilogueJSON, *scale, threads, stderr); err != nil {
+			return err
 		}
+	}
+	if len(names) == 0 {
+		return nil
 	}
 	fmt.Fprintf(stderr, "calibrating host peak... ")
 	peak := harness.CalibratePeak(300 * time.Millisecond)
 	fmt.Fprintf(stderr, "%.3f Gtriples/s\n", peak/1e9)
-	cfg := experiments.Config{Scale: *scale, Threads: threads, Reps: *reps, Peak: peak}
+	cfg := experiments.Config{Scale: *scale, Threads: threads, Reps: *reps, Peak: peak, Epilogue: emode}
 
 	for _, name := range names {
 		tbl, err := dispatch(name, cfg)
@@ -208,6 +235,98 @@ func writeBenchJSON(path string, scale int, threads []int, stderr io.Writer) err
 	}
 	fmt.Fprintf(stderr, "ldbench: wrote %s (%d×%d, %d thread points)\n",
 		path, snps, samples, len(threads))
+	return nil
+}
+
+// epiloguePoint is one thread count of the fused-vs-split epilogue
+// benchmark: end-to-end all-pairs r² (core.Matrix) wall time and heap
+// allocation under each mode.
+type epiloguePoint struct {
+	Threads         int     `json:"threads"`
+	FusedSeconds    float64 `json:"fused_seconds"`
+	SplitSeconds    float64 `json:"split_seconds"`
+	FusedAllocBytes uint64  `json:"fused_alloc_bytes"`
+	SplitAllocBytes uint64  `json:"split_alloc_bytes"`
+	Speedup         float64 `json:"speedup"`
+}
+
+// epilogueReport is the BENCH_epilogue.json schema.
+type epilogueReport struct {
+	SNPs    int `json:"snps"`
+	Samples int `json:"samples"`
+	Words   int `json:"words"`
+	// CountsBytes is the dense n²·4-byte count matrix the split pipeline
+	// materializes per call and the fused pipeline never allocates.
+	CountsBytes uint64          `json:"counts_bytes"`
+	Points      []epiloguePoint `json:"points"`
+}
+
+// measureMatrix times one warmed end-to-end core.Matrix call and reports
+// its heap allocation. A prior call warms the arena pool so the fused
+// number reflects steady-state serving, not first-call scratch growth.
+func measureMatrix(g *bitmat.Matrix, opt core.Options) (time.Duration, uint64, error) {
+	if _, err := core.Matrix(g, opt); err != nil {
+		return 0, 0, err
+	}
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	if _, err := core.Matrix(g, opt); err != nil {
+		return 0, 0, err
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	return elapsed, m1.TotalAlloc - m0.TotalAlloc, nil
+}
+
+// writeEpilogueJSON benchmarks all-pairs r² end to end — blocked SYRK
+// plus the count-to-measure conversion — with the fused and the split
+// epilogue on the acceptance shape (8192/scale SNPs) across the thread
+// grid, and writes the machine-readable report.
+func writeEpilogueJSON(path string, scale int, threads []int, stderr io.Writer) error {
+	snps := max(64, 8192/scale)
+	samples := max(128, 2048/scale)
+	g, err := popsim.Mosaic(snps, samples, popsim.MosaicConfig{Seed: 1})
+	if err != nil {
+		return err
+	}
+	rep := epilogueReport{
+		SNPs: snps, Samples: samples, Words: g.Words,
+		CountsBytes: uint64(snps) * uint64(snps) * 4,
+	}
+	for _, t := range threads {
+		base := core.Options{Measures: core.MeasureR2, Blis: blis.Config{Threads: t}}
+		fusedOpt := base
+		fusedOpt.Epilogue = core.EpilogueFused
+		splitOpt := base
+		splitOpt.Epilogue = core.EpilogueSplit
+		fw, fa, err := measureMatrix(g, fusedOpt)
+		if err != nil {
+			return err
+		}
+		sw, sa, err := measureMatrix(g, splitOpt)
+		if err != nil {
+			return err
+		}
+		rep.Points = append(rep.Points, epiloguePoint{
+			Threads:      t,
+			FusedSeconds: fw.Seconds(), SplitSeconds: sw.Seconds(),
+			FusedAllocBytes: fa, SplitAllocBytes: sa,
+			Speedup: sw.Seconds() / fw.Seconds(),
+		})
+		fmt.Fprintf(stderr, "ldbench: epilogue %d threads: fused %.3fs split %.3fs (%.2fx)\n",
+			t, fw.Seconds(), sw.Seconds(), sw.Seconds()/fw.Seconds())
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "ldbench: wrote %s (%d×%d, %d thread points)\n",
+		path, snps, samples, len(rep.Points))
 	return nil
 }
 

@@ -49,6 +49,7 @@ import (
 	"time"
 
 	"ldgemm/internal/bitmat"
+	"ldgemm/internal/core"
 	"ldgemm/internal/ldstore"
 	"ldgemm/internal/seqio"
 	"ldgemm/internal/server"
@@ -97,12 +98,18 @@ func setup(args []string, stderr io.Writer) (*app, error) {
 	storePath := fs.String("store", "",
 		"precomputed tile store (ldstore build output) backing the LD endpoints (empty = compute on the fly)")
 	storeCache := fs.Int("store-cache", 0, "tile-store LRU capacity in tiles (0 = default)")
+	epilogue := fs.String("epilogue", "fused",
+		"LD epilogue mode: fused (convert counts per tile inside the blocked driver) or split (legacy two-phase)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
 	if *in == "" {
 		fs.Usage()
 		return nil, fmt.Errorf("-in is required")
+	}
+	emode, err := parseEpilogue(*epilogue)
+	if err != nil {
+		return nil, err
 	}
 	g, err := load(*in)
 	if err != nil {
@@ -111,6 +118,7 @@ func setup(args []string, stderr io.Writer) (*app, error) {
 	cfg := server.Config{
 		MaxRegionSNPs: *maxRegion, Threads: *threads, ChunkTiles: *chunk,
 		RequestTimeout: *reqTimeout, MaxInFlight: *maxInFlight,
+		Epilogue: emode,
 	}
 	if *accessLog {
 		cfg.AccessLog = slog.New(slog.NewJSONHandler(stderr, nil))
@@ -144,6 +152,17 @@ func setup(args []string, stderr io.Writer) (*app, error) {
 }
 
 // newHTTPServer wraps a handler in an http.Server with conservative edge
+// parseEpilogue maps the -epilogue flag to the core mode.
+func parseEpilogue(s string) (core.EpilogueMode, error) {
+	switch s {
+	case "fused", "":
+		return core.EpilogueAuto, nil
+	case "split":
+		return core.EpilogueSplit, nil
+	}
+	return 0, fmt.Errorf("-epilogue must be \"fused\" or \"split\", got %q", s)
+}
+
 // timeouts: ReadHeaderTimeout defeats slowloris handshakes, and the write
 // timeout leaves room past the per-request deadline so timeout responses
 // are still delivered instead of the connection being cut mid-body.

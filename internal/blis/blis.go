@@ -102,6 +102,21 @@ func (c Config) normalize() (Config, error) {
 	return c, nil
 }
 
+// TileEpilogue is the fused-epilogue hook of GemmEpilogue/SyrkEpilogue
+// (and their masked variants): the driver invokes it once per finished
+// mm×nn register tile, immediately after the tile's final rank-k update,
+// from the worker goroutine that computed it. tile addresses the finished
+// counts with row stride ldt in C entries — for the plain kernel the cell
+// (r, c) of the tile is tile[r*ldt+c]; for the masked kernel each C entry
+// is four uint32 counts and cell (r, c, k) is tile[(r*ldt+c)*4+k]. (i0,
+// j0) are the tile's global output coordinates. worker identifies the
+// calling worker (0 ≤ worker < Config.Threads) so implementations can use
+// per-worker state without locking; distinct calls may touch the same
+// output rows (different column ranges), so writes the hook performs must
+// be disjoint by (i0, j0) — which they are when it writes only its own
+// tile's cells, plus SYRK mirror cells owned by that tile.
+type TileEpilogue func(worker int, tile []uint32, ldt, i0, j0, mm, nn int)
+
 // Gemm computes the full m×n count matrix between the SNPs of a and b:
 // c[i*ldc+j] += dot(a.SNP(i), b.SNP(j)). The matrices must have the same
 // sample count. c must have at least (a.SNPs-1)*ldc + b.SNPs entries.
@@ -116,7 +131,26 @@ func Gemm(cfg Config, a, b *bitmat.Matrix, c []uint32, ldc int) error {
 	if err := checkC(a.SNPs, b.SNPs, c, ldc); err != nil {
 		return err
 	}
-	return drive(cfg, a, b, c, ldc, false)
+	return drive(cfg, a, b, c, ldc, false, nil)
+}
+
+// GemmEpilogue runs the blocked GEMM of Gemm fused: no count matrix is
+// materialized — counts accumulate in pooled per-job scratch and every
+// finished register tile is handed to epi while cache-hot. Callers
+// convert counts to their final representation (LD measures, summaries)
+// inside epi; the dense m×n uint32 intermediate never exists.
+func GemmEpilogue(cfg Config, a, b *bitmat.Matrix, epi TileEpilogue) error {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return err
+	}
+	if a.Samples != b.Samples {
+		return fmt.Errorf("blis: sample mismatch %d vs %d", a.Samples, b.Samples)
+	}
+	if epi == nil {
+		return fmt.Errorf("blis: nil epilogue")
+	}
+	return drive(cfg, a, b, nil, b.SNPs, false, epi)
 }
 
 // Syrk computes the upper triangle (j >= i) of the symmetric count matrix
@@ -133,13 +167,31 @@ func Syrk(cfg Config, a *bitmat.Matrix, c []uint32, ldc int, mirror bool) error 
 	if err := checkC(a.SNPs, a.SNPs, c, ldc); err != nil {
 		return err
 	}
-	if err := drive(cfg, a, a, c, ldc, true); err != nil {
+	if err := drive(cfg, a, a, c, ldc, true, nil); err != nil {
 		return err
 	}
 	if mirror {
 		mirrorThreads(c, a.SNPs, ldc, cfg.Threads)
 	}
 	return nil
+}
+
+// SyrkEpilogue runs the blocked SYRK of Syrk fused (see GemmEpilogue):
+// epi receives every register tile the triangle sweep computes — tiles
+// with i0 < j0+nr, i.e. the upper triangle plus the diagonal-crossing
+// tiles, whose below-diagonal cells hold correct counts as a by-product.
+// There is no count mirror; epilogues that need the lower triangle mirror
+// their own converted values (bit-safe for the LD measures because the
+// denominator grouping is symmetric under SNP exchange).
+func SyrkEpilogue(cfg Config, a *bitmat.Matrix, epi TileEpilogue) error {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return err
+	}
+	if epi == nil {
+		return fmt.Errorf("blis: nil epilogue")
+	}
+	return drive(cfg, a, a, nil, a.SNPs, true, epi)
 }
 
 // Mirror copies the strict upper triangle of an n×n matrix onto the strict
@@ -237,7 +289,7 @@ func checkC(m, n int, c []uint32, ldc int) error {
 // diagonal are skipped and — when the column block spans the whole matrix
 // and the register tile is square — the packed B slab doubles as the
 // packed A panels.
-func drive(cfg Config, a, b *bitmat.Matrix, c []uint32, ldc int, syrk bool) error {
+func drive(cfg Config, a, b *bitmat.Matrix, c []uint32, ldc int, syrk bool, epi TileEpilogue) error {
 	k := cfg.Kernel
 	mr, nr := k.MR, k.NR
 	ops := tileOps{
@@ -266,7 +318,7 @@ func drive(cfg Config, a, b *bitmat.Matrix, c []uint32, ldc int, syrk bool) erro
 			}
 		},
 	}
-	return driveTiles(cfg, ops, a.SNPs, b.SNPs, a.Words, c, ldc, syrk)
+	return driveTiles(cfg, ops, a.SNPs, b.SNPs, a.Words, c, ldc, syrk, epi)
 }
 
 // Reference computes the count matrix with plain per-pair word loops; it is

@@ -1,0 +1,258 @@
+package blis
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"ldgemm/internal/bitmat"
+	"ldgemm/internal/kernel"
+)
+
+// gatherEpilogue is a TileEpilogue that scatters finished tiles into a
+// dense matrix. Tile writes are disjoint by contract, so no locking.
+func gatherEpilogue(out []uint32, ldc int) TileEpilogue {
+	return func(_ int, tile []uint32, ldt, i0, j0, mm, nn int) {
+		for r := 0; r < mm; r++ {
+			copy(out[(i0+r)*ldc+j0:(i0+r)*ldc+j0+nn], tile[r*ldt:r*ldt+nn])
+		}
+	}
+}
+
+func TestGemmEpilogueMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	shapes := []struct{ m, n, samples int }{
+		{1, 1, 1}, {1, 1, 64}, {5, 7, 65}, {16, 16, 128},
+		{33, 47, 200}, {64, 64, 1000}, {100, 30, 64*7 + 13},
+	}
+	for _, k := range kernel.Fixed {
+		for _, sh := range shapes {
+			a := randomMatrix(rng, sh.m, sh.samples)
+			b := randomMatrix(rng, sh.n, sh.samples)
+			got := make([]uint32, sh.m*sh.n)
+			if err := GemmEpilogue(smallConfig(k, 3), a, b, gatherEpilogue(got, sh.n)); err != nil {
+				t.Fatalf("%s %v: %v", k.Name, sh, err)
+			}
+			want := make([]uint32, sh.m*sh.n)
+			if err := Reference(a, b, want, sh.n); err != nil {
+				t.Fatal(err)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%s %v: C[%d] = %d, want %d", k.Name, sh, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// Every output cell must be handed to the epilogue exactly once, whatever
+// the blocking fringes and thread interleaving do.
+func TestGemmEpilogueCoversEachCellOnce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := randomMatrix(rng, 61, 150)
+	b := randomMatrix(rng, 43, 150)
+	seen := make([]atomic.Int32, 61*43)
+	epi := func(_ int, _ []uint32, _, i0, j0, mm, nn int) {
+		for r := 0; r < mm; r++ {
+			for c := 0; c < nn; c++ {
+				seen[(i0+r)*43+j0+c].Add(1)
+			}
+		}
+	}
+	if err := GemmEpilogue(smallConfig(kernel.Default, 4), a, b, epi); err != nil {
+		t.Fatal(err)
+	}
+	for i := range seen {
+		if got := seen[i].Load(); got != 1 {
+			t.Fatalf("cell %d visited %d times, want exactly once", i, got)
+		}
+	}
+}
+
+func TestSyrkEpilogueUpperTriangle(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, n := range []int{1, 7, 16, 33, 65, 130} {
+		a := randomMatrix(rng, n, 257)
+		const sentinel = ^uint32(0)
+		got := make([]uint32, n*n)
+		for i := range got {
+			got[i] = sentinel
+		}
+		if err := SyrkEpilogue(smallConfig(kernel.Default, 4), a, gatherEpilogue(got, n)); err != nil {
+			t.Fatal(err)
+		}
+		want := make([]uint32, n*n)
+		if err := Reference(a, a, want, n); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				switch v := got[i*n+j]; {
+				case j >= i && v != want[i*n+j]:
+					t.Fatalf("n=%d: upper C[%d,%d] = %d, want %d", n, i, j, v, want[i*n+j])
+				case j < i && v != sentinel && v != want[i*n+j]:
+					// Diagonal-crossing tiles may deliver below-diagonal
+					// cells; when they do, the by-product must be correct.
+					t.Fatalf("n=%d: crossing-tile C[%d,%d] = %d, want %d", n, i, j, v, want[i*n+j])
+				}
+			}
+		}
+	}
+}
+
+// Shrinking maxGroupWords forces every column block through many KC slab
+// groups, exercising cross-group accumulation in the per-job scratch: the
+// epilogue must still see fully reduced counts, fired only after the
+// final group.
+func TestEpilogueManySlabGroups(t *testing.T) {
+	old := maxGroupWords
+	maxGroupWords = 2
+	defer func() { maxGroupWords = old }()
+
+	rng := rand.New(rand.NewSource(13))
+	a := randomMatrix(rng, 37, 64*11+5) // 12 words → ≥6 slab groups
+	b := randomMatrix(rng, 29, 64*11+5)
+	got := make([]uint32, 37*29)
+	if err := GemmEpilogue(Config{MC: 8, NC: 12, KC: 1, Threads: 3}, a, b, gatherEpilogue(got, 29)); err != nil {
+		t.Fatal(err)
+	}
+	want := make([]uint32, 37*29)
+	if err := Reference(a, b, want, 29); err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("C[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+
+	sgot := make([]uint32, 37*37)
+	if err := SyrkEpilogue(Config{MC: 8, NC: 12, KC: 1, Threads: 3}, a, gatherEpilogue(sgot, 37)); err != nil {
+		t.Fatal(err)
+	}
+	swant := make([]uint32, 37*37)
+	if err := Reference(a, a, swant, 37); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 37; i++ {
+		for j := i; j < 37; j++ {
+			if sgot[i*37+j] != swant[i*37+j] {
+				t.Fatalf("syrk C[%d,%d] = %d, want %d", i, j, sgot[i*37+j], swant[i*37+j])
+			}
+		}
+	}
+}
+
+func TestMaskedGemmEpilogueMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	shapes := []struct{ m, n, samples int }{
+		{1, 1, 10}, {3, 5, 64}, {17, 9, 130}, {40, 40, 333},
+	}
+	for _, sh := range shapes {
+		a, ka := randomMasked(rng, sh.m, sh.samples)
+		b, kb := randomMasked(rng, sh.n, sh.samples)
+		got := make([]uint32, sh.m*sh.n*4)
+		epi := func(_ int, tile []uint32, ldt, i0, j0, mm, nn int) {
+			for r := 0; r < mm; r++ {
+				copy(got[((i0+r)*sh.n+j0)*4:((i0+r)*sh.n+j0+nn)*4], tile[r*ldt*4:(r*ldt+nn)*4])
+			}
+		}
+		cfg := Config{MC: 7, NC: 9, KC: 2, Threads: 3}
+		if err := MaskedGemmEpilogue(cfg, a, b, ka, kb, epi); err != nil {
+			t.Fatal(err)
+		}
+		want := make([]uint32, sh.m*sh.n*4)
+		if err := MaskedReference(a, b, ka, kb, want, sh.n); err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%v: masked C[%d] = %d, want %d", sh, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMaskedSyrkEpilogueUpperTriangle(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	const n = 25
+	a, ka := randomMasked(rng, n, 200)
+	got := make([]uint32, n*n*4)
+	epi := func(_ int, tile []uint32, ldt, i0, j0, mm, nn int) {
+		for r := 0; r < mm; r++ {
+			copy(got[((i0+r)*n+j0)*4:((i0+r)*n+j0+nn)*4], tile[r*ldt*4:(r*ldt+nn)*4])
+		}
+	}
+	if err := MaskedSyrkEpilogue(Config{MC: 6, NC: 10, KC: 1, Threads: 2}, a, ka, epi); err != nil {
+		t.Fatal(err)
+	}
+	want := make([]uint32, n*n*4)
+	if err := MaskedReference(a, a, ka, ka, want, n); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			for k := 0; k < 4; k++ {
+				if got[(i*n+j)*4+k] != want[(i*n+j)*4+k] {
+					t.Fatalf("masked C[%d,%d][%d] = %d, want %d",
+						i, j, k, got[(i*n+j)*4+k], want[(i*n+j)*4+k])
+				}
+			}
+		}
+	}
+}
+
+func TestEpilogueErrors(t *testing.T) {
+	a := bitmat.New(3, 10)
+	if err := GemmEpilogue(Config{}, a, bitmat.New(3, 11), func(int, []uint32, int, int, int, int, int) {}); err == nil {
+		t.Fatal("sample mismatch accepted")
+	}
+	if err := GemmEpilogue(Config{}, a, bitmat.New(3, 10), nil); err == nil {
+		t.Fatal("nil epilogue accepted")
+	}
+	if err := SyrkEpilogue(Config{}, a, nil); err == nil {
+		t.Fatal("nil epilogue accepted")
+	}
+}
+
+// The fused path must report its work on the driver counters: tiles
+// fused, time spent in epilogues, and the count-matrix bytes it avoided
+// materializing.
+func TestEpilogueStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	a := randomMatrix(rng, 50, 300)
+	b := randomMatrix(rng, 40, 300)
+	before := ReadStats()
+	if err := GemmEpilogue(Config{Threads: 2}, a, b, func(int, []uint32, int, int, int, int, int) {}); err != nil {
+		t.Fatal(err)
+	}
+	after := ReadStats()
+	if after.EpilogueTiles <= before.EpilogueTiles {
+		t.Fatalf("EpilogueTiles did not advance: %d -> %d", before.EpilogueTiles, after.EpilogueTiles)
+	}
+	if want := before.EpilogueBytesAvoided + 50*40*4; after.EpilogueBytesAvoided != want {
+		t.Fatalf("EpilogueBytesAvoided = %d, want %d", after.EpilogueBytesAvoided, want)
+	}
+}
+
+// Race check: many workers firing epilogues that write a shared output
+// through the disjoint-tile contract. Run with -race.
+func TestEpilogueConcurrentWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	a := randomMatrix(rng, 160, 500)
+	b := randomMatrix(rng, 140, 500)
+	got := make([]uint32, 160*140)
+	if err := GemmEpilogue(Config{MC: 16, NC: 24, KC: 2, Threads: 8}, a, b, gatherEpilogue(got, 140)); err != nil {
+		t.Fatal(err)
+	}
+	want := make([]uint32, 160*140)
+	if err := Reference(a, b, want, 140); err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("C[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}

@@ -40,7 +40,30 @@ func MaskedGemm(cfg Config, a, b *bitmat.Matrix, ka, kb *bitmat.Mask, c []uint32
 	if a.SNPs > 0 && len(c) < ((a.SNPs-1)*ldc+b.SNPs)*4 {
 		return fmt.Errorf("blis: masked C has %d entries, need %d", len(c), ((a.SNPs-1)*ldc+b.SNPs)*4)
 	}
-	return driveMasked(cfg, a, b, ka, kb, c, ldc, false)
+	return driveMasked(cfg, a, b, ka, kb, c, ldc, false, nil)
+}
+
+// MaskedGemmEpilogue runs MaskedGemm fused (see GemmEpilogue): the four-
+// count matrix is never materialized; epi receives each finished register
+// tile with cell (r, c, k) at tile[(r*ldt+c)*4+k].
+func MaskedGemmEpilogue(cfg Config, a, b *bitmat.Matrix, ka, kb *bitmat.Mask, epi TileEpilogue) error {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return err
+	}
+	if a.Samples != b.Samples {
+		return fmt.Errorf("blis: sample mismatch %d vs %d", a.Samples, b.Samples)
+	}
+	if ka.SNPs != a.SNPs || ka.Samples != a.Samples {
+		return fmt.Errorf("blis: mask A shape %dx%d vs matrix %dx%d", ka.SNPs, ka.Samples, a.SNPs, a.Samples)
+	}
+	if kb.SNPs != b.SNPs || kb.Samples != b.Samples {
+		return fmt.Errorf("blis: mask B shape %dx%d vs matrix %dx%d", kb.SNPs, kb.Samples, b.SNPs, b.Samples)
+	}
+	if epi == nil {
+		return fmt.Errorf("blis: nil epilogue")
+	}
+	return driveMasked(cfg, a, b, ka, kb, nil, b.SNPs, false, epi)
 }
 
 // MaskedSyrk is the single-matrix gap-aware rank-k update: like Syrk it
@@ -62,7 +85,25 @@ func MaskedSyrk(cfg Config, a *bitmat.Matrix, ka *bitmat.Mask, c []uint32, ldc i
 	if a.SNPs > 0 && len(c) < ((a.SNPs-1)*ldc+a.SNPs)*4 {
 		return fmt.Errorf("blis: masked C has %d entries, need %d", len(c), ((a.SNPs-1)*ldc+a.SNPs)*4)
 	}
-	return driveMasked(cfg, a, a, ka, ka, c, ldc, true)
+	return driveMasked(cfg, a, a, ka, ka, c, ldc, true, nil)
+}
+
+// MaskedSyrkEpilogue runs MaskedSyrk fused (see SyrkEpilogue): epi
+// receives every tile of the triangle sweep; there is no count mirror, and
+// epilogues that need the (j, i) view swap the MaskedI/MaskedJ roles
+// themselves, as MirrorMasked does.
+func MaskedSyrkEpilogue(cfg Config, a *bitmat.Matrix, ka *bitmat.Mask, epi TileEpilogue) error {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return err
+	}
+	if ka.SNPs != a.SNPs || ka.Samples != a.Samples {
+		return fmt.Errorf("blis: mask shape %dx%d vs matrix %dx%d", ka.SNPs, ka.Samples, a.SNPs, a.Samples)
+	}
+	if epi == nil {
+		return fmt.Errorf("blis: nil epilogue")
+	}
+	return driveMasked(cfg, a, a, ka, ka, nil, a.SNPs, true, epi)
 }
 
 // MirrorMasked copies the strict upper triangle of an n×n four-count
@@ -87,7 +128,7 @@ func MirrorMasked(c []uint32, n, ldc int) {
 // driveMasked instantiates the slab-pipelined parallel driver (parallel.go)
 // for the fused masked kernel: panels interleave (value, mask) word pairs
 // and every C entry is the four Section VII counts.
-func driveMasked(cfg Config, a, b *bitmat.Matrix, ka, kb *bitmat.Mask, c []uint32, ldc int, syrk bool) error {
+func driveMasked(cfg Config, a, b *bitmat.Matrix, ka, kb *bitmat.Mask, c []uint32, ldc int, syrk bool, epi TileEpilogue) error {
 	mk := kernel.Masked2x2()
 	mr, nr := mk.MR, mk.NR
 	ops := tileOps{
@@ -118,7 +159,7 @@ func driveMasked(cfg Config, a, b *bitmat.Matrix, ka, kb *bitmat.Mask, c []uint3
 			}
 		},
 	}
-	return driveTiles(cfg, ops, a.SNPs, b.SNPs, a.Words, c, ldc, syrk)
+	return driveTiles(cfg, ops, a.SNPs, b.SNPs, a.Words, c, ldc, syrk, epi)
 }
 
 // MaskedReference computes the four counts with plain loops; oracle for the

@@ -52,14 +52,21 @@ type tileOps struct {
 // tileJob is one scheduler chunk: micro-tile columns [jr0, jr1) of row
 // block [ic, ic+mc), across every slab of the current slab group. Chunk
 // boundaries are cost-adapted (see buildTileJobs) so jobs near the SYRK
-// diagonal, which hold fewer active tiles, cover more columns.
+// diagonal, which hold fewer active tiles, cover more columns. Under a
+// fused epilogue, off is the job's cell offset into the per-column-block
+// count scratch; jobs are stable across the slab groups of one column
+// block, so the offset identifies the same accumulator region in every
+// group.
 type tileJob struct {
 	ic, mc, jr0, jr1 int
+	off              int
 }
 
 // maxGroupWords bounds the packed-B storage of one slab group (4 Mi words
-// = 32 MiB); it controls how many KC-deep slabs are packed per phase.
-const maxGroupWords = 4 << 20
+// = 32 MiB); it controls how many KC-deep slabs are packed per phase. A
+// variable rather than a constant so tests can shrink it to force
+// multi-group pipelines on small inputs.
+var maxGroupWords = 4 << 20
 
 // chunksPerWorker is the default work-queue overpartition factor: the
 // target chunk cost is totalTiles/(workers·chunksPerWorker) unless
@@ -143,6 +150,11 @@ type tileDriver struct {
 	kcMax     int
 	slabWords int // packed words of one slab at the widest column block
 	apanelLen int // packed words of one A micro-panel per slab
+	// epi, when non-nil, is the fused epilogue: counts accumulate in
+	// per-job scratch instead of a caller matrix, and finished tiles are
+	// handed to the hook during the final slab group while still hot.
+	epi     TileEpilogue
+	scratch []uint32 // per-column-block count scratch (epi mode only)
 }
 
 // ctxErr reports the context's error, tolerating a nil context.
@@ -160,7 +172,15 @@ func ctxErr(ctx context.Context) error {
 // next job boundary, and the driver observes the context after every
 // phase wait — so a cancelled call returns ctx.Err() within one
 // slab-group phase, with its arena still recycled through the pool.
-func driveTiles(cfg Config, ops tileOps, m, n, kw int, c []uint32, ldc int, syrk bool) error {
+//
+// With epi non-nil the call runs fused: c is ignored (callers pass nil),
+// every job accumulates its counts in a slice of the per-column-block
+// scratch buffer, and during the final slab group the worker that
+// finishes a job immediately walks the job's register tiles and hands
+// each one to epi — the counts are at most one job region behind the
+// kernel's last store, so the conversion reads cache-resident data and
+// the full m×n count matrix never exists.
+func driveTiles(cfg Config, ops tileOps, m, n, kw int, c []uint32, ldc int, syrk bool, epi TileEpilogue) error {
 	if m == 0 || n == 0 || kw == 0 {
 		return nil
 	}
@@ -222,6 +242,7 @@ func driveTiles(cfg Config, ops tileOps, m, n, kw int, c []uint32, ldc int, syrk
 	d := &tileDriver{
 		cfg: cfg, ops: ops, m: m, n: n, kw: kw, c: c, ldc: ldc, syrk: syrk,
 		mcBlk: mcBlk, kcMax: kcMax, slabWords: slabWords, apanelLen: apanelLen,
+		epi: epi,
 	}
 
 	var jobs []tileJob
@@ -234,6 +255,20 @@ func driveTiles(cfg Config, ops tileOps, m, n, kw int, c []uint32, ldc int, syrk
 		jobs = buildTileJobs(jobs[:0], m, jc, nc, mcBlk, mr, nr, target, syrk)
 		if len(jobs) == 0 {
 			continue
+		}
+		if epi != nil {
+			// Lay the jobs' count accumulators end to end in the scratch
+			// buffer: O(active area of one column block), recycled through
+			// the arena, instead of the full m×n matrix. The previous
+			// column block is fully drained (its last group's pool.do has
+			// returned), so reusing — or growing — the buffer is safe.
+			off := 0
+			for i := range jobs {
+				jobs[i].off = off
+				off += jobs[i].mc * (jobs[i].jr1 - jobs[i].jr0) * ops.cells
+			}
+			ar.cscratch = growU32(ar.cscratch, off)
+			d.scratch = ar.cscratch
 		}
 		bpanels := (nc + nr - 1) / nr
 		share := ops.shareable && syrk && jc == 0 && nc == n && m == n
@@ -270,12 +305,13 @@ func driveTiles(cfg Config, ops tileOps, m, n, kw int, c []uint32, ldc int, syrk
 			}
 			// One queue, one wait: the next group's pack jobs ride ahead
 			// of this group's compute jobs (they touch disjoint buffers).
+			final := gi == ngroups-1
 			pool.do(nextN+len(jobs), func(w, idx int) {
 				if idx < nextN {
 					nextRun(w, idx)
 					return
 				}
-				d.runJob(ar.ws[w], jobs[idx-nextN], jc, nc, pg, gs, buf, share)
+				d.runJob(ar.ws[w], w, jobs[idx-nextN], jc, nc, pg, gs, buf, share, final)
 			})
 			if err := ctxErr(ctx); err != nil {
 				stats.cancelled.Add(1)
@@ -292,13 +328,22 @@ func driveTiles(cfg Config, ops tileOps, m, n, kw int, c []uint32, ldc int, syrk
 	stats.calls.Add(1)
 	stats.cells.Add(cells)
 	stats.nanos.Add(uint64(time.Since(start)))
+	if epi != nil {
+		// The split pipeline would have materialized the full m×n count
+		// matrix (cells uint32s per C entry) just to read it once.
+		stats.epiBytesAvoided.Add(uint64(m) * uint64(n) * 4 * uint64(ops.cells))
+	}
 	return nil
 }
 
 // runJob computes one tile-range chunk over every slab of the current
 // group. Unless the SYRK pack-sharing path is active, the worker lazily
-// packs (and memoizes) the A panels of the job's row block first.
-func (d *tileDriver) runJob(st *tileWorker, jb tileJob, jc, nc, pg, gs int, buf []uint64, share bool) {
+// packs (and memoizes) the A panels of the job's row block first. Under a
+// fused epilogue the kernel accumulates into the job's scratch region
+// (local coordinates, row stride = job width); when the final slab group
+// completes, the worker converts the job's finished tiles in place via
+// the epilogue hook.
+func (d *tileDriver) runJob(st *tileWorker, w int, jb tileJob, jc, nc, pg, gs int, buf []uint64, share, final bool) {
 	ops := &d.ops
 	mr, nr := ops.mr, ops.nr
 	apanels := (jb.mc + mr - 1) / mr
@@ -313,6 +358,17 @@ func (d *tileDriver) runJob(st *tileWorker, jb tileJob, jc, nc, pg, gs int, buf 
 		}
 		st.lastIC, st.lastPG = jb.ic, pg
 	}
+	// Output routing: caller matrix with global coordinates, or — fused —
+	// the job's scratch region with job-local coordinates.
+	cdst, ldc := d.c, d.ldc
+	width := jb.jr1 - jb.jr0
+	fused := d.epi != nil
+	if fused {
+		cdst, ldc = d.scratch[jb.off:jb.off+jb.mc*width*ops.cells], width
+		if pg == 0 {
+			clear(cdst) // kernels accumulate; first group starts from zero
+		}
+	}
 	panelB := nr * d.kcMax * ops.stride
 	for s := 0; s < gs; s++ {
 		pc := pg + s*d.cfg.KC
@@ -323,6 +379,10 @@ func (d *tileDriver) runJob(st *tileWorker, jb tileJob, jc, nc, pg, gs int, buf 
 			j0 := jc + jr
 			bw := buf[sbase+(jr/nr)*panelB:][:kc*nr*ops.stride]
 			nn := min(nr, nc-jr)
+			jl := j0
+			if fused {
+				jl = jr - jb.jr0
+			}
 			for ir := 0; ir < jb.mc; ir += mr {
 				i0 := jb.ic + ir
 				if d.syrk && i0 >= j0+nr {
@@ -334,13 +394,46 @@ func (d *tileDriver) runJob(st *tileWorker, jb tileJob, jc, nc, pg, gs int, buf 
 				} else {
 					aw = st.apack[abase+(ir/mr)*d.apanelLen:][:kc*mr*ops.stride]
 				}
+				il := i0
+				if fused {
+					il = ir
+				}
 				mm := min(mr, jb.mc-ir)
 				if mm == mr && nn == nr {
-					ops.full(kc, aw, bw, d.c, i0, j0, d.ldc)
+					ops.full(kc, aw, bw, cdst, il, jl, ldc)
 				} else {
-					ops.fringe(kc, aw, bw, st.tile, d.c, i0, j0, mm, nn, d.ldc)
+					ops.fringe(kc, aw, bw, st.tile, cdst, il, jl, mm, nn, ldc)
 				}
 			}
 		}
 	}
+	if fused && final {
+		d.fuseJob(w, jb, jc, nc, cdst, width)
+	}
+}
+
+// fuseJob walks the finished register tiles of one job — its counts just
+// received their last rank-k update, so the region is cache-resident —
+// and hands each to the epilogue hook with global output coordinates.
+func (d *tileDriver) fuseJob(w int, jb tileJob, jc, nc int, cdst []uint32, width int) {
+	ops := &d.ops
+	mr, nr := ops.mr, ops.nr
+	start := time.Now()
+	tiles := uint64(0)
+	for jr := jb.jr0; jr < jb.jr1; jr += nr {
+		j0 := jc + jr
+		nn := min(nr, nc-jr)
+		for ir := 0; ir < jb.mc; ir += mr {
+			i0 := jb.ic + ir
+			if d.syrk && i0 >= j0+nr {
+				break // same skip rule as the compute sweep
+			}
+			mm := min(mr, jb.mc-ir)
+			off := (ir*width + (jr - jb.jr0)) * ops.cells
+			d.epi(w, cdst[off:], width, i0, j0, mm, nn)
+			tiles++
+		}
+	}
+	stats.epiTiles.Add(tiles)
+	stats.epiNanos.Add(uint64(time.Since(start)))
 }

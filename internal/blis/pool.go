@@ -108,10 +108,14 @@ type tileWorker struct {
 	lastPG int
 }
 
-// arena owns every buffer of one driver call.
+// arena owns every buffer of one driver call. cscratch is the fused-
+// epilogue count scratch of the current column block — O(MC × NC) cells
+// recycled across calls, the storage that replaces the dense m×n count
+// matrix when a tile epilogue is installed.
 type arena struct {
-	bpack []uint64
-	ws    []*tileWorker
+	bpack    []uint64
+	cscratch []uint32
+	ws       []*tileWorker
 }
 
 var arenaPool = sync.Pool{New: func() any {
@@ -122,6 +126,12 @@ var arenaPool = sync.Pool{New: func() any {
 // maxPooledWords caps how much packing storage a recycled arena may pin
 // (16 Mi words = 128 MiB); larger arenas are dropped for the GC instead.
 const maxPooledWords = 16 << 20
+
+// maxPooledScratch caps the fused-epilogue count scratch a recycled arena
+// may pin (64 Mi cells = 256 MiB), counted separately from the packing
+// budget because a wide column block legitimately needs MC×NC cells and
+// dropping it would defeat the pooling the fused path exists to provide.
+const maxPooledScratch = 64 << 20
 
 func getArena() *arena {
 	stats.arenaGets.Add(1)
@@ -136,6 +146,9 @@ func (a *arena) release() {
 	}
 	if total > maxPooledWords {
 		return
+	}
+	if cap(a.cscratch) > maxPooledScratch {
+		a.cscratch = nil
 	}
 	arenaPool.Put(a)
 }

@@ -15,6 +15,10 @@ var stats struct {
 
 	arenaGets   atomic.Uint64
 	arenaMisses atomic.Uint64
+
+	epiTiles        atomic.Uint64
+	epiNanos        atomic.Uint64
+	epiBytesAvoided atomic.Uint64
 }
 
 // DriverStats is a snapshot of the cumulative driver counters.
@@ -34,6 +38,13 @@ type DriverStats struct {
 	// hit rate the HTTP path relies on.
 	ArenaGets   uint64
 	ArenaMisses uint64
+	// EpilogueTiles counts register tiles converted in place by a fused
+	// tile epilogue, EpilogueNanos the wall time workers spent inside the
+	// hook, and EpilogueBytesAvoided the dense count-matrix bytes that
+	// fused calls never materialized (m·n·4 per cell per call).
+	EpilogueTiles        uint64
+	EpilogueNanos        uint64
+	EpilogueBytesAvoided uint64
 }
 
 // CellRate returns the mean throughput over the counted work in cells
@@ -58,11 +69,14 @@ func (s DriverStats) ArenaHitRate() float64 {
 // observers difference successive snapshots for rates.
 func ReadStats() DriverStats {
 	return DriverStats{
-		Calls:       stats.calls.Load(),
-		Cancelled:   stats.cancelled.Load(),
-		Cells:       stats.cells.Load(),
-		Nanos:       stats.nanos.Load(),
-		ArenaGets:   stats.arenaGets.Load(),
-		ArenaMisses: stats.arenaMisses.Load(),
+		Calls:                stats.calls.Load(),
+		Cancelled:            stats.cancelled.Load(),
+		Cells:                stats.cells.Load(),
+		Nanos:                stats.nanos.Load(),
+		ArenaGets:            stats.arenaGets.Load(),
+		ArenaMisses:          stats.arenaMisses.Load(),
+		EpilogueTiles:        stats.epiTiles.Load(),
+		EpilogueNanos:        stats.epiNanos.Load(),
+		EpilogueBytesAvoided: stats.epiBytesAvoided.Load(),
 	}
 }

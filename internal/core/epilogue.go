@@ -1,0 +1,320 @@
+package core
+
+import (
+	"math"
+
+	"ldgemm/internal/blis"
+	"ldgemm/internal/kernel"
+)
+
+// This file implements the fused LD epilogue: blis.TileEpilogue hooks that
+// convert haplotype counts to D/r²/D′ per finished register tile, inside
+// the blocked driver's workers, while the counts are still cache-hot. The
+// split pipeline (fillMeasures/fillMaskedMeasures) materializes the full
+// m×n uint32 count matrix and walks it serially afterwards — a second
+// round-trip through memory that Amdahl-caps the parallel driver. Fused,
+// the counts only ever exist as O(column block) scratch inside blis, the
+// conversion is parallelized for free across the pool's workers, and the
+// float64 outputs are written exactly once.
+//
+// Bit-identity with the split epilogue is load-bearing (golden tests and
+// the ldstore precompute/serve contract both rely on it), so the hot
+// loops below replicate PairFromFreqs operation for operation; the only
+// transformation is precomputing the per-SNP variance factors pᵢ(1−pᵢ)
+// once per call, which is bit-safe because the product (pa(1−pa))·(pb(1−pb))
+// rounds each factor before multiplying either way.
+
+// EpilogueMode selects how the O(n²) count-to-measure conversion runs.
+type EpilogueMode int
+
+const (
+	// EpilogueAuto fuses the conversion into the blocked driver unless
+	// KeepCounts requires the dense count matrix. The default.
+	EpilogueAuto EpilogueMode = iota
+	// EpilogueFused forces the fused path (still overridden by KeepCounts,
+	// which cannot run fused: its contract is the materialized counts).
+	EpilogueFused
+	// EpilogueSplit forces the legacy two-phase pipeline: dense count
+	// matrix first, serial conversion sweep second. Escape hatch for
+	// comparison benchmarks and debugging.
+	EpilogueSplit
+)
+
+// fused reports whether the computation should run the fused epilogue.
+func (o Options) fused() bool {
+	return o.Epilogue != EpilogueSplit && o.measures()&KeepCounts == 0
+}
+
+// kernelShape returns the register-tile shape the plain blocked driver
+// will use for cfg — needed by the SYRK mirror ownership rule below.
+func kernelShape(cfg blis.Config) (mr, nr int) {
+	k := cfg.Kernel
+	if k.Fn == nil {
+		k = kernel.Default
+	}
+	return k.MR, k.NR
+}
+
+// varTable returns v[i] = p[i]·(1−p[i]), the per-SNP variance factor of
+// the r² denominator, rounded exactly as PairFromFreqs rounds it inline.
+func varTable(p []float64) []float64 {
+	v := make([]float64, len(p))
+	for i, pi := range p {
+		v[i] = pi * (1 - pi)
+	}
+	return v
+}
+
+// invVarTable returns v[i] = 1/(p[i]·(1−p[i])), with 0 for monomorphic
+// SNPs so their r² multiplies out to zero — the fast-r² trick of the
+// streaming path (divides traded for multiplies; last-ulp differences
+// from the exact quotient are possible).
+func invVarTable(p []float64) []float64 {
+	v := make([]float64, len(p))
+	for i, pi := range p {
+		if va := pi * (1 - pi); va > 0 {
+			v[i] = 1 / va
+		}
+	}
+	return v
+}
+
+func roundUp2(x, m int) int { return (x + m - 1) / m * m }
+
+// denseEpilogue converts plain-count tiles into the requested measures.
+// Outputs are row-major with stride ld; rowFreqs/colFreqs are indexed by
+// the driver's global tile coordinates, so streaming callers pass
+// sub-slices of the frequency vector aligned to the sub-matrix origin.
+type denseEpilogue struct {
+	inv                float64 // 1/Nseq
+	rowFreqs, colFreqs []float64
+	rowVar, colVar     []float64 // exact r²: p(1−p) variance factors
+	rowInv, colInv     []float64 // fast r²: 1/(p(1−p)) reciprocals
+	d, r2, dp          []float64 // outputs; nil when not requested
+	ld                 int
+	fast               bool // r² via reciprocal tables (FastR2 / stream default)
+	// mirror enables the SYRK lower-triangle fill: each tile writes the
+	// transposed copy of the cells whose transposed tile the triangle
+	// sweep never computed (see ownership rule in tile). mr/nr must match
+	// the driver's register tile for the rule to partition correctly.
+	mirror bool
+	mr, nr int
+}
+
+// newDenseEpilogue allocates the requested measure matrices on res and
+// returns the epilogue that fills them with row stride res.Cols.
+func newDenseEpilogue(res *Result, opt Options, mirror bool) *denseEpilogue {
+	meas := opt.measures()
+	m, n := res.SNPs, res.Cols
+	e := &denseEpilogue{
+		rowFreqs: res.RowFreqs, colFreqs: res.ColFreqs,
+		ld: n, fast: opt.FastR2, mirror: mirror,
+	}
+	e.mr, e.nr = kernelShape(opt.Blis)
+	if res.Samples > 0 {
+		e.inv = 1 / float64(res.Samples)
+	}
+	if meas&MeasureD != 0 {
+		res.D = make([]float64, m*n)
+		e.d = res.D
+	}
+	if meas&MeasureR2 != 0 {
+		res.R2 = make([]float64, m*n)
+		e.r2 = res.R2
+	}
+	if meas&MeasureDPrime != 0 {
+		res.DPrime = make([]float64, m*n)
+		e.dp = res.DPrime
+	}
+	e.prepare()
+	return e
+}
+
+// prepare builds whichever per-SNP tables the configured r² path needs.
+func (e *denseEpilogue) prepare() {
+	if e.r2 == nil {
+		return
+	}
+	shared := len(e.rowFreqs) > 0 && len(e.colFreqs) == len(e.rowFreqs) && &e.rowFreqs[0] == &e.colFreqs[0]
+	if e.fast {
+		e.rowInv = invVarTable(e.rowFreqs)
+		e.colInv = e.rowInv
+		if !shared {
+			e.colInv = invVarTable(e.colFreqs)
+		}
+		return
+	}
+	e.rowVar = varTable(e.rowFreqs)
+	e.colVar = e.rowVar
+	if !shared {
+		e.colVar = varTable(e.colFreqs)
+	}
+}
+
+// tile is the blis.TileEpilogue hook. The mirror ownership rule: the SYRK
+// sweep computes exactly the tiles with tileRow < tileCol+nr, so the
+// transposed home of cell (i, j) is uncomputed — and this tile must write
+// the (j, i) copy — iff ⌊j/mr⌋·mr ≥ (⌊i/nr⌋+1)·nr, i.e. j ≥ jm where
+// jm = roundUp(i − i%nr + nr, mr). Cells below jm either lie in this
+// tile's own rows (diagonal-crossing tiles compute correct below-diagonal
+// counts as a by-product, written directly here) or belong to another
+// computed tile; both triangles are therefore written exactly once, with
+// no write shared between concurrent hook invocations.
+func (e *denseEpilogue) tile(_ int, t []uint32, ldt, i0, j0, mm, nn int) {
+	for r := 0; r < mm; r++ {
+		gi := i0 + r
+		pa := e.rowFreqs[gi]
+		trow := t[r*ldt:]
+		base := gi * e.ld
+		jm := 0
+		if e.mirror {
+			jm = roundUp2(gi-gi%e.nr+e.nr, e.mr)
+		}
+		if e.fast && e.d == nil && e.dp == nil {
+			// r²-only fast path: the streaming epilogue's exact expression
+			// shape (kept verbatim so fused streaming stays bit-identical
+			// to the split streaming fast path).
+			iva := e.rowInv[gi]
+			for c := 0; c < nn; c++ {
+				gj := j0 + c
+				d := float64(trow[c])*e.inv - pa*e.colFreqs[gj]
+				v := d * d * (iva * e.colInv[gj])
+				e.r2[base+gj] = v
+				if e.mirror && gj >= jm {
+					e.r2[gj*e.ld+gi] = v
+				}
+			}
+			continue
+		}
+		var va float64
+		if e.rowVar != nil {
+			va = e.rowVar[gi]
+		}
+		for c := 0; c < nn; c++ {
+			gj := j0 + c
+			pb := e.colFreqs[gj]
+			// PairFromFreqs's operation sequence, with the variance
+			// product taken from the per-SNP tables.
+			pab := float64(trow[c]) * e.inv
+			d := pab - pa*pb
+			mir := e.mirror && gj >= jm
+			idx := base + gj
+			midx := gj*e.ld + gi
+			if e.d != nil {
+				e.d[idx] = d
+				if mir {
+					e.d[midx] = d
+				}
+			}
+			if e.r2 != nil {
+				var v float64
+				if e.fast {
+					v = d * d * (e.rowInv[gi] * e.colInv[gj])
+				} else if den := va * e.colVar[gj]; den > 0 {
+					v = d * d / den
+				}
+				e.r2[idx] = v
+				if mir {
+					e.r2[midx] = v
+				}
+			}
+			if e.dp != nil {
+				var v, dmax float64
+				if d >= 0 {
+					dmax = math.Min(pa*(1-pb), pb*(1-pa))
+				} else {
+					dmax = math.Min(pa*pb, (1-pa)*(1-pb))
+				}
+				if dmax > 0 {
+					v = math.Max(-1, math.Min(1, d/dmax))
+				}
+				e.dp[idx] = v
+				if mir {
+					e.dp[midx] = v
+				}
+			}
+		}
+	}
+}
+
+// maskedEpilogue converts four-count tiles (Section VII) into measures
+// using per-pair effective sample sizes, replicating fillMaskedMeasures.
+// The mirror write copies the computed floats: the measures are invariant
+// under exchanging the SNP roles (the count quadruple transposes to
+// itself with MaskedI/MaskedJ swapped, and PairFromFreqs is bit-symmetric
+// under pa↔pb), so the copy lands the same bits the legacy MirrorMasked +
+// reconvert pipeline produces.
+type maskedEpilogue struct {
+	d, r2, dp []float64
+	ld        int
+	mirror    bool
+	mr, nr    int
+}
+
+func newMaskedEpilogue(res *Result, opt Options, mirror bool) *maskedEpilogue {
+	meas := opt.measures()
+	m, n := res.SNPs, res.Cols
+	mk := kernel.Masked2x2() // driveMasked's fixed register tile
+	e := &maskedEpilogue{ld: n, mirror: mirror, mr: mk.MR, nr: mk.NR}
+	if meas&MeasureD != 0 {
+		res.D = make([]float64, m*n)
+		e.d = res.D
+	}
+	if meas&MeasureR2 != 0 {
+		res.R2 = make([]float64, m*n)
+		e.r2 = res.R2
+	}
+	if meas&MeasureDPrime != 0 {
+		res.DPrime = make([]float64, m*n)
+		e.dp = res.DPrime
+	}
+	return e
+}
+
+// tile is the blis.TileEpilogue hook for the masked kernel: each C entry
+// is four uint32 counts, cell (r, c, k) at t[(r*ldt+c)*4+k]. Mirror
+// ownership is the same rule as denseEpilogue.tile.
+func (e *maskedEpilogue) tile(_ int, t []uint32, ldt, i0, j0, mm, nn int) {
+	for r := 0; r < mm; r++ {
+		gi := i0 + r
+		base := gi * e.ld
+		jm := 0
+		if e.mirror {
+			jm = roundUp2(gi-gi%e.nr+e.nr, e.mr)
+		}
+		for c := 0; c < nn; c++ {
+			gj := j0 + c
+			cell := t[(r*ldt+c)*4:]
+			var p Pair
+			if v := cell[kernel.MaskedValid]; v > 0 {
+				nv := float64(v)
+				p = PairFromFreqs(
+					float64(cell[kernel.MaskedIJ])/nv,
+					float64(cell[kernel.MaskedI])/nv,
+					float64(cell[kernel.MaskedJ])/nv,
+				)
+			}
+			mir := e.mirror && gj >= jm
+			idx := base + gj
+			midx := gj*e.ld + gi
+			if e.d != nil {
+				e.d[idx] = p.D
+				if mir {
+					e.d[midx] = p.D
+				}
+			}
+			if e.r2 != nil {
+				e.r2[idx] = p.R2
+				if mir {
+					e.r2[midx] = p.R2
+				}
+			}
+			if e.dp != nil {
+				e.dp[idx] = p.DPrime
+				if mir {
+					e.dp[midx] = p.DPrime
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,326 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"ldgemm/internal/bitmat"
+	"ldgemm/internal/blis"
+)
+
+// measureSets covers every combination the API exposes (zero = default r²).
+var measureSets = []Measure{
+	0, MeasureD, MeasureR2, MeasureDPrime,
+	MeasureD | MeasureR2, MeasureR2 | MeasureDPrime,
+	MeasureD | MeasureR2 | MeasureDPrime,
+}
+
+// bitsEqual compares float64 slices bit for bit (NaN-safe, −0 ≠ +0).
+func bitsEqual(t *testing.T, name string, got, want []float64) {
+	t.Helper()
+	if (got == nil) != (want == nil) {
+		t.Fatalf("%s: presence mismatch (got %v, want %v)", name, got != nil, want != nil)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d vs %d", name, len(got), len(want))
+	}
+	for i := range got {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("%s[%d] = %x (%g), want %x (%g)",
+				name, i, math.Float64bits(got[i]), got[i], math.Float64bits(want[i]), want[i])
+		}
+	}
+}
+
+func bitsEqualResults(t *testing.T, got, want *Result) {
+	t.Helper()
+	bitsEqual(t, "D", got.D, want.D)
+	bitsEqual(t, "R2", got.R2, want.R2)
+	bitsEqual(t, "DPrime", got.DPrime, want.DPrime)
+}
+
+// fringeConfig forces many blocking fringes so register-tile edges, partial
+// column blocks, and the SYRK diagonal crossing all occur on small inputs.
+func fringeConfig(threads int) blis.Config {
+	return blis.Config{MC: 12, NC: 20, KC: 3, Threads: threads}
+}
+
+// The golden contract: the fused per-tile epilogue produces bit-identical
+// measures to the legacy split sweep, for every measure combination and
+// across fringe shapes (n % MR ≠ 0, n < NR, n = 1).
+func TestMatrixFusedMatchesSplitBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 3, 13, 50, 67} {
+		g := randomMatrix(rng, n, 65)
+		for _, meas := range measureSets {
+			opt := Options{Measures: meas, Blis: fringeConfig(3)}
+			opt.Epilogue = EpilogueFused
+			fused, err := Matrix(g, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt.Epilogue = EpilogueSplit
+			split, err := Matrix(g, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bitsEqualResults(t, fused, split)
+		}
+	}
+}
+
+func TestMatrixFusedDefaultConfig(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := randomMatrix(rng, 131, 300)
+	fused, err := Matrix(g, Options{Measures: MeasureD | MeasureR2 | MeasureDPrime})
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, err := Matrix(g, Options{
+		Measures: MeasureD | MeasureR2 | MeasureDPrime, Epilogue: EpilogueSplit,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitsEqualResults(t, fused, split)
+}
+
+func TestCrossFusedMatchesSplitBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	shapes := []struct{ m, n int }{{1, 1}, {5, 3}, {13, 40}, {50, 27}}
+	for _, sh := range shapes {
+		a := randomMatrix(rng, sh.m, 100)
+		b := randomMatrix(rng, sh.n, 100)
+		for _, meas := range measureSets {
+			opt := Options{Measures: meas, Blis: fringeConfig(2), Epilogue: EpilogueFused}
+			fused, err := Cross(a, b, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt.Epilogue = EpilogueSplit
+			split, err := Cross(a, b, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bitsEqualResults(t, fused, split)
+		}
+	}
+}
+
+// The SYRK mirror copies computed floats instead of reconverting, so both
+// triangles must hold identical bits.
+func TestMatrixFusedSymmetryBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := randomMatrix(rng, 61, 200)
+	res, err := Matrix(g, Options{
+		Measures: MeasureD | MeasureR2 | MeasureDPrime,
+		Blis:     fringeConfig(4), Epilogue: EpilogueFused,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []struct {
+		name string
+		v    []float64
+	}{{"D", res.D}, {"R2", res.R2}, {"DPrime", res.DPrime}} {
+		for i := 0; i < 61; i++ {
+			for j := 0; j < i; j++ {
+				lo, hi := m.v[i*61+j], m.v[j*61+i]
+				if math.Float64bits(lo) != math.Float64bits(hi) {
+					t.Fatalf("%s asymmetric at (%d,%d): %x vs %x",
+						m.name, i, j, math.Float64bits(lo), math.Float64bits(hi))
+				}
+			}
+		}
+	}
+}
+
+// FastR2 trades the exact quotient for reciprocal multiplies: values may
+// move in the last ulps but must stay numerically tight and — because the
+// mirror copies floats — exactly symmetric.
+func TestMatrixFastR2(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := randomMatrix(rng, 47, 150)
+	exact, err := Matrix(g, Options{Blis: fringeConfig(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := Matrix(g, Options{Blis: fringeConfig(2), FastR2: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fast.R2 {
+		if d := math.Abs(fast.R2[i] - exact.R2[i]); d > 1e-9 {
+			t.Fatalf("FastR2[%d] = %g, exact %g (Δ %g)", i, fast.R2[i], exact.R2[i], d)
+		}
+	}
+	for i := 0; i < 47; i++ {
+		for j := 0; j < i; j++ {
+			if math.Float64bits(fast.R2[i*47+j]) != math.Float64bits(fast.R2[j*47+i]) {
+				t.Fatalf("FastR2 asymmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+// KeepCounts cannot run fused (its contract is the dense counts): even
+// with EpilogueFused requested, the counts must be present, exact, and
+// the measures identical to the split pipeline.
+func TestKeepCountsStillExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	n := 33
+	g := randomMatrix(rng, n, 80)
+	res, err := Matrix(g, Options{
+		Measures: MeasureR2 | KeepCounts, Blis: fringeConfig(2), Epilogue: EpilogueFused,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counts == nil {
+		t.Fatal("KeepCounts dropped the count matrix")
+	}
+	want := make([]uint32, n*n)
+	if err := blis.Reference(g, g, want, n); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if res.Counts[i] != want[i] {
+			t.Fatalf("Counts[%d] = %d, want %d", i, res.Counts[i], want[i])
+		}
+	}
+	split, err := Matrix(g, Options{Measures: MeasureR2, Epilogue: EpilogueSplit, Blis: fringeConfig(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitsEqual(t, "R2", res.R2, split.R2)
+}
+
+func TestMaskedMatrixFusedMatchesSplitBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 3, 21, 40} {
+		g, k := randomMaskedPair(rng, n, 130)
+		for _, meas := range measureSets {
+			opt := Options{Measures: meas, Blis: fringeConfig(3), Epilogue: EpilogueFused}
+			fused, err := MaskedMatrix(g, k, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt.Epilogue = EpilogueSplit
+			split, err := MaskedMatrix(g, k, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bitsEqualResults(t, fused, split)
+		}
+	}
+}
+
+// streamDense collects a Stream scan into a dense row-major matrix.
+func streamDense(t *testing.T, g *bitmat.Matrix, opt StreamOptions) []float64 {
+	t.Helper()
+	out := make([]float64, g.SNPs*g.SNPs)
+	for i := range out {
+		out[i] = math.NaN() // poison unvisited cells
+	}
+	err := Stream(g, opt, func(i, j0 int, row []float64) {
+		copy(out[i*g.SNPs+j0:], row)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestStreamFusedMatchesSplitBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g := randomMatrix(rng, 53, 120)
+	for _, triangular := range []bool{false, true} {
+		for _, exact := range []bool{false, true} {
+			for _, meas := range []Measure{MeasureR2, MeasureD, MeasureDPrime} {
+				opt := StreamOptions{
+					Options:    Options{Measures: meas, Blis: fringeConfig(2)},
+					StripeRows: 17, Triangular: triangular, Exact: exact,
+				}
+				opt.Epilogue = EpilogueFused
+				fused := streamDense(t, g, opt)
+				opt.Epilogue = EpilogueSplit
+				split := streamDense(t, g, opt)
+				for i := range fused {
+					fb, sb := math.Float64bits(fused[i]), math.Float64bits(split[i])
+					if fb != sb {
+						t.Fatalf("tri=%v exact=%v meas=%b: cell %d = %x, want %x",
+							triangular, exact, meas, i, fb, sb)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Streamed values must also agree with the dense Matrix outputs when Exact
+// is set — the contract the tile store's precompute/serve path rides.
+func TestStreamExactMatchesMatrixBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := randomMatrix(rng, 41, 90)
+	dense, err := Matrix(g, Options{Measures: MeasureR2, Blis: fringeConfig(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed := streamDense(t, g, StreamOptions{
+		Options:    Options{Measures: MeasureR2, Blis: fringeConfig(2)},
+		StripeRows: 10, Triangular: true, Exact: true,
+	})
+	for i := 0; i < 41; i++ {
+		for j := i; j < 41; j++ {
+			sb, db := math.Float64bits(streamed[i*41+j]), math.Float64bits(dense.R2[i*41+j])
+			if sb != db {
+				t.Fatalf("stream (%d,%d) = %x, dense %x", i, j, sb, db)
+			}
+		}
+	}
+}
+
+// allocBytes measures TotalAlloc across one call after a warm-up call has
+// populated the blis arena pool.
+func allocBytes(f func()) uint64 {
+	f() // warm the pack/scratch arenas
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	f()
+	runtime.ReadMemStats(&m1)
+	return m1.TotalAlloc - m0.TotalAlloc
+}
+
+// The point of the fusion, asserted: the split pipeline allocates the
+// dense n²·4-byte count matrix per call and the fused pipeline does not.
+func TestMatrixFusedAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc measurement")
+	}
+	rng := rand.New(rand.NewSource(10))
+	const n = 512
+	g := randomMatrix(rng, n, 256)
+	run := func(mode EpilogueMode) func() {
+		return func() {
+			if _, err := Matrix(g, Options{Measures: MeasureR2, Epilogue: mode, Blis: blis.Config{Threads: 2}}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	fused := allocBytes(run(EpilogueFused))
+	split := allocBytes(run(EpilogueSplit))
+	counts := uint64(n * n * 4)
+	// Both paths allocate the n²·8 R2 result; only split adds the count
+	// matrix. Allow slack for pool misses and runtime noise, but the gap
+	// must show most of the count matrix gone.
+	if fused+counts/2 > split {
+		t.Fatalf("fused path allocated %d bytes vs split %d — count matrix (%d) not eliminated",
+			fused, split, counts)
+	}
+	if budget := uint64(n*n*8) + counts/2; fused > budget {
+		t.Fatalf("fused path allocated %d bytes, budget %d (result + slack)", fused, budget)
+	}
+}

@@ -43,6 +43,18 @@ type Options struct {
 	Measures Measure
 	// Blis carries blocking parameters and thread count for the GEMM.
 	Blis blis.Config
+	// Epilogue selects how counts become measures: fused into the blocked
+	// driver (per-tile, parallel, no dense count matrix — the default) or
+	// the legacy split sweep over a materialized count matrix. KeepCounts
+	// always runs split, since its contract is the dense counts.
+	Epilogue EpilogueMode
+	// FastR2 computes r² with precomputed 1/(p(1−p)) reciprocal tables —
+	// multiplies instead of divides — which can differ from the exact
+	// PairFromFreqs quotient in the last ulp. Off by default so dense
+	// results stay bit-identical to PairFromFreqs (the contract the
+	// tile store and golden tests rely on). Only the fused epilogue
+	// honors it; the split sweep always computes the exact quotient.
+	FastR2 bool
 	// Ctx, when non-nil, cancels an in-flight computation cooperatively:
 	// the blocked driver observes it at phase and slab-group boundaries
 	// and the computation returns Ctx.Err(). Serving paths set it to the
@@ -175,19 +187,29 @@ func (r *Result) At(i, j int) Pair {
 }
 
 // Matrix computes all-pairs LD within one genomic matrix: the H = GᵀG/Nseq
-// rank-k update of Section III-B via the blocked symmetric driver, followed
-// by the O(n²) D/r²/D′ epilogue. Both triangles of each output are filled.
+// rank-k update of Section III-B via the blocked symmetric driver, plus the
+// O(n²) D/r²/D′ epilogue — fused into the driver's tile sweep by default
+// (Options.Epilogue), as a separate serial pass when split or when
+// KeepCounts needs the dense counts. Both triangles of each output are
+// filled; fused and split produce bit-identical measures.
 func Matrix(g *bitmat.Matrix, opt Options) (*Result, error) {
 	if g.Samples == 0 && g.SNPs > 0 {
 		return nil, fmt.Errorf("core: LD of %d SNPs with zero samples", g.SNPs)
 	}
 	n := g.SNPs
+	p := AlleleFrequencies(g)
+	res := &Result{SNPs: n, Cols: n, Samples: g.Samples, RowFreqs: p, ColFreqs: p}
+	if opt.fused() {
+		e := newDenseEpilogue(res, opt, true)
+		if err := blis.SyrkEpilogue(opt.blisCfg(), g, e.tile); err != nil {
+			return nil, err
+		}
+		return res, nil
+	}
 	counts := make([]uint32, n*n)
 	if err := blis.Syrk(opt.blisCfg(), g, counts, n, true); err != nil {
 		return nil, err
 	}
-	p := AlleleFrequencies(g)
-	res := &Result{SNPs: n, Cols: n, Samples: g.Samples, RowFreqs: p, ColFreqs: p}
 	fillMeasures(res, counts, opt)
 	return res, nil
 }
@@ -203,13 +225,20 @@ func Cross(a, b *bitmat.Matrix, opt Options) (*Result, error) {
 		return nil, fmt.Errorf("core: cross LD with zero samples")
 	}
 	m, n := a.SNPs, b.SNPs
-	counts := make([]uint32, m*n)
-	if err := blis.Gemm(opt.blisCfg(), a, b, counts, n); err != nil {
-		return nil, err
-	}
 	res := &Result{
 		SNPs: m, Cols: n, Samples: a.Samples,
 		RowFreqs: AlleleFrequencies(a), ColFreqs: AlleleFrequencies(b),
+	}
+	if opt.fused() {
+		e := newDenseEpilogue(res, opt, false)
+		if err := blis.GemmEpilogue(opt.blisCfg(), a, b, e.tile); err != nil {
+			return nil, err
+		}
+		return res, nil
+	}
+	counts := make([]uint32, m*n)
+	if err := blis.Gemm(opt.blisCfg(), a, b, counts, n); err != nil {
+		return nil, err
 	}
 	fillMeasures(res, counts, opt)
 	return res, nil

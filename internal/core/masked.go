@@ -43,11 +43,6 @@ func MaskedMatrix(g *bitmat.Matrix, mask *bitmat.Mask, opt Options) (*Result, er
 		return nil, err
 	}
 	n := g.SNPs
-	quad := make([]uint32, n*n*4)
-	if err := blis.MaskedSyrk(opt.blisCfg(), gm, mask, quad, n); err != nil {
-		return nil, err
-	}
-	blis.MirrorMasked(quad, n, n)
 	res := &Result{SNPs: n, Cols: n, Samples: g.Samples}
 	res.RowFreqs = make([]float64, n)
 	for i := range res.RowFreqs {
@@ -57,6 +52,21 @@ func MaskedMatrix(g *bitmat.Matrix, mask *bitmat.Mask, opt Options) (*Result, er
 		}
 	}
 	res.ColFreqs = res.RowFreqs
+	if opt.fused() {
+		// Fused: no n²·16-byte quad matrix, no count mirror — each tile
+		// converts its four-count cells in place and writes the (bit-
+		// symmetric) float mirrors it owns.
+		e := newMaskedEpilogue(res, opt, true)
+		if err := blis.MaskedSyrkEpilogue(opt.blisCfg(), gm, mask, e.tile); err != nil {
+			return nil, err
+		}
+		return res, nil
+	}
+	quad := make([]uint32, n*n*4)
+	if err := blis.MaskedSyrk(opt.blisCfg(), gm, mask, quad, n); err != nil {
+		return nil, err
+	}
+	blis.MirrorMasked(quad, n, n)
 	fillMaskedMeasures(res, quad, opt)
 	return res, nil
 }

@@ -52,14 +52,17 @@ func Stream(g *bitmat.Matrix, opt StreamOptions, visit func(i, j0 int, row []flo
 	}
 	n := g.SNPs
 	p := AlleleFrequencies(g)
+	meas := opt.measures()
+	r2Only := meas&MeasureR2 != 0 && !opt.Exact
+	if opt.fused() {
+		return streamFused(g, opt, p, stripe, visit)
+	}
 	counts := make([]uint32, min(stripe, max(n, 1))*n)
 	row := make([]float64, n)
 	inv := 0.0
 	if g.Samples > 0 {
 		inv = 1 / float64(g.Samples)
 	}
-	meas := opt.measures()
-	r2Only := meas&MeasureR2 != 0 && !opt.Exact
 	// Fast r² epilogue: precompute the per-SNP variance reciprocals so the
 	// O(n²) loop is five multiplies per pair with no branches on the hot
 	// path (monomorphic SNPs get a zero factor, which zeroes their r²).
@@ -116,7 +119,10 @@ func Stream(g *bitmat.Matrix, opt StreamOptions, visit func(i, j0 int, row []flo
 				iva := invVar[gi]
 				for t, cnt := range src {
 					d := float64(cnt)*inv - pa*p[j0+t]
-					dst[t] = d * d * iva * invVar[j0+t]
+					// The reciprocals are grouped before scaling d² so the
+					// value is bit-symmetric under SNP exchange (IEEE
+					// multiplication commutes), matching the fused epilogue.
+					dst[t] = d * d * (iva * invVar[j0+t])
 				}
 			} else {
 				for t, cnt := range src {
@@ -132,6 +138,83 @@ func Stream(g *bitmat.Matrix, opt StreamOptions, visit func(i, j0 int, row []flo
 				}
 			}
 			visit(gi, j0, dst)
+		}
+	}
+	return nil
+}
+
+// streamFused is Stream's fused-epilogue body: the stripe's statistic
+// values are written directly by the blocked driver's tile epilogue into a
+// float64 stripe — the uint32 count stripe and the per-row conversion pass
+// are gone, and the conversion runs in parallel inside the driver.
+// Expression shapes match the split path exactly (fast r² inline, exact
+// via PairFromFreqs's sequence), so streamed values stay bit-identical.
+func streamFused(g *bitmat.Matrix, opt StreamOptions, p []float64, stripe int, visit func(i, j0 int, row []float64)) error {
+	n := g.SNPs
+	meas := opt.measures()
+	fast := meas&MeasureR2 != 0 && !opt.Exact
+	vals := make([]float64, min(stripe, max(n, 1))*n)
+	// epi builds a stripe epilogue writing the single requested statistic
+	// into out (row stride ld), with frequency slices aligned to the
+	// driver's sub-matrix coordinates.
+	epi := func(out []float64, ld int, rowFreqs, colFreqs []float64) *denseEpilogue {
+		e := &denseEpilogue{
+			rowFreqs: rowFreqs, colFreqs: colFreqs, ld: ld, fast: fast,
+		}
+		if g.Samples > 0 {
+			e.inv = 1 / float64(g.Samples)
+		}
+		switch {
+		case meas&MeasureR2 != 0:
+			e.r2 = out
+		case meas&MeasureD != 0:
+			e.d = out
+		default:
+			e.dp = out
+		}
+		e.prepare()
+		return e
+	}
+	for i0 := 0; i0 < n; i0 += stripe {
+		rows := min(stripe, n-i0)
+		sub := g.Slice(i0, i0+rows)
+		base := 0
+		width := n
+		v := vals[:rows*width]
+		if opt.Triangular {
+			base = i0
+			width = n - i0
+			v = vals[:rows*width]
+			// Diagonal block: the fused SYRK sweep writes every upper-
+			// triangle cell (and correct below-diagonal by-products the
+			// visit loop never reads), so no clear is needed — the
+			// epilogue assigns rather than accumulates.
+			e := epi(v, width, p[i0:], p[i0:])
+			if err := blis.SyrkEpilogue(opt.blisCfg(), sub, e.tile); err != nil {
+				return err
+			}
+			if i0+rows < n {
+				rest := g.Slice(i0+rows, n)
+				e := epi(vals[rows:], width, p[i0:], p[i0+rows:])
+				if err := blis.GemmEpilogue(opt.blisCfg(), sub, rest, e.tile); err != nil {
+					return err
+				}
+			}
+		} else {
+			e := epi(v, width, p[i0:], p)
+			if err := blis.GemmEpilogue(opt.blisCfg(), sub, g, e.tile); err != nil {
+				return err
+			}
+		}
+		for i := 0; i < rows; i++ {
+			gi := i0 + i
+			j0 := base
+			off := 0
+			if opt.Triangular {
+				j0 = gi
+				off = gi - i0
+			}
+			visit(gi, j0, v[i*width+off:(i+1)*width])
 		}
 	}
 	return nil

@@ -41,8 +41,10 @@ type BuildStats struct {
 	TileBytes int64
 	FileBytes int64
 	// PeakResultBytes is the build's result-storage high-water mark: one
-	// NT-row float64 stripe buffer plus core.Stream's count stripe and
-	// row vector — O(StripeRows × SNPs), never the n² result.
+	// NT-row float64 stripe buffer plus core.Stream's fused float64
+	// stripe — O(StripeRows × SNPs), never the n² result. (The fused
+	// epilogue writes statistics straight into the stream's stripe; the
+	// old uint32 count stripe and per-row vector no longer exist.)
 	PeakResultBytes int64
 }
 
@@ -88,7 +90,9 @@ func BuildFile(path string, g *bitmat.Matrix, opt BuildOptions) (BuildStats, err
 // blocked driver and writes the tile container to w. It reuses
 // core.Stream's triangular scan with StripeRows = TileSize, so each tile
 // row of the output is produced from one stripe and result memory stays
-// O(TileSize × SNPs) no matter how large the full n² matrix would be.
+// O(TileSize × SNPs) no matter how large the full n² matrix would be;
+// the scan rides the fused tile epilogue, so the statistics land in the
+// stripe straight from the driver's workers with no count intermediate.
 // The Exact epilogue is forced so stored values are bit-identical to the
 // dense core.Matrix path a serverless request would compute.
 func Build(w io.WriteSeeker, g *bitmat.Matrix, opt BuildOptions) (BuildStats, error) {
@@ -184,8 +188,7 @@ func Build(w io.WriteSeeker, g *bitmat.Matrix, opt BuildOptions) (BuildStats, er
 		TileBytes: tileBytes,
 		FileBytes: b.offset + int64(len(b.index)*indexEntrySize),
 		PeakResultBytes: int64(len(b.buf))*8 + // tile-row stripe buffer
-			int64(min(nt, max(n, 1)))*int64(n)*4 + // core.Stream count stripe
-			int64(n)*8, // core.Stream row vector
+			int64(min(nt, max(n, 1)))*int64(n)*8, // core.Stream fused value stripe
 	}, nil
 }
 

@@ -125,7 +125,10 @@ func TestInFlightLimiterSheds(t *testing.T) {
 // stack: with one slot and many simultaneous heavy requests, some must be
 // shed and every response must be either a result or a clean 503.
 func TestServerShedsUnderConcurrency(t *testing.T) {
-	g, err := popsim.Mosaic(120, 200, popsim.MosaicConfig{Seed: 9})
+	// The workload must hold the single slot for tens of milliseconds so
+	// simultaneous clients actually collide — the fused epilogue made the
+	// original 120-SNP scan finish too fast to ever overlap.
+	g, err := popsim.Mosaic(300, 300, popsim.MosaicConfig{Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +149,7 @@ func TestServerShedsUnderConcurrency(t *testing.T) {
 			go func() {
 				defer wg.Done()
 				<-start
-				resp, err := http.Get(ts.URL + "/api/omega?grid=40&max_each=50")
+				resp, err := http.Get(ts.URL + "/api/omega?grid=40&max_each=75")
 				if err != nil {
 					t.Error(err)
 					return

@@ -28,7 +28,11 @@ import (
 //	blis            cumulative kernel-driver counters: calls, cancelled,
 //	                cells, nanos, kernel_gcells_per_sec (mean giga-cells
 //	                of C×k work per second), arena_gets, arena_misses,
-//	                arena_hit_rate
+//	                arena_hit_rate, epilogue_tiles (register tiles
+//	                converted by the fused epilogue), epilogue_nanos
+//	                (wall time inside the fused hook), and
+//	                fused_bytes_avoided (dense count-matrix bytes the
+//	                fused calls never materialized)
 //	store_served    requests answered from the tile store
 //	store_fallbacks requests that hit a store error and recomputed
 //	store           cumulative tile-store counters: tiles_read, bytes_read,
@@ -91,6 +95,9 @@ func newMetrics() *metrics {
 			"arena_gets":            s.ArenaGets,
 			"arena_misses":          s.ArenaMisses,
 			"arena_hit_rate":        s.ArenaHitRate(),
+			"epilogue_tiles":        s.EpilogueTiles,
+			"epilogue_nanos":        s.EpilogueNanos,
+			"fused_bytes_avoided":   s.EpilogueBytesAvoided,
 		}
 	}))
 	return m

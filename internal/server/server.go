@@ -32,6 +32,12 @@ type Config struct {
 	MaxTopK int
 	// Threads for the LD kernels (default GOMAXPROCS via blis).
 	Threads int
+	// Epilogue selects how the LD handlers convert counts to measures:
+	// fused into the blocked driver (the default — no dense count matrix,
+	// conversion parallelized across the kernel workers) or the legacy
+	// split sweep (core.EpilogueSplit), the ldserver -epilogue escape
+	// hatch.
+	Epilogue core.EpilogueMode
 	// ChunkTiles is the parallel driver's work-queue granularity
 	// (blis.Config.ChunkTiles; default 0 = derived).
 	ChunkTiles int
@@ -129,6 +135,12 @@ func (s *Server) VarsHandler() http.Handler { return http.HandlerFunc(s.metrics.
 // region/prune/blocks endpoints do not reallocate pack buffers.
 func (s *Server) blisConfig(ctx context.Context) blis.Config {
 	return blis.Config{Threads: s.cfg.Threads, ChunkTiles: s.cfg.ChunkTiles, Ctx: ctx}
+}
+
+// ldOptions is the per-request core configuration shared by the heavy
+// handlers: the kernel config plus the server's epilogue mode.
+func (s *Server) ldOptions(ctx context.Context) core.Options {
+	return core.Options{Blis: s.blisConfig(ctx), Epilogue: s.cfg.Epilogue}
 }
 
 // statusClientClosedRequest is nginx's convention for "the client went
@@ -377,8 +389,9 @@ func (s *Server) handleRegion(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if flat == nil {
-		res, err := core.Matrix(s.g.Slice(start, end),
-			core.Options{Measures: meas, Blis: s.blisConfig(r.Context())})
+		opt := s.ldOptions(r.Context())
+		opt.Measures = meas
+		res, err := core.Matrix(s.g.Slice(start, end), opt)
 		if err != nil {
 			s.computeError(w, r, err)
 			return
@@ -445,7 +458,7 @@ func (s *Server) handleTop(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := core.Significance(s.g, core.SignificanceOptions{
 		Alpha: 0.999999, AlphaIsPerTest: true, MaxResults: s.cfg.MaxTopK * 4,
-		LD: core.Options{Blis: s.blisConfig(r.Context())},
+		LD: s.ldOptions(r.Context()),
 	})
 	if err != nil {
 		s.computeError(w, r, err)
@@ -499,7 +512,7 @@ func (s *Server) handlePrune(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := core.Prune(s.g, core.PruneOptions{
 		WindowSNPs: window, StepSNPs: step, R2Threshold: r2,
-		LD: core.Options{Blis: s.blisConfig(r.Context())},
+		LD: s.ldOptions(r.Context()),
 	})
 	if err != nil {
 		s.computeError(w, r, err)
@@ -531,7 +544,7 @@ func (s *Server) handleBlocks(w http.ResponseWriter, r *http.Request) {
 	}
 	blocks, err := core.Blocks(s.g, core.BlockOptions{
 		DPrimeThreshold: dprime, MinStrongFrac: frac,
-		LD: core.Options{Blis: s.blisConfig(r.Context())},
+		LD: s.ldOptions(r.Context()),
 	})
 	if err != nil {
 		s.computeError(w, r, err)
@@ -576,7 +589,7 @@ func (s *Server) handleOmega(w http.ResponseWriter, r *http.Request) {
 	}
 	points, err := omega.Scan(s.g, omega.Config{
 		GridPoints: grid, MinEach: minEach, MaxEach: maxEach,
-		LD: core.Options{Blis: s.blisConfig(r.Context())},
+		LD: s.ldOptions(r.Context()),
 	})
 	if err != nil {
 		s.computeError(w, r, err)
