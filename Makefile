@@ -7,11 +7,19 @@ verify:
 # Race tier: vet plus the race detector on the concurrency-bearing
 # packages (the parallel blis driver, the pack kernels it calls from many
 # goroutines, the HTTP server that shares the arena pool and in-flight
-# semaphore across requests, and the ldserver lifecycle).
+# semaphore across requests, the scatter-gather cluster coordinator, and
+# the ldserver lifecycle).
 .PHONY: verify-race
 verify-race:
 	go vet ./...
-	go test -race ./internal/blis/... ./internal/core/... ./internal/kernel/... ./internal/ldstore/... ./internal/server/... ./cmd/ldserver/...
+	go test -race ./internal/blis/... ./internal/core/... ./internal/kernel/... ./internal/ldstore/... ./internal/server/... ./internal/cluster/... ./cmd/ldserver/...
+
+# Cluster tier: the 2-shard httptest cluster end to end — bit-identity
+# against a single node, shard-kill → partial degradation, breaker
+# trip/recover, retry, and hedging.
+.PHONY: verify-cluster
+verify-cluster:
+	go test -race -count=1 ./internal/cluster/ -run 'TestCluster|TestBreaker|TestRetry|TestHedge|TestPartition|TestMergeTop'
 
 # Short fuzz smoke on the tile-store open path: hostile and truncated
 # files must error, never panic or over-allocate (CI runs this too).

@@ -31,6 +31,16 @@
 // SIGINT/SIGTERM drain in-flight requests for up to -grace before the
 // process exits. With -admin set, net/http/pprof and a second /debug/vars
 // are served on a separate listener that is never exposed to clients.
+//
+// Cluster modes: `-shard-range a:b` runs this server as a cluster shard
+// owning SNP rows [a, b) — it answers only queries whose smaller index
+// falls in its strip (421 otherwise) and advertises the range on
+// /api/info. `-coordinator url1,url2,...` runs a coordinator instead of
+// a server: no dataset is loaded; pair lookups route to the owning shard
+// and region/top queries scatter-gather across the strips, with
+// -shard-timeout, -retries, -retry-backoff, -hedge-after,
+// -breaker-failures, and -breaker-cooldown tuning the resilient shard
+// client. All shards must be reachable when the coordinator boots.
 package main
 
 import (
@@ -45,10 +55,13 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"ldgemm/internal/bitmat"
+	"ldgemm/internal/cluster"
 	"ldgemm/internal/core"
 	"ldgemm/internal/ldstore"
 	"ldgemm/internal/seqio"
@@ -71,8 +84,9 @@ func main() {
 // admin (pprof/metrics) server, ready to run until a signal drains it.
 type app struct {
 	srv   *http.Server
-	admin *http.Server   // nil unless -admin was given
-	store *ldstore.Store // nil unless -store was given; closed after drain
+	admin *http.Server         // nil unless -admin was given
+	store *ldstore.Store       // nil unless -store was given; closed after drain
+	coord *cluster.Coordinator // nil unless -coordinator was given
 	grace time.Duration
 }
 
@@ -100,8 +114,46 @@ func setup(args []string, stderr io.Writer) (*app, error) {
 	storeCache := fs.Int("store-cache", 0, "tile-store LRU capacity in tiles (0 = default)")
 	epilogue := fs.String("epilogue", "fused",
 		"LD epilogue mode: fused (convert counts per tile inside the blocked driver) or split (legacy two-phase)")
+	shardRange := fs.String("shard-range", "",
+		"owned SNP row range a:b when running as a cluster shard (empty = unsharded)")
+	coordinator := fs.String("coordinator", "",
+		"comma-separated shard URLs; run as a cluster coordinator instead of serving a dataset")
+	shardTimeout := fs.Duration("shard-timeout", 30*time.Second,
+		"coordinator: per-attempt deadline for each shard call")
+	retries := fs.Int("retries", 2, "coordinator: re-attempts after a failed shard call (0 = none)")
+	retryBackoff := fs.Duration("retry-backoff", 25*time.Millisecond,
+		"coordinator: sleep before the first retry, doubling up to 1s")
+	hedgeAfter := fs.Duration("hedge-after", 0,
+		"coordinator: hedge a slow shard call after this delay (0 = adaptive p95, negative = disabled)")
+	breakerFailures := fs.Int("breaker-failures", 5,
+		"coordinator: consecutive shard failures that open its circuit breaker")
+	breakerCooldown := fs.Duration("breaker-cooldown", 5*time.Second,
+		"coordinator: how long an open breaker fails fast before probing the shard again")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
+	}
+	if *coordinator != "" {
+		if *in != "" || *storePath != "" || *shardRange != "" {
+			return nil, fmt.Errorf("-coordinator is mutually exclusive with -in, -store, and -shard-range")
+		}
+		ccfg := cluster.Config{
+			ShardTimeout: *shardTimeout, Retries: *retries, RetryBackoff: *retryBackoff,
+			HedgeAfter: *hedgeAfter, BreakerFailures: *breakerFailures, BreakerCooldown: *breakerCooldown,
+		}
+		if *retries == 0 {
+			ccfg.Retries = -1 // the flag's 0 means "no retries", not "default"
+		}
+		co, err := cluster.New(context.Background(), strings.Split(*coordinator, ","), ccfg)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(stderr, "ldserver: coordinating %d shards; listening on %s\n",
+			len(strings.Split(*coordinator, ",")), *addr)
+		a := &app{grace: *grace, coord: co, srv: newHTTPServer(*addr, co, *reqTimeout)}
+		if *adminAddr != "" {
+			a.admin = newHTTPServer(*adminAddr, adminMux(co.VarsHandler()), 0)
+		}
+		return a, nil
 	}
 	if *in == "" {
 		fs.Usage()
@@ -119,6 +171,13 @@ func setup(args []string, stderr io.Writer) (*app, error) {
 		MaxRegionSNPs: *maxRegion, Threads: *threads, ChunkTiles: *chunk,
 		RequestTimeout: *reqTimeout, MaxInFlight: *maxInFlight,
 		Epilogue: emode,
+	}
+	if *shardRange != "" {
+		lo, hi, err := parseShardRange(*shardRange, g.SNPs)
+		if err != nil {
+			return nil, err
+		}
+		cfg.ShardStart, cfg.ShardEnd = lo, hi
 	}
 	if *accessLog {
 		cfg.AccessLog = slog.New(slog.NewJSONHandler(stderr, nil))
@@ -146,9 +205,28 @@ func setup(args []string, stderr io.Writer) (*app, error) {
 
 	a := &app{grace: *grace, store: st, srv: newHTTPServer(*addr, s, *reqTimeout)}
 	if *adminAddr != "" {
-		a.admin = newHTTPServer(*adminAddr, adminMux(s), 0)
+		a.admin = newHTTPServer(*adminAddr, adminMux(s.VarsHandler()), 0)
 	}
 	return a, nil
+}
+
+// parseShardRange parses the -shard-range a:b flag against the loaded
+// dataset. A CLI typo should refuse to start, not silently clamp.
+func parseShardRange(s string, snps int) (lo, hi int, err error) {
+	a, b, found := strings.Cut(s, ":")
+	if !found {
+		return 0, 0, fmt.Errorf("-shard-range: want a:b, got %q", s)
+	}
+	if lo, err = strconv.Atoi(a); err != nil {
+		return 0, 0, fmt.Errorf("-shard-range: %v", err)
+	}
+	if hi, err = strconv.Atoi(b); err != nil {
+		return 0, 0, fmt.Errorf("-shard-range: %v", err)
+	}
+	if lo < 0 || hi <= lo || hi > snps {
+		return 0, 0, fmt.Errorf("-shard-range [%d,%d) outside dataset rows 0..%d", lo, hi, snps)
+	}
+	return lo, hi, nil
 }
 
 // newHTTPServer wraps a handler in an http.Server with conservative edge
@@ -183,9 +261,9 @@ func newHTTPServer(addr string, h http.Handler, reqTimeout time.Duration) *http.
 
 // adminMux serves the operator-only surface: pprof profiles and the
 // metric tree, on a listener separate from client traffic.
-func adminMux(s *server.Server) *http.ServeMux {
+func adminMux(vars http.Handler) *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.Handle("GET /debug/vars", s.VarsHandler())
+	mux.Handle("GET /debug/vars", vars)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -215,6 +293,9 @@ func (a *app) run(ctx context.Context) error {
 	err := a.srv.Shutdown(sctx)
 	if a.store != nil {
 		a.store.Close()
+	}
+	if a.coord != nil {
+		a.coord.Close()
 	}
 	return err
 }

@@ -202,3 +202,89 @@ func TestSetupRejectsMismatchedStore(t *testing.T) {
 		t.Fatal("mismatched store accepted at startup")
 	}
 }
+
+// TestSetupShardMode boots a shard via -shard-range and checks both the
+// advertised range and ownership enforcement.
+func TestSetupShardMode(t *testing.T) {
+	path := writeServerDataset(t, false)
+	var errBuf bytes.Buffer
+	a, err := setup([]string{"-in", path, "-shard-range", "10:30", "-access-log=false"}, &errBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	a.srv.Handler.ServeHTTP(rec, httptest.NewRequest("GET", "/api/info", nil))
+	var info struct {
+		Shard *struct {
+			Start int `json:"start"`
+			End   int `json:"end"`
+		} `json:"shard"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Shard == nil || info.Shard.Start != 10 || info.Shard.End != 30 {
+		t.Fatalf("shard info %+v", info.Shard)
+	}
+	rec = httptest.NewRecorder()
+	a.srv.Handler.ServeHTTP(rec, httptest.NewRequest("GET", "/api/ld?i=40&j=45", nil))
+	if rec.Code != 421 {
+		t.Fatalf("misrouted pair status %d, want 421", rec.Code)
+	}
+
+	for _, bad := range []string{"30", "a:b", "-5:10", "10:10", "0:51"} {
+		if _, err := setup([]string{"-in", path, "-shard-range", bad, "-access-log=false"}, &errBuf); err == nil {
+			t.Fatalf("-shard-range %q accepted", bad)
+		}
+	}
+}
+
+// TestSetupCoordinatorMode boots two real shard servers and a coordinator
+// in front of them through the flag surface.
+func TestSetupCoordinatorMode(t *testing.T) {
+	path := writeServerDataset(t, false)
+	var errBuf bytes.Buffer
+	shards := make([]string, 2)
+	for i, rng := range []string{"0:25", "25:50"} {
+		a, err := setup([]string{"-in", path, "-shard-range", rng, "-access-log=false"}, &errBuf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(a.srv.Handler)
+		t.Cleanup(ts.Close)
+		shards[i] = ts.URL
+	}
+
+	a, err := setup([]string{
+		"-coordinator", shards[0] + "," + shards[1],
+		"-admin", "127.0.0.1:0", "-retries", "1", "-hedge-after", "-1ms",
+	}, &errBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.coord == nil {
+		t.Fatal("coordinator not retained for shutdown close")
+	}
+	rec := httptest.NewRecorder()
+	a.srv.Handler.ServeHTTP(rec, httptest.NewRequest("GET", "/api/ld?i=5&j=40", nil))
+	if rec.Code != 200 {
+		t.Fatalf("coordinator pair status %d: %s", rec.Code, rec.Body)
+	}
+	rec = httptest.NewRecorder()
+	a.admin.Handler.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/vars", nil))
+	if rec.Code != 200 {
+		t.Fatalf("coordinator admin vars status %d", rec.Code)
+	}
+	a.coord.Close()
+
+	// Mutually exclusive and invalid configurations refuse to start.
+	if _, err := setup([]string{"-coordinator", shards[0], "-in", path}, &errBuf); err == nil {
+		t.Fatal("-coordinator with -in accepted")
+	}
+	if _, err := setup([]string{"-coordinator", shards[0], "-shard-range", "0:10"}, &errBuf); err == nil {
+		t.Fatal("-coordinator with -shard-range accepted")
+	}
+	if _, err := setup([]string{"-coordinator", shards[0]}, &errBuf); err == nil {
+		t.Fatal("coordinator over half a partition accepted")
+	}
+}

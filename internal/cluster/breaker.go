@@ -1,0 +1,104 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState is the classic three-state circuit.
+type breakerState int32
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breaker is a per-shard circuit breaker. Closed passes every call and
+// counts consecutive failures; at the threshold it opens and fails fast
+// for the cooldown; the first call after the cooldown runs as a half-open
+// probe whose outcome either closes the circuit or re-opens it for
+// another cooldown. Only shard-side failures (transport errors, 5xx)
+// count — a 4xx means the shard is healthy and the request was wrong.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // injectable for tests
+
+	state breakerState
+	fails int       // consecutive failures while closed
+	until time.Time // when the open state may probe again
+	trips int64     // cumulative open transitions
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// allow reports whether a call may proceed. In the open state it flips to
+// half-open once the cooldown has passed, admitting exactly one probe;
+// further calls fail fast until the probe reports.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if !b.now().Before(b.until) {
+			b.state = breakerHalfOpen
+			return true
+		}
+		return false
+	default: // half-open: the probe is already in flight
+		return false
+	}
+}
+
+// record reports a call outcome.
+func (b *breaker) record(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if ok {
+		b.state = breakerClosed
+		b.fails = 0
+		return
+	}
+	switch b.state {
+	case breakerHalfOpen:
+		b.trip()
+	case breakerClosed:
+		if b.fails++; b.fails >= b.threshold {
+			b.trip()
+		}
+	default:
+		// Already open: a straggler from a call admitted before the trip
+		// adds no new information.
+	}
+}
+
+func (b *breaker) trip() {
+	b.state = breakerOpen
+	b.until = b.now().Add(b.cooldown)
+	b.fails = 0
+	b.trips++
+}
+
+// snapshot returns the current state and cumulative trip count.
+func (b *breaker) snapshot() (breakerState, int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state, b.trips
+}

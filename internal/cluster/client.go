@@ -1,0 +1,245 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// HTTPError is a non-200 shard response. Status < 500 is terminal — the
+// shard is healthy and the request itself was rejected — and is relayed
+// to the client verbatim; 5xx is a shard failure and retried.
+type HTTPError struct {
+	Status int
+	Body   []byte
+}
+
+func (e *HTTPError) Error() string {
+	return fmt.Sprintf("shard returned %d: %s", e.Status, e.Body)
+}
+
+// errShardDown is returned without touching the network while a shard's
+// circuit breaker is open.
+var errShardDown = errors.New("cluster: shard circuit open")
+
+// latencyRing keeps the most recent successful round-trip times of one
+// shard, feeding the adaptive hedge delay.
+type latencyRing struct {
+	mu   sync.Mutex
+	buf  [64]time.Duration
+	n    int // valid entries
+	next int
+}
+
+// hedgeMinSamples gates adaptive hedging: until a shard has this many
+// observed round trips there is no percentile worth acting on.
+const hedgeMinSamples = 16
+
+func (l *latencyRing) add(d time.Duration) {
+	l.mu.Lock()
+	l.buf[l.next] = d
+	l.next = (l.next + 1) % len(l.buf)
+	if l.n < len(l.buf) {
+		l.n++
+	}
+	l.mu.Unlock()
+}
+
+// quantile returns the q-quantile of the recorded window, or false while
+// the window holds fewer than hedgeMinSamples entries.
+func (l *latencyRing) quantile(q float64) (time.Duration, bool) {
+	l.mu.Lock()
+	n := l.n
+	tmp := make([]time.Duration, n)
+	copy(tmp, l.buf[:n])
+	l.mu.Unlock()
+	if n < hedgeMinSamples {
+		return 0, false
+	}
+	sort.Slice(tmp, func(a, b int) bool { return tmp[a] < tmp[b] })
+	idx := int(q * float64(n-1))
+	return tmp[idx], true
+}
+
+// shardClient is the resilient HTTP client for one shard: every get runs
+// under the per-attempt timeout, transport errors and 5xx are retried
+// with bounded exponential backoff, a slow first attempt is hedged with a
+// duplicate request after the shard's recent latency percentile, and the
+// circuit breaker fails the whole call fast while the shard is down.
+type shardClient struct {
+	base    string // http://host:port, no trailing slash
+	hc      *http.Client
+	cfg     Config
+	breaker *breaker
+	lat     *latencyRing
+	m       *shardMetrics
+}
+
+func newShardClient(base string, hc *http.Client, cfg Config, m *shardMetrics) *shardClient {
+	return &shardClient{
+		base: base, hc: hc, cfg: cfg,
+		breaker: newBreaker(cfg.BreakerFailures, cfg.BreakerCooldown),
+		lat:     &latencyRing{},
+		m:       m,
+	}
+}
+
+// get fetches pathQuery (e.g. "/api/ld?i=3&j=5") from the shard and
+// returns the 200 body. The breaker is consulted once per call and fed
+// one outcome per attempt, so a string of failed retries trips it as fast
+// as a string of failed calls.
+func (c *shardClient) get(ctx context.Context, pathQuery string) ([]byte, error) {
+	if !c.breaker.allow() {
+		c.m.fastFails.Add(1)
+		return nil, fmt.Errorf("%w: %s", errShardDown, c.base)
+	}
+	backoff := c.cfg.RetryBackoff
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			c.m.retries.Add(1)
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(backoff):
+			}
+			if backoff *= 2; backoff > maxBackoff {
+				backoff = maxBackoff
+			}
+		}
+		body, err := c.hedgedDo(ctx, pathQuery)
+		if err == nil {
+			c.breaker.record(true)
+			return body, nil
+		}
+		var he *HTTPError
+		if errors.As(err, &he) && he.Status < 500 {
+			// The shard answered deliberately: healthy for the breaker,
+			// pointless to retry.
+			c.breaker.record(true)
+			return nil, err
+		}
+		c.breaker.record(false)
+		c.m.failures.Add(1)
+		lastErr = err
+		if ctx.Err() != nil || attempt == c.cfg.Retries {
+			return nil, lastErr
+		}
+	}
+}
+
+const maxBackoff = time.Second
+
+// hedgedDo runs one logical attempt: the primary request, plus — once the
+// primary has been in flight past the hedge delay — a duplicate, with the
+// first success winning and the straggler cancelled. The delay comes from
+// the shard's own recent latency percentile, so hedges fire only for
+// outlier-slow requests, spending at most a few percent extra load to cut
+// the tail.
+func (c *shardClient) hedgedDo(ctx context.Context, pathQuery string) ([]byte, error) {
+	delay, hedge := c.hedgeDelay()
+	if !hedge {
+		return c.do(ctx, pathQuery)
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel() // releases the straggler once a winner returns
+	type result struct {
+		body   []byte
+		err    error
+		hedged bool
+	}
+	ch := make(chan result, 2)
+	launch := func(hedged bool) {
+		go func() {
+			body, err := c.do(ctx, pathQuery)
+			ch <- result{body: body, err: err, hedged: hedged}
+		}()
+	}
+	launch(false)
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+	inFlight := 1
+	var firstErr error
+	for {
+		select {
+		case <-timer.C:
+			if inFlight == 1 {
+				inFlight = 2
+				c.m.hedges.Add(1)
+				launch(true)
+			}
+		case r := <-ch:
+			if r.err == nil {
+				if r.hedged {
+					c.m.hedgeWins.Add(1)
+				}
+				return r.body, nil
+			}
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			if inFlight--; inFlight == 0 {
+				return nil, firstErr
+			}
+			// One request failed while the other is still running: let the
+			// survivor decide the attempt.
+		}
+	}
+}
+
+// hedgeDelay resolves the hedge trigger: a fixed configured delay, the
+// shard's recent latency percentile, or disabled entirely.
+func (c *shardClient) hedgeDelay() (time.Duration, bool) {
+	switch {
+	case c.cfg.HedgeAfter < 0:
+		return 0, false
+	case c.cfg.HedgeAfter > 0:
+		return c.cfg.HedgeAfter, true
+	}
+	q, ok := c.lat.quantile(c.cfg.HedgeQuantile)
+	if !ok {
+		return 0, false // not enough history yet
+	}
+	return max(q, time.Millisecond), true
+}
+
+// do performs one HTTP round trip under the per-attempt timeout.
+func (c *shardClient) do(ctx context.Context, pathQuery string) ([]byte, error) {
+	ctx, cancel := context.WithTimeout(ctx, c.cfg.ShardTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+pathQuery, nil)
+	if err != nil {
+		return nil, err
+	}
+	c.m.requests.Add(1)
+	start := time.Now()
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	c.lat.add(time.Since(start))
+	if resp.StatusCode != http.StatusOK {
+		return nil, &HTTPError{Status: resp.StatusCode, Body: body}
+	}
+	return body, nil
+}
+
+// getJSON fetches and decodes a 200 response.
+func (c *shardClient) getJSON(ctx context.Context, pathQuery string, v any) error {
+	body, err := c.get(ctx, pathQuery)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(body, v)
+}

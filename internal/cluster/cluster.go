@@ -1,0 +1,597 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ldgemm/internal/server"
+)
+
+// Config tunes the coordinator's resilient shard client. The zero value
+// picks sane defaults everywhere.
+type Config struct {
+	// ShardTimeout bounds each HTTP attempt to a shard. Default 30s.
+	ShardTimeout time.Duration
+	// Retries is the number of re-attempts after a failed attempt
+	// (transport error or 5xx). Default 2; negative disables retries.
+	Retries int
+	// RetryBackoff is the sleep before the first retry, doubling per
+	// retry up to one second. Default 25ms.
+	RetryBackoff time.Duration
+	// HedgeAfter controls the hedged second request: 0 hedges adaptively
+	// once the primary outlives the shard's recent HedgeQuantile latency,
+	// a positive duration hedges after that fixed delay, and a negative
+	// value disables hedging.
+	HedgeAfter time.Duration
+	// HedgeQuantile is the latency quantile driving adaptive hedging.
+	// Default 0.95.
+	HedgeQuantile float64
+	// BreakerFailures is the consecutive-failure count that opens a
+	// shard's circuit breaker. Default 5.
+	BreakerFailures int
+	// BreakerCooldown is how long an open breaker fails fast before
+	// admitting a half-open probe. Default 5s.
+	BreakerCooldown time.Duration
+	// BootstrapTimeout bounds the initial /api/info sweep in New.
+	// Default 10s.
+	BootstrapTimeout time.Duration
+	// Client overrides the HTTP client used for shard calls.
+	Client *http.Client
+}
+
+func (c Config) normalize() Config {
+	if c.ShardTimeout <= 0 {
+		c.ShardTimeout = 30 * time.Second
+	}
+	switch {
+	case c.Retries == 0:
+		c.Retries = 2
+	case c.Retries < 0:
+		c.Retries = 0
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 25 * time.Millisecond
+	}
+	if c.HedgeQuantile <= 0 || c.HedgeQuantile >= 1 {
+		c.HedgeQuantile = 0.95
+	}
+	if c.BreakerFailures <= 0 {
+		c.BreakerFailures = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 5 * time.Second
+	}
+	if c.BootstrapTimeout <= 0 {
+		c.BootstrapTimeout = 10 * time.Second
+	}
+	return c
+}
+
+// Coordinator fronts a set of shard servers with the single-node HTTP
+// API: pair lookups route to the owning shard, region and top queries
+// scatter to the owning strips and gather bit-identical merged answers,
+// and whole-matrix endpoints proxy to any healthy shard.
+type Coordinator struct {
+	cfg     Config
+	hc      *http.Client
+	part    partition
+	shards  []*shardClient // ordered by strip, parallel to part.ranges
+	info    server.InfoResponse
+	n       int
+	m       *metrics
+	handler http.Handler
+	rr      atomic.Uint64 // round-robin cursor for proxied endpoints
+}
+
+// New bootstraps a coordinator: it fetches /api/info from every shard,
+// checks that all advertise the same matrix, and assembles the partition
+// map from the advertised shard ranges. A single shard with no advertised
+// range is treated as owning the whole index range. Every shard must be
+// reachable during bootstrap; afterwards the cluster degrades gracefully.
+func New(ctx context.Context, shardURLs []string, cfg Config) (*Coordinator, error) {
+	cfg = cfg.normalize()
+	if len(shardURLs) == 0 {
+		return nil, fmt.Errorf("cluster: no shard URLs")
+	}
+	hc := cfg.Client
+	if hc == nil {
+		hc = &http.Client{}
+	}
+	bases := make([]string, len(shardURLs))
+	for i, u := range shardURLs {
+		u = strings.TrimSuffix(strings.TrimSpace(u), "/")
+		if !strings.Contains(u, "://") {
+			u = "http://" + u // bare host:port is the common CLI spelling
+		}
+		bases[i] = u
+	}
+
+	ctx, cancel := context.WithTimeout(ctx, cfg.BootstrapTimeout)
+	defer cancel()
+	infos := make([]server.InfoResponse, len(bases))
+	for i, base := range bases {
+		if err := fetchJSON(ctx, hc, base+"/api/info", &infos[i]); err != nil {
+			return nil, fmt.Errorf("cluster: bootstrapping shard %s: %w", base, err)
+		}
+	}
+
+	n := infos[0].SNPs
+	ranges := make([]Range, len(infos))
+	for i, info := range infos {
+		if info.SNPs != n || info.Samples != infos[0].Samples {
+			return nil, fmt.Errorf("cluster: shard %s serves a %d×%d matrix, shard %s a %d×%d one",
+				bases[i], info.SNPs, info.Samples, bases[0], n, infos[0].Samples)
+		}
+		switch {
+		case info.Shard != nil:
+			ranges[i] = Range{Start: info.Shard.Start, End: info.Shard.End}
+		case len(infos) == 1:
+			ranges[i] = Range{Start: 0, End: n} // lone unsharded server
+		default:
+			return nil, fmt.Errorf("cluster: shard %s advertises no shard range", bases[i])
+		}
+	}
+	part, order, err := newPartition(ranges, n)
+	if err != nil {
+		return nil, err
+	}
+
+	co := &Coordinator{cfg: cfg, hc: hc, part: part, n: n, info: infos[order[0]]}
+	co.info.Shard = nil
+	ordered := make([]string, len(order))
+	for k, idx := range order {
+		ordered[k] = bases[idx]
+	}
+	co.m = newMetrics(co, ordered)
+	co.shards = make([]*shardClient, len(ordered))
+	for i, base := range ordered {
+		co.shards[i] = newShardClient(base, hc, cfg, co.m.shards[i])
+	}
+	co.handler = observeMiddleware(co.m, co.routes())
+	return co, nil
+}
+
+// fetchJSON is the plain bootstrap fetch — no breaker or hedging yet,
+// because the partition map that organises them does not exist until the
+// info sweep completes.
+func fetchJSON(ctx context.Context, hc *http.Client, url string, v any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+func (co *Coordinator) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /readyz", co.handleReadyz)
+	mux.HandleFunc("/", handleFallback)
+	mux.HandleFunc("GET /api/info", co.handleInfo)
+	mux.HandleFunc("GET /api/freq", co.handleFreq)
+	mux.HandleFunc("GET /api/ld", co.handlePair)
+	mux.HandleFunc("GET /api/ld/region", co.handleRegion)
+	mux.HandleFunc("GET /api/ld/top", co.handleTop)
+	mux.HandleFunc("GET /api/prune", co.handleProxy)
+	mux.HandleFunc("GET /api/blocks", co.handleProxy)
+	mux.HandleFunc("GET /api/omega", co.handleProxy)
+	mux.HandleFunc("GET /debug/vars", co.m.serveVars)
+	return mux
+}
+
+// ServeHTTP implements http.Handler.
+func (co *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	co.handler.ServeHTTP(w, r)
+}
+
+// VarsHandler exposes the coordinator metric surface for a separate
+// admin listener.
+func (co *Coordinator) VarsHandler() http.Handler { return http.HandlerFunc(co.m.serveVars) }
+
+// Close releases idle shard connections.
+func (co *Coordinator) Close() { co.hc.CloseIdleConnections() }
+
+func handleFallback(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		httpError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	httpError(w, http.StatusNotFound, "no such endpoint %s", r.URL.Path)
+}
+
+// handleReadyz reports ready while at least one shard's breaker admits
+// traffic: a degraded cluster still serves partial answers, but a cluster
+// with every circuit open cannot answer anything.
+func (co *Coordinator) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	for _, s := range co.shards {
+		if state, _ := s.breaker.snapshot(); state != breakerOpen {
+			writeJSON(w, map[string]string{"status": "ok"})
+			return
+		}
+	}
+	httpError(w, http.StatusServiceUnavailable, "all shard breakers open")
+}
+
+// ShardInfo is one shard's entry in the cluster info payload.
+type ShardInfo struct {
+	URL     string `json:"url"`
+	Start   int    `json:"start"`
+	End     int    `json:"end"`
+	Breaker string `json:"breaker"`
+}
+
+// InfoResponse is the coordinator's /api/info payload: the single-node
+// info fields (from bootstrap) plus the cluster topology.
+type InfoResponse struct {
+	server.InfoResponse
+	Shards []ShardInfo `json:"shards"`
+}
+
+func (co *Coordinator) handleInfo(w http.ResponseWriter, r *http.Request) {
+	resp := InfoResponse{InfoResponse: co.info}
+	for i, s := range co.shards {
+		state, _ := s.breaker.snapshot()
+		resp.Shards = append(resp.Shards, ShardInfo{
+			URL:   s.base,
+			Start: co.part.ranges[i].Start, End: co.part.ranges[i].End,
+			Breaker: state.String(),
+		})
+	}
+	writeJSON(w, resp)
+}
+
+// handleFreq serves per-SNP frequencies. Every shard holds the full
+// matrix, so the owner is only a preference: on failure the request fails
+// over to the remaining shards.
+func (co *Coordinator) handleFreq(w http.ResponseWriter, r *http.Request) {
+	i, err := intQuery(r, "i")
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if i < 0 || i >= co.n {
+		httpError(w, http.StatusBadRequest, "snp i=%d outside 0..%d", i, co.n-1)
+		return
+	}
+	first := co.part.owner(i)
+	var lastErr error
+	for k := range co.shards {
+		s := co.shards[(first+k)%len(co.shards)]
+		body, err := s.get(r.Context(), "/api/freq?"+r.URL.RawQuery)
+		if err == nil {
+			relayBody(w, body)
+			return
+		}
+		var he *HTTPError
+		if errors.As(err, &he) && he.Status < 500 {
+			relayError(w, he)
+			return
+		}
+		lastErr = err
+	}
+	httpError(w, http.StatusBadGateway, "all shards failed: %v", lastErr)
+}
+
+// handlePair routes a pair lookup to the shard owning min(i, j).
+func (co *Coordinator) handlePair(w http.ResponseWriter, r *http.Request) {
+	i, err := intQuery(r, "i")
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	j, err := intQuery(r, "j")
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if i < 0 || i >= co.n || j < 0 || j >= co.n {
+		httpError(w, http.StatusBadRequest, "pair (%d,%d) outside 0..%d", i, j, co.n-1)
+		return
+	}
+	s := co.shards[co.part.owner(min(i, j))]
+	body, err := s.get(r.Context(), "/api/ld?"+r.URL.RawQuery)
+	if err != nil {
+		co.shardFailure(w, s, err)
+		return
+	}
+	relayBody(w, body)
+}
+
+// stripResult is one shard's share of a scatter-gather.
+type stripResult struct {
+	region server.RegionResponse
+	top    server.TopResponse
+	err    error
+}
+
+// scatter fans query out to the given shards concurrently, decoding each
+// response into the slot decode selects.
+func (co *Coordinator) scatter(ctx context.Context, owners []int, query func(shard int) string, decode func(*stripResult) any) []stripResult {
+	results := make([]stripResult, len(owners))
+	var wg sync.WaitGroup
+	for k, shard := range owners {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[k].err = co.shards[shard].getJSON(ctx, query(shard), decode(&results[k]))
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// gatherVerdict classifies a scatter: a terminal 4xx anywhere is relayed
+// verbatim (the request itself is wrong, and every shard would say so); a
+// down shard degrades the answer; all shards down fails it.
+func (co *Coordinator) gatherVerdict(w http.ResponseWriter, owners []int, results []stripResult) (failed []int, done bool) {
+	var lastErr error
+	for k, res := range results {
+		if res.err == nil {
+			continue
+		}
+		var he *HTTPError
+		if errors.As(res.err, &he) && he.Status < 500 {
+			relayError(w, he)
+			return nil, true
+		}
+		failed = append(failed, owners[k])
+		lastErr = res.err
+	}
+	if len(failed) == len(owners) {
+		httpError(w, http.StatusBadGateway, "all owner shards failed: %v", lastErr)
+		return nil, true
+	}
+	return failed, false
+}
+
+// markPartial stamps a degraded response: the X-LD-Shards-Failed header
+// names the lost shards so clients can tell which strips are missing.
+func (co *Coordinator) markPartial(w http.ResponseWriter, failed []int) {
+	if len(failed) == 0 {
+		return
+	}
+	urls := make([]string, len(failed))
+	for k, shard := range failed {
+		urls[k] = co.shards[shard].base
+	}
+	w.Header().Set("X-LD-Shards-Failed", strings.Join(urls, ","))
+	co.m.partials.Add(1)
+}
+
+func (co *Coordinator) handleRegion(w http.ResponseWriter, r *http.Request) {
+	start, err := intQuery(r, "start")
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	end, err := intQuery(r, "end")
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if start < 0 || end <= start || end > co.n {
+		httpError(w, http.StatusBadRequest, "invalid region [%d,%d) of %d SNPs", start, end, co.n)
+		return
+	}
+	rlo, rhi, windowed, err := rowsQuery(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if windowed {
+		if rlo < start || rhi <= rlo || rhi > end {
+			httpError(w, http.StatusBadRequest,
+				"rows [%d,%d) outside region [%d,%d)", rlo, rhi, start, end)
+			return
+		}
+	} else {
+		rlo, rhi = start, end
+	}
+
+	measure := r.URL.Query().Get("measure")
+	owners := co.part.overlapping(rlo, rhi)
+	results := co.scatter(r.Context(), owners, func(shard int) string {
+		strip := co.part.ranges[shard]
+		q := url.Values{}
+		q.Set("start", strconv.Itoa(start))
+		q.Set("end", strconv.Itoa(end))
+		if measure != "" {
+			q.Set("measure", measure)
+		}
+		q.Set("rows", fmt.Sprintf("%d:%d", max(strip.Start, rlo), min(strip.End, rhi)))
+		return "/api/ld/region?" + q.Encode()
+	}, func(res *stripResult) any { return &res.region })
+	failed, done := co.gatherVerdict(w, owners, results)
+	if done {
+		return
+	}
+
+	resp := server.RegionResponse{Start: start, End: end, Partial: len(failed) > 0}
+	if windowed && !(rlo == start && rhi == end) {
+		resp.RowStart, resp.RowEnd = rlo, rhi
+	}
+	resp.Values = make([][]float64, rhi-rlo)
+	for k, shard := range owners {
+		if results[k].err != nil {
+			continue
+		}
+		resp.Measure = results[k].region.Measure
+		strip := co.part.ranges[shard]
+		for i, row := range results[k].region.Values {
+			resp.Values[max(strip.Start, rlo)-rlo+i] = row
+		}
+	}
+	co.markPartial(w, failed)
+	writeJSON(w, resp)
+}
+
+func (co *Coordinator) handleTop(w http.ResponseWriter, r *http.Request) {
+	k := 20
+	if v := r.URL.Query().Get("k"); v != "" {
+		var err error
+		if k, err = strconv.Atoi(v); err != nil {
+			httpError(w, http.StatusBadRequest, "parameter %q: %v", "k", err)
+			return
+		}
+	}
+	if k < 1 {
+		httpError(w, http.StatusBadRequest, "k=%d below 1", k)
+		return
+	}
+	rlo, rhi, windowed, err := rowsQuery(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if windowed {
+		if rlo < 0 || rhi <= rlo || rhi > co.n {
+			httpError(w, http.StatusBadRequest, "rows [%d,%d) outside 0..%d", rlo, rhi, co.n)
+			return
+		}
+	} else {
+		rlo, rhi = 0, co.n
+	}
+
+	owners := co.part.overlapping(rlo, rhi)
+	results := co.scatter(r.Context(), owners, func(shard int) string {
+		strip := co.part.ranges[shard]
+		q := url.Values{}
+		q.Set("k", strconv.Itoa(k))
+		q.Set("rows", fmt.Sprintf("%d:%d", max(strip.Start, rlo), min(strip.End, rhi)))
+		return "/api/ld/top?" + q.Encode()
+	}, func(res *stripResult) any { return &res.top })
+	failed, done := co.gatherVerdict(w, owners, results)
+	if done {
+		return
+	}
+
+	lists := make([][]server.PairResponse, 0, len(results))
+	for _, res := range results {
+		if res.err == nil {
+			lists = append(lists, res.top.Pairs)
+		}
+	}
+	co.markPartial(w, failed)
+	writeJSON(w, server.TopResponse{K: k, Partial: len(failed) > 0, Pairs: mergeTop(k, lists)})
+}
+
+// handleProxy forwards whole-matrix endpoints (prune, blocks, omega) —
+// every shard holds the full matrix, so any healthy one can answer. The
+// round-robin cursor spreads the load; breaker-open shards fail fast and
+// the next shard is tried.
+func (co *Coordinator) handleProxy(w http.ResponseWriter, r *http.Request) {
+	pathQuery := r.URL.Path
+	if r.URL.RawQuery != "" {
+		pathQuery += "?" + r.URL.RawQuery
+	}
+	first := int(co.rr.Add(1)) % len(co.shards)
+	var lastErr error
+	for k := range co.shards {
+		s := co.shards[(first+k)%len(co.shards)]
+		body, err := s.get(r.Context(), pathQuery)
+		if err == nil {
+			co.m.proxied.Add(1)
+			relayBody(w, body)
+			return
+		}
+		var he *HTTPError
+		if errors.As(err, &he) && he.Status < 500 {
+			relayError(w, he)
+			return
+		}
+		lastErr = err
+	}
+	httpError(w, http.StatusBadGateway, "all shards failed: %v", lastErr)
+}
+
+// shardFailure answers for a single-shard route that could not be served:
+// terminal shard responses relay verbatim, everything else is a 502.
+func (co *Coordinator) shardFailure(w http.ResponseWriter, s *shardClient, err error) {
+	var he *HTTPError
+	if errors.As(err, &he) && he.Status < 500 {
+		relayError(w, he)
+		return
+	}
+	httpError(w, http.StatusBadGateway, "shard %s failed: %v", s.base, err)
+}
+
+// relayBody forwards a shard's 200 response verbatim, preserving
+// bit-identity with the single-node API.
+func relayBody(w http.ResponseWriter, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
+}
+
+// relayError forwards a terminal shard error (status and body) verbatim.
+func relayError(w http.ResponseWriter, he *HTTPError) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(he.Status)
+	w.Write(he.Body)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "encoding response: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(b, '\n'))
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func intQuery(r *http.Request, name string) (int, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return 0, fmt.Errorf("missing parameter %q", name)
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %q: %v", name, err)
+	}
+	return n, nil
+}
+
+// rowsQuery parses an optional rows=a:b window.
+func rowsQuery(r *http.Request) (lo, hi int, ok bool, err error) {
+	v := r.URL.Query().Get("rows")
+	if v == "" {
+		return 0, 0, false, nil
+	}
+	a, b, found := strings.Cut(v, ":")
+	if !found {
+		return 0, 0, false, fmt.Errorf("parameter %q: want a:b, got %q", "rows", v)
+	}
+	if lo, err = strconv.Atoi(a); err != nil {
+		return 0, 0, false, fmt.Errorf("parameter %q: %v", "rows", err)
+	}
+	if hi, err = strconv.Atoi(b); err != nil {
+		return 0, 0, false, fmt.Errorf("parameter %q: %v", "rows", err)
+	}
+	return lo, hi, true, nil
+}

@@ -1,0 +1,67 @@
+package cluster
+
+import (
+	"container/heap"
+
+	"ldgemm/internal/server"
+)
+
+// pairStronger is the canonical ranking order (R2 desc, then I, then J) —
+// the same comparator core.PairStronger and the store's top-K heap use,
+// so a merge of per-shard rankings reproduces the single-node order
+// exactly.
+func pairStronger(a, b server.PairResponse) bool {
+	if a.R2 != b.R2 {
+		return a.R2 > b.R2
+	}
+	if a.I != b.I {
+		return a.I < b.I
+	}
+	return a.J < b.J
+}
+
+// mergeHeap is a k-way merge frontier over per-shard rankings: one cursor
+// per non-empty list, ordered by the strength of the pair it points at.
+type mergeHeap struct {
+	lists [][]server.PairResponse
+	head  []int // heap of list indices
+	pos   []int // cursor into each list
+}
+
+func (h *mergeHeap) Len() int { return len(h.head) }
+func (h *mergeHeap) Less(a, b int) bool {
+	la, lb := h.head[a], h.head[b]
+	return pairStronger(h.lists[la][h.pos[la]], h.lists[lb][h.pos[lb]])
+}
+func (h *mergeHeap) Swap(a, b int) { h.head[a], h.head[b] = h.head[b], h.head[a] }
+func (h *mergeHeap) Push(x any)    { h.head = append(h.head, x.(int)) }
+func (h *mergeHeap) Pop() any {
+	x := h.head[len(h.head)-1]
+	h.head = h.head[:len(h.head)-1]
+	return x
+}
+
+// mergeTop streams the k strongest pairs out of per-shard rankings, each
+// already sorted by pairStronger. Because shard strips partition the pair
+// set disjointly, no deduplication is needed: every pair appears in
+// exactly one list.
+func mergeTop(k int, lists [][]server.PairResponse) []server.PairResponse {
+	h := &mergeHeap{lists: lists, pos: make([]int, len(lists))}
+	for i, l := range lists {
+		if len(l) > 0 {
+			h.head = append(h.head, i)
+		}
+	}
+	heap.Init(h)
+	out := make([]server.PairResponse, 0, k)
+	for len(out) < k && h.Len() > 0 {
+		l := h.head[0]
+		out = append(out, h.lists[l][h.pos[l]])
+		if h.pos[l]++; h.pos[l] < len(h.lists[l]) {
+			heap.Fix(h, 0)
+		} else {
+			heap.Pop(h)
+		}
+	}
+	return out
+}

@@ -1,0 +1,131 @@
+package cluster
+
+import (
+	"expvar"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// shardMetrics is the resilience ledger of one shard, published under the
+// shards map on /debug/vars:
+//
+//	requests       HTTP round trips attempted (hedges included)
+//	failures       attempts lost to transport errors or 5xx
+//	retries        backoff re-attempts after a failed attempt
+//	hedges         duplicate requests launched for slow primaries
+//	hedge_wins     hedges that answered before their primary
+//	fast_fails     calls refused locally while the breaker was open
+//	breaker_trips  closed/half-open → open transitions
+//	breaker_state  current circuit state
+type shardMetrics struct {
+	requests  expvar.Int
+	failures  expvar.Int
+	retries   expvar.Int
+	hedges    expvar.Int
+	hedgeWins expvar.Int
+	fastFails expvar.Int
+}
+
+// metrics is the coordinator's ops surface, mirroring internal/server's
+// private-expvar-map pattern so many coordinators can coexist in one
+// process without duplicate-name panics.
+type metrics struct {
+	start    time.Time
+	root     *expvar.Map
+	requests *expvar.Map
+	statuses *expvar.Map
+	latency  *expvar.Map
+	partials expvar.Int // scatter-gathers answered with partial: true
+	proxied  expvar.Int // whole-matrix requests forwarded to a single shard
+	shards   []*shardMetrics
+}
+
+func newMetrics(coord *Coordinator, bases []string) *metrics {
+	m := &metrics{
+		start:    time.Now(),
+		root:     new(expvar.Map).Init(),
+		requests: new(expvar.Map).Init(),
+		statuses: new(expvar.Map).Init(),
+		latency:  new(expvar.Map).Init(),
+		shards:   make([]*shardMetrics, len(bases)),
+	}
+	m.root.Set("requests", m.requests)
+	m.root.Set("statuses", m.statuses)
+	m.root.Set("latency_ns", m.latency)
+	m.root.Set("partial_responses", &m.partials)
+	m.root.Set("proxied", &m.proxied)
+	m.root.Set("uptime_seconds", expvar.Func(func() any {
+		return time.Since(m.start).Seconds()
+	}))
+	shards := new(expvar.Map).Init()
+	for i, base := range bases {
+		sm := &shardMetrics{}
+		m.shards[i] = sm
+		idx := i
+		sv := new(expvar.Map).Init()
+		sv.Set("requests", &sm.requests)
+		sv.Set("failures", &sm.failures)
+		sv.Set("retries", &sm.retries)
+		sv.Set("hedges", &sm.hedges)
+		sv.Set("hedge_wins", &sm.hedgeWins)
+		sv.Set("fast_fails", &sm.fastFails)
+		sv.Set("breaker_trips", expvar.Func(func() any {
+			_, trips := coord.shards[idx].breaker.snapshot()
+			return trips
+		}))
+		sv.Set("breaker_state", expvar.Func(func() any {
+			state, _ := coord.shards[idx].breaker.snapshot()
+			return state.String()
+		}))
+		shards.Set(base, sv)
+	}
+	m.root.Set("shards", shards)
+	return m
+}
+
+// observe records one finished coordinator request.
+func (m *metrics) observe(path string, status int, d time.Duration) {
+	m.requests.Add(path, 1)
+	m.statuses.Add(fmt.Sprintf("%d", status), 1)
+	m.latency.Add(path, int64(d))
+}
+
+// serveVars writes the metric tree in expvar's JSON format.
+func (m *metrics) serveVars(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	fmt.Fprintln(w, m.root.String())
+}
+
+// statusWriter captures the response status for metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// observeMiddleware wraps the coordinator mux with request accounting.
+func observeMiddleware(m *metrics, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		m.observe(r.URL.Path, sw.status, time.Since(start))
+	})
+}

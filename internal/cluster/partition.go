@@ -1,0 +1,78 @@
+// Package cluster is the horizontal tier over internal/server: a
+// coordinator fronting N shard servers, each owning a contiguous strip of
+// the SNP index range over the same genotype matrix. Ownership goes by a
+// pair's smaller index, which partitions the n(n−1)/2 pair set disjointly
+// and completely across shards, so pair lookups route to one shard and
+// region/top queries scatter-gather with no overlap to deduplicate. Every
+// shard call runs through a resilient client: per-attempt timeout,
+// bounded exponential-backoff retry on transport errors and 5xx, a hedged
+// second request once the first outlives the shard's recent latency
+// percentile, and a per-shard circuit breaker that fails fast while a
+// shard is down. Scatter-gathered responses degrade instead of failing:
+// when a shard is lost the coordinator answers from the survivors with
+// partial: true and an X-LD-Shards-Failed header.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Range is a half-open row strip [Start, End) of the SNP index range.
+type Range struct {
+	Start, End int
+}
+
+// partition maps SNP rows to owning shards. ranges[i] is the strip owned
+// by shard i (after construction, sorted, disjoint, and covering [0, n)
+// exactly).
+type partition struct {
+	ranges []Range
+	n      int
+}
+
+// newPartition validates that the advertised strips tile [0, n) exactly.
+// order maps each range back to its shard index: ranges are sorted here,
+// but shard identity must follow the sort.
+func newPartition(ranges []Range, n int) (partition, []int, error) {
+	if len(ranges) == 0 {
+		return partition{}, nil, fmt.Errorf("cluster: no shards")
+	}
+	order := make([]int, len(ranges))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return ranges[order[a]].Start < ranges[order[b]].Start })
+	sorted := make([]Range, len(ranges))
+	next := 0
+	for k, idx := range order {
+		r := ranges[idx]
+		if r.Start != next || r.End <= r.Start {
+			return partition{}, nil, fmt.Errorf(
+				"cluster: shard strips do not tile the index range: strip [%d,%d) after row %d", r.Start, r.End, next)
+		}
+		sorted[k] = r
+		next = r.End
+	}
+	if next != n {
+		return partition{}, nil, fmt.Errorf("cluster: shard strips cover [0,%d) of %d SNPs", next, n)
+	}
+	return partition{ranges: sorted, n: n}, order, nil
+}
+
+// owner returns the shard index owning row i.
+func (p partition) owner(i int) int {
+	return sort.Search(len(p.ranges), func(s int) bool { return p.ranges[s].End > i })
+}
+
+// overlapping returns the shard indices whose strips intersect rows
+// [lo, hi), in ascending strip order.
+func (p partition) overlapping(lo, hi int) []int {
+	var out []int
+	for s, r := range p.ranges {
+		if r.Start < hi && r.End > lo {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -28,6 +28,15 @@ type SignificanceOptions struct {
 	// MaxResults caps the returned list (default 10000); the scan still
 	// counts all significant pairs.
 	MaxResults int
+	// RowStart/RowEnd restrict the scan to pairs (i, j) with i — the
+	// smaller index — in [RowStart, RowEnd). Both zero means all rows.
+	// A cluster shard scans only its owned strip this way; because each
+	// pair's statistic is a pure function of its counts and frequencies,
+	// strip results are bit-identical to the matching rows of a full
+	// scan. Note the Bonferroni denominator is the strip's own pair
+	// count: cluster-wide scans should set AlphaIsPerTest so every
+	// shard applies the same threshold.
+	RowStart, RowEnd int
 	// LD carries blocking/threading options.
 	LD Options
 }
@@ -68,7 +77,16 @@ func Significance(g *bitmat.Matrix, opt SignificanceOptions) (*SignificanceResul
 		return nil, err
 	}
 	n := g.SNPs
-	tested := int64(n) * int64(n-1) / 2
+	lo, hi := opt.RowStart, opt.RowEnd
+	if lo == 0 && hi == 0 {
+		hi = n
+	}
+	if lo < 0 || hi <= lo || hi > n {
+		return nil, fmt.Errorf("core: invalid row window [%d,%d) of %d SNPs", lo, hi, n)
+	}
+	// Off-diagonal pairs with their smaller index in the window: row i
+	// contributes n-1-i of them.
+	tested := (int64(n-1-lo) + int64(n-hi)) * int64(hi-lo) / 2
 	threshold := opt.Alpha
 	if !opt.AlphaIsPerTest && tested > 0 {
 		threshold = opt.Alpha / float64(tested)
@@ -88,7 +106,7 @@ func Significance(g *bitmat.Matrix, opt SignificanceOptions) (*SignificanceResul
 	h := &pairHeap{}
 	ld := opt.LD
 	ld.Measures = MeasureR2
-	err = Stream(g, StreamOptions{Options: ld, Triangular: true},
+	err = Stream(g, StreamOptions{Options: ld, Triangular: true, RowStart: lo, RowEnd: hi},
 		func(i, j0 int, row []float64) {
 			for t, r2 := range row {
 				j := j0 + t
@@ -117,8 +135,24 @@ func Significance(g *bitmat.Matrix, opt SignificanceOptions) (*SignificanceResul
 		}
 		p.PValue = pv
 	}
-	sort.Slice(res.Pairs, func(a, b int) bool { return res.Pairs[a].R2 > res.Pairs[b].R2 })
+	// Strongest first, ties broken by (I, J) so the ranking is fully
+	// deterministic — a cluster coordinator merging per-shard lists with
+	// the same comparator reproduces the single-node order exactly.
+	sort.Slice(res.Pairs, func(a, b int) bool { return PairStronger(res.Pairs[a], res.Pairs[b]) })
 	return res, nil
+}
+
+// PairStronger is the canonical ranking of significant pairs: by r²
+// descending, then (I, J) ascending. Exported so scatter-gather merges
+// order partial results exactly as Significance orders a full scan.
+func PairStronger(a, b SignificantPair) bool {
+	if a.R2 != b.R2 {
+		return a.R2 > b.R2
+	}
+	if a.I != b.I {
+		return a.I < b.I
+	}
+	return a.J < b.J
 }
 
 // pairHeap is a min-heap of SignificantPair ordered by r².

@@ -28,6 +28,23 @@ type StreamOptions struct {
 	// ulp. The ldstore Builder sets Exact so precomputed tiles serve
 	// byte-identical answers to the on-the-fly compute paths.
 	Exact bool
+	// RowStart/RowEnd restrict the scan to rows [RowStart, RowEnd): only
+	// those rows are visited (in triangular mode each still spans columns
+	// j ≥ i up to n). Both zero means the full range. Per-row values are
+	// bit-identical to a full scan's — a cluster shard streaming only its
+	// owned row strip reproduces exactly the rows a single node computes.
+	RowStart, RowEnd int
+}
+
+// rowWindow resolves the [RowStart, RowEnd) window against n rows.
+func (o StreamOptions) rowWindow(n int) (lo, hi int, err error) {
+	if o.RowStart == 0 && o.RowEnd == 0 {
+		return 0, n, nil
+	}
+	if o.RowStart < 0 || o.RowEnd <= o.RowStart || o.RowEnd > n {
+		return 0, 0, fmt.Errorf("core: invalid row window [%d,%d) of %d rows", o.RowStart, o.RowEnd, n)
+	}
+	return o.RowStart, o.RowEnd, nil
 }
 
 // Stream computes all-pairs LD for matrices too large to materialize n²
@@ -51,6 +68,10 @@ func Stream(g *bitmat.Matrix, opt StreamOptions, visit func(i, j0 int, row []flo
 		return fmt.Errorf("core: invalid StripeRows %d", stripe)
 	}
 	n := g.SNPs
+	lo, hi, err := opt.rowWindow(n)
+	if err != nil {
+		return err
+	}
 	p := AlleleFrequencies(g)
 	meas := opt.measures()
 	r2Only := meas&MeasureR2 != 0 && !opt.Exact
@@ -75,8 +96,8 @@ func Stream(g *bitmat.Matrix, opt StreamOptions, visit func(i, j0 int, row []flo
 			}
 		}
 	}
-	for i0 := 0; i0 < n; i0 += stripe {
-		rows := min(stripe, n-i0)
+	for i0 := lo; i0 < hi; i0 += stripe {
+		rows := min(stripe, hi-i0)
 		sub := g.Slice(i0, i0+rows)
 		base := 0
 		width := n
@@ -151,6 +172,7 @@ func Stream(g *bitmat.Matrix, opt StreamOptions, visit func(i, j0 int, row []flo
 // via PairFromFreqs's sequence), so streamed values stay bit-identical.
 func streamFused(g *bitmat.Matrix, opt StreamOptions, p []float64, stripe int, visit func(i, j0 int, row []float64)) error {
 	n := g.SNPs
+	lo, hi, _ := opt.rowWindow(n) // validated by Stream before dispatch
 	meas := opt.measures()
 	fast := meas&MeasureR2 != 0 && !opt.Exact
 	vals := make([]float64, min(stripe, max(n, 1))*n)
@@ -175,8 +197,8 @@ func streamFused(g *bitmat.Matrix, opt StreamOptions, p []float64, stripe int, v
 		e.prepare()
 		return e
 	}
-	for i0 := 0; i0 < n; i0 += stripe {
-		rows := min(stripe, n-i0)
+	for i0 := lo; i0 < hi; i0 += stripe {
+		rows := min(stripe, hi-i0)
 		sub := g.Slice(i0, i0+rows)
 		base := 0
 		width := n

@@ -331,6 +331,48 @@ func (s *Store) Region(start, end int) ([]float64, error) {
 	return out, nil
 }
 
+// Rect materializes the dense rows [r0, r1) × columns [c0, c1) block of
+// the symmetric statistic matrix, row-major — the payload of a cluster
+// shard's row-restricted region request. Cells are read from whichever
+// tile orientation holds them (the store keeps i ≤ j), so any rectangle
+// is served, both triangles included.
+func (s *Store) Rect(r0, r1, c0, c1 int) ([]float64, error) {
+	n := s.SNPs()
+	if r0 < 0 || r1 <= r0 || r1 > n || c0 < 0 || c1 <= c0 || c1 > n {
+		return nil, fmt.Errorf("ldstore: invalid rect rows [%d,%d) cols [%d,%d) of %d SNPs", r0, r1, c0, c1, n)
+	}
+	w := c1 - c0
+	out := make([]float64, (r1-r0)*w)
+	nt := int(s.h.tileSize)
+	for tr := r0 / nt; tr*nt < r1; tr++ {
+		for tc := c0 / nt; tc*nt < c1; tc++ {
+			ti, tj := min(tr, tc), max(tr, tc)
+			vals, err := s.tile(ti, tj)
+			if err != nil {
+				return nil, err
+			}
+			cols := s.tileDim(tj)
+			iLo, iHi := max(r0, tr*nt), min(r1, tr*nt+s.tileDim(tr))
+			jLo, jHi := max(c0, tc*nt), min(c1, tc*nt+s.tileDim(tc))
+			for i := iLo; i < iHi; i++ {
+				dst := out[(i-r0)*w:]
+				for j := jLo; j < jHi; j++ {
+					// Diagonal tiles store the full mirrored square, so
+					// (row, col) indexing is direct; an off-diagonal tile
+					// read against the grain swaps its coordinates.
+					a, b := i, j
+					if tr > tc {
+						a, b = j, i
+					}
+					dst[j-c0] = vals[(a-ti*nt)*cols+(b-tj*nt)]
+				}
+			}
+		}
+	}
+	stats.bytesServed.Add(uint64(len(out)) * 8)
+	return out, nil
+}
+
 // TopPair is one entry of a Top result.
 type TopPair struct {
 	I     int     `json:"i"`
@@ -342,21 +384,35 @@ type TopPair struct {
 // strongest first (ties broken by (I, J)). The per-tile maxima recorded
 // at build time prune the scan: tiles whose maximum cannot displace the
 // current k-th value are never read.
-func (s *Store) Top(k int) ([]TopPair, error) {
+func (s *Store) Top(k int) ([]TopPair, error) { return s.TopRange(k, 0, s.SNPs()) }
+
+// TopRange is Top restricted to pairs whose smaller index lies in
+// [r0, r1) — the ownership rule of a cluster shard. The per-tile maxima
+// still prune: a tile's recorded maximum bounds any row subset of it.
+func (s *Store) TopRange(k, r0, r1 int) ([]TopPair, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("ldstore: invalid top k=%d", k)
 	}
-	order := make([]int, len(s.index))
-	for i := range order {
-		order[i] = i
+	if n := s.SNPs(); r0 < 0 || r1 <= r0 || r1 > n {
+		return nil, fmt.Errorf("ldstore: invalid top row range [%d,%d) of %d SNPs", r0, r1, n)
+	}
+	nt := int(s.h.tileSize)
+	order := make([]int, 0, len(s.index))
+	for id := range s.index {
+		// Only tiles whose row band intersects the window hold owned pairs.
+		if lo := s.coords[id].ti * nt; lo < r1 && lo+s.tileDim(s.coords[id].ti) > r0 {
+			order = append(order, id)
+		}
 	}
 	sort.Slice(order, func(a, b int) bool {
 		return s.index[order[a]].maxOff > s.index[order[b]].maxOff
 	})
 	h := &topHeap{}
-	nt := int(s.h.tileSize)
 	for _, id := range order {
-		if h.Len() == k && s.index[id].maxOff <= (*h)[0].Value {
+		// Strict inequality: a tile whose maximum ties the current k-th
+		// value can still hold a pair that wins on the (I, J) tie-break,
+		// so only strictly-weaker tiles are pruned.
+		if h.Len() == k && s.index[id].maxOff < (*h)[0].Value {
 			break
 		}
 		if math.IsInf(s.index[id].maxOff, -1) {
@@ -369,12 +425,16 @@ func (s *Store) Top(k int) ([]TopPair, error) {
 		}
 		cols := s.tileDim(c.tj)
 		for r := 0; r < s.tileDim(c.ti); r++ {
+			i := c.ti*nt + r
+			if i < r0 || i >= r1 {
+				continue // row outside the ownership window
+			}
 			row := vals[r*cols : (r+1)*cols]
 			for col, v := range row {
 				if c.ti == c.tj && col <= r {
 					continue // mirrored square: keep i < j once, skip the diagonal
 				}
-				p := TopPair{I: c.ti*nt + r, J: c.tj*nt + col, Value: v}
+				p := TopPair{I: i, J: c.tj*nt + col, Value: v}
 				if h.Len() < k {
 					heap.Push(h, p)
 				} else if topLess((*h)[0], p) {

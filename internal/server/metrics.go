@@ -33,6 +33,7 @@ import (
 //	                (wall time inside the fused hook), and
 //	                fused_bytes_avoided (dense count-matrix bytes the
 //	                fused calls never materialized)
+//	shard           owned row range {row_start, row_end} (cluster shards)
 //	store_served    requests answered from the tile store
 //	store_fallbacks requests that hit a store error and recomputed
 //	store           cumulative tile-store counters: tiles_read, bytes_read,
@@ -101,6 +102,22 @@ func newMetrics() *metrics {
 		}
 	}))
 	return m
+}
+
+// setShard publishes the owned row range on /debug/vars when the server
+// runs as a cluster shard, so an operator reading a shard's metrics can
+// tell which strip of the partition it serves.
+func (m *metrics) setShard(start, end int) {
+	if end <= 0 {
+		return
+	}
+	var lo, hi expvar.Int
+	lo.Set(int64(start))
+	hi.Set(int64(end))
+	shard := new(expvar.Map).Init()
+	shard.Set("row_start", &lo)
+	shard.Set("row_end", &hi)
+	m.root.Set("shard", shard)
 }
 
 // observe records one finished request.

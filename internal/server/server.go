@@ -14,6 +14,8 @@ import (
 	"log/slog"
 	"net/http"
 	"strconv"
+	"strings"
+	"sync/atomic"
 	"time"
 
 	"ldgemm/internal/bitmat"
@@ -54,6 +56,15 @@ type Config struct {
 	RetryAfter time.Duration
 	// AccessLog, when non-nil, receives one structured line per request.
 	AccessLog *slog.Logger
+	// ShardStart/ShardEnd, when ShardEnd > 0, declare this server a
+	// cluster shard owning the SNP row range [ShardStart, ShardEnd): it
+	// still loads the full matrix (cross-range pairs need both SNP
+	// vectors) but answers /api/ld, /api/ld/region, and /api/ld/top only
+	// for pairs whose smaller index it owns, rejecting misrouted queries
+	// with 421 so a partition mismatch surfaces instead of double-serving.
+	// The whole-matrix analysis endpoints (prune/blocks/omega) are
+	// unaffected. Both zero (the default) means unsharded.
+	ShardStart, ShardEnd int
 	// Store, when non-nil, is a precomputed tile store for the dataset:
 	// /api/ld, /api/ld/region, and /api/ld/top requests whose statistic
 	// matches the store's are served from tiles instead of recomputed, and
@@ -88,6 +99,9 @@ type Server struct {
 	// /api/freq never rescan the matrix per request.
 	freqs []float64
 	poly  int
+	// ready flips once construction — matrix scan plus optional store
+	// wiring — has finished; /readyz reports 503 until then.
+	ready atomic.Bool
 }
 
 // New builds a Server for the matrix.
@@ -97,6 +111,12 @@ func New(g *bitmat.Matrix, cfg Config) *Server {
 		freqs:   core.AlleleFrequencies(g),
 		metrics: newMetrics(),
 	}
+	if s.cfg.ShardEnd > g.SNPs {
+		s.cfg.ShardEnd = g.SNPs
+	}
+	if s.cfg.ShardStart < 0 || s.cfg.ShardEnd <= s.cfg.ShardStart {
+		s.cfg.ShardStart, s.cfg.ShardEnd = 0, 0 // degenerate range: unsharded
+	}
 	if cfg.Store != nil && cfg.Store.Fingerprint() == ldstore.Fingerprint(g) {
 		s.store = cfg.Store
 	}
@@ -105,8 +125,15 @@ func New(g *bitmat.Matrix, cfg Config) *Server {
 			s.poly++
 		}
 	}
+	s.metrics.setShard(s.cfg.ShardStart, s.cfg.ShardEnd)
 	heavy := inFlightLimiter(s.cfg.MaxInFlight, s.cfg.RetryAfter, s.metrics)
 	mux := http.NewServeMux()
+	// Probes are registered on the bare mux, never behind the in-flight
+	// limiter: a saturated server sheds work but keeps answering its
+	// liveness and readiness checks, so load never reads as death.
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("/", handleFallback)
 	mux.HandleFunc("GET /api/info", s.handleInfo)
 	mux.HandleFunc("GET /api/freq", s.handleFreq)
 	mux.HandleFunc("GET /api/ld", s.handlePair)
@@ -118,7 +145,42 @@ func New(g *bitmat.Matrix, cfg Config) *Server {
 	mux.HandleFunc("GET /debug/vars", s.metrics.serveVars)
 	s.mux = mux
 	s.handler = observe(s.metrics, s.cfg.AccessLog, withDeadline(s.cfg.RequestTimeout, mux))
+	s.ready.Store(true)
 	return s
+}
+
+// sharded reports whether this server owns only a row strip.
+func (s *Server) sharded() bool { return s.cfg.ShardEnd > 0 }
+
+// ownsRow reports whether this server answers for pairs whose smaller
+// index is i.
+func (s *Server) ownsRow(i int) bool {
+	return !s.sharded() || (i >= s.cfg.ShardStart && i < s.cfg.ShardEnd)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		httpError(w, http.StatusServiceUnavailable, "loading")
+		return
+	}
+	writeJSON(w, map[string]any{"status": "ready", "snps": s.g.SNPs, "store_loaded": s.store != nil})
+}
+
+// handleFallback is the mux catch-all, keeping even router misses on the
+// JSON error contract: unknown paths get a JSON 404 and non-GET methods a
+// JSON 405, so coordinator-side response classification never needs to
+// parse plain-text bodies.
+func handleFallback(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		httpError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	httpError(w, http.StatusNotFound, "no such endpoint %s", r.URL.Path)
 }
 
 // ServeHTTP implements http.Handler.
@@ -164,12 +226,18 @@ func (s *Server) computeError(w http.ResponseWriter, r *http.Request, err error)
 	}
 }
 
-// writeJSON emits a 200 response with the JSON payload.
+// writeJSON emits a 200 response with the JSON payload. The payload is
+// marshalled before any byte is written, so an encoding failure still
+// produces a well-formed JSON error response instead of a truncated body
+// with a 200 status already on the wire.
 func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+	b, err := json.Marshal(v)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "encoding response: %v", err)
+		return
 	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(b, '\n'))
 }
 
 // httpError emits a JSON error payload.
@@ -218,6 +286,34 @@ func floatParamDefault(r *http.Request, name string, def float64) (float64, erro
 	return f, nil
 }
 
+// rowsParam parses the optional rows=a:b query parameter restricting a
+// scatter-gathered request to the row window [a, b).
+func rowsParam(r *http.Request) (lo, hi int, ok bool, err error) {
+	v := r.URL.Query().Get("rows")
+	if v == "" {
+		return 0, 0, false, nil
+	}
+	a, b, found := strings.Cut(v, ":")
+	if !found {
+		return 0, 0, false, fmt.Errorf("parameter \"rows\" must be a:b, got %q", v)
+	}
+	if lo, err = strconv.Atoi(a); err != nil {
+		return 0, 0, false, fmt.Errorf("parameter \"rows\": %v", err)
+	}
+	if hi, err = strconv.Atoi(b); err != nil {
+		return 0, 0, false, fmt.Errorf("parameter \"rows\": %v", err)
+	}
+	return lo, hi, true, nil
+}
+
+// misdirected answers a query for rows this shard does not own: 421 tells
+// the coordinator its partition map disagrees with the shard's config,
+// which must surface as an error rather than silently double-serving.
+func (s *Server) misdirected(w http.ResponseWriter, what string) {
+	httpError(w, http.StatusMisdirectedRequest,
+		"shard owns rows [%d,%d); %s is outside it", s.cfg.ShardStart, s.cfg.ShardEnd, what)
+}
+
 func (s *Server) checkSNP(name string, i int) error {
 	if i < 0 || i >= s.g.SNPs {
 		return fmt.Errorf("%s=%d outside 0..%d", name, i, s.g.SNPs-1)
@@ -235,6 +331,15 @@ type InfoResponse struct {
 	// the LD endpoints; StoreStat names its statistic when loaded.
 	StoreLoaded bool   `json:"store_loaded"`
 	StoreStat   string `json:"store_stat,omitempty"`
+	// Shard advertises the owned row range when this server is a cluster
+	// shard; the coordinator assembles its partition map from it.
+	Shard *ShardRange `json:"shard,omitempty"`
+}
+
+// ShardRange is the half-open SNP row range a cluster shard owns.
+type ShardRange struct {
+	Start int `json:"start"`
+	End   int `json:"end"`
 }
 
 func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
@@ -245,6 +350,9 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 	if s.store != nil {
 		resp.StoreLoaded = true
 		resp.StoreStat = s.store.Stat().String()
+	}
+	if s.sharded() {
+		resp.Shard = &ShardRange{Start: s.cfg.ShardStart, End: s.cfg.ShardEnd}
 	}
 	writeJSON(w, resp)
 }
@@ -302,6 +410,10 @@ func (s *Server) handlePair(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	if o := min(i, j); !s.ownsRow(o) {
+		s.misdirected(w, fmt.Sprintf("pair (%d,%d) owned by row %d", i, j, o))
+		return
+	}
 	p := core.PairLD(s.g, i, j)
 	// With a tile store loaded, the stored statistic is authoritative: it
 	// overrides the per-pair recomputation so /api/ld answers are
@@ -333,12 +445,19 @@ func (s *Server) handlePair(w http.ResponseWriter, r *http.Request) {
 }
 
 // RegionResponse is the /api/ld/region payload: a dense row-major matrix
-// for SNPs [Start, End).
+// for SNPs [Start, End). With a rows=a:b window (a cluster shard serving
+// its strip of a scatter-gathered request) Values holds only rows
+// [RowStart, RowEnd) × columns [Start, End). Partial is set only by a
+// cluster coordinator whose gather lost one or more shards; the missing
+// rows are null.
 type RegionResponse struct {
-	Start   int         `json:"start"`
-	End     int         `json:"end"`
-	Measure string      `json:"measure"`
-	Values  [][]float64 `json:"values"`
+	Start    int         `json:"start"`
+	End      int         `json:"end"`
+	Measure  string      `json:"measure"`
+	RowStart int         `json:"row_start,omitempty"`
+	RowEnd   int         `json:"row_end,omitempty"`
+	Partial  bool        `json:"partial,omitempty"`
+	Values   [][]float64 `json:"values"`
 }
 
 func (s *Server) handleRegion(w http.ResponseWriter, r *http.Request) {
@@ -374,6 +493,38 @@ func (s *Server) handleRegion(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "unknown measure %q", measure)
 		return
 	}
+	// Resolve the row window: a rows=a:b parameter (or this shard's owned
+	// strip) narrows the output to rows [rlo, rhi) of the region. A window
+	// covering every region row collapses to the plain square path, so a
+	// one-shard "cluster" stays bit-identical to a single node.
+	rlo, rhi, windowed, err := rowsParam(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if windowed {
+		if rlo < start || rhi <= rlo || rhi > end {
+			httpError(w, http.StatusBadRequest,
+				"rows [%d,%d) outside region [%d,%d)", rlo, rhi, start, end)
+			return
+		}
+		if s.sharded() && (rlo < s.cfg.ShardStart || rhi > s.cfg.ShardEnd) {
+			s.misdirected(w, fmt.Sprintf("rows [%d,%d)", rlo, rhi))
+			return
+		}
+	} else if s.sharded() {
+		rlo, rhi = max(start, s.cfg.ShardStart), min(end, s.cfg.ShardEnd)
+		if rlo >= rhi {
+			s.misdirected(w, fmt.Sprintf("region [%d,%d)", start, end))
+			return
+		}
+		windowed = true
+	} else {
+		rlo, rhi = start, end
+	}
+	if rlo == start && rhi == end {
+		windowed = false
+	}
 	wdt := end - start
 	// Store fast path: a tile store holding this statistic serves the
 	// window from cached tiles — zero kernel invocations, and (because the
@@ -381,7 +532,14 @@ func (s *Server) handleRegion(w http.ResponseWriter, r *http.Request) {
 	// compute below. Store errors fall through to on-the-fly compute.
 	var flat []float64
 	if s.store != nil && s.store.Stat().Measure() == meas {
-		if vals, err := s.store.Region(start, end); err == nil {
+		var vals []float64
+		var serr error
+		if windowed {
+			vals, serr = s.store.Rect(rlo, rhi, start, end)
+		} else {
+			vals, serr = s.store.Region(start, end)
+		}
+		if serr == nil {
 			flat = vals
 			s.metrics.storeServed.Add(1)
 		} else {
@@ -391,9 +549,19 @@ func (s *Server) handleRegion(w http.ResponseWriter, r *http.Request) {
 	if flat == nil {
 		opt := s.ldOptions(r.Context())
 		opt.Measures = meas
-		res, err := core.Matrix(s.g.Slice(start, end), opt)
-		if err != nil {
-			s.computeError(w, r, err)
+		var res *core.Result
+		var cerr error
+		if windowed {
+			// Rectangular strip: rows [rlo, rhi) against every region
+			// column. Per-cell values are a pure function of pair counts
+			// and the two SNP frequencies, so the strip is bit-identical
+			// to the same rows of the square compute below.
+			res, cerr = core.Cross(s.g.Slice(rlo, rhi), s.g.Slice(start, end), opt)
+		} else {
+			res, cerr = core.Matrix(s.g.Slice(start, end), opt)
+		}
+		if cerr != nil {
+			s.computeError(w, r, cerr)
 			return
 		}
 		switch meas {
@@ -405,17 +573,24 @@ func (s *Server) handleRegion(w http.ResponseWriter, r *http.Request) {
 			flat = res.DPrime
 		}
 	}
-	values := make([][]float64, wdt)
-	for i := range values {
-		values[i] = flat[i*wdt : (i+1)*wdt]
+	resp := RegionResponse{Start: start, End: end, Measure: measure}
+	if windowed {
+		resp.RowStart, resp.RowEnd = rlo, rhi
 	}
-	writeJSON(w, RegionResponse{Start: start, End: end, Measure: measure, Values: values})
+	resp.Values = make([][]float64, rhi-rlo)
+	for i := range resp.Values {
+		resp.Values[i] = flat[i*wdt : (i+1)*wdt]
+	}
+	writeJSON(w, resp)
 }
 
-// TopResponse is the /api/ld/top payload.
+// TopResponse is the /api/ld/top payload. Partial is set only by a
+// cluster coordinator whose gather lost one or more shards: the ranking
+// is then missing that strip's pairs.
 type TopResponse struct {
-	K     int            `json:"k"`
-	Pairs []PairResponse `json:"pairs"`
+	K       int            `json:"k"`
+	Partial bool           `json:"partial,omitempty"`
+	Pairs   []PairResponse `json:"pairs"`
 }
 
 func (s *Server) handleTop(w http.ResponseWriter, r *http.Request) {
@@ -428,13 +603,44 @@ func (s *Server) handleTop(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "k=%d outside 1..%d", k, s.cfg.MaxTopK)
 		return
 	}
+	// Resolve the row window: rows=a:b (or this shard's owned strip)
+	// restricts the ranking to pairs whose smaller index lies in [rlo,
+	// rhi) — the cluster ownership rule, which partitions the pair set
+	// disjointly across shards.
+	rlo, rhi, windowed, err := rowsParam(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if windowed {
+		if rlo < 0 || rhi <= rlo || rhi > s.g.SNPs {
+			httpError(w, http.StatusBadRequest,
+				"rows [%d,%d) outside 0..%d", rlo, rhi, s.g.SNPs)
+			return
+		}
+		if s.sharded() && (rlo < s.cfg.ShardStart || rhi > s.cfg.ShardEnd) {
+			s.misdirected(w, fmt.Sprintf("rows [%d,%d)", rlo, rhi))
+			return
+		}
+	} else if s.sharded() {
+		rlo, rhi, windowed = s.cfg.ShardStart, s.cfg.ShardEnd, true
+	}
+	if windowed && rlo == 0 && rhi == s.g.SNPs {
+		windowed = false
+	}
 	// Store fast path: an r² tile store already knows the strongest pairs
 	// (per-tile maxima prune the scan), so the whole-matrix significance
 	// stream — the most expensive query the server owns — is skipped.
 	// Per-pair details are recomputed from the two SNP vectors, which
 	// involves no kernel driver.
 	if s.store != nil && s.store.Stat() == ldstore.StatR2 {
-		top, err := s.store.Top(k)
+		var top []ldstore.TopPair
+		var err error
+		if windowed {
+			top, err = s.store.TopRange(k, rlo, rhi)
+		} else {
+			top, err = s.store.Top(k)
+		}
 		if err == nil {
 			out := TopResponse{K: k}
 			for _, p := range top {
@@ -456,10 +662,14 @@ func (s *Server) handleTop(w http.ResponseWriter, r *http.Request) {
 		}
 		s.metrics.storeFallbacks.Add(1)
 	}
-	res, err := core.Significance(s.g, core.SignificanceOptions{
+	sopt := core.SignificanceOptions{
 		Alpha: 0.999999, AlphaIsPerTest: true, MaxResults: s.cfg.MaxTopK * 4,
 		LD: s.ldOptions(r.Context()),
-	})
+	}
+	if windowed {
+		sopt.RowStart, sopt.RowEnd = rlo, rhi
+	}
+	res, err := core.Significance(s.g, sopt)
 	if err != nil {
 		s.computeError(w, r, err)
 		return

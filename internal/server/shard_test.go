@@ -1,0 +1,245 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"ldgemm/internal/popsim"
+)
+
+func shardedServer(t *testing.T, lo, hi int) (*httptest.Server, *Server) {
+	t.Helper()
+	g, err := popsim.Mosaic(120, 200, popsim.MosaicConfig{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(g, Config{MaxRegionSNPs: 64, MaxTopK: 50, Threads: 2, ShardStart: lo, ShardEnd: hi})
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return ts, s
+}
+
+func TestProbes(t *testing.T) {
+	ts, _ := testServer(t)
+	for _, path := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s returned %d", path, resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+			t.Fatalf("%s Content-Type %q", path, ct)
+		}
+		resp.Body.Close()
+	}
+}
+
+// TestProbesExemptFromLimiter floods a 1-slot server with heavy requests
+// while probing: no probe may ever see a 503, because probes are mounted
+// outside the in-flight limiter — a saturated server must shed work, not
+// look dead.
+func TestProbesExemptFromLimiter(t *testing.T) {
+	g, err := popsim.Mosaic(300, 400, popsim.MosaicConfig{Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(g, Config{MaxRegionSNPs: 300, MaxInFlight: 1, Threads: 1})
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Get(ts.URL + "/api/ld/region?start=0&end=300")
+			if err == nil {
+				resp.Body.Close()
+			}
+		}()
+	}
+	for probe := 0; probe < 20; probe++ {
+		for _, path := range []string{"/healthz", "/readyz"} {
+			resp, err := http.Get(ts.URL + path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("%s returned %d under load", path, resp.StatusCode)
+			}
+			resp.Body.Close()
+		}
+	}
+	wg.Wait()
+}
+
+// TestJSONErrorContract checks that every error path — router misses
+// included — answers with a JSON {"error": ...} object, the contract the
+// cluster coordinator's response classification relies on.
+func TestJSONErrorContract(t *testing.T) {
+	ts, _ := testServer(t)
+	cases := []struct {
+		method, path string
+		want         int
+	}{
+		{"GET", "/api/nope", http.StatusNotFound},
+		{"GET", "/totally/else", http.StatusNotFound},
+		{"POST", "/api/info", http.StatusMethodNotAllowed},
+		{"GET", "/api/freq", http.StatusBadRequest},
+		{"GET", "/api/ld?i=0&j=99999", http.StatusBadRequest},
+		{"GET", "/api/ld/region?start=0&end=120", http.StatusUnprocessableEntity},
+	}
+	for _, c := range cases {
+		req, err := http.NewRequest(c.method, ts.URL+c.path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != c.want {
+			t.Fatalf("%s %s returned %d, want %d", c.method, c.path, resp.StatusCode, c.want)
+		}
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+			t.Fatalf("%s %s Content-Type %q, want JSON", c.method, c.path, ct)
+		}
+		var body struct {
+			Error string `json:"error"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil || body.Error == "" {
+			t.Fatalf("%s %s body is not a JSON error (%v)", c.method, c.path, err)
+		}
+		resp.Body.Close()
+	}
+}
+
+func TestShardInfoAndEnforcement(t *testing.T) {
+	ts, _ := shardedServer(t, 40, 80)
+
+	var info InfoResponse
+	if code := getJSON(t, ts.URL+"/api/info", &info); code != http.StatusOK {
+		t.Fatalf("info status %d", code)
+	}
+	if info.Shard == nil || info.Shard.Start != 40 || info.Shard.End != 80 {
+		t.Fatalf("shard info %+v", info.Shard)
+	}
+
+	// Pair ownership goes by the smaller index.
+	if code := getJSON(t, ts.URL+"/api/ld?i=45&j=100", nil); code != http.StatusOK {
+		t.Fatalf("owned pair status %d", code)
+	}
+	if code := getJSON(t, ts.URL+"/api/ld?i=100&j=45", nil); code != http.StatusOK {
+		t.Fatalf("owned pair (swapped) status %d", code)
+	}
+	if code := getJSON(t, ts.URL+"/api/ld?i=10&j=45", nil); code != http.StatusMisdirectedRequest {
+		t.Fatalf("misrouted pair status %d, want 421", code)
+	}
+	if code := getJSON(t, ts.URL+"/api/ld?i=90&j=100", nil); code != http.StatusMisdirectedRequest {
+		t.Fatalf("misrouted pair status %d, want 421", code)
+	}
+
+	// Region requests outside the owned strip are misdirected; inside,
+	// explicit windows must stay within ownership.
+	if code := getJSON(t, ts.URL+"/api/ld/region?start=0&end=30", nil); code != http.StatusMisdirectedRequest {
+		t.Fatalf("unowned region status %d, want 421", code)
+	}
+	if code := getJSON(t, ts.URL+"/api/ld/region?start=30&end=90&rows=30:50", nil); code != http.StatusMisdirectedRequest {
+		t.Fatalf("over-wide rows status %d, want 421", code)
+	}
+	if code := getJSON(t, ts.URL+"/api/ld/region?start=30&end=90&rows=50:40", nil); code != http.StatusBadRequest {
+		t.Fatalf("inverted rows status %d, want 400", code)
+	}
+	if code := getJSON(t, ts.URL+"/api/ld/region?start=30&end=90&rows=bogus", nil); code != http.StatusBadRequest {
+		t.Fatalf("malformed rows status %d, want 400", code)
+	}
+
+	// Top: the default window is the owned strip.
+	var top TopResponse
+	if code := getJSON(t, ts.URL+"/api/ld/top?k=30", &top); code != http.StatusOK {
+		t.Fatalf("top status %d", code)
+	}
+	for _, p := range top.Pairs {
+		if o := min(p.I, p.J); o < 40 || o >= 80 {
+			t.Fatalf("sharded top returned pair (%d,%d) owned by row %d", p.I, p.J, o)
+		}
+	}
+	if code := getJSON(t, ts.URL+"/api/ld/top?k=5&rows=0:80", nil); code != http.StatusMisdirectedRequest {
+		t.Fatalf("over-wide top rows status %d, want 421", code)
+	}
+}
+
+// TestShardRegionStripsStack asserts the scatter-gather invariant the
+// coordinator depends on: the row strips two shards serve for the same
+// region, stacked, are bit-identical to the unsharded region.
+func TestShardRegionStripsStack(t *testing.T) {
+	full, _ := testServer(t)
+	a, _ := shardedServer(t, 0, 60)
+	b, _ := shardedServer(t, 60, 120)
+
+	for _, measure := range []string{"r2", "d", "dprime"} {
+		q := fmt.Sprintf("/api/ld/region?start=30&end=90&measure=%s", measure)
+		var want RegionResponse
+		if code := getJSON(t, full.URL+q, &want); code != http.StatusOK {
+			t.Fatalf("full region status %d", code)
+		}
+		var lo, hi RegionResponse
+		if code := getJSON(t, a.URL+q, &lo); code != http.StatusOK {
+			t.Fatalf("shard A region status %d", code)
+		}
+		if code := getJSON(t, b.URL+q, &hi); code != http.StatusOK {
+			t.Fatalf("shard B region status %d", code)
+		}
+		if lo.RowStart != 30 || lo.RowEnd != 60 || hi.RowStart != 60 || hi.RowEnd != 90 {
+			t.Fatalf("strip windows [%d,%d) and [%d,%d)", lo.RowStart, lo.RowEnd, hi.RowStart, hi.RowEnd)
+		}
+		got := append(append([][]float64{}, lo.Values...), hi.Values...)
+		if len(got) != len(want.Values) {
+			t.Fatalf("%s: stacked %d rows, want %d", measure, len(got), len(want.Values))
+		}
+		for i := range got {
+			for j := range got[i] {
+				if got[i][j] != want.Values[i][j] {
+					t.Fatalf("%s: cell (%d,%d) = %v, unsharded %v", measure, i, j, got[i][j], want.Values[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestUnshardedRowsWindow(t *testing.T) {
+	ts, _ := testServer(t)
+	var want RegionResponse
+	if code := getJSON(t, ts.URL+"/api/ld/region?start=10&end=50", &want); code != http.StatusOK {
+		t.Fatalf("region status %d", code)
+	}
+	var strip RegionResponse
+	if code := getJSON(t, ts.URL+"/api/ld/region?start=10&end=50&rows=20:30", &strip); code != http.StatusOK {
+		t.Fatalf("windowed region status %d", code)
+	}
+	if strip.RowStart != 20 || strip.RowEnd != 30 || len(strip.Values) != 10 {
+		t.Fatalf("window [%d,%d) with %d rows", strip.RowStart, strip.RowEnd, len(strip.Values))
+	}
+	for i, row := range strip.Values {
+		for j, v := range row {
+			if v != want.Values[i+10][j] {
+				t.Fatalf("cell (%d,%d) = %v, want %v", i, j, v, want.Values[i+10][j])
+			}
+		}
+	}
+	// A window covering the whole region collapses to the plain response.
+	var whole RegionResponse
+	if code := getJSON(t, ts.URL+"/api/ld/region?start=10&end=50&rows=10:50", &whole); code != http.StatusOK {
+		t.Fatalf("full-window region status %d", code)
+	}
+	if whole.RowStart != 0 || whole.RowEnd != 0 || len(whole.Values) != 40 {
+		t.Fatalf("full window did not collapse: [%d,%d) with %d rows", whole.RowStart, whole.RowEnd, len(whole.Values))
+	}
+}
