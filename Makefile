@@ -12,7 +12,7 @@ verify:
 .PHONY: verify-race
 verify-race:
 	go vet ./...
-	go test -race ./internal/blis/... ./internal/core/... ./internal/kernel/... ./internal/ldstore/... ./internal/server/... ./internal/cluster/... ./cmd/ldserver/...
+	go test -race ./internal/blis/... ./internal/core/... ./internal/kernel/... ./internal/popcount/... ./internal/ldstore/... ./internal/server/... ./internal/cluster/... ./cmd/ldserver/...
 
 # Cluster tier: the 2-shard httptest cluster end to end — bit-identity
 # against a single node, shard-kill → partial degradation, breaker
@@ -26,6 +26,15 @@ verify-cluster:
 .PHONY: fuzz-smoke
 fuzz-smoke:
 	go test ./internal/ldstore -run=Fuzz -fuzz=FuzzStoreOpen -fuzztime=10s
+
+# Kernel-dispatch smoke: tiny shapes through every popcount engine
+# (scalar, CSA, SIMD when present), with the batched families asserted
+# bit-identical to the scalar oracle at each k before any timing is
+# believed. Cheap enough for the verify tier.
+.PHONY: bench-kernel
+bench-kernel:
+	go test ./internal/blis -count=1 -run 'TestGemmStrategiesMatchScalarOracle|TestSyrkStrategiesMatchScalarOracle|TestAutoDispatchPicksByK'
+	go run ./cmd/ldbench -scale 128 -threads 1 -json /tmp/BENCH_ld_smoke.json
 
 # Driver benchmark: seed fork/join vs pooled slab-pipelined at 1 and 4
 # threads on the acceptance shape.

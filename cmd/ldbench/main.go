@@ -23,6 +23,12 @@
 //	-epilogue-json PATH   write a fused-vs-split end-to-end benchmark
 //	                      (BENCH_epilogue.json); with it, the experiment
 //	                      list may be empty
+//	-write-tune-profile PATH   run the joint autotuner (kernel shape ×
+//	                      popcount strategy × blocking × epilogue ×
+//	                      threads) and persist the winner as a per-host
+//	                      profile for ldserver/ldstore -tune-profile;
+//	                      with it, the experiment list may be empty
+//	-tune-budget D        autotuner measurement budget (default 2s)
 package main
 
 import (
@@ -68,6 +74,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		"count-to-measure epilogue for the experiments: fused (in-driver, default) or split (legacy two-phase)")
 	epilogueJSON := fs.String("epilogue-json", "",
 		"write a fused-vs-split epilogue benchmark to this path (e.g. BENCH_epilogue.json); with it, the experiment list may be empty")
+	writeProfile := fs.String("write-tune-profile", "",
+		"run the autotuner and persist the winner as a per-host profile at this path (loadable via ldserver/ldstore -tune-profile); with it, the experiment list may be empty")
+	tuneBudget := fs.Duration("tune-budget", 2*time.Second, "autotuner measurement budget for -write-tune-profile")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr,
 			"usage: ldbench [flags] <experiment>...\nexperiments: %s all\nflags:\n",
@@ -89,7 +98,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	names := fs.Args()
-	if len(names) == 0 && *jsonPath == "" && *epilogueJSON == "" {
+	if len(names) == 0 && *jsonPath == "" && *epilogueJSON == "" && *writeProfile == "" {
 		fs.Usage()
 		return fmt.Errorf("no experiment named")
 	}
@@ -100,6 +109,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 	threads, err := parseThreads(*threadsFlag)
 	if err != nil {
 		return err
+	}
+	if *writeProfile != "" {
+		if err := writeTuneProfile(*writeProfile, *tuneBudget, stderr); err != nil {
+			return err
+		}
 	}
 	if *jsonPath != "" {
 		if err := writeBenchJSON(*jsonPath, *scale, threads, stderr); err != nil {
@@ -180,6 +194,19 @@ type benchRun struct {
 	SpeedupVsReference float64 `json:"speedup_vs_reference"`
 }
 
+// kernelPoint is one k (sample words) column of the popcount-strategy
+// benchmark: the scalar micro-kernel against the auto-dispatched winner
+// on the same problem, with the count matrices asserted equal.
+type kernelPoint struct {
+	KWords             int     `json:"k_words"`
+	Samples            int     `json:"samples"`
+	Variant            string  `json:"variant"`
+	Popcount           string  `json:"popcount"`
+	ScalarGcellsPerSec float64 `json:"scalar_gcells_per_sec"`
+	AutoGcellsPerSec   float64 `json:"auto_gcells_per_sec"`
+	Speedup            float64 `json:"speedup"`
+}
+
 // benchReport is the BENCH_ld.json schema: the perf trajectory tracked
 // across PRs.
 type benchReport struct {
@@ -188,6 +215,9 @@ type benchReport struct {
 	Words                  int        `json:"words"`
 	ReferenceTriplesPerSec float64    `json:"reference_triples_per_sec"`
 	Runs                   []benchRun `json:"runs"`
+	// Kernel is the scalar-vs-batched dispatch trajectory across k, on a
+	// single thread (the per-core story, as in the paper's peak analysis).
+	Kernel []kernelPoint `json:"kernel"`
 }
 
 // writeBenchJSON measures the blocked Syrk against Reference on a probe
@@ -226,6 +256,12 @@ func writeBenchJSON(path string, scale int, threads []int, stderr io.Writer) err
 			Threads: t, TriplesPerSec: rate, SpeedupVsReference: rate / refRate,
 		})
 	}
+	kernel, err := benchKernelDispatch(scale, stderr)
+	if err != nil {
+		return err
+	}
+	rep.Kernel = kernel
+
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -233,8 +269,77 @@ func writeBenchJSON(path string, scale int, threads []int, stderr io.Writer) err
 	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
 		return err
 	}
-	fmt.Fprintf(stderr, "ldbench: wrote %s (%d×%d, %d thread points)\n",
-		path, snps, samples, len(threads))
+	fmt.Fprintf(stderr, "ldbench: wrote %s (%d×%d, %d thread points, %d kernel points)\n",
+		path, snps, samples, len(threads), len(kernel))
+	return nil
+}
+
+// benchKernelDispatch measures the scalar micro-kernel against the
+// auto-dispatched popcount strategy across k ∈ {4, 16, 64, 256} sample
+// words on the 8192-SNP acceptance shape (divided by scale). Short k must
+// dispatch back to scalar — the speedup column there records the absence
+// of a regression, not a win. Each point asserts the two count matrices
+// are identical before timing is believed.
+func benchKernelDispatch(scale int, stderr io.Writer) ([]kernelPoint, error) {
+	snps := max(64, 8192/scale)
+	var points []kernelPoint
+	for _, kw := range []int{4, 16, 64, 256} {
+		samples := kw * 64
+		g, err := popsim.Mosaic(snps, samples, popsim.MosaicConfig{Seed: 3})
+		if err != nil {
+			return nil, err
+		}
+		cells := float64(snps) * float64(snps+1) / 2 * float64(g.Words)
+		scalarC := make([]uint32, snps*snps)
+		autoC := make([]uint32, snps*snps)
+
+		start := time.Now()
+		if err := blis.Syrk(blis.Config{Threads: 1, Popcount: blis.PopcountScalar}, g, scalarC, snps, false); err != nil {
+			return nil, err
+		}
+		scalarRate := cells / time.Since(start).Seconds()
+
+		start = time.Now()
+		if err := blis.Syrk(blis.Config{Threads: 1}, g, autoC, snps, false); err != nil {
+			return nil, err
+		}
+		autoRate := cells / time.Since(start).Seconds()
+		st := blis.ReadStats()
+
+		for i := range autoC {
+			if autoC[i] != scalarC[i] {
+				return nil, fmt.Errorf("kernel bench k=%d: auto dispatch diverged from scalar at cell %d (%d != %d)",
+					kw, i, autoC[i], scalarC[i])
+			}
+		}
+		points = append(points, kernelPoint{
+			KWords: kw, Samples: samples,
+			Variant: st.Variant, Popcount: st.Popcount,
+			ScalarGcellsPerSec: scalarRate / 1e9,
+			AutoGcellsPerSec:   autoRate / 1e9,
+			Speedup:            autoRate / scalarRate,
+		})
+		fmt.Fprintf(stderr, "ldbench: kernel k=%d words: scalar %.3f auto %.3f Gcells/s (%.2fx, %s/%s)\n",
+			kw, scalarRate/1e9, autoRate/1e9, autoRate/scalarRate, st.Variant, st.Popcount)
+	}
+	return points, nil
+}
+
+// writeTuneProfile runs the joint autotuner and persists the winner as a
+// per-host profile the serving binaries load via -tune-profile.
+func writeTuneProfile(path string, budget time.Duration, stderr io.Writer) error {
+	res, err := blis.Tune(blis.TuneOptions{
+		Budget:      budget,
+		MaxThreads:  runtime.NumCPU(),
+		ProfilePath: path,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "ldbench: tuned %d configs; winner %s/%s MC/NC/KC %d/%d/%d at %.3f Gtriples/s; profile written to %s\n",
+		res.Evaluated, res.Variant, res.Popcount,
+		res.Config.MC, res.Config.NC, res.Config.KC,
+		res.TriplesPerSecond/1e9, path)
 	return nil
 }
 

@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"ldgemm/internal/blis"
 )
 
 func TestParseThreads(t *testing.T) {
@@ -66,6 +68,42 @@ func TestLdbenchJSONBenchmark(t *testing.T) {
 		if r.TriplesPerSec <= 0 || r.SpeedupVsReference <= 0 {
 			t.Fatalf("implausible run %+v", r)
 		}
+	}
+	// The kernel-dispatch section covers the k grid, with identity and
+	// dispatch labels on every point.
+	if len(rep.Kernel) != 4 {
+		t.Fatalf("kernel points %+v", rep.Kernel)
+	}
+	for i, k := range []int{4, 16, 64, 256} {
+		p := rep.Kernel[i]
+		if p.KWords != k || p.Samples != k*64 {
+			t.Fatalf("kernel point %d shape %+v", i, p)
+		}
+		if p.Variant == "" || p.Popcount == "" {
+			t.Fatalf("kernel point %d missing dispatch labels: %+v", i, p)
+		}
+		if p.ScalarGcellsPerSec <= 0 || p.AutoGcellsPerSec <= 0 || p.Speedup <= 0 {
+			t.Fatalf("kernel point %d rates %+v", i, p)
+		}
+	}
+}
+
+func TestLdbenchWriteTuneProfile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tune.json")
+	var out, errBuf bytes.Buffer
+	err := run([]string{"-write-tune-profile", path, "-tune-budget", "200ms"}, &out, &errBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errBuf.String(), "profile written to") {
+		t.Fatalf("no tune summary: %s", errBuf.String())
+	}
+	p, err := blis.LoadProfile(path)
+	if err != nil {
+		t.Fatalf("written profile does not load back: %v", err)
+	}
+	if _, err := p.Config(); err != nil {
+		t.Fatal(err)
 	}
 }
 

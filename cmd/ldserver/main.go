@@ -6,6 +6,11 @@
 //
 //	ldserver -in data.ldgm -addr :8080
 //
+// With -tune-profile pointing at an `ldbench -write-tune-profile` output,
+// the saved kernel configuration (micro-kernel shape, popcount strategy,
+// cache blocking) steers every LD request; a profile that is corrupt or
+// was measured on different hardware is logged and ignored, never fatal.
+//
 // With -store pointing at an `ldstore build` output for the same dataset,
 // the /api/ld, /api/ld/region, and /api/ld/top endpoints serve precomputed
 // tiles through an LRU cache instead of running the kernels per request;
@@ -61,6 +66,7 @@ import (
 	"time"
 
 	"ldgemm/internal/bitmat"
+	"ldgemm/internal/blis"
 	"ldgemm/internal/cluster"
 	"ldgemm/internal/core"
 	"ldgemm/internal/ldstore"
@@ -112,6 +118,8 @@ func setup(args []string, stderr io.Writer) (*app, error) {
 	storePath := fs.String("store", "",
 		"precomputed tile store (ldstore build output) backing the LD endpoints (empty = compute on the fly)")
 	storeCache := fs.Int("store-cache", 0, "tile-store LRU capacity in tiles (0 = default)")
+	tuneProfile := fs.String("tune-profile", "",
+		"per-host tune profile JSON (ldbench -write-tune-profile output); corrupt or stale profiles are logged and ignored")
 	epilogue := fs.String("epilogue", "fused",
 		"LD epilogue mode: fused (convert counts per tile inside the blocked driver) or split (legacy two-phase)")
 	shardRange := fs.String("shard-range", "",
@@ -172,6 +180,9 @@ func setup(args []string, stderr io.Writer) (*app, error) {
 		RequestTimeout: *reqTimeout, MaxInFlight: *maxInFlight,
 		Epilogue: emode,
 	}
+	if *tuneProfile != "" {
+		cfg.Blis = loadTuneProfile(*tuneProfile, stderr)
+	}
 	if *shardRange != "" {
 		lo, hi, err := parseShardRange(*shardRange, g.SNPs)
 		if err != nil {
@@ -208,6 +219,27 @@ func setup(args []string, stderr io.Writer) (*app, error) {
 		a.admin = newHTTPServer(*adminAddr, adminMux(s.VarsHandler()), 0)
 	}
 	return a, nil
+}
+
+// loadTuneProfile resolves the -tune-profile flag into a base kernel
+// configuration. Any failure — corrupt JSON, an unknown kernel, or a
+// fingerprint measured on another host — is logged and the defaults are
+// kept: a bad profile must never stop the server, and a stale one must
+// never steer it with foreign measurements.
+func loadTuneProfile(path string, stderr io.Writer) blis.Config {
+	p, err := blis.LoadProfile(path)
+	if err != nil {
+		fmt.Fprintf(stderr, "ldserver: ignoring tune profile %s: %v\n", path, err)
+		return blis.Config{}
+	}
+	cfg, err := p.Config()
+	if err != nil {
+		fmt.Fprintf(stderr, "ldserver: ignoring tune profile %s: %v\n", path, err)
+		return blis.Config{}
+	}
+	fmt.Fprintf(stderr, "ldserver: tune profile %s: kernel %s, popcount %s, MC/NC/KC %d/%d/%d\n",
+		path, p.Kernel, p.Popcount, p.MC, p.NC, p.KC)
+	return cfg
 }
 
 // parseShardRange parses the -shard-range a:b flag against the loaded

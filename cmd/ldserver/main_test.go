@@ -11,6 +11,9 @@ import (
 	"testing"
 	"time"
 
+	"strings"
+
+	"ldgemm/internal/blis"
 	"ldgemm/internal/ldstore"
 	"ldgemm/internal/popsim"
 	"ldgemm/internal/seqio"
@@ -200,6 +203,78 @@ func TestSetupRejectsMismatchedStore(t *testing.T) {
 	var errBuf bytes.Buffer
 	if _, err := setup([]string{"-in", path, "-store", storePath, "-access-log=false"}, &errBuf); err == nil {
 		t.Fatal("mismatched store accepted at startup")
+	}
+}
+
+// TestSetupTuneProfile closes the autotune loop: a saved profile is
+// loaded at startup, steers the kernel config, and the dispatched
+// variant surfaces on /debug/vars after a kernel-powered request.
+func TestSetupTuneProfile(t *testing.T) {
+	path := writeServerDataset(t, false)
+	profPath := filepath.Join(t.TempDir(), "tune.json")
+	err := blis.SaveProfile(profPath, blis.Profile{
+		Kernel: "4x4", Popcount: "scalar", MC: 64, NC: 1024, KC: 128,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var errBuf bytes.Buffer
+	a, err := setup([]string{"-in", path, "-tune-profile", profPath, "-access-log=false"}, &errBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errBuf.String(), "tune profile") || strings.Contains(errBuf.String(), "ignoring") {
+		t.Fatalf("profile load not announced: %s", errBuf.String())
+	}
+	rec := httptest.NewRecorder()
+	a.srv.Handler.ServeHTTP(rec, httptest.NewRequest("GET", "/api/ld/region?start=0&end=20", nil))
+	if rec.Code != 200 {
+		t.Fatalf("region status %d: %s", rec.Code, rec.Body)
+	}
+	rec = httptest.NewRecorder()
+	a.srv.Handler.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/vars", nil))
+	var vars struct {
+		Blis struct {
+			Variant  string `json:"kernel_variant"`
+			Popcount string `json:"popcount_strategy"`
+		} `json:"blis"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &vars); err != nil {
+		t.Fatal(err)
+	}
+	if vars.Blis.Variant != "4x4" || vars.Blis.Popcount != "scalar" {
+		t.Fatalf("/debug/vars reports variant %q popcount %q, want 4x4/scalar",
+			vars.Blis.Variant, vars.Blis.Popcount)
+	}
+}
+
+// TestSetupTuneProfileFallback pins the failure contract: a corrupt or
+// stale profile is logged and ignored — startup must still succeed.
+func TestSetupTuneProfileFallback(t *testing.T) {
+	path := writeServerDataset(t, false)
+	dir := t.TempDir()
+
+	corrupt := filepath.Join(dir, "corrupt.json")
+	if err := os.WriteFile(corrupt, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stale := filepath.Join(dir, "stale.json")
+	err := blis.SaveProfile(stale, blis.Profile{
+		Fingerprint: "linux/riscv64/cpu64/simd-none/v1",
+		Kernel:      "4x4", Popcount: "vector", MC: 128, NC: 4096, KC: 256,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, prof := range []string{corrupt, stale} {
+		var errBuf bytes.Buffer
+		if _, err := setup([]string{"-in", path, "-tune-profile", prof, "-access-log=false"}, &errBuf); err != nil {
+			t.Fatalf("bad profile %s failed startup: %v", prof, err)
+		}
+		if !strings.Contains(errBuf.String(), "ignoring tune profile") {
+			t.Fatalf("fallback for %s not logged: %s", prof, errBuf.String())
+		}
 	}
 }
 

@@ -60,6 +60,8 @@ func runBuild(args []string, stdout, stderr io.Writer) error {
 	stat := fs.String("stat", "r2", "statistic to precompute: r2, d, or dprime")
 	compress := fs.Bool("compress", false, "DEFLATE-compress each tile")
 	threads := fs.Int("threads", 0, "kernel threads (0 = GOMAXPROCS)")
+	tuneProfile := fs.String("tune-profile", "",
+		"per-host tune profile JSON (ldbench -write-tune-profile output); corrupt or stale profiles are logged and ignored")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -75,9 +77,27 @@ func runBuild(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
+	// The build is one long batch of kernel calls, so a tuned kernel
+	// config pays off most here; like ldserver, a bad profile is logged
+	// and ignored — it must never block a build.
+	bcfg := blis.Config{Threads: *threads}
+	if *tuneProfile != "" {
+		if p, err := blis.LoadProfile(*tuneProfile); err != nil {
+			fmt.Fprintf(stderr, "ldstore: ignoring tune profile %s: %v\n", *tuneProfile, err)
+		} else if cfg, err := p.Config(); err != nil {
+			fmt.Fprintf(stderr, "ldstore: ignoring tune profile %s: %v\n", *tuneProfile, err)
+		} else {
+			if *threads != 0 {
+				cfg.Threads = *threads
+			}
+			bcfg = cfg
+			fmt.Fprintf(stderr, "ldstore: tune profile %s: kernel %s, popcount %s, MC/NC/KC %d/%d/%d\n",
+				*tuneProfile, p.Kernel, p.Popcount, p.MC, p.NC, p.KC)
+		}
+	}
 	res, err := ldstore.BuildFile(*out, g, ldstore.BuildOptions{
 		TileSize: *tile, Stat: st, Compress: *compress,
-		LD: core.Options{Blis: blis.Config{Threads: *threads}},
+		LD: core.Options{Blis: bcfg},
 	})
 	if err != nil {
 		return err

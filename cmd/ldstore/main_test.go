@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"ldgemm/internal/blis"
 	"ldgemm/internal/popsim"
 	"ldgemm/internal/seqio"
 )
@@ -115,6 +116,43 @@ func TestBuildInfoQuery(t *testing.T) {
 		if top.Pairs[i].Value > top.Pairs[i-1].Value {
 			t.Fatal("top pairs not sorted")
 		}
+	}
+}
+
+// TestBuildTuneProfile covers both sides of the -tune-profile contract
+// on the build path: a valid profile steers the build (and is announced),
+// a corrupt one is logged and ignored without failing the build.
+func TestBuildTuneProfile(t *testing.T) {
+	data := writeDataset(t)
+	dir := t.TempDir()
+
+	prof := filepath.Join(dir, "tune.json")
+	err := blis.SaveProfile(prof, blis.Profile{
+		Kernel: "4x4", Popcount: "scalar", MC: 64, NC: 1024, KC: 128,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stderr, err := runLdstore(t, "build", "-in", data,
+		"-out", filepath.Join(dir, "tuned.ldts"), "-tune-profile", prof)
+	if err != nil {
+		t.Fatalf("build with profile: %v", err)
+	}
+	if !strings.Contains(stderr, "tune profile") || strings.Contains(stderr, "ignoring") {
+		t.Fatalf("profile load not announced: %q", stderr)
+	}
+
+	corrupt := filepath.Join(dir, "corrupt.json")
+	if err := os.WriteFile(corrupt, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, stderr, err = runLdstore(t, "build", "-in", data,
+		"-out", filepath.Join(dir, "fallback.ldts"), "-tune-profile", corrupt)
+	if err != nil {
+		t.Fatalf("build with corrupt profile failed: %v", err)
+	}
+	if !strings.Contains(stderr, "ignoring tune profile") {
+		t.Fatalf("fallback not logged: %q", stderr)
 	}
 }
 

@@ -40,6 +40,10 @@ type Config struct {
 	KC int // words per rank-k slab (KC*8 bytes of each SNP)
 	// Kernel is the register-blocked micro-kernel (Default if zero).
 	Kernel kernel.Kernel
+	// Popcount selects the AND-count engine of the micro-kernel sweep
+	// (see PopcountStrategy). The zero value is PopcountAuto: k-dispatch
+	// between the scalar kernel and the batched CSA/vector family.
+	Popcount PopcountStrategy
 	// Threads is the number of worker goroutines (GOMAXPROCS if 0).
 	Threads int
 	// ChunkTiles is the work-queue granularity of the parallel driver:
@@ -91,6 +95,9 @@ func (c Config) normalize() (Config, error) {
 	}
 	if c.Kernel.MR < 1 || c.Kernel.NR < 1 {
 		return c, fmt.Errorf("blis: invalid kernel shape %dx%d", c.Kernel.MR, c.Kernel.NR)
+	}
+	if c.Popcount < PopcountAuto || c.Popcount > PopcountVector {
+		return c, fmt.Errorf("blis: invalid popcount strategy %d", int(c.Popcount))
 	}
 	// Blocks must hold at least one register tile.
 	if c.MC < c.Kernel.MR {
@@ -285,15 +292,35 @@ func checkC(m, n int, c []uint32, ldc int) error {
 }
 
 // drive instantiates the slab-pipelined parallel driver (parallel.go) for
-// the plain count kernel. With syrk set, register tiles strictly below the
-// diagonal are skipped and — when the column block spans the whole matrix
-// and the register tile is square — the packed B slab doubles as the
-// packed A panels.
+// the plain count kernel, selecting the AND-count engine by the resolved
+// popcount strategy: the interleaved scalar micro-kernel, or the batched
+// run-packed family (dispatch.go). With syrk set, register tiles strictly
+// below the diagonal are skipped and — when the column block spans the
+// whole matrix and the register tile is square — the packed B slab
+// doubles as the packed A panels.
 func drive(cfg Config, a, b *bitmat.Matrix, c []uint32, ldc int, syrk bool, epi TileEpilogue) error {
 	k := cfg.Kernel
+	strat := resolvePopcount(cfg.Popcount, a.Words)
+	var ops tileOps
+	if strat == PopcountScalar {
+		ops = scalarOps(k, a, b)
+		stats.setVariant(k.Name, strategyTag(strat))
+	} else {
+		ops = runOps(k, a, b, strat)
+		stats.setVariant(k.Name+"-runs", strategyTag(strat))
+	}
+	return driveTiles(cfg, ops, a.SNPs, b.SNPs, a.Words, c, ldc, syrk, epi)
+}
+
+// scalarOps is the original interleaved-panel tileOps: one hardware
+// POPCNT per word-pair inside the register-blocked micro-kernel. It is
+// the short-k dispatch target and the bit-exactness oracle the batched
+// family is tested against.
+func scalarOps(k kernel.Kernel, a, b *bitmat.Matrix) tileOps {
 	mr, nr := k.MR, k.NR
-	ops := tileOps{
+	return tileOps{
 		mr: mr, nr: nr, stride: 1, cells: 1,
+		popcPerWord: 1, popcFold: 1,
 		shareable: a == b && mr == nr,
 		packA: func(dst []uint64, snp, count, pc, kc int) {
 			kernel.PackPanel(dst, a, snp, count, mr, pc, kc)
@@ -318,7 +345,6 @@ func drive(cfg Config, a, b *bitmat.Matrix, c []uint32, ldc int, syrk bool, epi 
 			}
 		},
 	}
-	return driveTiles(cfg, ops, a.SNPs, b.SNPs, a.Words, c, ldc, syrk, epi)
 }
 
 // Reference computes the count matrix with plain per-pair word loops; it is

@@ -1,0 +1,220 @@
+package blis
+
+import (
+	"fmt"
+
+	"ldgemm/internal/bitmat"
+	"ldgemm/internal/kernel"
+	"ldgemm/internal/popcount"
+)
+
+// Popcount strategy selection: which AND-count engine the register-tile
+// sweep uses. The scalar strategy is the original interleaved-panel
+// micro-kernel (one hardware POPCNT per word-pair) and stays the
+// bit-exactness oracle. The batched strategies repack panels into
+// per-SNP kc-word runs (kernel.PackPanelRuns) so every register-tile
+// cell becomes one slice AND-count, which the CSA strategy feeds through
+// the Harley–Seal fold-16 tree and the vector strategy through the SIMD
+// tier (AVX-512 VPOPCNTQ or the AVX2 nibble LUT). All three produce
+// bit-identical counts; they differ only in popcounts executed per word.
+//
+// Dispatch keys on k: a batched cell amortizes its setup over kc words,
+// so short slabs (k below CSAMinWords) run scalar even under Auto — the
+// fold would drain mostly-empty accumulators. Fringe tiles under the
+// batched family fall out naturally: the run layout counts partial
+// tiles cell-by-cell straight into C, no scratch scatter needed, and
+// zero-padded runs contribute nothing.
+
+// PopcountStrategy selects the AND-count engine of the micro-kernel
+// sweep.
+type PopcountStrategy int
+
+const (
+	// PopcountAuto k-dispatches: the vector strategy when the sample
+	// dimension has at least CSAMinWords words and a SIMD tier exists,
+	// the scalar kernel otherwise. The zero value, so existing Configs
+	// keep working and pick up the dispatch.
+	PopcountAuto PopcountStrategy = iota
+	// PopcountScalar forces the interleaved scalar micro-kernel.
+	PopcountScalar
+	// PopcountCSA forces the portable Harley–Seal fold-16 kernels.
+	PopcountCSA
+	// PopcountVector forces the SIMD kernels, degrading to CSA when the
+	// host has no usable SIMD tier.
+	PopcountVector
+)
+
+// CSAMinWords is the k-dispatch threshold: Auto picks a batched strategy
+// only when the sample dimension spans at least this many 64-bit words
+// (2048 samples). Below it the per-cell call overhead of the batched
+// family outweighs the folded popcounts. A variable so Tune probes and
+// tests can move the boundary.
+var CSAMinWords = 32
+
+// String names the strategy as accepted by ParsePopcount.
+func (s PopcountStrategy) String() string {
+	switch s {
+	case PopcountAuto:
+		return "auto"
+	case PopcountScalar:
+		return "scalar"
+	case PopcountCSA:
+		return "csa"
+	case PopcountVector:
+		return "vector"
+	default:
+		return fmt.Sprintf("popcount(%d)", int(s))
+	}
+}
+
+// ParsePopcount parses a strategy name as it appears in flags and tune
+// profiles.
+func ParsePopcount(name string) (PopcountStrategy, error) {
+	switch name {
+	case "", "auto":
+		return PopcountAuto, nil
+	case "scalar":
+		return PopcountScalar, nil
+	case "csa":
+		return PopcountCSA, nil
+	case "vector":
+		return PopcountVector, nil
+	default:
+		return 0, fmt.Errorf("blis: unknown popcount strategy %q (have auto, scalar, csa, vector)", name)
+	}
+}
+
+// resolvePopcount maps a requested strategy to the concrete engine for a
+// call over kw sample words.
+func resolvePopcount(s PopcountStrategy, kw int) PopcountStrategy {
+	switch s {
+	case PopcountAuto:
+		if kw >= CSAMinWords && popcount.HasVector() {
+			return PopcountVector
+		}
+		return PopcountScalar
+	case PopcountVector:
+		if !popcount.HasVector() {
+			return PopcountCSA
+		}
+		return PopcountVector
+	default:
+		return s
+	}
+}
+
+// strategyTag names the concrete engine for stats and /debug/vars,
+// qualifying the vector strategy with its SIMD tier.
+func strategyTag(s PopcountStrategy) string {
+	if s == PopcountVector {
+		return "vector-" + popcount.VectorName()
+	}
+	return s.String()
+}
+
+// popcFold reports the words folded per popcount by the engine: the
+// denominator of the popcounts-avoided counter.
+func popcFold(s PopcountStrategy) int {
+	switch s {
+	case PopcountCSA:
+		return 16
+	case PopcountVector:
+		if f := popcount.VectorFold(); f > 0 {
+			return f
+		}
+		return 16 // degraded to CSA
+	default:
+		return 1
+	}
+}
+
+// runOps builds the tileOps of the batched plain kernel family: run-
+// packed panels, one slice AND-count per register-tile cell. The panel
+// footprint (kc·rr words) matches the interleaved layout, so the blocked
+// driver's slab sizing and SYRK pack sharing apply unchanged.
+func runOps(k kernel.Kernel, a, b *bitmat.Matrix, s PopcountStrategy) tileOps {
+	mr, nr := k.MR, k.NR
+	count := popcount.AndCountVector
+	if s == PopcountCSA {
+		count = popcount.AndCountCSA
+	}
+	return tileOps{
+		mr: mr, nr: nr, stride: 1, cells: 1,
+		popcPerWord: 1, popcFold: popcFold(s),
+		shareable: a == b && mr == nr,
+		packA: func(dst []uint64, snp, count, pc, kc int) {
+			kernel.PackPanelRuns(dst, a, snp, count, mr, pc, kc)
+		},
+		packB: func(dst []uint64, snp, count, pc, kc int) {
+			kernel.PackPanelRuns(dst, b, snp, count, nr, pc, kc)
+		},
+		full: func(kc int, aw, bw []uint64, c []uint32, i0, j0, ldc int) {
+			for i := 0; i < mr; i++ {
+				ai := aw[i*kc : (i+1)*kc]
+				row := c[(i0+i)*ldc+j0:]
+				for j := 0; j < nr; j++ {
+					row[j] += uint32(count(ai, bw[j*kc:(j+1)*kc]))
+				}
+			}
+		},
+		fringe: func(kc int, aw, bw []uint64, _, c []uint32, i0, j0, mm, nn, ldc int) {
+			// Partial tiles need no scratch scatter under the run layout:
+			// each live cell is counted directly into C.
+			for i := 0; i < mm; i++ {
+				ai := aw[i*kc : (i+1)*kc]
+				row := c[(i0+i)*ldc+j0:]
+				for j := 0; j < nn; j++ {
+					row[j] += uint32(count(ai, bw[j*kc:(j+1)*kc]))
+				}
+			}
+		},
+	}
+}
+
+// maskedRunOps is the batched masked family: run-packed (value, mask)
+// panels and one fused four-count slice pass per cell. The register tile
+// stays the masked driver's 2×2 so scalar and batched runs are
+// geometrically identical.
+func maskedRunOps(mk kernel.MaskedKernel, a, b *bitmat.Matrix, ka, kb *bitmat.Mask, s PopcountStrategy) tileOps {
+	mr, nr := mk.MR, mk.NR
+	counts := popcount.MaskedCountsVector
+	if s == PopcountCSA {
+		counts = popcount.MaskedCountsCSA
+	}
+	cell := func(kc int, aw, bw []uint64, c []uint32, i, j int) {
+		si := aw[i*2*kc : i*2*kc+kc]
+		ci := aw[i*2*kc+kc : (i+1)*2*kc]
+		sj := bw[j*2*kc : j*2*kc+kc]
+		cj := bw[j*2*kc+kc : (j+1)*2*kc]
+		v, nI, nJ, nIJ := counts(si, ci, sj, cj)
+		c[kernel.MaskedValid] += uint32(v)
+		c[kernel.MaskedI] += uint32(nI)
+		c[kernel.MaskedJ] += uint32(nJ)
+		c[kernel.MaskedIJ] += uint32(nIJ)
+	}
+	return tileOps{
+		mr: mr, nr: nr, stride: 2, cells: 4,
+		popcPerWord: 4, popcFold: popcFold(s),
+		shareable: a == b && ka == kb && mr == nr,
+		packA: func(dst []uint64, snp, count, pc, kc int) {
+			kernel.PackMaskedPanelRuns(dst, a, ka, snp, count, mr, pc, kc)
+		},
+		packB: func(dst []uint64, snp, count, pc, kc int) {
+			kernel.PackMaskedPanelRuns(dst, b, kb, snp, count, nr, pc, kc)
+		},
+		full: func(kc int, aw, bw []uint64, c []uint32, i0, j0, ldc int) {
+			for i := 0; i < mr; i++ {
+				for j := 0; j < nr; j++ {
+					cell(kc, aw, bw, c[((i0+i)*ldc+j0+j)*4:], i, j)
+				}
+			}
+		},
+		fringe: func(kc int, aw, bw []uint64, _, c []uint32, i0, j0, mm, nn, ldc int) {
+			for i := 0; i < mm; i++ {
+				for j := 0; j < nn; j++ {
+					cell(kc, aw, bw, c[((i0+i)*ldc+j0+j)*4:], i, j)
+				}
+			}
+		},
+	}
+}

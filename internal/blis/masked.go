@@ -126,13 +126,31 @@ func MirrorMasked(c []uint32, n, ldc int) {
 }
 
 // driveMasked instantiates the slab-pipelined parallel driver (parallel.go)
-// for the fused masked kernel: panels interleave (value, mask) word pairs
-// and every C entry is the four Section VII counts.
+// for the fused masked kernel, selecting the AND-count engine by the
+// resolved popcount strategy: the interleaved scalar kernel packs
+// (value, mask) word pairs, the batched family (dispatch.go) packs
+// per-SNP runs; every C entry is the four Section VII counts either way.
 func driveMasked(cfg Config, a, b *bitmat.Matrix, ka, kb *bitmat.Mask, c []uint32, ldc int, syrk bool, epi TileEpilogue) error {
 	mk := kernel.Masked2x2()
+	strat := resolvePopcount(cfg.Popcount, a.Words)
+	var ops tileOps
+	if strat == PopcountScalar {
+		ops = maskedScalarOps(mk, a, b, ka, kb)
+		stats.setVariant(mk.Name, strategyTag(strat))
+	} else {
+		ops = maskedRunOps(mk, a, b, ka, kb, strat)
+		stats.setVariant(mk.Name+"-runs", strategyTag(strat))
+	}
+	return driveTiles(cfg, ops, a.SNPs, b.SNPs, a.Words, c, ldc, syrk, epi)
+}
+
+// maskedScalarOps is the original interleaved masked tileOps — the
+// short-k dispatch target and the oracle for the batched masked family.
+func maskedScalarOps(mk kernel.MaskedKernel, a, b *bitmat.Matrix, ka, kb *bitmat.Mask) tileOps {
 	mr, nr := mk.MR, mk.NR
-	ops := tileOps{
+	return tileOps{
 		mr: mr, nr: nr, stride: 2, cells: 4,
+		popcPerWord: 4, popcFold: 1,
 		shareable: a == b && ka == kb && mr == nr,
 		packA: func(dst []uint64, snp, count, pc, kc int) {
 			kernel.PackMaskedPanel(dst, a, ka, snp, count, mr, pc, kc)
@@ -159,7 +177,6 @@ func driveMasked(cfg Config, a, b *bitmat.Matrix, ka, kb *bitmat.Mask, c []uint3
 			}
 		},
 	}
-	return driveTiles(cfg, ops, a.SNPs, b.SNPs, a.Words, c, ldc, syrk, epi)
 }
 
 // MaskedReference computes the four counts with plain loops; oracle for the

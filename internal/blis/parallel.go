@@ -37,6 +37,13 @@ type tileOps struct {
 	stride int
 	// cells is uint32 outputs per C entry: 1 plain, 4 masked.
 	cells int
+	// popcPerWord is the single-word popcounts the scalar kernel would
+	// execute per (cell, word) triple (1 plain, 4 masked); popcFold is
+	// how many of those the selected engine folds into one popcount
+	// (1 scalar, 16 CSA, the SIMD lane width vectorized). Together they
+	// feed the popcounts-avoided counter.
+	popcPerWord int
+	popcFold    int
 	// shareable reports that A and B are the same matrix with a square
 	// register tile, so packed row panels equal packed column panels.
 	shareable bool
@@ -328,6 +335,10 @@ func driveTiles(cfg Config, ops tileOps, m, n, kw int, c []uint32, ldc int, syrk
 	stats.calls.Add(1)
 	stats.cells.Add(cells)
 	stats.nanos.Add(uint64(time.Since(start)))
+	if ops.popcFold > 1 {
+		avoided := uint64(ops.popcPerWord) * (cells - cells/uint64(ops.popcFold))
+		stats.popcAvoided.Add(avoided)
+	}
 	if epi != nil {
 		// The split pipeline would have materialized the full m×n count
 		// matrix (cells uint32s per C entry) just to read it once.

@@ -7,7 +7,7 @@ import "sync/atomic"
 // its job" without per-call plumbing, so the driver maintains cumulative
 // atomic counters that any observer (the HTTP /debug/vars surface, a
 // benchmark harness) can snapshot with ReadStats and difference over time.
-var stats struct {
+type driverCounters struct {
 	calls     atomic.Uint64
 	cancelled atomic.Uint64
 	cells     atomic.Uint64
@@ -19,6 +19,19 @@ var stats struct {
 	epiTiles        atomic.Uint64
 	epiNanos        atomic.Uint64
 	epiBytesAvoided atomic.Uint64
+
+	popcAvoided atomic.Uint64
+	variant     atomic.Pointer[string]
+	popcount    atomic.Pointer[string]
+}
+
+var stats driverCounters
+
+// setVariant records the kernel variant and concrete popcount engine of
+// the most recent driver call, for ReadStats and /debug/vars.
+func (s *driverCounters) setVariant(variant, popcount string) {
+	s.variant.Store(&variant)
+	s.popcount.Store(&popcount)
 }
 
 // DriverStats is a snapshot of the cumulative driver counters.
@@ -45,6 +58,16 @@ type DriverStats struct {
 	EpilogueTiles        uint64
 	EpilogueNanos        uint64
 	EpilogueBytesAvoided uint64
+	// PopcountsAvoided counts the single-word popcount executions the
+	// batched (CSA/vector) strategies folded away relative to the scalar
+	// kernel: popcPerWord · cells · (1 − 1/fold) per call.
+	PopcountsAvoided uint64
+	// Variant names the kernel variant of the most recent driver call
+	// (e.g. "4x4", "4x4-runs", "masked2x2-runs"); Popcount names its
+	// concrete AND-count engine ("scalar", "csa", "vector-avx512-
+	// vpopcntdq"). Empty until the first call.
+	Variant  string
+	Popcount string
 }
 
 // CellRate returns the mean throughput over the counted work in cells
@@ -68,7 +91,7 @@ func (s DriverStats) ArenaHitRate() float64 {
 // ReadStats snapshots the cumulative driver counters. Counters only grow;
 // observers difference successive snapshots for rates.
 func ReadStats() DriverStats {
-	return DriverStats{
+	d := DriverStats{
 		Calls:                stats.calls.Load(),
 		Cancelled:            stats.cancelled.Load(),
 		Cells:                stats.cells.Load(),
@@ -78,5 +101,13 @@ func ReadStats() DriverStats {
 		EpilogueTiles:        stats.epiTiles.Load(),
 		EpilogueNanos:        stats.epiNanos.Load(),
 		EpilogueBytesAvoided: stats.epiBytesAvoided.Load(),
+		PopcountsAvoided:     stats.popcAvoided.Load(),
 	}
+	if p := stats.variant.Load(); p != nil {
+		d.Variant = *p
+	}
+	if p := stats.popcount.Load(); p != nil {
+		d.Popcount = *p
+	}
+	return d
 }

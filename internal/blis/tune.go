@@ -7,13 +7,19 @@ import (
 
 	"ldgemm/internal/bitmat"
 	"ldgemm/internal/kernel"
+	"ldgemm/internal/popcount"
 )
 
 // The paper notes (Section IV) that "no attempt was made to tune the
 // parameters within BLIS to obtain an optimized LD kernel" — the default
 // dgemm-oriented blocking already lands in the 84–90% band. Tune supplies
-// the missing step: an empirical search over micro-kernel shape and cache
-// block sizes on a probe problem shaped like the caller's workload.
+// the missing step: an empirical search on a probe problem shaped like
+// the caller's workload, jointly over micro-kernel shape × popcount
+// strategy (the two interact: the batched strategies shift work from the
+// register tile to the slice engine), then cache blocking, pipeline
+// shape (fused vs split epilogue), and thread/chunk parallelism. The
+// winner can be persisted as a per-host profile (profile.go) so serving
+// binaries skip the search at startup.
 
 // TuneOptions bounds the auto-tuning search.
 type TuneOptions struct {
@@ -32,6 +38,9 @@ type TuneOptions struct {
 	// are searched against the block-size winner. 0 skips the phase and
 	// the returned config leaves Threads unpinned.
 	MaxThreads int
+	// ProfilePath, when non-empty, persists the winner there as a
+	// host-fingerprinted JSON profile (SaveProfile) after the search.
+	ProfilePath string
 	// Ctx, when non-nil, aborts the search: probe runs are cancelled
 	// in-flight (through Config.Ctx) and Tune returns Ctx.Err().
 	Ctx context.Context
@@ -53,16 +62,62 @@ func (o TuneOptions) normalize() TuneOptions {
 	return o
 }
 
+// TuneProbe records one measured configuration: which variant ran and
+// how fast. The log answers "what did the tuner actually try" — without
+// it a surprising winner is indistinguishable from a search bug.
+type TuneProbe struct {
+	// Kernel is the micro-kernel shape name; Variant the full kernel
+	// variant measured (shape plus panel layout, e.g. "4x4-runs");
+	// Popcount the concrete AND-count engine.
+	Kernel   string
+	Variant  string
+	Popcount string
+	// Phase names the search phase that issued the probe.
+	Phase            string
+	MC, NC, KC       int
+	Threads          int
+	ChunkTiles       int
+	TriplesPerSecond float64
+}
+
 // TuneResult reports the winning configuration and its measured rate.
 type TuneResult struct {
 	Config Config
+	// Variant and Popcount name the winner's kernel variant and concrete
+	// AND-count engine, as they will appear in DriverStats.
+	Variant  string
+	Popcount string
+	// Epilogue is the faster pipeline shape on the probe: "fused" (tile
+	// epilogue, no materialized count matrix) or "split". Empty when the
+	// budget ran out before the epilogue phase.
+	Epilogue string
 	// TriplesPerSecond is the probe throughput of the winner.
 	TriplesPerSecond float64
 	// Evaluated is the number of configurations measured.
 	Evaluated int
+	// Probes is the full measurement log, one entry per evaluation.
+	Probes []TuneProbe
 }
 
-// Tune searches micro-kernel shapes and cache block sizes for the fastest
+// variantName is the DriverStats variant label of a (kernel, strategy)
+// pair — the batched family repacks panels into runs, hence the suffix.
+func variantName(k kernel.Kernel, s PopcountStrategy) string {
+	if s == PopcountScalar {
+		return k.Name
+	}
+	return k.Name + "-runs"
+}
+
+// tuneStrategies returns the distinct concrete strategies worth probing
+// on this host: vector and CSA coincide when no SIMD tier exists.
+func tuneStrategies() []PopcountStrategy {
+	if popcount.HasVector() {
+		return []PopcountStrategy{PopcountScalar, PopcountCSA, PopcountVector}
+	}
+	return []PopcountStrategy{PopcountScalar, PopcountCSA}
+}
+
+// Tune searches kernel variants and cache block sizes for the fastest
 // symmetric rank-k update on a probe matrix of the given shape. The probe
 // is capped so tuning stays cheap even for huge target shapes.
 func Tune(opt TuneOptions) (*TuneResult, error) {
@@ -77,7 +132,24 @@ func Tune(opt TuneOptions) (*TuneResult, error) {
 	deadline := time.Now().Add(opt.Budget)
 
 	res := &TuneResult{}
-	measure := func(cfg Config, threads int) (float64, error) {
+	triples := float64(probeN) * float64(probeN+1) / 2 * float64(g.Words)
+	record := func(cfg Config, phase string, rate float64) {
+		k := cfg.Kernel
+		if k.Fn == nil {
+			k = kernel.Default
+		}
+		res.Evaluated++
+		res.Probes = append(res.Probes, TuneProbe{
+			Kernel:   k.Name,
+			Variant:  variantName(k, resolvePopcount(cfg.Popcount, g.Words)),
+			Popcount: strategyTag(resolvePopcount(cfg.Popcount, g.Words)),
+			Phase:    phase,
+			MC:       cfg.MC, NC: cfg.NC, KC: cfg.KC,
+			Threads: cfg.Threads, ChunkTiles: cfg.ChunkTiles,
+			TriplesPerSecond: rate,
+		})
+	}
+	measure := func(cfg Config, threads int, phase string) (float64, error) {
 		if err := ctxErr(opt.Ctx); err != nil {
 			return 0, err
 		}
@@ -88,31 +160,40 @@ func Tune(opt TuneOptions) (*TuneResult, error) {
 		if err := Syrk(cfg, g, c, probeN, false); err != nil {
 			return 0, err
 		}
-		el := time.Since(start)
-		res.Evaluated++
-		triples := float64(probeN) * float64(probeN+1) / 2 * float64(g.Words)
-		return triples / el.Seconds(), nil
+		rate := triples / time.Since(start).Seconds()
+		record(cfg, phase, rate)
+		return rate, nil
 	}
 
 	best := DefaultConfig()
-	bestRate, err := measure(best, opt.Threads)
+	best.Popcount = PopcountScalar
+	bestRate, err := measure(best, opt.Threads, "baseline")
 	if err != nil {
 		return nil, err
 	}
 
-	// Phase 1: micro-kernel shape.
-	for _, k := range kernel.Fixed {
-		if time.Now().After(deadline) {
-			break
-		}
-		cfg := best
-		cfg.Kernel = k
-		rate, err := measure(cfg, opt.Threads)
-		if err != nil {
-			return nil, err
-		}
-		if rate > bestRate {
-			best, bestRate = cfg, rate
+	// Phase 1: joint micro-kernel shape × popcount strategy. The two are
+	// searched together because the best shape under the scalar kernel
+	// (accumulator pressure) need not be the best under the batched
+	// family (slice-call amortization).
+	for _, strat := range tuneStrategies() {
+		for _, k := range kernel.Fixed {
+			if strat == PopcountScalar && k.Name == best.Kernel.Name {
+				continue // the baseline already measured it
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			cfg := best
+			cfg.Kernel = k
+			cfg.Popcount = strat
+			rate, err := measure(cfg, opt.Threads, "kernel-variant")
+			if err != nil {
+				return nil, err
+			}
+			if rate > bestRate {
+				best, bestRate = cfg, rate
+			}
 		}
 	}
 
@@ -135,7 +216,7 @@ descent:
 			}
 			cfg := best
 			axis.set(&cfg, v)
-			rate, err := measure(cfg, opt.Threads)
+			rate, err := measure(cfg, opt.Threads, "blocking-"+axis.name)
 			if err != nil {
 				return nil, err
 			}
@@ -145,8 +226,28 @@ descent:
 		}
 	}
 
+	// Phase 3: pipeline shape — is the fused tile epilogue faster than
+	// materializing the count matrix on this host? The fused probe pays
+	// for the per-tile hook dispatch; split pays for the dense C traffic.
+	if !time.Now().After(deadline) {
+		cfg := best
+		cfg.Threads = opt.Threads
+		cfg.Ctx = opt.Ctx
+		start := time.Now()
+		err := SyrkEpilogue(cfg, g, func(int, []uint32, int, int, int, int, int) {})
+		if err != nil {
+			return nil, err
+		}
+		fusedRate := triples / time.Since(start).Seconds()
+		record(cfg, "epilogue-fused", fusedRate)
+		res.Epilogue = "split"
+		if fusedRate >= bestRate {
+			res.Epilogue = "fused"
+		}
+	}
+
 	best.Threads = 0 // leave thread choice to the caller
-	// Phase 3 (MaxThreads > 0): search thread counts and work-queue chunk
+	// Phase 4 (MaxThreads > 0): search thread counts and work-queue chunk
 	// granularity against the single-core winner. Pins Threads/ChunkTiles
 	// only when a parallel config beats it.
 	if opt.MaxThreads > 1 {
@@ -163,7 +264,7 @@ descent:
 				}
 				cfg := best
 				cfg.ChunkTiles = chunk
-				rate, err := measure(cfg, threads)
+				rate, err := measure(cfg, threads, "threads")
 				if err != nil {
 					return nil, err
 				}
@@ -176,6 +277,25 @@ descent:
 	}
 	res.Config = best
 	res.TriplesPerSecond = bestRate
+	res.Variant = variantName(best.Kernel, resolvePopcount(best.Popcount, g.Words))
+	res.Popcount = strategyTag(resolvePopcount(best.Popcount, g.Words))
+
+	if opt.ProfilePath != "" {
+		p := Profile{
+			Kernel:           best.Kernel.Name,
+			Popcount:         best.Popcount.String(),
+			MC:               best.MC,
+			NC:               best.NC,
+			KC:               best.KC,
+			Threads:          best.Threads,
+			ChunkTiles:       best.ChunkTiles,
+			Epilogue:         res.Epilogue,
+			TriplesPerSecond: bestRate,
+		}
+		if err := SaveProfile(opt.ProfilePath, p); err != nil {
+			return nil, fmt.Errorf("blis: saving tune profile: %w", err)
+		}
+	}
 	return res, nil
 }
 

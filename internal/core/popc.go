@@ -1,6 +1,8 @@
 package core
 
-import "math/bits"
+import "ldgemm/internal/popcount"
 
-// popc is the 64-bit population count (hardware POPCNT on amd64).
-func popc(x uint64) uint32 { return uint32(bits.OnesCount64(x)) }
+// popc delegates the single-word population count to internal/popcount,
+// the one home for popcount strategy; the compiler inlines the chain to
+// the hardware POPCNT instruction on amd64.
+func popc(x uint64) uint32 { return popcount.Count(x) }

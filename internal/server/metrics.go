@@ -27,7 +27,11 @@ import (
 //	uptime_seconds  seconds since the Server was constructed
 //	blis            cumulative kernel-driver counters: calls, cancelled,
 //	                cells, nanos, kernel_gcells_per_sec (mean giga-cells
-//	                of C×k work per second), arena_gets, arena_misses,
+//	                of C×k work per second), kernel_variant and
+//	                popcount_strategy (what the last driver call
+//	                dispatched to), popcounts_avoided (POPCNT
+//	                invocations the batched CSA/SIMD folds saved vs the
+//	                scalar kernel), arena_gets, arena_misses,
 //	                arena_hit_rate, epilogue_tiles (register tiles
 //	                converted by the fused epilogue), epilogue_nanos
 //	                (wall time inside the fused hook), and
@@ -93,6 +97,9 @@ func newMetrics() *metrics {
 			"cells":                 s.Cells,
 			"nanos":                 s.Nanos,
 			"kernel_gcells_per_sec": s.CellRate() / 1e9,
+			"kernel_variant":        s.Variant,
+			"popcount_strategy":     s.Popcount,
+			"popcounts_avoided":     s.PopcountsAvoided,
 			"arena_gets":            s.ArenaGets,
 			"arena_misses":          s.ArenaMisses,
 			"arena_hit_rate":        s.ArenaHitRate(),

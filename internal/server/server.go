@@ -34,6 +34,12 @@ type Config struct {
 	MaxTopK int
 	// Threads for the LD kernels (default GOMAXPROCS via blis).
 	Threads int
+	// Blis is the base kernel configuration merged into every request's
+	// driver config — typically a loaded tune profile (kernel shape,
+	// popcount strategy, cache blocking). Threads and ChunkTiles above
+	// override its corresponding fields when non-zero, and the request
+	// context is always attached per request.
+	Blis blis.Config
 	// Epilogue selects how the LD handlers convert counts to measures:
 	// fused into the blocked driver (the default — no dense count matrix,
 	// conversion parallelized across the kernel workers) or the legacy
@@ -196,7 +202,15 @@ func (s *Server) VarsHandler() http.Handler { return http.HandlerFunc(s.metrics.
 // share packing storage through the blis arena pool, so the hot
 // region/prune/blocks endpoints do not reallocate pack buffers.
 func (s *Server) blisConfig(ctx context.Context) blis.Config {
-	return blis.Config{Threads: s.cfg.Threads, ChunkTiles: s.cfg.ChunkTiles, Ctx: ctx}
+	cfg := s.cfg.Blis
+	if s.cfg.Threads != 0 {
+		cfg.Threads = s.cfg.Threads
+	}
+	if s.cfg.ChunkTiles != 0 {
+		cfg.ChunkTiles = s.cfg.ChunkTiles
+	}
+	cfg.Ctx = ctx
+	return cfg
 }
 
 // ldOptions is the per-request core configuration shared by the heavy

@@ -1,6 +1,7 @@
 package tanimoto
 
-import "math/bits"
+import "ldgemm/internal/popcount"
 
-// onesCount is the 64-bit population count.
-func onesCount(x uint64) int { return bits.OnesCount64(x) }
+// onesCount delegates the single-word population count to
+// internal/popcount, the one home for popcount strategy.
+func onesCount(x uint64) int { return popcount.Word(x) }

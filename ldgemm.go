@@ -261,9 +261,45 @@ type TuneResult = blis.TuneResult
 // returning a BlockConfig to pass via Options.Blis.
 func Tune(opt TuneOptions) (*TuneResult, error) { return blis.Tune(opt) }
 
+// PopcountStrategy selects the AND-count engine of the blocked kernels
+// (BlockConfig.Popcount): scalar POPCNT per word-pair, the portable
+// Harley–Seal CSA fold, the SIMD tier, or auto k-dispatch between them.
+type PopcountStrategy = blis.PopcountStrategy
+
+const (
+	PopcountAuto   = blis.PopcountAuto
+	PopcountScalar = blis.PopcountScalar
+	PopcountCSA    = blis.PopcountCSA
+	PopcountVector = blis.PopcountVector
+)
+
+// ParsePopcount parses a popcount strategy name ("auto", "scalar",
+// "csa", "vector") as accepted by flags and tune profiles.
+func ParsePopcount(name string) (PopcountStrategy, error) { return blis.ParsePopcount(name) }
+
+// TuneProfile is the persistent, host-fingerprinted form of a tuned
+// configuration (the -tune-profile file of the serving binaries).
+type TuneProfile = blis.Profile
+
+// ErrProfileStale reports a tune profile measured on different hardware
+// or by an incompatible version; callers fall back to defaults.
+var ErrProfileStale = blis.ErrProfileStale
+
+// LoadTuneProfile reads and validates a saved tune profile; stale
+// profiles (another host, another version) fail with ErrProfileStale.
+func LoadTuneProfile(path string) (TuneProfile, error) { return blis.LoadProfile(path) }
+
+// SaveTuneProfile persists a profile atomically with this host's
+// fingerprint.
+func SaveTuneProfile(path string, p TuneProfile) error { return blis.SaveProfile(path, p) }
+
+// HostFingerprint identifies this host for tune-profile validation.
+func HostFingerprint() string { return blis.HostFingerprint() }
+
 // DriverStats is a snapshot of the blocked drivers' cumulative counters:
 // completed and cancelled calls, C-cells×k-words of kernel work, wall
-// time, and packing-arena reuse.
+// time, packing-arena reuse, and the selected kernel variant/popcount
+// strategy.
 type DriverStats = blis.DriverStats
 
 // KernelStats reads the process-wide driver counters — the same numbers
