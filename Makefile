@@ -14,12 +14,26 @@ verify-race:
 	go vet ./...
 	go test -race ./internal/blis/... ./internal/core/... ./internal/kernel/... ./internal/popcount/... ./internal/ldstore/... ./internal/server/... ./internal/cluster/... ./cmd/ldserver/...
 
-# Cluster tier: the 2-shard httptest cluster end to end — bit-identity
-# against a single node, shard-kill → partial degradation, breaker
-# trip/recover, retry, and hedging.
+# Cluster tier: the httptest cluster end to end — bit-identity against a
+# single node (including replica failover), shard-kill → partial
+# degradation, breaker trip/recover, retry, hedging, singleflight
+# coalescing, and the fingerprint-keyed result cache.
 .PHONY: verify-cluster
 verify-cluster:
-	go test -race -count=1 ./internal/cluster/ -run 'TestCluster|TestBreaker|TestRetry|TestHedge|TestPartition|TestMergeTop'
+	go test -race -count=1 ./internal/cluster/ -run 'TestCluster|TestBreaker|TestRetry|TestHedge|TestPartition|TestMergeTop|TestReplica|TestCoalesce|TestResultCache|TestLatencyRing|TestFlightGroup'
+
+# Replica-cluster resilience benchmark: in-process 2-strip × 2-replica
+# cluster under randomized load, one replica killed halfway; fails on
+# any error, partial, identity mismatch, or cache-probe round trip
+# (the committed BENCH_cluster.json).
+.PHONY: bench-cluster
+bench-cluster:
+	go run ./cmd/ldbench -scale 4 -cluster-duration 10s -cluster-workers 8 -cluster-json BENCH_cluster.json
+
+# CI-sized variant of the same run.
+.PHONY: bench-cluster-smoke
+bench-cluster-smoke:
+	go run ./cmd/ldbench -scale 20 -cluster-duration 3s -cluster-workers 4 -cluster-json /tmp/BENCH_cluster_smoke.json
 
 # Short fuzz smoke on the tile-store open path: hostile and truncated
 # files must error, never panic or over-allocate (CI runs this too).

@@ -1,0 +1,277 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ldgemm/internal/cluster"
+	"ldgemm/internal/popsim"
+	"ldgemm/internal/server"
+)
+
+// clusterReport is the BENCH_cluster.json schema: sustained throughput
+// and tail latency of a 2-strip × 2-replica cluster while one replica
+// is killed mid-run, plus the correctness and caching evidence.
+type clusterReport struct {
+	SNPs             int     `json:"snps"`
+	Samples          int     `json:"samples"`
+	Strips           int     `json:"strips"`
+	ReplicasPerStrip int     `json:"replicas_per_strip"`
+	Workers          int     `json:"workers"`
+	DurationSec      float64 `json:"duration_sec"`
+	KilledReplica    string  `json:"killed_replica"`
+	KillAtSec        float64 `json:"kill_at_sec"`
+
+	Requests int64   `json:"requests"`
+	QPS      float64 `json:"qps"`
+	P50Ms    float64 `json:"p50_ms"`
+	P95Ms    float64 `json:"p95_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+
+	// Failures and Partials must both be zero: a strip with a surviving
+	// replica never errors and never degrades. IdentityChecked responses
+	// were additionally compared field-for-field against a single
+	// unsharded node; IdentityMismatches must be zero.
+	Failures           int64 `json:"failures"`
+	Partials           int64 `json:"partials"`
+	IdentityChecked    int64 `json:"identity_checked"`
+	IdentityMismatches int64 `json:"identity_mismatches"`
+
+	// CacheProbeZeroRoundTrips: after the run, a repeated identical
+	// region request was answered with zero shard round trips.
+	CacheProbeZeroRoundTrips bool  `json:"cache_probe_zero_round_trips"`
+	CacheHits                int64 `json:"result_cache_hits"`
+	CacheMisses              int64 `json:"result_cache_misses"`
+	Coalesced                int64 `json:"coalesced_requests"`
+}
+
+// localServer is one in-process HTTP server bound to a loopback port —
+// real sockets, so killing a replica severs live connections exactly as
+// a process death would.
+type localServer struct {
+	srv *http.Server
+	url string
+}
+
+func serveLocal(h http.Handler) (*localServer, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: h}
+	go srv.Serve(ln)
+	return &localServer{srv: srv, url: "http://" + ln.Addr().String()}, nil
+}
+
+func (s *localServer) kill() { s.srv.Close() }
+
+// countLD wraps a shard handler, counting round trips to the heavy LD
+// endpoints so the cache probe can assert "zero shard round trips".
+func countLD(h http.Handler, n *atomic.Int64) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, "/api/ld") {
+			n.Add(1)
+		}
+		h.ServeHTTP(w, r)
+	})
+}
+
+// writeClusterJSON boots a 2-strip × 2-replica cluster plus a single
+// unsharded reference node, drives randomized pair/region/top load for
+// the given window, kills one replica halfway through, and writes the
+// resilience report. The run fails if any request errors, degrades to
+// partial, or diverges from the single node.
+func writeClusterJSON(path string, scale int, duration time.Duration, workers int, stderr io.Writer) error {
+	snps := max(160, 1600/scale)
+	samples := max(96, 960/scale)
+	g, err := popsim.Mosaic(snps, samples, popsim.MosaicConfig{Seed: 11})
+	if err != nil {
+		return err
+	}
+	mid := snps / 2
+	scfg := func(lo, hi int) server.Config {
+		return server.Config{MaxRegionSNPs: 128, MaxTopK: 100, Threads: 2, ShardStart: lo, ShardEnd: hi}
+	}
+
+	var shardCalls atomic.Int64
+	strips := [2][2]*localServer{}
+	for si, rng := range [][2]int{{0, mid}, {mid, snps}} {
+		for ri := 0; ri < 2; ri++ {
+			ls, err := serveLocal(countLD(server.New(g, scfg(rng[0], rng[1])), &shardCalls))
+			if err != nil {
+				return err
+			}
+			defer ls.kill()
+			strips[si][ri] = ls
+		}
+	}
+	single, err := serveLocal(server.New(g, server.Config{MaxRegionSNPs: 128, MaxTopK: 100, Threads: 2}))
+	if err != nil {
+		return err
+	}
+	defer single.kill()
+
+	co, err := cluster.New(context.Background(), []string{
+		strips[0][0].url + "|" + strips[0][1].url,
+		strips[1][0].url + "|" + strips[1][1].url,
+	}, cluster.Config{
+		ShardTimeout: 10 * time.Second, Retries: 1, RetryBackoff: 5 * time.Millisecond,
+		BreakerFailures: 3, BreakerCooldown: 500 * time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+	defer co.Close()
+	front, err := serveLocal(co)
+	if err != nil {
+		return err
+	}
+	defer front.kill()
+
+	hc := &http.Client{Timeout: 30 * time.Second}
+	fetch := func(q string) (int, string, []byte, error) {
+		resp, err := hc.Get(front.url + q)
+		if err != nil {
+			return 0, "", nil, err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		return resp.StatusCode, resp.Header.Get("X-LD-Shards-Failed"), body, err
+	}
+
+	killed := strips[0][1]
+	killAt := duration / 2
+	time.AfterFunc(killAt, killed.kill)
+
+	fmt.Fprintf(stderr, "ldbench: cluster bench: %d SNPs × %d samples, 2 strips × 2 replicas, %d workers for %s (killing %s at %s)\n",
+		snps, samples, workers, duration, killed.url, killAt)
+
+	var requests, failures, partials, checked, mismatches atomic.Int64
+	lats := make([][]time.Duration, workers)
+	deadline := time.Now().Add(duration)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w) + 1))
+			for seq := 0; time.Now().Before(deadline); seq++ {
+				var q string
+				switch r := rng.Intn(10); {
+				case r < 7: // region, randomized so the result cache can't absorb the load
+					start := rng.Intn(snps - 64)
+					q = fmt.Sprintf("/api/ld/region?start=%d&end=%d&measure=r2", start, start+16+rng.Intn(48))
+				case r < 9: // pair
+					i, j := rng.Intn(snps), rng.Intn(snps)
+					if i == j {
+						j = (j + 1) % snps
+					}
+					q = fmt.Sprintf("/api/ld?i=%d&j=%d", i, j)
+				default: // top
+					q = fmt.Sprintf("/api/ld/top?k=%d", 5+rng.Intn(40))
+				}
+				t0 := time.Now()
+				code, failedHdr, body, err := fetch(q)
+				lats[w] = append(lats[w], time.Since(t0))
+				requests.Add(1)
+				if err != nil || code != http.StatusOK {
+					failures.Add(1)
+					continue
+				}
+				if failedHdr != "" {
+					partials.Add(1)
+					continue
+				}
+				if seq%8 == 0 { // spot-check bit-identity against the single node
+					checked.Add(1)
+					sresp, err := hc.Get(single.url + q)
+					if err != nil {
+						mismatches.Add(1)
+						continue
+					}
+					sbody, _ := io.ReadAll(sresp.Body)
+					sresp.Body.Close()
+					var got, want map[string]any
+					if json.Unmarshal(body, &got) != nil || json.Unmarshal(sbody, &want) != nil ||
+						!reflect.DeepEqual(got, want) {
+						mismatches.Add(1)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Cache probe: a query shape the load loop never issues (measure=dprime),
+	// twice. The repeat must make zero shard round trips.
+	probe := "/api/ld/region?start=1&end=33&measure=dprime"
+	if code, _, _, err := fetch(probe); err != nil || code != http.StatusOK {
+		return fmt.Errorf("cluster bench: cache probe failed: code %d err %v", code, err)
+	}
+	before := shardCalls.Load()
+	code, _, _, err := fetch(probe)
+	if err != nil || code != http.StatusOK {
+		return fmt.Errorf("cluster bench: cache probe repeat failed: code %d err %v", code, err)
+	}
+	probeClean := shardCalls.Load() == before
+
+	var vars struct {
+		CacheHits   int64 `json:"result_cache_hits"`
+		CacheMisses int64 `json:"result_cache_misses"`
+		Coalesced   int64 `json:"coalesced_requests"`
+	}
+	if _, _, body, err := fetch("/debug/vars"); err == nil {
+		json.Unmarshal(body, &vars)
+	}
+
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+	pct := func(p float64) float64 {
+		if len(all) == 0 {
+			return 0
+		}
+		return float64(all[int(p*float64(len(all)-1))]) / float64(time.Millisecond)
+	}
+
+	rep := clusterReport{
+		SNPs: snps, Samples: samples, Strips: 2, ReplicasPerStrip: 2,
+		Workers: workers, DurationSec: duration.Seconds(),
+		KilledReplica: killed.url, KillAtSec: killAt.Seconds(),
+		Requests: requests.Load(), QPS: float64(requests.Load()) / duration.Seconds(),
+		P50Ms: pct(0.50), P95Ms: pct(0.95), P99Ms: pct(0.99),
+		Failures: failures.Load(), Partials: partials.Load(),
+		IdentityChecked: checked.Load(), IdentityMismatches: mismatches.Load(),
+		CacheProbeZeroRoundTrips: probeClean,
+		CacheHits:                vars.CacheHits, CacheMisses: vars.CacheMisses, Coalesced: vars.Coalesced,
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "ldbench: cluster bench: %d requests, %.0f QPS, p50/p95/p99 %.1f/%.1f/%.1f ms, %d failures, %d partials, %d/%d identity checks clean, cache probe zero-round-trips=%t → %s\n",
+		rep.Requests, rep.QPS, rep.P50Ms, rep.P95Ms, rep.P99Ms,
+		rep.Failures, rep.Partials, rep.IdentityChecked-rep.IdentityMismatches, rep.IdentityChecked, probeClean, path)
+	if rep.Failures > 0 || rep.Partials > 0 || rep.IdentityMismatches > 0 || !probeClean {
+		return fmt.Errorf("cluster bench: resilience contract violated: %d failures, %d partials, %d mismatches, cache probe clean=%t",
+			rep.Failures, rep.Partials, rep.IdentityMismatches, probeClean)
+	}
+	return nil
+}

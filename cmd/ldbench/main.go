@@ -29,6 +29,14 @@
 //	                      profile for ldserver/ldstore -tune-profile;
 //	                      with it, the experiment list may be empty
 //	-tune-budget D        autotuner measurement budget (default 2s)
+//	-cluster-json PATH    boot an in-process 2-strip × 2-replica cluster,
+//	                      drive randomized load while killing one replica
+//	                      mid-run, and write the resilience benchmark
+//	                      (BENCH_cluster.json: sustained QPS, tail
+//	                      latency, zero failures/partials, result-cache
+//	                      probe); with it, the experiment list may be
+//	                      empty. -cluster-duration and -cluster-workers
+//	                      size the run.
 package main
 
 import (
@@ -77,6 +85,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 	writeProfile := fs.String("write-tune-profile", "",
 		"run the autotuner and persist the winner as a per-host profile at this path (loadable via ldserver/ldstore -tune-profile); with it, the experiment list may be empty")
 	tuneBudget := fs.Duration("tune-budget", 2*time.Second, "autotuner measurement budget for -write-tune-profile")
+	clusterJSON := fs.String("cluster-json", "",
+		"write a replica-cluster resilience benchmark to this path (e.g. BENCH_cluster.json); with it, the experiment list may be empty")
+	clusterDuration := fs.Duration("cluster-duration", 6*time.Second,
+		"load window for -cluster-json; one replica is killed halfway through")
+	clusterWorkers := fs.Int("cluster-workers", 8, "concurrent client workers for -cluster-json")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr,
 			"usage: ldbench [flags] <experiment>...\nexperiments: %s all\nflags:\n",
@@ -98,7 +111,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	names := fs.Args()
-	if len(names) == 0 && *jsonPath == "" && *epilogueJSON == "" && *writeProfile == "" {
+	if len(names) == 0 && *jsonPath == "" && *epilogueJSON == "" && *writeProfile == "" && *clusterJSON == "" {
 		fs.Usage()
 		return fmt.Errorf("no experiment named")
 	}
@@ -122,6 +135,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if *epilogueJSON != "" {
 		if err := writeEpilogueJSON(*epilogueJSON, *scale, threads, stderr); err != nil {
+			return err
+		}
+	}
+	if *clusterJSON != "" {
+		if err := writeClusterJSON(*clusterJSON, *scale, *clusterDuration, *clusterWorkers, stderr); err != nil {
 			return err
 		}
 	}

@@ -40,12 +40,18 @@
 // Cluster modes: `-shard-range a:b` runs this server as a cluster shard
 // owning SNP rows [a, b) — it answers only queries whose smaller index
 // falls in its strip (421 otherwise) and advertises the range on
-// /api/info. `-coordinator url1,url2,...` runs a coordinator instead of
-// a server: no dataset is loaded; pair lookups route to the owning shard
-// and region/top queries scatter-gather across the strips, with
-// -shard-timeout, -retries, -retry-backoff, -hedge-after,
-// -breaker-failures, and -breaker-cooldown tuning the resilient shard
-// client. All shards must be reachable when the coordinator boots.
+// /api/info. `-coordinator urlA|urlB,urlC` runs a coordinator instead
+// of a server: no dataset is loaded; comma-separated groups own the
+// strips, and `|`-separated URLs within a group are interchangeable
+// replicas of the same strip (identical shard ranges and dataset
+// fingerprints, validated at bootstrap). Pair lookups route to the
+// healthiest replica of the owning group and region/top queries
+// scatter-gather across the strips, failing over within each group
+// before degrading; -shard-timeout, -retries, -retry-backoff,
+// -hedge-after, -breaker-failures, and -breaker-cooldown tune the
+// resilient shard client, and -result-cache bounds the fingerprint-keyed
+// result cache. All replicas must be reachable when the coordinator
+// boots.
 package main
 
 import (
@@ -125,7 +131,7 @@ func setup(args []string, stderr io.Writer) (*app, error) {
 	shardRange := fs.String("shard-range", "",
 		"owned SNP row range a:b when running as a cluster shard (empty = unsharded)")
 	coordinator := fs.String("coordinator", "",
-		"comma-separated shard URLs; run as a cluster coordinator instead of serving a dataset")
+		"comma-separated shard groups (replicas |-separated within a group); run as a cluster coordinator instead of serving a dataset")
 	shardTimeout := fs.Duration("shard-timeout", 30*time.Second,
 		"coordinator: per-attempt deadline for each shard call")
 	retries := fs.Int("retries", 2, "coordinator: re-attempts after a failed shard call (0 = none)")
@@ -137,6 +143,8 @@ func setup(args []string, stderr io.Writer) (*app, error) {
 		"coordinator: consecutive shard failures that open its circuit breaker")
 	breakerCooldown := fs.Duration("breaker-cooldown", 5*time.Second,
 		"coordinator: how long an open breaker fails fast before probing the shard again")
+	resultCache := fs.Int64("result-cache", 64<<20,
+		"coordinator: byte budget for the fingerprint-keyed result cache (0 = disabled)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -147,15 +155,19 @@ func setup(args []string, stderr io.Writer) (*app, error) {
 		ccfg := cluster.Config{
 			ShardTimeout: *shardTimeout, Retries: *retries, RetryBackoff: *retryBackoff,
 			HedgeAfter: *hedgeAfter, BreakerFailures: *breakerFailures, BreakerCooldown: *breakerCooldown,
+			ResultCacheBytes: *resultCache,
 		}
 		if *retries == 0 {
 			ccfg.Retries = -1 // the flag's 0 means "no retries", not "default"
+		}
+		if *resultCache == 0 {
+			ccfg.ResultCacheBytes = -1 // likewise: 0 at the CLI disables the cache
 		}
 		co, err := cluster.New(context.Background(), strings.Split(*coordinator, ","), ccfg)
 		if err != nil {
 			return nil, err
 		}
-		fmt.Fprintf(stderr, "ldserver: coordinating %d shards; listening on %s\n",
+		fmt.Fprintf(stderr, "ldserver: coordinating %d shard groups; listening on %s\n",
 			len(strings.Split(*coordinator, ",")), *addr)
 		a := &app{grace: *grace, coord: co, srv: newHTTPServer(*addr, co, *reqTimeout)}
 		if *adminAddr != "" {

@@ -352,6 +352,28 @@ func TestSetupCoordinatorMode(t *testing.T) {
 	}
 	a.coord.Close()
 
+	// Replica syntax: a second replica of strip 0 joins via `|`, and the
+	// coordinator routes around the dead one transparently.
+	rep, err := setup([]string{"-in", path, "-shard-range", "0:25", "-access-log=false"}, &errBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repTS := httptest.NewServer(rep.srv.Handler)
+	a, err = setup([]string{
+		"-coordinator", shards[0] + "|" + repTS.URL + "," + shards[1],
+		"-retries", "1", "-hedge-after", "-1ms", "-result-cache", "0",
+	}, &errBuf)
+	if err != nil {
+		t.Fatalf("replica coordinator failed to boot: %v", err)
+	}
+	repTS.Close() // strip 0 still has shards[0]
+	rec = httptest.NewRecorder()
+	a.srv.Handler.ServeHTTP(rec, httptest.NewRequest("GET", "/api/ld?i=5&j=40", nil))
+	if rec.Code != 200 {
+		t.Fatalf("replica-group pair status %d: %s", rec.Code, rec.Body)
+	}
+	a.coord.Close()
+
 	// Mutually exclusive and invalid configurations refuse to start.
 	if _, err := setup([]string{"-coordinator", shards[0], "-in", path}, &errBuf); err == nil {
 		t.Fatal("-coordinator with -in accepted")

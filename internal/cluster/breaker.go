@@ -89,6 +89,19 @@ func (b *breaker) record(ok bool) {
 	}
 }
 
+// neutral reports a call that ended without any shard-side information —
+// the caller cancelled before the shard could answer. The failure streak
+// is left untouched, and a half-open probe slot is handed back (the
+// cooldown deadline has already passed, so the next call probes again)
+// rather than counting an aborted probe as a shard verdict.
+func (b *breaker) neutral() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == breakerHalfOpen {
+		b.state = breakerOpen
+	}
+}
+
 func (b *breaker) trip() {
 	b.state = breakerOpen
 	b.until = b.now().Add(b.cooldown)

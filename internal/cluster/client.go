@@ -90,6 +90,16 @@ func newShardClient(base string, hc *http.Client, cfg Config, m *shardMetrics) *
 	}
 }
 
+// health summarizes the routing signals this client already collects:
+// the breaker state and the recent p95 round-trip latency (known=false
+// until the ring holds enough samples). Replica groups rank on it to
+// pick the healthiest replica for each call.
+func (c *shardClient) health() (state breakerState, p95 time.Duration, known bool) {
+	state, _ = c.breaker.snapshot()
+	p95, known = c.lat.quantile(0.95)
+	return state, p95, known
+}
+
 // get fetches pathQuery (e.g. "/api/ld?i=3&j=5") from the shard and
 // returns the 200 body. The breaker is consulted once per call and fed
 // one outcome per attempt, so a string of failed retries trips it as fast
@@ -125,10 +135,18 @@ func (c *shardClient) get(ctx context.Context, pathQuery string) ([]byte, error)
 			c.breaker.record(true)
 			return nil, err
 		}
+		if ctx.Err() != nil {
+			// The caller went away, so the failure says nothing about the
+			// shard: hand a half-open probe slot back instead of feeding
+			// the cancellation into the breaker, or a burst of abandoned
+			// requests would trip the circuit against a healthy shard.
+			c.breaker.neutral()
+			return nil, err
+		}
 		c.breaker.record(false)
 		c.m.failures.Add(1)
 		lastErr = err
-		if ctx.Err() != nil || attempt == c.cfg.Retries {
+		if attempt == c.cfg.Retries {
 			return nil, lastErr
 		}
 	}
@@ -181,6 +199,14 @@ func (c *shardClient) hedgedDo(ctx context.Context, pathQuery string) ([]byte, e
 				}
 				return r.body, nil
 			}
+			var he *HTTPError
+			if errors.As(r.err, &he) && he.Status < 500 {
+				// Terminal: the shard rejected the request itself, which is
+				// deterministic for the same query, so the straggler cannot
+				// answer differently. Return now and let the deferred cancel
+				// release it instead of burning a full extra round trip.
+				return nil, r.err
+			}
 			if firstErr == nil {
 				firstErr = r.err
 			}
@@ -228,10 +254,14 @@ func (c *shardClient) do(ctx context.Context, pathQuery string) ([]byte, error) 
 	if err != nil {
 		return nil, err
 	}
-	c.lat.add(time.Since(start))
 	if resp.StatusCode != http.StatusOK {
+		// Not a successful round trip: a shard failing fast with 5xx must
+		// not drag the hedge trigger down, or hedges fire hardest exactly
+		// when a shard is partially broken (and a 4xx says nothing about
+		// how long real answers take either).
 		return nil, &HTTPError{Status: resp.StatusCode, Body: body}
 	}
+	c.lat.add(time.Since(start))
 	return body, nil
 }
 

@@ -44,6 +44,10 @@ type Config struct {
 	// BootstrapTimeout bounds the initial /api/info sweep in New.
 	// Default 10s.
 	BootstrapTimeout time.Duration
+	// ResultCacheBytes caps the fingerprint-keyed result cache over
+	// complete pair/region/top responses. 0 picks the 64 MiB default;
+	// negative disables the cache.
+	ResultCacheBytes int64
 	// Client overrides the HTTP client used for shard calls.
 	Client *http.Client
 }
@@ -73,71 +77,93 @@ func (c Config) normalize() Config {
 	if c.BootstrapTimeout <= 0 {
 		c.BootstrapTimeout = 10 * time.Second
 	}
+	if c.ResultCacheBytes == 0 {
+		c.ResultCacheBytes = 64 << 20
+	}
 	return c
 }
 
-// Coordinator fronts a set of shard servers with the single-node HTTP
-// API: pair lookups route to the owning shard, region and top queries
-// scatter to the owning strips and gather bit-identical merged answers,
-// and whole-matrix endpoints proxy to any healthy shard.
+// Coordinator fronts a set of shard replica groups with the single-node
+// HTTP API: pair lookups route to the group owning the strip, region and
+// top queries scatter to the owning strips and gather bit-identical
+// merged answers, and whole-matrix endpoints proxy to any healthy
+// replica. Within a group, calls go to the healthiest replica and fail
+// over through the rest before the strip is declared lost. Identical
+// in-flight pair/region/top requests coalesce into one shard fan-out,
+// and complete responses are cached under the dataset fingerprint.
 type Coordinator struct {
 	cfg     Config
 	hc      *http.Client
 	part    partition
-	shards  []*shardClient // ordered by strip, parallel to part.ranges
+	groups  []*replicaGroup // ordered by strip, parallel to part.ranges
 	info    server.InfoResponse
+	fp      string // dataset fingerprint every replica advertised
 	n       int
 	m       *metrics
+	cache   *resultCache // nil when disabled
+	flight  *flightGroup
 	handler http.Handler
 	rr      atomic.Uint64 // round-robin cursor for proxied endpoints
 }
 
-// New bootstraps a coordinator: it fetches /api/info from every shard,
-// checks that all advertise the same matrix, and assembles the partition
-// map from the advertised shard ranges. A single shard with no advertised
-// range is treated as owning the whole index range. Every shard must be
-// reachable during bootstrap; afterwards the cluster degrades gracefully.
+// New bootstraps a coordinator. Each shard URL spec names one replica
+// group — `|`-separated replicas serving the same strip, e.g.
+// "urlA|urlB" — and New fetches /api/info from every replica, checks
+// that all advertise the same matrix and dataset fingerprint and that
+// replicas within a group advertise the same shard range, then assembles
+// the partition map from the per-group ranges. A single group with no
+// advertised range is treated as owning the whole index range. Every
+// replica must be reachable during bootstrap; afterwards the cluster
+// degrades gracefully.
 func New(ctx context.Context, shardURLs []string, cfg Config) (*Coordinator, error) {
 	cfg = cfg.normalize()
-	if len(shardURLs) == 0 {
-		return nil, fmt.Errorf("cluster: no shard URLs")
+	groups, err := parseGroupSpecs(shardURLs)
+	if err != nil {
+		return nil, err
 	}
 	hc := cfg.Client
 	if hc == nil {
 		hc = &http.Client{}
 	}
-	bases := make([]string, len(shardURLs))
-	for i, u := range shardURLs {
-		u = strings.TrimSuffix(strings.TrimSpace(u), "/")
-		if !strings.Contains(u, "://") {
-			u = "http://" + u // bare host:port is the common CLI spelling
-		}
-		bases[i] = u
-	}
 
 	ctx, cancel := context.WithTimeout(ctx, cfg.BootstrapTimeout)
 	defer cancel()
-	infos := make([]server.InfoResponse, len(bases))
-	for i, base := range bases {
-		if err := fetchJSON(ctx, hc, base+"/api/info", &infos[i]); err != nil {
-			return nil, fmt.Errorf("cluster: bootstrapping shard %s: %w", base, err)
+	infos := make([][]server.InfoResponse, len(groups))
+	for gi, group := range groups {
+		infos[gi] = make([]server.InfoResponse, len(group))
+		for ri, base := range group {
+			if err := fetchJSON(ctx, hc, base+"/api/info", &infos[gi][ri]); err != nil {
+				return nil, fmt.Errorf("cluster: bootstrapping shard %s: %w", base, err)
+			}
 		}
 	}
 
-	n := infos[0].SNPs
-	ranges := make([]Range, len(infos))
-	for i, info := range infos {
-		if info.SNPs != n || info.Samples != infos[0].Samples {
-			return nil, fmt.Errorf("cluster: shard %s serves a %d×%d matrix, shard %s a %d×%d one",
-				bases[i], info.SNPs, info.Samples, bases[0], n, infos[0].Samples)
+	first := infos[0][0]
+	n := first.SNPs
+	ranges := make([]Range, len(groups))
+	for gi, group := range groups {
+		for ri, info := range infos[gi] {
+			base := group[ri]
+			if info.SNPs != n || info.Samples != first.Samples {
+				return nil, fmt.Errorf("cluster: shard %s serves a %d×%d matrix, shard %s a %d×%d one",
+					base, info.SNPs, info.Samples, groups[0][0], n, first.Samples)
+			}
+			if info.Fingerprint != first.Fingerprint {
+				return nil, fmt.Errorf("cluster: shard %s advertises dataset fingerprint %q, shard %s %q — replicas must serve the same dataset",
+					base, info.Fingerprint, groups[0][0], first.Fingerprint)
+			}
+			if ri > 0 && !sameShardRange(info.Shard, infos[gi][0].Shard) {
+				return nil, fmt.Errorf("cluster: replicas %s and %s advertise different shard ranges (%s vs %s) — a replica group must serve one strip",
+					base, group[0], shardRangeString(info.Shard), shardRangeString(infos[gi][0].Shard))
+			}
 		}
 		switch {
-		case info.Shard != nil:
-			ranges[i] = Range{Start: info.Shard.Start, End: info.Shard.End}
-		case len(infos) == 1:
-			ranges[i] = Range{Start: 0, End: n} // lone unsharded server
+		case infos[gi][0].Shard != nil:
+			ranges[gi] = Range{Start: infos[gi][0].Shard.Start, End: infos[gi][0].Shard.End}
+		case len(groups) == 1:
+			ranges[gi] = Range{Start: 0, End: n} // lone unsharded group
 		default:
-			return nil, fmt.Errorf("cluster: shard %s advertises no shard range", bases[i])
+			return nil, fmt.Errorf("cluster: shard %s advertises no shard range", group[0])
 		}
 	}
 	part, order, err := newPartition(ranges, n)
@@ -145,19 +171,43 @@ func New(ctx context.Context, shardURLs []string, cfg Config) (*Coordinator, err
 		return nil, err
 	}
 
-	co := &Coordinator{cfg: cfg, hc: hc, part: part, n: n, info: infos[order[0]]}
+	co := &Coordinator{
+		cfg: cfg, hc: hc, part: part, n: n,
+		info:   first,
+		fp:     first.Fingerprint,
+		flight: newFlightGroup(),
+	}
 	co.info.Shard = nil
-	ordered := make([]string, len(order))
+	if cfg.ResultCacheBytes > 0 {
+		co.cache = newResultCache(cfg.ResultCacheBytes)
+	}
+	co.groups = make([]*replicaGroup, len(order))
 	for k, idx := range order {
-		ordered[k] = bases[idx]
+		g := &replicaGroup{}
+		for _, base := range groups[idx] {
+			g.replicas = append(g.replicas, newShardClient(base, hc, cfg, &shardMetrics{}))
+		}
+		co.groups[k] = g
 	}
-	co.m = newMetrics(co, ordered)
-	co.shards = make([]*shardClient, len(ordered))
-	for i, base := range ordered {
-		co.shards[i] = newShardClient(base, hc, cfg, co.m.shards[i])
-	}
+	co.m = newMetrics(co)
 	co.handler = observeMiddleware(co.m, co.routes())
 	return co, nil
+}
+
+// sameShardRange reports whether two advertised shard ranges agree
+// (both absent counts as agreement: the unsharded lone-group case).
+func sameShardRange(a, b *server.ShardRange) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	return a.Start == b.Start && a.End == b.End
+}
+
+func shardRangeString(r *server.ShardRange) string {
+	if r == nil {
+		return "none"
+	}
+	return fmt.Sprintf("[%d,%d)", r.Start, r.End)
 }
 
 // fetchJSON is the plain bootstrap fetch — no breaker or hedging yet,
@@ -219,12 +269,12 @@ func handleFallback(w http.ResponseWriter, r *http.Request) {
 	httpError(w, http.StatusNotFound, "no such endpoint %s", r.URL.Path)
 }
 
-// handleReadyz reports ready while at least one shard's breaker admits
+// handleReadyz reports ready while at least one replica's breaker admits
 // traffic: a degraded cluster still serves partial answers, but a cluster
 // with every circuit open cannot answer anything.
 func (co *Coordinator) handleReadyz(w http.ResponseWriter, r *http.Request) {
-	for _, s := range co.shards {
-		if state, _ := s.breaker.snapshot(); state != breakerOpen {
+	for _, g := range co.groups {
+		if g.admitting() {
 			writeJSON(w, map[string]string{"status": "ok"})
 			return
 		}
@@ -232,12 +282,21 @@ func (co *Coordinator) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	httpError(w, http.StatusServiceUnavailable, "all shard breakers open")
 }
 
-// ShardInfo is one shard's entry in the cluster info payload.
-type ShardInfo struct {
+// ReplicaInfo is one replica's entry in the cluster info payload.
+type ReplicaInfo struct {
 	URL     string `json:"url"`
-	Start   int    `json:"start"`
-	End     int    `json:"end"`
 	Breaker string `json:"breaker"`
+}
+
+// ShardInfo is one replica group's entry in the cluster info payload.
+// URL and Breaker describe the first-configured replica, kept for
+// compatibility with single-replica deployments.
+type ShardInfo struct {
+	URL      string        `json:"url"`
+	Start    int           `json:"start"`
+	End      int           `json:"end"`
+	Breaker  string        `json:"breaker"`
+	Replicas []ReplicaInfo `json:"replicas,omitempty"`
 }
 
 // InfoResponse is the coordinator's /api/info payload: the single-node
@@ -249,20 +308,28 @@ type InfoResponse struct {
 
 func (co *Coordinator) handleInfo(w http.ResponseWriter, r *http.Request) {
 	resp := InfoResponse{InfoResponse: co.info}
-	for i, s := range co.shards {
-		state, _ := s.breaker.snapshot()
-		resp.Shards = append(resp.Shards, ShardInfo{
-			URL:   s.base,
+	for i, g := range co.groups {
+		state, _ := g.replicas[0].breaker.snapshot()
+		si := ShardInfo{
+			URL:   g.replicas[0].base,
 			Start: co.part.ranges[i].Start, End: co.part.ranges[i].End,
 			Breaker: state.String(),
-		})
+		}
+		if len(g.replicas) > 1 {
+			for _, rep := range g.replicas {
+				rstate, _ := rep.breaker.snapshot()
+				si.Replicas = append(si.Replicas, ReplicaInfo{URL: rep.base, Breaker: rstate.String()})
+			}
+		}
+		resp.Shards = append(resp.Shards, si)
 	}
 	writeJSON(w, resp)
 }
 
-// handleFreq serves per-SNP frequencies. Every shard holds the full
-// matrix, so the owner is only a preference: on failure the request fails
-// over to the remaining shards.
+// handleFreq serves per-SNP frequencies. Every replica holds the full
+// matrix, so the owning group is only a preference: on failure the
+// request fails over to the remaining groups (and within each group to
+// its remaining replicas).
 func (co *Coordinator) handleFreq(w http.ResponseWriter, r *http.Request) {
 	i, err := intQuery(r, "i")
 	if err != nil {
@@ -275,9 +342,9 @@ func (co *Coordinator) handleFreq(w http.ResponseWriter, r *http.Request) {
 	}
 	first := co.part.owner(i)
 	var lastErr error
-	for k := range co.shards {
-		s := co.shards[(first+k)%len(co.shards)]
-		body, err := s.get(r.Context(), "/api/freq?"+r.URL.RawQuery)
+	for k := range co.groups {
+		g := co.groups[(first+k)%len(co.groups)]
+		body, err := g.get(r.Context(), "/api/freq?i="+strconv.Itoa(i))
 		if err == nil {
 			relayBody(w, body)
 			return
@@ -292,7 +359,57 @@ func (co *Coordinator) handleFreq(w http.ResponseWriter, r *http.Request) {
 	httpError(w, http.StatusBadGateway, "all shards failed: %v", lastErr)
 }
 
-// handlePair routes a pair lookup to the shard owning min(i, j).
+// serve answers a cacheable, coalescable endpoint (pair/region/top):
+// the result cache is consulted first, then concurrent identical
+// requests collapse into one execution of fetch whose response every
+// caller shares, and complete 200 answers are admitted to the cache.
+// The key is the normalized query prefixed by the dataset fingerprint,
+// so equivalent requests coalesce regardless of parameter spelling and
+// a coordinator bootstrapped against a different dataset can never
+// collide. fetch runs detached from any single caller's context — its
+// result is shared work — but stays bounded by the per-attempt shard
+// timeouts and retry budget.
+func (co *Coordinator) serve(w http.ResponseWriter, r *http.Request, key string, fetch func(ctx context.Context) *clusterResponse) {
+	key = co.fp + " " + key
+	if co.cache != nil {
+		if resp, ok := co.cache.get(key); ok {
+			resp.write(w)
+			return
+		}
+	}
+	ctx := context.WithoutCancel(r.Context())
+	resp, shared := co.flight.do(key, func() *clusterResponse {
+		resp := fetch(ctx)
+		if co.cache != nil && resp.cacheable() {
+			co.cache.put(key, resp)
+		}
+		return resp
+	})
+	if shared {
+		co.m.coalesced.Add(1)
+	}
+	resp.write(w)
+}
+
+// errorResponse builds a non-cached JSON error in clusterResponse form.
+func errorResponse(code int, format string, args ...any) *clusterResponse {
+	body, _ := json.Marshal(map[string]string{"error": fmt.Sprintf(format, args...)})
+	return &clusterResponse{status: code, body: append(body, '\n')}
+}
+
+// okResponse marshals a complete or partial 200 payload.
+func okResponse(v any, failed string) *clusterResponse {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return errorResponse(http.StatusInternalServerError, "encoding response: %v", err)
+	}
+	return &clusterResponse{
+		status: http.StatusOK, body: append(body, '\n'),
+		partial: failed != "", failed: failed,
+	}
+}
+
+// handlePair routes a pair lookup to the group owning min(i, j).
 func (co *Coordinator) handlePair(w http.ResponseWriter, r *http.Request) {
 	i, err := intQuery(r, "i")
 	if err != nil {
@@ -308,24 +425,27 @@ func (co *Coordinator) handlePair(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "pair (%d,%d) outside 0..%d", i, j, co.n-1)
 		return
 	}
-	s := co.shards[co.part.owner(min(i, j))]
-	body, err := s.get(r.Context(), "/api/ld?"+r.URL.RawQuery)
-	if err != nil {
-		co.shardFailure(w, s, err)
-		return
-	}
-	relayBody(w, body)
+	query := fmt.Sprintf("/api/ld?i=%d&j=%d", i, j)
+	co.serve(w, r, query, func(ctx context.Context) *clusterResponse {
+		g := co.groups[co.part.owner(min(i, j))]
+		body, err := g.get(ctx, query)
+		if err != nil {
+			return co.stripFailure(g, err)
+		}
+		return &clusterResponse{status: http.StatusOK, body: body}
+	})
 }
 
-// stripResult is one shard's share of a scatter-gather.
+// stripResult is one replica group's share of a scatter-gather.
 type stripResult struct {
 	region server.RegionResponse
 	top    server.TopResponse
 	err    error
 }
 
-// scatter fans query out to the given shards concurrently, decoding each
-// response into the slot decode selects.
+// scatter fans query out to the given groups concurrently, decoding each
+// response into the slot decode selects. Within each group the call
+// routes to the healthiest replica and fails over through the rest.
 func (co *Coordinator) scatter(ctx context.Context, owners []int, query func(shard int) string, decode func(*stripResult) any) []stripResult {
 	results := make([]stripResult, len(owners))
 	var wg sync.WaitGroup
@@ -333,7 +453,7 @@ func (co *Coordinator) scatter(ctx context.Context, owners []int, query func(sha
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			results[k].err = co.shards[shard].getJSON(ctx, query(shard), decode(&results[k]))
+			results[k].err = co.groups[shard].getJSON(ctx, query(shard), decode(&results[k]))
 		}()
 	}
 	wg.Wait()
@@ -342,8 +462,9 @@ func (co *Coordinator) scatter(ctx context.Context, owners []int, query func(sha
 
 // gatherVerdict classifies a scatter: a terminal 4xx anywhere is relayed
 // verbatim (the request itself is wrong, and every shard would say so); a
-// down shard degrades the answer; all shards down fails it.
-func (co *Coordinator) gatherVerdict(w http.ResponseWriter, owners []int, results []stripResult) (failed []int, done bool) {
+// strip whose whole replica group is down degrades the answer; all strips
+// down fails it. terminal is the relayable error response when done.
+func (co *Coordinator) gatherVerdict(owners []int, results []stripResult) (failed []int, terminal *clusterResponse) {
 	var lastErr error
 	for k, res := range results {
 		if res.err == nil {
@@ -351,31 +472,29 @@ func (co *Coordinator) gatherVerdict(w http.ResponseWriter, owners []int, result
 		}
 		var he *HTTPError
 		if errors.As(res.err, &he) && he.Status < 500 {
-			relayError(w, he)
-			return nil, true
+			return nil, &clusterResponse{status: he.Status, body: he.Body}
 		}
 		failed = append(failed, owners[k])
 		lastErr = res.err
 	}
 	if len(failed) == len(owners) {
-		httpError(w, http.StatusBadGateway, "all owner shards failed: %v", lastErr)
-		return nil, true
+		return nil, errorResponse(http.StatusBadGateway, "all owner shards failed: %v", lastErr)
 	}
-	return failed, false
+	return failed, nil
 }
 
-// markPartial stamps a degraded response: the X-LD-Shards-Failed header
-// names the lost shards so clients can tell which strips are missing.
-func (co *Coordinator) markPartial(w http.ResponseWriter, failed []int) {
+// failedNames joins the replica-group names of lost strips for the
+// X-LD-Shards-Failed header; empty when the answer is complete.
+func (co *Coordinator) failedNames(failed []int) string {
 	if len(failed) == 0 {
-		return
+		return ""
 	}
-	urls := make([]string, len(failed))
+	names := make([]string, len(failed))
 	for k, shard := range failed {
-		urls[k] = co.shards[shard].base
+		names[k] = co.groups[shard].names()
 	}
-	w.Header().Set("X-LD-Shards-Failed", strings.Join(urls, ","))
 	co.m.partials.Add(1)
+	return strings.Join(names, ",")
 }
 
 func (co *Coordinator) handleRegion(w http.ResponseWriter, r *http.Request) {
@@ -409,40 +528,43 @@ func (co *Coordinator) handleRegion(w http.ResponseWriter, r *http.Request) {
 	}
 
 	measure := r.URL.Query().Get("measure")
-	owners := co.part.overlapping(rlo, rhi)
-	results := co.scatter(r.Context(), owners, func(shard int) string {
-		strip := co.part.ranges[shard]
-		q := url.Values{}
-		q.Set("start", strconv.Itoa(start))
-		q.Set("end", strconv.Itoa(end))
-		if measure != "" {
-			q.Set("measure", measure)
+	key := fmt.Sprintf("region start=%d end=%d measure=%s rows=%d:%d windowed=%t",
+		start, end, measure, rlo, rhi, windowed)
+	co.serve(w, r, key, func(ctx context.Context) *clusterResponse {
+		owners := co.part.overlapping(rlo, rhi)
+		results := co.scatter(ctx, owners, func(shard int) string {
+			strip := co.part.ranges[shard]
+			q := url.Values{}
+			q.Set("start", strconv.Itoa(start))
+			q.Set("end", strconv.Itoa(end))
+			if measure != "" {
+				q.Set("measure", measure)
+			}
+			q.Set("rows", fmt.Sprintf("%d:%d", max(strip.Start, rlo), min(strip.End, rhi)))
+			return "/api/ld/region?" + q.Encode()
+		}, func(res *stripResult) any { return &res.region })
+		failed, terminal := co.gatherVerdict(owners, results)
+		if terminal != nil {
+			return terminal
 		}
-		q.Set("rows", fmt.Sprintf("%d:%d", max(strip.Start, rlo), min(strip.End, rhi)))
-		return "/api/ld/region?" + q.Encode()
-	}, func(res *stripResult) any { return &res.region })
-	failed, done := co.gatherVerdict(w, owners, results)
-	if done {
-		return
-	}
 
-	resp := server.RegionResponse{Start: start, End: end, Partial: len(failed) > 0}
-	if windowed && !(rlo == start && rhi == end) {
-		resp.RowStart, resp.RowEnd = rlo, rhi
-	}
-	resp.Values = make([][]float64, rhi-rlo)
-	for k, shard := range owners {
-		if results[k].err != nil {
-			continue
+		resp := server.RegionResponse{Start: start, End: end, Partial: len(failed) > 0}
+		if windowed && !(rlo == start && rhi == end) {
+			resp.RowStart, resp.RowEnd = rlo, rhi
 		}
-		resp.Measure = results[k].region.Measure
-		strip := co.part.ranges[shard]
-		for i, row := range results[k].region.Values {
-			resp.Values[max(strip.Start, rlo)-rlo+i] = row
+		resp.Values = make([][]float64, rhi-rlo)
+		for k, shard := range owners {
+			if results[k].err != nil {
+				continue
+			}
+			resp.Measure = results[k].region.Measure
+			strip := co.part.ranges[shard]
+			for i, row := range results[k].region.Values {
+				resp.Values[max(strip.Start, rlo)-rlo+i] = row
+			}
 		}
-	}
-	co.markPartial(w, failed)
-	writeJSON(w, resp)
+		return okResponse(resp, co.failedNames(failed))
+	})
 }
 
 func (co *Coordinator) handleTop(w http.ResponseWriter, r *http.Request) {
@@ -472,43 +594,47 @@ func (co *Coordinator) handleTop(w http.ResponseWriter, r *http.Request) {
 		rlo, rhi = 0, co.n
 	}
 
-	owners := co.part.overlapping(rlo, rhi)
-	results := co.scatter(r.Context(), owners, func(shard int) string {
-		strip := co.part.ranges[shard]
-		q := url.Values{}
-		q.Set("k", strconv.Itoa(k))
-		q.Set("rows", fmt.Sprintf("%d:%d", max(strip.Start, rlo), min(strip.End, rhi)))
-		return "/api/ld/top?" + q.Encode()
-	}, func(res *stripResult) any { return &res.top })
-	failed, done := co.gatherVerdict(w, owners, results)
-	if done {
-		return
-	}
-
-	lists := make([][]server.PairResponse, 0, len(results))
-	for _, res := range results {
-		if res.err == nil {
-			lists = append(lists, res.top.Pairs)
+	key := fmt.Sprintf("top k=%d rows=%d:%d windowed=%t", k, rlo, rhi, windowed)
+	co.serve(w, r, key, func(ctx context.Context) *clusterResponse {
+		owners := co.part.overlapping(rlo, rhi)
+		results := co.scatter(ctx, owners, func(shard int) string {
+			strip := co.part.ranges[shard]
+			q := url.Values{}
+			q.Set("k", strconv.Itoa(k))
+			q.Set("rows", fmt.Sprintf("%d:%d", max(strip.Start, rlo), min(strip.End, rhi)))
+			return "/api/ld/top?" + q.Encode()
+		}, func(res *stripResult) any { return &res.top })
+		failed, terminal := co.gatherVerdict(owners, results)
+		if terminal != nil {
+			return terminal
 		}
-	}
-	co.markPartial(w, failed)
-	writeJSON(w, server.TopResponse{K: k, Partial: len(failed) > 0, Pairs: mergeTop(k, lists)})
+
+		lists := make([][]server.PairResponse, 0, len(results))
+		for _, res := range results {
+			if res.err == nil {
+				lists = append(lists, res.top.Pairs)
+			}
+		}
+		return okResponse(
+			server.TopResponse{K: k, Partial: len(failed) > 0, Pairs: mergeTop(k, lists)},
+			co.failedNames(failed))
+	})
 }
 
 // handleProxy forwards whole-matrix endpoints (prune, blocks, omega) —
-// every shard holds the full matrix, so any healthy one can answer. The
-// round-robin cursor spreads the load; breaker-open shards fail fast and
-// the next shard is tried.
+// every replica holds the full matrix, so any healthy one can answer.
+// The round-robin cursor spreads the load across groups; breaker-open
+// replicas fail fast and the next candidate is tried.
 func (co *Coordinator) handleProxy(w http.ResponseWriter, r *http.Request) {
 	pathQuery := r.URL.Path
 	if r.URL.RawQuery != "" {
 		pathQuery += "?" + r.URL.RawQuery
 	}
-	first := int(co.rr.Add(1)) % len(co.shards)
+	first := int(co.rr.Add(1)) % len(co.groups)
 	var lastErr error
-	for k := range co.shards {
-		s := co.shards[(first+k)%len(co.shards)]
-		body, err := s.get(r.Context(), pathQuery)
+	for k := range co.groups {
+		g := co.groups[(first+k)%len(co.groups)]
+		body, err := g.get(r.Context(), pathQuery)
 		if err == nil {
 			co.m.proxied.Add(1)
 			relayBody(w, body)
@@ -524,15 +650,15 @@ func (co *Coordinator) handleProxy(w http.ResponseWriter, r *http.Request) {
 	httpError(w, http.StatusBadGateway, "all shards failed: %v", lastErr)
 }
 
-// shardFailure answers for a single-shard route that could not be served:
-// terminal shard responses relay verbatim, everything else is a 502.
-func (co *Coordinator) shardFailure(w http.ResponseWriter, s *shardClient, err error) {
+// stripFailure builds the response for a single-strip route that could
+// not be served by any replica: terminal shard responses relay verbatim,
+// everything else is a 502.
+func (co *Coordinator) stripFailure(g *replicaGroup, err error) *clusterResponse {
 	var he *HTTPError
 	if errors.As(err, &he) && he.Status < 500 {
-		relayError(w, he)
-		return
+		return &clusterResponse{status: he.Status, body: he.Body}
 	}
-	httpError(w, http.StatusBadGateway, "shard %s failed: %v", s.base, err)
+	return errorResponse(http.StatusBadGateway, "shard %s failed: %v", g.names(), err)
 }
 
 // relayBody forwards a shard's 200 response verbatim, preserving

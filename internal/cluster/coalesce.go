@@ -1,0 +1,47 @@
+package cluster
+
+import "sync"
+
+// flightGroup coalesces identical in-flight requests: the first caller
+// for a key becomes the leader and runs the shard fan-out, every
+// concurrent caller with the same key waits for the leader's response
+// and shares it. Responses are immutable for a fixed dataset fingerprint
+// (which is part of every key), so a follower receiving the leader's
+// bytes is indistinguishable from having scattered itself — except the
+// shards see one request instead of N when a hot region spikes.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	resp *clusterResponse
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: make(map[string]*flightCall)}
+}
+
+// do returns fn's response for key, running fn at most once across all
+// concurrent callers. shared reports whether this caller piggybacked on
+// another's in-flight work.
+func (g *flightGroup) do(key string, fn func() *clusterResponse) (resp *clusterResponse, shared bool) {
+	g.mu.Lock()
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		<-c.done
+		return c.resp, true
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.resp = fn()
+
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.resp, false
+}

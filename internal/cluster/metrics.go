@@ -31,54 +31,74 @@ type shardMetrics struct {
 // private-expvar-map pattern so many coordinators can coexist in one
 // process without duplicate-name panics.
 type metrics struct {
-	start    time.Time
-	root     *expvar.Map
-	requests *expvar.Map
-	statuses *expvar.Map
-	latency  *expvar.Map
-	partials expvar.Int // scatter-gathers answered with partial: true
-	proxied  expvar.Int // whole-matrix requests forwarded to a single shard
-	shards   []*shardMetrics
+	start     time.Time
+	root      *expvar.Map
+	requests  *expvar.Map
+	statuses  *expvar.Map
+	latency   *expvar.Map
+	partials  expvar.Int // scatter-gathers answered with partial: true
+	proxied   expvar.Int // whole-matrix requests forwarded to a single replica
+	coalesced expvar.Int // requests that shared another caller's in-flight fan-out
 }
 
-func newMetrics(coord *Coordinator, bases []string) *metrics {
+// newMetrics builds the metric tree over the coordinator's replica
+// groups: one entry per replica (keyed by URL, flat, so dashboards see
+// every backend) under "shards", plus the result-cache and coalescing
+// counters on the root.
+func newMetrics(coord *Coordinator) *metrics {
 	m := &metrics{
 		start:    time.Now(),
 		root:     new(expvar.Map).Init(),
 		requests: new(expvar.Map).Init(),
 		statuses: new(expvar.Map).Init(),
 		latency:  new(expvar.Map).Init(),
-		shards:   make([]*shardMetrics, len(bases)),
 	}
 	m.root.Set("requests", m.requests)
 	m.root.Set("statuses", m.statuses)
 	m.root.Set("latency_ns", m.latency)
 	m.root.Set("partial_responses", &m.partials)
 	m.root.Set("proxied", &m.proxied)
+	m.root.Set("coalesced_requests", &m.coalesced)
 	m.root.Set("uptime_seconds", expvar.Func(func() any {
 		return time.Since(m.start).Seconds()
 	}))
+	cacheVar := func(pick func(cacheStats) int64) expvar.Func {
+		return func() any {
+			if coord.cache == nil {
+				return int64(0)
+			}
+			return pick(coord.cache.stats())
+		}
+	}
+	m.root.Set("result_cache_hits", cacheVar(func(s cacheStats) int64 { return s.Hits }))
+	m.root.Set("result_cache_misses", cacheVar(func(s cacheStats) int64 { return s.Misses }))
+	m.root.Set("result_cache_bytes", cacheVar(func(s cacheStats) int64 { return s.Bytes }))
+	m.root.Set("result_cache_entries", cacheVar(func(s cacheStats) int64 { return s.Entries }))
+	m.root.Set("result_cache_evictions", cacheVar(func(s cacheStats) int64 { return s.Evictions }))
+	m.root.Set("result_cache_rejected", cacheVar(func(s cacheStats) int64 { return s.Rejected }))
 	shards := new(expvar.Map).Init()
-	for i, base := range bases {
-		sm := &shardMetrics{}
-		m.shards[i] = sm
-		idx := i
-		sv := new(expvar.Map).Init()
-		sv.Set("requests", &sm.requests)
-		sv.Set("failures", &sm.failures)
-		sv.Set("retries", &sm.retries)
-		sv.Set("hedges", &sm.hedges)
-		sv.Set("hedge_wins", &sm.hedgeWins)
-		sv.Set("fast_fails", &sm.fastFails)
-		sv.Set("breaker_trips", expvar.Func(func() any {
-			_, trips := coord.shards[idx].breaker.snapshot()
-			return trips
-		}))
-		sv.Set("breaker_state", expvar.Func(func() any {
-			state, _ := coord.shards[idx].breaker.snapshot()
-			return state.String()
-		}))
-		shards.Set(base, sv)
+	for gi, g := range coord.groups {
+		for _, rep := range g.replicas {
+			sm := rep.m
+			sv := new(expvar.Map).Init()
+			sv.Set("strip", expvar.Func(func() any { return gi }))
+			sv.Set("requests", &sm.requests)
+			sv.Set("failures", &sm.failures)
+			sv.Set("retries", &sm.retries)
+			sv.Set("hedges", &sm.hedges)
+			sv.Set("hedge_wins", &sm.hedgeWins)
+			sv.Set("fast_fails", &sm.fastFails)
+			breaker := rep.breaker
+			sv.Set("breaker_trips", expvar.Func(func() any {
+				_, trips := breaker.snapshot()
+				return trips
+			}))
+			sv.Set("breaker_state", expvar.Func(func() any {
+				state, _ := breaker.snapshot()
+				return state.String()
+			}))
+			shards.Set(rep.base, sv)
+		}
 	}
 	m.root.Set("shards", shards)
 	return m

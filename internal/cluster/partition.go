@@ -1,16 +1,26 @@
 // Package cluster is the horizontal tier over internal/server: a
-// coordinator fronting N shard servers, each owning a contiguous strip of
-// the SNP index range over the same genotype matrix. Ownership goes by a
-// pair's smaller index, which partitions the n(n−1)/2 pair set disjointly
-// and completely across shards, so pair lookups route to one shard and
-// region/top queries scatter-gather with no overlap to deduplicate. Every
-// shard call runs through a resilient client: per-attempt timeout,
-// bounded exponential-backoff retry on transport errors and 5xx, a hedged
-// second request once the first outlives the shard's recent latency
-// percentile, and a per-shard circuit breaker that fails fast while a
-// shard is down. Scatter-gathered responses degrade instead of failing:
-// when a shard is lost the coordinator answers from the survivors with
-// partial: true and an X-LD-Shards-Failed header.
+// coordinator fronting N replica groups, each group a set of
+// interchangeable shard servers owning the same contiguous strip of the
+// SNP index range over the same genotype matrix (identical dataset
+// fingerprints, validated at bootstrap). Ownership goes by a pair's
+// smaller index, which partitions the n(n−1)/2 pair set disjointly and
+// completely across strips, so pair lookups route to one group and
+// region/top queries scatter-gather with no overlap to deduplicate.
+// Within a group, each call routes to the healthiest replica — breaker
+// state first, then observed p95 latency — and fails over through the
+// rest before the strip is declared lost. Every replica call runs
+// through a resilient client: per-attempt timeout, bounded
+// exponential-backoff retry on transport errors and 5xx, a hedged second
+// request once the first outlives the replica's recent latency
+// percentile, and a per-replica circuit breaker that fails fast while a
+// replica is down. Identical in-flight pair/region/top requests coalesce
+// into one shard fan-out, and complete responses land in a
+// fingerprint-keyed, byte-budgeted LRU result cache (responses are
+// immutable for a fixed dataset, so entries live until the coordinator
+// is rebootstrapped). Only when a whole replica group is lost do
+// scatter-gathered responses degrade instead of failing: the coordinator
+// answers from the surviving strips with partial: true and an
+// X-LD-Shards-Failed header.
 package cluster
 
 import (

@@ -1,0 +1,152 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"sort"
+	"strings"
+	"sync/atomic"
+)
+
+// replicaGroup is the serving unit for one strip of the partition: a set
+// of interchangeable replicas, each advertising the same dataset
+// fingerprint and shard range (validated at bootstrap). Calls route to
+// the healthiest replica — breaker state first, then observed p95
+// latency — and fail over through the rest of the group before the strip
+// is declared lost, so a single dead replica never degrades an answer.
+type replicaGroup struct {
+	replicas []*shardClient
+	rr       atomic.Uint64 // rotation cursor breaking health ties
+}
+
+// parseGroupSpecs splits coordinator URL specs into replica groups:
+// groups are comma-separated at the CLI (already split by the caller),
+// replicas within a group are separated by "|", e.g. "urlA|urlB".
+func parseGroupSpecs(specs []string) ([][]string, error) {
+	groups := make([][]string, 0, len(specs))
+	for _, spec := range specs {
+		var group []string
+		for _, u := range strings.Split(spec, "|") {
+			u = strings.TrimSuffix(strings.TrimSpace(u), "/")
+			if u == "" {
+				continue
+			}
+			if !strings.Contains(u, "://") {
+				u = "http://" + u // bare host:port is the common CLI spelling
+			}
+			group = append(group, u)
+		}
+		if len(group) == 0 {
+			return nil, errors.New("cluster: empty replica group in shard URL list")
+		}
+		groups = append(groups, group)
+	}
+	if len(groups) == 0 {
+		return nil, errors.New("cluster: no shard URLs")
+	}
+	return groups, nil
+}
+
+// healthRank orders breaker states healthiest-first: a closed circuit
+// beats a half-open one probing its way back, which beats an open one
+// that would fail fast anyway.
+func healthRank(s breakerState) int {
+	switch s {
+	case breakerClosed:
+		return 0
+	case breakerHalfOpen:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// ranked returns the replicas in routing order: breaker state first,
+// then p95 latency, with replicas lacking a latency window tried before
+// measured ones (they need samples before they can compete, which also
+// spreads cold-start load). Replicas of comparable health — p95 within
+// 25% of each other — keep a rotating round-robin order so steady-state
+// load spreads across the group instead of pinning to one replica.
+func (g *replicaGroup) ranked() []*shardClient {
+	n := len(g.replicas)
+	if n == 1 {
+		return g.replicas
+	}
+	out := make([]*shardClient, n)
+	start := int(g.rr.Add(1) % uint64(n))
+	for i := range out {
+		out[i] = g.replicas[(start+i)%n]
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		sa, pa, ka := out[a].health()
+		sb, pb, kb := out[b].health()
+		if ra, rb := healthRank(sa), healthRank(sb); ra != rb {
+			return ra < rb
+		}
+		if ka != kb {
+			return !ka
+		}
+		if !ka {
+			return false // both unmeasured: keep the rotation order
+		}
+		// Prefer a clearly faster replica; within 25% they are peers and
+		// the rotation order stands.
+		return pa*4 < pb*3
+	})
+	return out
+}
+
+// get fetches pathQuery from the healthiest replica, failing over
+// through the rest of the group on shard-side failures. A terminal 4xx
+// returns immediately — it is deterministic for the query, and every
+// replica would answer the same — and only when every replica has
+// failed is the strip reported lost.
+func (g *replicaGroup) get(ctx context.Context, pathQuery string) ([]byte, error) {
+	var lastErr error
+	for _, r := range g.ranked() {
+		body, err := r.get(ctx, pathQuery)
+		if err == nil {
+			return body, nil
+		}
+		var he *HTTPError
+		if errors.As(err, &he) && he.Status < 500 {
+			return nil, err
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return nil, lastErr
+		}
+	}
+	return nil, lastErr
+}
+
+// getJSON fetches and decodes a 200 response with in-group failover.
+func (g *replicaGroup) getJSON(ctx context.Context, pathQuery string, v any) error {
+	body, err := g.get(ctx, pathQuery)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(body, v)
+}
+
+// admitting reports whether any replica's breaker would let a call
+// through right now.
+func (g *replicaGroup) admitting() bool {
+	for _, r := range g.replicas {
+		if state, _ := r.breaker.snapshot(); state != breakerOpen {
+			return true
+		}
+	}
+	return false
+}
+
+// names joins the group's replica URLs for topology-facing surfaces
+// (X-LD-Shards-Failed, error messages).
+func (g *replicaGroup) names() string {
+	urls := make([]string, len(g.replicas))
+	for i, r := range g.replicas {
+		urls[i] = r.base
+	}
+	return strings.Join(urls, "|")
+}

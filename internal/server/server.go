@@ -101,10 +101,11 @@ type Server struct {
 	handler http.Handler // mux wrapped in the lifecycle middleware
 	metrics *metrics
 	store   *ldstore.Store // nil without a (fingerprint-matched) tile store
-	// freqs and poly are precomputed at construction so /api/info and
-	// /api/freq never rescan the matrix per request.
-	freqs []float64
-	poly  int
+	// freqs, poly, and fingerprint are precomputed at construction so
+	// /api/info and /api/freq never rescan the matrix per request.
+	freqs       []float64
+	poly        int
+	fingerprint string
 	// ready flips once construction — matrix scan plus optional store
 	// wiring — has finished; /readyz reports 503 until then.
 	ready atomic.Bool
@@ -114,8 +115,9 @@ type Server struct {
 func New(g *bitmat.Matrix, cfg Config) *Server {
 	s := &Server{
 		g: g, cfg: cfg.normalize(),
-		freqs:   core.AlleleFrequencies(g),
-		metrics: newMetrics(),
+		freqs:       core.AlleleFrequencies(g),
+		fingerprint: fmt.Sprintf("%016x", ldstore.Fingerprint(g)),
+		metrics:     newMetrics(),
 	}
 	if s.cfg.ShardEnd > g.SNPs {
 		s.cfg.ShardEnd = g.SNPs
@@ -341,6 +343,11 @@ type InfoResponse struct {
 	Samples       int     `json:"samples"`
 	MeanFrequency float64 `json:"mean_derived_frequency"`
 	Polymorphic   int     `json:"polymorphic_snps"`
+	// Fingerprint identifies the loaded dataset (the same FNV-1a hash the
+	// tile store binds to). Cluster coordinators use it to verify that
+	// every replica of a shard serves identical bytes and to key the
+	// result cache: responses are immutable for a fixed fingerprint.
+	Fingerprint string `json:"fingerprint"`
 	// StoreLoaded reports whether a fingerprint-matched tile store backs
 	// the LD endpoints; StoreStat names its statistic when loaded.
 	StoreLoaded bool   `json:"store_loaded"`
@@ -360,6 +367,7 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 	resp := InfoResponse{
 		SNPs: s.g.SNPs, Samples: s.g.Samples,
 		MeanFrequency: stats.Mean(s.freqs), Polymorphic: s.poly,
+		Fingerprint: s.fingerprint,
 	}
 	if s.store != nil {
 		resp.StoreLoaded = true
