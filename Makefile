@@ -35,11 +35,26 @@ bench-cluster:
 bench-cluster-smoke:
 	go run ./cmd/ldbench -scale 20 -cluster-duration 3s -cluster-workers 4 -cluster-json /tmp/BENCH_cluster_smoke.json
 
-# Short fuzz smoke on the tile-store open path: hostile and truncated
-# files must error, never panic or over-allocate (CI runs this too).
+# Out-of-core store-build benchmark: stream a .ldbm dataset to disk
+# (never resident), build the tile store from it with windowed reads at
+# 2× the allocation budget — enforced — and record build throughput plus
+# the prefetch-stall counters (the committed BENCH_store.json).
+.PHONY: bench-store
+bench-store:
+	go run ./cmd/ldbench -scale 1 -store-json BENCH_store.json
+
+# CI-sized variant of the same run (budget reported, not enforced).
+.PHONY: bench-store-smoke
+bench-store-smoke:
+	go run ./cmd/ldbench -scale 16 -store-json /tmp/BENCH_store_smoke.json
+
+# Short fuzz smoke on the tile-store open path and the checkpoint
+# manifest parser: hostile and truncated files must error, never panic
+# or over-allocate (CI runs this too).
 .PHONY: fuzz-smoke
 fuzz-smoke:
 	go test ./internal/ldstore -run=Fuzz -fuzz=FuzzStoreOpen -fuzztime=10s
+	go test ./internal/ldstore -run=Fuzz -fuzz=FuzzManifest -fuzztime=10s
 
 # Kernel-dispatch smoke: tiny shapes through every popcount engine
 # (scalar, CSA, SIMD when present), with the batched families asserted

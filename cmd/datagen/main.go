@@ -6,10 +6,18 @@
 //
 //	datagen -dataset A -scale 10 -out a.ldgm
 //	datagen -snps 5000 -samples 1000 -sweep 2500 -format ms -out sweep.ms
+//	datagen -stream -snps 10000000 -samples 2000 -format ldbm -out huge.ldbm
 //
 // Formats: ldgm (compact binary), ms (Hudson), vcf (phased diploid), bed
 // (PLINK .bed/.bim/.fam fileset; haplotypes are paired into diploid
-// genotypes).
+// genotypes), ldbm (the out-of-core bit-matrix container ldstore build
+// consumes directly).
+//
+// -stream generates row windows on the fly (ldbm and bed only), so the
+// dataset never resides in memory: arbitrarily long chromosomes write in
+// O(window + samples) space. Streamed output is deterministic in (dims,
+// seed, window-invariant) but uses a different generator interleaving
+// than the resident path, so the bits differ from a non-stream run.
 package main
 
 import (
@@ -44,10 +52,26 @@ func run(args []string, stdout, stderr io.Writer) error {
 	sweep := fs.Int("sweep", -1, "plant a selective sweep centered at this SNP index (-1 = none)")
 	sweepRadius := fs.Int("sweep-radius", 0, "sweep hitchhiking radius in SNPs (0 = default)")
 	sweepFrac := fs.Float64("sweep-frac", 0, "sweep carrier fraction (0 = default)")
-	format := fs.String("format", "ldgm", "output format: ldgm, ms, vcf, or bed")
+	format := fs.String("format", "ldgm", "output format: ldgm, ms, vcf, bed, or ldbm")
 	out := fs.String("out", "", "output path (default stdout)")
+	stream := fs.Bool("stream", false,
+		"generate row windows on the fly (ldbm/bed only; incompatible with -dataset and -sweep)")
+	window := fs.Int("window", 0, "rows per streamed window (0 = default 1024)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *stream {
+		if *dataset != "" || *sweep >= 0 {
+			return fmt.Errorf("-stream generates mosaic datasets only (no -dataset, no -sweep)")
+		}
+		if *out == "" {
+			return fmt.Errorf("-stream requires -out")
+		}
+		cfg := popsim.MosaicConfig{Seed: *seed, Founders: *founders, SwitchRate: *switchRate}
+		sn := *snps / max(*scale, 1)
+		sa := max(*samples/max(*scale, 1), 2)
+		return runStream(*format, *out, sn, sa, cfg, *window, stderr)
 	}
 
 	var m *bitmat.Matrix
@@ -81,6 +105,19 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
+	}
+
+	// The ldbm container is written by path (its header is patched after
+	// the data lands), so it cannot share the single-stream writer below.
+	if *format == "ldbm" {
+		if *out == "" {
+			return fmt.Errorf("ldbm output requires -out")
+		}
+		if err := bitmat.WriteFile(*out, m); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "datagen: wrote %d SNPs × %d sequences (ldbm: %s)\n", m.SNPs, m.Samples, *out)
+		return nil
 	}
 
 	// The bed format is a three-file PLINK fileset addressed by prefix, so
@@ -135,11 +172,101 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		err = seqio.WriteVCF(w, m, sites, 2)
 	default:
-		return fmt.Errorf("unknown format %q (want ldgm, ms, vcf, or bed)", *format)
+		return fmt.Errorf("unknown format %q (want ldgm, ms, vcf, bed, or ldbm)", *format)
 	}
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(stderr, "datagen: wrote %d SNPs × %d sequences (%s)\n", m.SNPs, m.Samples, *format)
+	return nil
+}
+
+// runStream generates a mosaic dataset window by window and writes it
+// without ever materializing the matrix — the genome-scale input path.
+func runStream(format, out string, snps, samples int, cfg popsim.MosaicConfig, window int, stderr io.Writer) error {
+	if window < 1 {
+		window = 1024
+	}
+	switch format {
+	case "ldbm":
+		if err := popsim.MosaicToLDBM(out, snps, samples, cfg, window); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "datagen: streamed %d SNPs × %d sequences (ldbm: %s, window %d)\n",
+			snps, samples, out, window)
+		return nil
+	case "bed":
+		return streamBed(out, snps, samples, cfg, window, stderr)
+	}
+	return fmt.Errorf("-stream supports ldbm or bed output, not %q", format)
+}
+
+// streamBed writes a PLINK fileset window by window: each haplotype
+// window pairs into diploid genotypes and appends to .bed, with matching
+// .bim records; .fam is written once at the end.
+func streamBed(out string, snps, samples int, cfg popsim.MosaicConfig, window int, stderr io.Writer) error {
+	if samples%2 != 0 {
+		return fmt.Errorf("bed output needs an even haplotype count, have %d", samples)
+	}
+	prefix := strings.TrimSuffix(out, ".bed")
+	s, err := popsim.NewMosaicStream(snps, samples, cfg)
+	if err != nil {
+		return err
+	}
+	bedF, err := os.Create(prefix + ".bed")
+	if err != nil {
+		return err
+	}
+	defer bedF.Close()
+	bimF, err := os.Create(prefix + ".bim")
+	if err != nil {
+		return err
+	}
+	defer bimF.Close()
+	bw, err := seqio.NewBEDWriter(bedF, samples/2)
+	if err != nil {
+		return err
+	}
+	lo := 0
+	for {
+		m, err := s.Next(window)
+		if err != nil {
+			return err
+		}
+		if m == nil {
+			break
+		}
+		g, err := bitmat.FromHaplotypes(m)
+		if err != nil {
+			return err
+		}
+		if err := bw.WriteWindow(g); err != nil {
+			return err
+		}
+		recs := make([]seqio.BimRecord, m.SNPs)
+		for i := range recs {
+			recs[i] = seqio.BimRecord{
+				Chrom: "1", ID: fmt.Sprintf("snp_%d", lo+i),
+				Pos: 1 + (lo+i)*100, Allele1: 'G', Allele2: 'A',
+			}
+		}
+		if err := seqio.WriteBim(bimF, recs); err != nil {
+			return err
+		}
+		lo += m.SNPs
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	famF, err := os.Create(prefix + ".fam")
+	if err != nil {
+		return err
+	}
+	defer famF.Close()
+	if err := seqio.WriteFam(famF, seqio.DefaultFam(samples/2)); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "datagen: streamed %d SNPs × %d sequences (bed: %s.bed/.bim/.fam, %d diploid samples, window %d)\n",
+		snps, samples, prefix, samples/2, window)
 	return nil
 }

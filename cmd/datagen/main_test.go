@@ -171,3 +171,123 @@ func TestDatagenBedErrors(t *testing.T) {
 		t.Fatal("odd haplotype count accepted for bed")
 	}
 }
+
+// TestDatagenLDBM: the resident ldbm path writes a loadable container
+// with the generated matrix's exact bits.
+func TestDatagenLDBM(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.ldbm")
+	_, stderr, err := runDatagen(t, "-snps", "40", "-samples", "24", "-format", "ldbm", "-out", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stderr, "ldbm: "+path) {
+		t.Fatalf("stderr %q", stderr)
+	}
+	f, err := bitmat.OpenFile(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if f.NumSNPs() != 40 || f.NumSamples() != 24 {
+		t.Fatalf("dims %dx%d", f.NumSNPs(), f.NumSamples())
+	}
+	if _, _, err := runDatagen(t, "-snps", "4", "-samples", "4", "-format", "ldbm"); err == nil {
+		t.Fatal("ldbm without -out accepted")
+	}
+}
+
+// TestDatagenStreamLDBM: -stream writes a deterministic, window-invariant
+// container without materializing the dataset.
+func TestDatagenStreamLDBM(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.ldbm")
+	b := filepath.Join(dir, "b.ldbm")
+	if _, _, err := runDatagen(t, "-stream", "-snps", "120", "-samples", "30", "-seed", "5",
+		"-format", "ldbm", "-out", a, "-window", "7"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := runDatagen(t, "-stream", "-snps", "120", "-samples", "30", "-seed", "5",
+		"-format", "ldbm", "-out", b, "-window", "64"); err != nil {
+		t.Fatal(err)
+	}
+	ab, err := os.ReadFile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := os.ReadFile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ab, bb) {
+		t.Fatal("streamed container depends on window size")
+	}
+	f, err := bitmat.OpenFile(a, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if f.NumSNPs() != 120 || f.NumSamples() != 30 {
+		t.Fatalf("dims %dx%d", f.NumSNPs(), f.NumSamples())
+	}
+}
+
+// TestDatagenStreamBed: the streamed PLINK fileset is readable, has
+// matching metadata counts, and is window-invariant byte for byte.
+func TestDatagenStreamBed(t *testing.T) {
+	dir := t.TempDir()
+	one := filepath.Join(dir, "one")
+	two := filepath.Join(dir, "two")
+	if _, _, err := runDatagen(t, "-stream", "-snps", "90", "-samples", "28", "-seed", "3",
+		"-format", "bed", "-out", one, "-window", "11"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := runDatagen(t, "-stream", "-snps", "90", "-samples", "28", "-seed", "3",
+		"-format", "bed", "-out", two, "-window", "90"); err != nil {
+		t.Fatal(err)
+	}
+	for _, ext := range []string{".bed", ".bim", ".fam"} {
+		x, err := os.ReadFile(one + ext)
+		if err != nil {
+			t.Fatal(err)
+		}
+		y, err := os.ReadFile(two + ext)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(x, y) {
+			t.Fatalf("%s depends on window size", ext)
+		}
+	}
+	fileset, err := seqio.ReadPlinkFileset(one + ".bed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fileset.Genotypes.SNPs != 90 || fileset.Genotypes.Samples != 14 {
+		t.Fatalf("fileset dims %dx%d", fileset.Genotypes.SNPs, fileset.Genotypes.Samples)
+	}
+	if len(fileset.Variants) != 90 || len(fileset.Samples) != 14 {
+		t.Fatalf("metadata counts bim=%d fam=%d", len(fileset.Variants), len(fileset.Samples))
+	}
+}
+
+func TestDatagenStreamErrors(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "x.ldbm")
+	if _, _, err := runDatagen(t, "-stream", "-format", "ldbm"); err == nil {
+		t.Fatal("-stream without -out accepted")
+	}
+	if _, _, err := runDatagen(t, "-stream", "-dataset", "A", "-format", "ldbm", "-out", out); err == nil {
+		t.Fatal("-stream with -dataset accepted")
+	}
+	if _, _, err := runDatagen(t, "-stream", "-sweep", "5", "-format", "ldbm", "-out", out); err == nil {
+		t.Fatal("-stream with -sweep accepted")
+	}
+	if _, _, err := runDatagen(t, "-stream", "-format", "ms", "-out", out); err == nil {
+		t.Fatal("-stream with ms format accepted")
+	}
+	if _, _, err := runDatagen(t, "-stream", "-snps", "10", "-samples", "9",
+		"-format", "bed", "-out", filepath.Join(dir, "odd")); err == nil {
+		t.Fatal("odd haplotype count for streamed bed accepted")
+	}
+}

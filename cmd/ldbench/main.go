@@ -29,6 +29,14 @@
 //	                      profile for ldserver/ldstore -tune-profile;
 //	                      with it, the experiment list may be empty
 //	-tune-budget D        autotuner measurement budget (default 2s)
+//	-store-json PATH      generate a .ldbm dataset on disk (never
+//	                      resident), build a tile store from it out of
+//	                      core, and write the build-throughput +
+//	                      prefetch-stall benchmark (BENCH_store.json);
+//	                      the input is held at 2× the allocation budget,
+//	                      which is enforced at full size. With it, the
+//	                      experiment list may be empty. -store-window
+//	                      sets the I/O panel width.
 //	-cluster-json PATH    boot an in-process 2-strip × 2-replica cluster,
 //	                      drive randomized load while killing one replica
 //	                      mid-run, and write the resilience benchmark
@@ -85,6 +93,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	writeProfile := fs.String("write-tune-profile", "",
 		"run the autotuner and persist the winner as a per-host profile at this path (loadable via ldserver/ldstore -tune-profile); with it, the experiment list may be empty")
 	tuneBudget := fs.Duration("tune-budget", 2*time.Second, "autotuner measurement budget for -write-tune-profile")
+	storeJSON := fs.String("store-json", "",
+		"write an out-of-core store-build benchmark to this path (e.g. BENCH_store.json); with it, the experiment list may be empty")
+	storeWindow := fs.Int("store-window", 0, "I/O column-panel width in SNPs for -store-json (0 = default 256)")
 	clusterJSON := fs.String("cluster-json", "",
 		"write a replica-cluster resilience benchmark to this path (e.g. BENCH_cluster.json); with it, the experiment list may be empty")
 	clusterDuration := fs.Duration("cluster-duration", 6*time.Second,
@@ -111,7 +122,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	names := fs.Args()
-	if len(names) == 0 && *jsonPath == "" && *epilogueJSON == "" && *writeProfile == "" && *clusterJSON == "" {
+	if len(names) == 0 && *jsonPath == "" && *epilogueJSON == "" && *writeProfile == "" && *clusterJSON == "" && *storeJSON == "" {
 		fs.Usage()
 		return fmt.Errorf("no experiment named")
 	}
@@ -135,6 +146,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if *epilogueJSON != "" {
 		if err := writeEpilogueJSON(*epilogueJSON, *scale, threads, stderr); err != nil {
+			return err
+		}
+	}
+	if *storeJSON != "" {
+		if err := writeStoreJSON(*storeJSON, *scale, *storeWindow, stderr); err != nil {
 			return err
 		}
 	}

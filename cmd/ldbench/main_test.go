@@ -146,3 +146,44 @@ func TestLdbenchTinyComparison(t *testing.T) {
 		t.Fatalf("missing comparison columns:\n%s", out.String())
 	}
 }
+
+// TestLdbenchStoreJSON: the out-of-core store-build benchmark runs end to
+// end at smoke scale and reports a coherent shape — panels actually read,
+// a positive build rate, and the budget arithmetic wired through.
+func TestLdbenchStoreJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_store.json")
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-scale", "16", "-store-json", path}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep storeReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.SNPs < 512 || rep.Samples < 2048 || rep.Words < 1 {
+		t.Fatalf("implausible shape %+v", rep)
+	}
+	if rep.MatrixBytes != int64(rep.SNPs)*int64(rep.Words)*8 {
+		t.Fatalf("matrix bytes %d for %d×%d words", rep.MatrixBytes, rep.SNPs, rep.Words)
+	}
+	if rep.BudgetBytes != rep.MatrixBytes/2 {
+		t.Fatalf("budget %d, matrix %d", rep.BudgetBytes, rep.MatrixBytes)
+	}
+	if rep.BuildSeconds <= 0 || rep.TriplesPerSec <= 0 || rep.PairsPerSec <= 0 {
+		t.Fatalf("implausible rates %+v", rep)
+	}
+	if rep.Tiles < 1 || rep.FileBytes <= 0 {
+		t.Fatalf("implausible store %+v", rep)
+	}
+	// Windowed reads mean the prefetcher must have fetched real panels.
+	if rep.PanelsRead == 0 || rep.PanelBytesRead == 0 {
+		t.Fatalf("no panel I/O recorded: %+v", rep)
+	}
+	if rep.AllocBytes == 0 {
+		t.Fatal("no allocation recorded")
+	}
+}

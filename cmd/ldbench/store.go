@@ -1,0 +1,157 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"ldgemm/internal/bitmat"
+	"ldgemm/internal/blis"
+	"ldgemm/internal/ldstore"
+	"ldgemm/internal/popsim"
+)
+
+// storeBudgetFloor is the smallest allocation budget the benchmark will
+// actually enforce: below it the build's fixed overheads (the 1 MiB
+// output buffer, the double-buffered panel pools) dominate the matrix and
+// the out-of-core claim is not being tested, only exercised.
+const storeBudgetFloor = 8 << 20
+
+// storeReport is the BENCH_store.json schema: out-of-core tile-store
+// build throughput and I/O-pipeline counters on an input at least twice
+// the allocation budget, the acceptance shape of the genome-scale path.
+type storeReport struct {
+	SNPs         int `json:"snps"`
+	Samples      int `json:"samples"`
+	Words        int `json:"words"`
+	TileSize     int `json:"tile_size"`
+	IOWindowSNPs int `json:"io_window_snps"`
+	// MatrixBytes is the on-disk bit-matrix size; BudgetBytes the heap
+	// allocation ceiling (matrix/2, so the input is 2× the budget);
+	// AllocBytes what the build actually allocated. WithinBudget is
+	// enforced (the benchmark fails) whenever the budget is large enough
+	// to be meaningful.
+	MatrixBytes     int64   `json:"matrix_bytes"`
+	BudgetBytes     int64   `json:"budget_bytes"`
+	AllocBytes      uint64  `json:"alloc_bytes"`
+	WithinBudget    bool    `json:"within_budget"`
+	BudgetEnforced  bool    `json:"budget_enforced"`
+	GenerateSeconds float64 `json:"generate_seconds"`
+	BuildSeconds    float64 `json:"build_seconds"`
+	Tiles           int     `json:"tiles"`
+	FileBytes       int64   `json:"file_bytes"`
+	// PairsPerSec counts SNP pairs of the triangle; TriplesPerSec the
+	// paper's (pair × word) throughput unit.
+	PairsPerSec   float64 `json:"pairs_per_sec"`
+	TriplesPerSec float64 `json:"triples_per_sec"`
+	// The blis I/O-pipeline counters for this build: panel fetches issued
+	// by the prefetcher, bytes they carried, and how long the compute loop
+	// actually blocked waiting on them.
+	PanelsRead            uint64  `json:"panels_read"`
+	PanelBytesRead        uint64  `json:"panel_bytes_read"`
+	PrefetchStallNanos    uint64  `json:"prefetch_stall_nanos"`
+	PrefetchStallFraction float64 `json:"prefetch_stall_fraction"`
+}
+
+// writeStoreJSON generates a .ldbm dataset sized by scale (streamed to
+// disk, never resident), builds a tile store from it out of core with
+// windowed reads, and writes the machine-readable report. The matrix is
+// kept at 2× the allocation budget; at full size the budget is enforced,
+// so a regression that materializes the matrix or the result fails the
+// benchmark rather than just inflating a number.
+func writeStoreJSON(path string, scale, ioWindow int, stderr io.Writer) error {
+	snps := max(512, 4096/scale)
+	samples := max(2048, 131072/scale)
+	const tile = 128
+	if ioWindow <= 0 {
+		ioWindow = 128
+	}
+
+	dir, err := os.MkdirTemp("", "ldbench-store")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	ldbmPath := filepath.Join(dir, "g.ldbm")
+
+	genStart := time.Now()
+	if err := popsim.MosaicToLDBM(ldbmPath, snps, samples, popsim.MosaicConfig{Seed: 1}, 1024); err != nil {
+		return err
+	}
+	genSecs := time.Since(genStart).Seconds()
+
+	src, err := bitmat.OpenFile(ldbmPath, false)
+	if err != nil {
+		return err
+	}
+	defer src.Close()
+	rep := storeReport{
+		SNPs: snps, Samples: samples, Words: src.Words(),
+		TileSize: tile, IOWindowSNPs: ioWindow,
+		MatrixBytes:     src.MatrixBytes(),
+		GenerateSeconds: genSecs,
+	}
+	rep.BudgetBytes = rep.MatrixBytes / 2
+	rep.BudgetEnforced = rep.BudgetBytes >= storeBudgetFloor
+
+	storePath := filepath.Join(dir, "g.ldts")
+	before := blis.ReadStats()
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	buildStart := time.Now()
+	res, err := ldstore.BuildFileFromSource(storePath, src, ldstore.SourceBuildOptions{
+		BuildOptions: ldstore.BuildOptions{TileSize: tile},
+		IOPanelSNPs:  ioWindow,
+	})
+	if err != nil {
+		return err
+	}
+	buildSecs := time.Since(buildStart).Seconds()
+	runtime.ReadMemStats(&m1)
+	after := blis.ReadStats()
+
+	rep.AllocBytes = m1.TotalAlloc - m0.TotalAlloc
+	rep.WithinBudget = rep.AllocBytes <= uint64(rep.BudgetBytes)
+	rep.BuildSeconds = buildSecs
+	rep.Tiles = res.Tiles
+	rep.FileBytes = res.FileBytes
+	pairs := float64(snps) * float64(snps+1) / 2
+	rep.PairsPerSec = pairs / buildSecs
+	rep.TriplesPerSec = pairs * float64(src.Words()) / buildSecs
+	rep.PanelsRead = after.PanelsRead - before.PanelsRead
+	rep.PanelBytesRead = after.PanelBytesRead - before.PanelBytesRead
+	rep.PrefetchStallNanos = after.PrefetchStallNanos - before.PrefetchStallNanos
+	rep.PrefetchStallFraction = float64(rep.PrefetchStallNanos) / (buildSecs * 1e9)
+
+	// The store must open and agree on identity before the numbers count.
+	s, err := ldstore.Open(storePath, ldstore.Options{})
+	if err != nil {
+		return fmt.Errorf("store bench: built store unreadable: %w", err)
+	}
+	info := s.Info()
+	s.Close()
+	if info.SNPs != snps {
+		return fmt.Errorf("store bench: built store has %d SNPs, want %d", info.SNPs, snps)
+	}
+	if rep.BudgetEnforced && !rep.WithinBudget {
+		return fmt.Errorf("store bench: build allocated %d bytes, budget %d (matrix %d)",
+			rep.AllocBytes, rep.BudgetBytes, rep.MatrixBytes)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "ldbench: store build %d×%d (matrix %d MiB, budget %d MiB, alloc %d MiB): %.2fs, %.3f Gtriples/s, stall %.1f%%; wrote %s\n",
+		snps, samples, rep.MatrixBytes>>20, rep.BudgetBytes>>20, rep.AllocBytes>>20,
+		buildSecs, rep.TriplesPerSec/1e9, 100*rep.PrefetchStallFraction, path)
+	return nil
+}

@@ -5,10 +5,20 @@
 // Usage:
 //
 //	ldstore build -in data.ldgm -out data.ldts [-tile 256] [-stat r2] [-compress]
+//	ldstore build -in data.ldbm -out data.ldts [-mmap] [-io-window 1024] [-checkpoint]
+//	ldstore build -in data.ldbm -out data.ldts -resume
+//	ldstore build -in data.ldbm -out data.ldts -split-chrom data.bim
+//	ldstore convert -in data.bed -out data.ldbm [-window 1024]
 //	ldstore info -store data.ldts
 //	ldstore query -store data.ldts -i 3 -j 7
 //	ldstore query -store data.ldts -start 100 -end 120
 //	ldstore query -store data.ldts -top 25
+//
+// A .ldbm input is the out-of-core path: the bit matrix stays on disk
+// (windowed reads, or -mmap) and the build streams double-buffered panel
+// pairs through the GEMM, so genome-scale inputs never need to fit in
+// memory. -checkpoint makes progress durable per stripe; -resume restarts
+// a killed build where it left off, producing byte-identical output.
 //
 // The build output is the file ldserver's -store flag consumes. All query
 // output is JSON on stdout.
@@ -16,11 +26,13 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"ldgemm/internal/bitmat"
 	"ldgemm/internal/blis"
@@ -43,23 +55,32 @@ func run(args []string, stdout, stderr io.Writer) error {
 	switch args[0] {
 	case "build":
 		return runBuild(args[1:], stdout, stderr)
+	case "convert":
+		return runConvert(args[1:], stdout, stderr)
 	case "info":
 		return runInfo(args[1:], stdout, stderr)
 	case "query":
 		return runQuery(args[1:], stdout, stderr)
 	}
-	return fmt.Errorf("unknown subcommand %q (want build, info, or query)", args[0])
+	return fmt.Errorf("unknown subcommand %q (want build, convert, info, or query)", args[0])
 }
 
 func runBuild(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("ldstore build", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	in := fs.String("in", "", "dataset path (.ldgm or .ms, optionally gzipped; required)")
+	in := fs.String("in", "", "dataset path (.ldbm for out-of-core, or .ldgm/.ms, optionally gzipped; required)")
 	out := fs.String("out", "", "tile store output path (required)")
 	tile := fs.Int("tile", 0, "tile side NT in SNPs (0 = default 256)")
 	stat := fs.String("stat", "r2", "statistic to precompute: r2, d, or dprime")
 	compress := fs.Bool("compress", false, "DEFLATE-compress each tile")
 	threads := fs.Int("threads", 0, "kernel threads (0 = GOMAXPROCS)")
+	mmap := fs.Bool("mmap", false, "memory-map a .ldbm input instead of windowed reads")
+	ioWindow := fs.Int("io-window", 0, "out-of-core column-panel width in SNPs (0 = default 1024)")
+	checkpoint := fs.Bool("checkpoint", false,
+		"keep a durable per-stripe checkpoint (<out>.ckpt/.idx) so a killed build can -resume")
+	resume := fs.Bool("resume", false, "resume a checkpointed build from where it left off (implies -checkpoint)")
+	splitChrom := fs.String("split-chrom", "",
+		"variant .bim path; build one store per chromosome, inserting .chr<N> before the output extension")
 	tuneProfile := fs.String("tune-profile", "",
 		"per-host tune profile JSON (ldbench -write-tune-profile output); corrupt or stale profiles are logged and ignored")
 	if err := fs.Parse(args); err != nil {
@@ -73,10 +94,11 @@ func runBuild(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	g, err := load(*in)
+	src, closeSrc, err := openSource(*in, *mmap)
 	if err != nil {
 		return err
 	}
+	defer closeSrc()
 	// The build is one long batch of kernel calls, so a tuned kernel
 	// config pays off most here; like ldserver, a bad profile is logged
 	// and ignored — it must never block a build.
@@ -95,16 +117,163 @@ func runBuild(args []string, stdout, stderr io.Writer) error {
 				*tuneProfile, p.Kernel, p.Popcount, p.MC, p.NC, p.KC)
 		}
 	}
-	res, err := ldstore.BuildFile(*out, g, ldstore.BuildOptions{
-		TileSize: *tile, Stat: st, Compress: *compress,
-		LD: core.Options{Blis: bcfg},
-	})
+	opt := ldstore.SourceBuildOptions{
+		BuildOptions: ldstore.BuildOptions{
+			TileSize: *tile, Stat: st, Compress: *compress,
+			LD: core.Options{Blis: bcfg},
+		},
+		IOPanelSNPs: *ioWindow,
+		Checkpoint:  *checkpoint,
+		Resume:      *resume,
+	}
+	if *splitChrom != "" {
+		if *resume || *checkpoint {
+			// Each per-chromosome store checkpoints independently; the flags
+			// still apply, they just bind to the per-chromosome paths.
+			fmt.Fprintf(stderr, "ldstore: checkpoints apply per chromosome store\n")
+		}
+		return buildSplit(*out, src, opt, *splitChrom, stderr)
+	}
+	return buildOne(*out, src, opt, stderr)
+}
+
+// buildOne runs a single out-of-core (or delegated in-RAM) build and
+// reports the result; a PartialError gains a resume hint when the build
+// was checkpointing.
+func buildOne(out string, src bitmat.Source, opt ldstore.SourceBuildOptions, stderr io.Writer) error {
+	res, err := ldstore.BuildFileFromSource(out, src, opt)
+	if err != nil {
+		var pe *ldstore.PartialError
+		if errors.As(err, &pe) && (opt.Checkpoint || opt.Resume) {
+			fmt.Fprintf(stderr, "ldstore: %d/%d stripes durable in %s; re-run with -resume to continue\n",
+				pe.FlushedStripes, pe.TotalStripes, out)
+		}
+		return err
+	}
+	resumed := ""
+	if res.StartStripe > 0 {
+		resumed = fmt.Sprintf(", resumed at stripe %d", res.StartStripe)
+	}
+	fmt.Fprintf(stderr, "ldstore: wrote %s: %d tiles, %d bytes (%s, %d×%d, peak result memory %d bytes%s)\n",
+		out, res.Tiles, res.FileBytes, opt.Stat, src.NumSNPs(), src.NumSamples(), res.PeakResultBytes, resumed)
+	return nil
+}
+
+// buildSplit builds one store per chromosome of a .bim variant file whose
+// records align row-for-row with the input. Each chromosome must be one
+// contiguous block, as in a sorted fileset; the per-chromosome stores are
+// byte-identical to whole-matrix builds of those row ranges.
+func buildSplit(out string, src bitmat.Source, opt ldstore.SourceBuildOptions, bimPath string, stderr io.Writer) error {
+	f, err := os.Open(bimPath)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(stderr, "ldstore: wrote %s: %d tiles, %d bytes (%s, %d×%d, peak result memory %d bytes)\n",
-		*out, res.Tiles, res.FileBytes, st, g.SNPs, g.Samples, res.PeakResultBytes)
+	bim, err := seqio.ReadBim(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	if len(bim) != src.NumSNPs() {
+		return fmt.Errorf("-split-chrom %s has %d variants, input has %d SNPs", bimPath, len(bim), src.NumSNPs())
+	}
+	type chromRun struct {
+		chrom  string
+		lo, hi int
+	}
+	var runs []chromRun
+	seen := map[string]bool{}
+	for i, rec := range bim {
+		if len(runs) > 0 && runs[len(runs)-1].chrom == rec.Chrom {
+			runs[len(runs)-1].hi = i + 1
+			continue
+		}
+		if seen[rec.Chrom] {
+			return fmt.Errorf("-split-chrom: chromosome %q is not contiguous in %s (reappears at variant %d)",
+				rec.Chrom, bimPath, i)
+		}
+		seen[rec.Chrom] = true
+		runs = append(runs, chromRun{chrom: rec.Chrom, lo: i, hi: i + 1})
+	}
+	ext := filepath.Ext(out)
+	base := strings.TrimSuffix(out, ext)
+	for _, r := range runs {
+		sub, err := bitmat.NewSliceSource(src, r.lo, r.hi)
+		if err != nil {
+			return err
+		}
+		path := base + ".chr" + r.chrom + ext
+		if err := buildOne(path, sub, opt, stderr); err != nil {
+			return fmt.Errorf("chromosome %s: %w", r.chrom, err)
+		}
+	}
+	fmt.Fprintf(stderr, "ldstore: split %d SNPs into %d per-chromosome stores\n", src.NumSNPs(), len(runs))
 	return nil
+}
+
+// runConvert turns a dataset into a .ldbm bit-matrix container. A .bed
+// fileset is converted as a stream — one variant window resident at a
+// time, so genome-scale inputs convert in O(window) memory; other formats
+// load and rewrite.
+func runConvert(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("ldstore convert", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	in := fs.String("in", "", "input path (.bed with companion .bim/.fam, or .ldgm/.ms; required)")
+	out := fs.String("out", "", ".ldbm output path (required)")
+	window := fs.Int("window", 0, "variants per streamed window for .bed input (0 = default 1024)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *out == "" {
+		fs.Usage()
+		return fmt.Errorf("-in and -out are required")
+	}
+	if filepath.Ext(*in) == ".bed" {
+		prefix := strings.TrimSuffix(*in, ".bed")
+		snps, err := countLines(prefix+".bim", func(r io.Reader) (int, error) {
+			recs, err := seqio.ReadBim(r)
+			return len(recs), err
+		})
+		if err != nil {
+			return err
+		}
+		samples, err := countLines(prefix+".fam", func(r io.Reader) (int, error) {
+			recs, err := seqio.ReadFam(r)
+			return len(recs), err
+		})
+		if err != nil {
+			return err
+		}
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := seqio.BEDToLDBM(f, snps, samples, *out, *window); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "ldstore: converted %s (%d variants × %d samples) to %s (%d haplotypes)\n",
+			*in, snps, samples, *out, 2*samples)
+		return nil
+	}
+	m, err := load(*in)
+	if err != nil {
+		return err
+	}
+	if err := bitmat.WriteFile(*out, m); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "ldstore: converted %s (%d×%d) to %s\n", *in, m.SNPs, m.Samples, *out)
+	return nil
+}
+
+// countLines opens a companion metadata file and counts its records.
+func countLines(path string, count func(io.Reader) (int, error)) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	return count(f)
 }
 
 func runInfo(args []string, stdout, stderr io.Writer) error {
@@ -187,6 +356,25 @@ func writeJSON(w io.Writer, v any) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(v)
+}
+
+// openSource opens a dataset as a bitmat.Source. A .ldbm container stays
+// on disk — mmap'd or windowed-read — so the build is out of core; every
+// other format loads into RAM exactly as before and is wrapped as a
+// MemSource (the builder's in-RAM fast path).
+func openSource(path string, mmap bool) (bitmat.Source, func(), error) {
+	if filepath.Ext(path) == ".ldbm" {
+		f, err := bitmat.OpenFile(path, mmap)
+		if err != nil {
+			return nil, nil, err
+		}
+		return f, func() { f.Close() }, nil
+	}
+	m, err := load(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return bitmat.NewMemSource(m), func() {}, nil
 }
 
 // load reads a dataset the same way ldserver does, so a store built here

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"ldgemm/internal/bitmat"
 	"ldgemm/internal/blis"
 	"ldgemm/internal/popsim"
 	"ldgemm/internal/seqio"
@@ -153,6 +154,202 @@ func TestBuildTuneProfile(t *testing.T) {
 	}
 	if !strings.Contains(stderr, "ignoring tune profile") {
 		t.Fatalf("fallback not logged: %q", stderr)
+	}
+}
+
+// TestBuildFromLDBM: builds from an on-disk .ldbm container — windowed,
+// mmap'd, and checkpointed — are byte-identical to the in-RAM build of
+// the same dataset.
+func TestBuildFromLDBM(t *testing.T) {
+	dir := t.TempDir()
+	m, err := popsim.Mosaic(48, 40, popsim.MosaicConfig{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ldgm := filepath.Join(dir, "d.ldgm")
+	f, err := os.Create(ldgm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seqio.WriteBinary(f, m); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	ldbm := filepath.Join(dir, "d.ldbm")
+	if err := bitmat.WriteFile(ldbm, m); err != nil {
+		t.Fatal(err)
+	}
+
+	ref := filepath.Join(dir, "ref.ldts")
+	if _, _, err := runLdstore(t, "build", "-in", ldgm, "-out", ref, "-tile", "16"); err != nil {
+		t.Fatalf("reference build: %v", err)
+	}
+	want, err := os.ReadFile(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, extra := range map[string][]string{
+		"windowed":   {"-io-window", "8"},
+		"mmap":       {"-mmap"},
+		"checkpoint": {"-checkpoint"},
+	} {
+		out := filepath.Join(dir, name+".ldts")
+		args := append([]string{"build", "-in", ldbm, "-out", out, "-tile", "16"}, extra...)
+		if _, _, err := runLdstore(t, args...); err != nil {
+			t.Fatalf("%s build: %v", name, err)
+		}
+		got, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s build differs from in-RAM build", name)
+		}
+	}
+	// -resume with no prior checkpoint starts fresh and still matches.
+	out := filepath.Join(dir, "resume.ldts")
+	if _, _, err := runLdstore(t, "build", "-in", ldbm, "-out", out, "-tile", "16", "-resume"); err != nil {
+		t.Fatalf("resume-fresh build: %v", err)
+	}
+	if got, _ := os.ReadFile(out); !bytes.Equal(got, want) {
+		t.Fatal("resume-fresh build differs from in-RAM build")
+	}
+}
+
+// TestBuildSplitChrom: a two-chromosome .bim splits the build into two
+// stores, each byte-identical to a whole build of that row range.
+func TestBuildSplitChrom(t *testing.T) {
+	dir := t.TempDir()
+	m, err := popsim.Mosaic(40, 32, popsim.MosaicConfig{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ldbm := filepath.Join(dir, "d.ldbm")
+	if err := bitmat.WriteFile(ldbm, m); err != nil {
+		t.Fatal(err)
+	}
+	bim := make([]seqio.BimRecord, m.SNPs)
+	for i := range bim {
+		chrom := "1"
+		if i >= 24 {
+			chrom = "2"
+		}
+		bim[i] = seqio.BimRecord{Chrom: chrom, ID: "v", Pos: 1 + i, Allele1: 'G', Allele2: 'A'}
+	}
+	bimPath := filepath.Join(dir, "d.bim")
+	bf, err := os.Create(bimPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seqio.WriteBim(bf, bim); err != nil {
+		t.Fatal(err)
+	}
+	bf.Close()
+
+	out := filepath.Join(dir, "d.ldts")
+	_, stderr, err := runLdstore(t, "build", "-in", ldbm, "-out", out, "-tile", "16", "-split-chrom", bimPath)
+	if err != nil {
+		t.Fatalf("split build: %v", err)
+	}
+	if !strings.Contains(stderr, "2 per-chromosome stores") {
+		t.Fatalf("split not announced: %q", stderr)
+	}
+	for _, r := range []struct {
+		chrom  string
+		lo, hi int
+	}{{"1", 0, 24}, {"2", 24, 40}} {
+		sub := m.Slice(r.lo, r.hi)
+		subLdgm := filepath.Join(dir, "sub"+r.chrom+".ldgm")
+		f, err := os.Create(subLdgm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := seqio.WriteBinary(f, sub); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		ref := filepath.Join(dir, "ref"+r.chrom+".ldts")
+		if _, _, err := runLdstore(t, "build", "-in", subLdgm, "-out", ref, "-tile", "16"); err != nil {
+			t.Fatal(err)
+		}
+		want, _ := os.ReadFile(ref)
+		got, err := os.ReadFile(filepath.Join(dir, "d.chr"+r.chrom+".ldts"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("chr%s store differs from whole-matrix build of rows [%d,%d)", r.chrom, r.lo, r.hi)
+		}
+	}
+
+	// Non-contiguous chromosome blocks must be refused.
+	bim[10].Chrom = "2"
+	bf, err = os.Create(bimPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seqio.WriteBim(bf, bim); err != nil {
+		t.Fatal(err)
+	}
+	bf.Close()
+	if _, _, err := runLdstore(t, "build", "-in", ldbm, "-out", out, "-split-chrom", bimPath); err == nil {
+		t.Fatal("interleaved chromosomes accepted")
+	}
+}
+
+// TestConvert: .bed filesets stream into .ldbm containers that match the
+// in-RAM pseudo-phase path; .ldgm inputs rewrite directly.
+func TestConvert(t *testing.T) {
+	dir := t.TempDir()
+	m, err := popsim.Mosaic(30, 24, popsim.MosaicConfig{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	geno, err := bitmat.FromHaplotypes(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefix := filepath.Join(dir, "d")
+	err = seqio.WritePlinkFileset(prefix, geno,
+		seqio.DefaultBim(m.SNPs, "1", 100), seqio.DefaultFam(geno.Samples))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "d.ldbm")
+	_, stderr, err := runLdstore(t, "convert", "-in", prefix+".bed", "-out", out, "-window", "7")
+	if err != nil {
+		t.Fatalf("convert: %v", err)
+	}
+	if !strings.Contains(stderr, "converted") {
+		t.Fatalf("convert stderr %q", stderr)
+	}
+	f, err := bitmat.OpenFile(out, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.Load()
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := geno.PseudoPhase()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatal("converted container differs from whole-matrix PseudoPhase")
+	}
+
+	ldgm := writeDataset(t)
+	out2 := filepath.Join(dir, "g.ldbm")
+	if _, _, err := runLdstore(t, "convert", "-in", ldgm, "-out", out2); err != nil {
+		t.Fatalf("ldgm convert: %v", err)
+	}
+	if _, _, err := runLdstore(t, "convert", "-in", ldgm); err == nil {
+		t.Fatal("convert without -out accepted")
+	}
+	if _, _, err := runLdstore(t, "convert", "-in", filepath.Join(dir, "missing.bed"), "-out", out2); err == nil {
+		t.Fatal("convert of missing fileset accepted")
 	}
 }
 

@@ -1,0 +1,61 @@
+package bitmat
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+)
+
+// TestSliceSource: a slice of any source behaves exactly like a resident
+// copy of those rows — same dims, same panels, same fingerprint.
+func TestSliceSource(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m := New(90, 130)
+	for i := range m.Data {
+		m.Data[i] = rng.Uint64()
+	}
+	for i := 0; i < m.SNPs; i++ {
+		m.Slice(i, i+1).Data[m.Words-1] &= m.PadMask()
+	}
+	path := filepath.Join(t.TempDir(), "g.ldbm")
+	if err := WriteFile(path, m); err != nil {
+		t.Fatal(err)
+	}
+	windowed, err := OpenFile(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer windowed.Close()
+
+	for _, parent := range []Source{NewMemSource(m), windowed} {
+		for _, r := range [][2]int{{0, 90}, {13, 57}, {0, 0}, {89, 90}} {
+			lo, hi := r[0], r[1]
+			want := m.Slice(lo, hi)
+			s, err := NewSliceSource(parent, lo, hi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s.NumSNPs() != hi-lo || s.NumSamples() != m.Samples {
+				t.Fatalf("slice [%d,%d) dims %d×%d", lo, hi, s.NumSNPs(), s.NumSamples())
+			}
+			if s.Fingerprint() != want.Fingerprint() {
+				t.Fatalf("slice [%d,%d) fingerprint differs from resident copy", lo, hi)
+			}
+			if hi > lo {
+				p, err := s.Panel(0, hi-lo, New(hi-lo, m.Samples))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !p.Equal(want) {
+					t.Fatalf("slice [%d,%d) panel differs", lo, hi)
+				}
+			}
+			if _, err := s.Panel(0, hi-lo+1, nil); err == nil {
+				t.Fatal("out-of-range panel accepted")
+			}
+		}
+	}
+	if _, err := NewSliceSource(NewMemSource(m), 5, 999); err == nil {
+		t.Fatal("out-of-range slice accepted")
+	}
+}

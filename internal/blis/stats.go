@@ -23,6 +23,11 @@ type driverCounters struct {
 	popcAvoided atomic.Uint64
 	variant     atomic.Pointer[string]
 	popcount    atomic.Pointer[string]
+
+	panelsRead         atomic.Uint64
+	panelBytesRead     atomic.Uint64
+	prefetchStallNanos atomic.Uint64
+	resumes            atomic.Uint64
 }
 
 var stats driverCounters
@@ -62,6 +67,17 @@ type DriverStats struct {
 	// batched (CSA/vector) strategies folded away relative to the scalar
 	// kernel: popcPerWord · cells · (1 − 1/fold) per call.
 	PopcountsAvoided uint64
+	// PanelsRead/PanelBytesRead count the I/O panels (and their packed
+	// bytes) an out-of-core scheduler fetched from a file-backed bit
+	// matrix, and PrefetchStallNanos the wall time its compute loop spent
+	// blocked waiting for a panel the prefetcher had not finished reading —
+	// the GEMM-starved-on-I/O fraction of an out-of-core build.
+	PanelsRead         uint64
+	PanelBytesRead     uint64
+	PrefetchStallNanos uint64
+	// Resumes counts builder runs that restarted from a checkpoint
+	// manifest instead of from scratch.
+	Resumes uint64
 	// Variant names the kernel variant of the most recent driver call
 	// (e.g. "4x4", "4x4-runs", "masked2x2-runs"); Popcount names its
 	// concrete AND-count engine ("scalar", "csa", "vector-avx512-
@@ -88,6 +104,23 @@ func (s DriverStats) ArenaHitRate() float64 {
 	return 1 - float64(s.ArenaMisses)/float64(s.ArenaGets)
 }
 
+// NotePanelRead records one I/O panel fetch of the given packed size.
+// Called by the out-of-core panel scheduler, which lives above this
+// package but reports through the same counter surface the driver uses.
+func NotePanelRead(bytes int64) {
+	stats.panelsRead.Add(1)
+	stats.panelBytesRead.Add(uint64(bytes))
+}
+
+// NotePrefetchStall records wall time a compute loop spent blocked on a
+// panel read the prefetcher had not yet completed.
+func NotePrefetchStall(nanos int64) {
+	stats.prefetchStallNanos.Add(uint64(nanos))
+}
+
+// NoteResume records a builder run restarted from a checkpoint.
+func NoteResume() { stats.resumes.Add(1) }
+
 // ReadStats snapshots the cumulative driver counters. Counters only grow;
 // observers difference successive snapshots for rates.
 func ReadStats() DriverStats {
@@ -102,6 +135,10 @@ func ReadStats() DriverStats {
 		EpilogueNanos:        stats.epiNanos.Load(),
 		EpilogueBytesAvoided: stats.epiBytesAvoided.Load(),
 		PopcountsAvoided:     stats.popcAvoided.Load(),
+		PanelsRead:           stats.panelsRead.Load(),
+		PanelBytesRead:       stats.panelBytesRead.Load(),
+		PrefetchStallNanos:   stats.prefetchStallNanos.Load(),
+		Resumes:              stats.resumes.Load(),
 	}
 	if p := stats.variant.Load(); p != nil {
 		d.Variant = *p

@@ -34,6 +34,20 @@ type StreamOptions struct {
 	// bit-identical to a full scan's — a cluster shard streaming only its
 	// owned row strip reproduces exactly the rows a single node computes.
 	RowStart, RowEnd int
+	// IOPanelSNPs is the column-panel width (in SNPs) of the out-of-core
+	// scheduler's B-side fetches (default 1024). Only StreamSource reads
+	// it; resident scans pass whole slices to the driver. Values are
+	// bit-independent of the panel width — every output cell's count is a
+	// full-K dot product no matter how the columns are paneled.
+	IOPanelSNPs int
+}
+
+// ioPanel resolves the I/O column-panel width.
+func (o StreamOptions) ioPanel() int {
+	if o.IOPanelSNPs > 0 {
+		return o.IOPanelSNPs
+	}
+	return 1024
 }
 
 // rowWindow resolves the [RowStart, RowEnd) window against n rows.

@@ -1,0 +1,248 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"ldgemm/internal/bitmat"
+	"ldgemm/internal/blis"
+)
+
+// This file implements the out-of-core panel-pair scheduler: the striped
+// streaming scan of Stream, generalized from a resident Matrix to any
+// bitmat.Source (an mmap'd or windowed .ldbm file, or a resident matrix
+// behind MemSource). The stripe × column-panel triangle is walked with a
+// dedicated prefetcher goroutine reading — or, for mmap'd sources,
+// MADV_WILLNEED-ing — the panels ahead of the compute loop, so disk I/O
+// for panel k+1 overlaps the GEMM + fused epilogue on panel k. Per-row
+// values are bit-identical to Stream's: counts are full-K dot products
+// independent of column paneling, and the fused epilogue's expression
+// shapes are per-cell, so the decomposition cannot perturb a single bit.
+//
+// Memory is bounded by the stripe (StripeRows × n float64 values), the
+// double-buffered panel pools (2 A-stripes + 2 B-panels of packed words in
+// windowed mode; zero-copy views in mmap mode), and the O(n) frequency
+// vector — never by the n² output or the full bit matrix.
+
+// oocReq is one panel fetch in the scheduler's walk order: the A stripe
+// for each row block, then every B column panel it multiplies against.
+type oocReq struct {
+	lo, hi int
+	a      bool // A-stripe (row block) vs B column panel
+}
+
+// oocPanel is a fetched panel handed from the prefetcher to the compute
+// loop, with the pool buffer to recycle once the GEMM is done.
+type oocPanel struct {
+	m   *bitmat.Matrix
+	buf *bitmat.Matrix
+	err error
+}
+
+// SourceAlleleFrequencies computes the per-SNP allele frequencies of a
+// source in one panel-by-panel pass, bit-identical to AlleleFrequencies
+// on the resident matrix.
+func SourceAlleleFrequencies(src bitmat.Source, panelSNPs int) ([]float64, error) {
+	n := src.NumSNPs()
+	p := make([]float64, n)
+	if panelSNPs < 1 {
+		panelSNPs = 1
+	}
+	var buf bitmat.Matrix
+	for lo := 0; lo < n; lo += panelSNPs {
+		hi := min(lo+panelSNPs, n)
+		m, err := src.Panel(lo, hi, &buf)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < m.SNPs; i++ {
+			p[lo+i] = m.AlleleFrequency(i)
+		}
+	}
+	return p, nil
+}
+
+// StreamSource is Stream for a bitmat.Source: it computes the same rows,
+// delivers them through the same visit contract, and produces bit-
+// identical values — but the bit matrix is fetched panel by panel, so the
+// scan runs on datasets that never fit in memory. A resident MemSource
+// short-circuits to Stream (one zero-copy "panel" is the whole matrix);
+// file sources run the double-buffered panel-pair schedule.
+//
+// Only fused-epilogue configurations are supported out of core (the
+// default; KeepCounts and EpilogueSplit need the dense count stripe that
+// out-of-core operation exists to avoid).
+func StreamSource(src bitmat.Source, opt StreamOptions, visit func(i, j0 int, row []float64)) error {
+	if ms, ok := src.(*bitmat.MemSource); ok {
+		return Stream(ms.M, opt, visit)
+	}
+	if !opt.fused() {
+		return fmt.Errorf("core: out-of-core streaming requires the fused epilogue (no KeepCounts, no EpilogueSplit)")
+	}
+	n := src.NumSNPs()
+	samples := src.NumSamples()
+	if samples == 0 && n > 0 {
+		return fmt.Errorf("core: streaming LD with zero samples")
+	}
+	stripe := opt.StripeRows
+	if stripe == 0 {
+		stripe = 512
+	}
+	if stripe < 1 {
+		return fmt.Errorf("core: invalid StripeRows %d", stripe)
+	}
+	lo, hi, err := opt.rowWindow(n)
+	if err != nil {
+		return err
+	}
+	panel := opt.ioPanel()
+	p, err := SourceAlleleFrequencies(src, panel)
+	if err != nil {
+		return err
+	}
+
+	// The full fetch schedule, in exactly the order the compute loop will
+	// consume panels. Generating it up front keeps the prefetcher a dumb
+	// cursor that is always N buffered panels ahead of the consumer.
+	var schedule []oocReq
+	for i0 := lo; i0 < hi; i0 += stripe {
+		rows := min(stripe, hi-i0)
+		schedule = append(schedule, oocReq{i0, i0 + rows, true})
+		bLo, bHi := 0, n
+		if opt.Triangular {
+			bLo = i0 + rows
+		}
+		for c := bLo; c < bHi; c += panel {
+			schedule = append(schedule, oocReq{c, min(c+panel, bHi), false})
+		}
+	}
+
+	words := bitmat.WordsFor(samples)
+	freeA := make(chan *bitmat.Matrix, 2)
+	freeB := make(chan *bitmat.Matrix, 2)
+	for i := 0; i < 2; i++ {
+		freeA <- &bitmat.Matrix{}
+		freeB <- &bitmat.Matrix{}
+	}
+	fetched := make(chan oocPanel, 2)
+	done := make(chan struct{})
+	defer close(done)
+
+	go func() {
+		defer close(fetched)
+		for _, r := range schedule {
+			pool := freeB
+			if r.a {
+				pool = freeA
+			}
+			var buf *bitmat.Matrix
+			select {
+			case buf = <-pool:
+			case <-done:
+				return
+			}
+			// For mmap'd sources this starts kernel readahead; Panel is
+			// then a zero-copy view. For windowed sources Panel is the
+			// read itself, into the recycled pool buffer.
+			src.Prefetch(r.lo, r.hi)
+			m, err := src.Panel(r.lo, r.hi, buf)
+			blis.NotePanelRead(int64(r.hi-r.lo) * int64(words) * 8)
+			select {
+			case fetched <- oocPanel{m: m, buf: buf, err: err}:
+			case <-done:
+				return
+			}
+		}
+	}()
+
+	// recv pulls the next scheduled panel, charging wall time to the
+	// prefetch-stall counter only when the compute loop actually blocks.
+	recv := func() (oocPanel, error) {
+		var pnl oocPanel
+		var ok bool
+		select {
+		case pnl, ok = <-fetched:
+		default:
+			t0 := time.Now()
+			pnl, ok = <-fetched
+			blis.NotePrefetchStall(time.Since(t0).Nanoseconds())
+		}
+		if !ok {
+			return pnl, fmt.Errorf("core: panel prefetcher exited early")
+		}
+		return pnl, pnl.err
+	}
+
+	meas := opt.measures()
+	fast := meas&MeasureR2 != 0 && !opt.Exact
+	inv := 0.0
+	if samples > 0 {
+		inv = 1 / float64(samples)
+	}
+	// Same epilogue constructor as streamFused: one statistic, frequency
+	// slices aligned to the driver's sub-matrix coordinates.
+	epi := func(out []float64, ld int, rowFreqs, colFreqs []float64) *denseEpilogue {
+		e := &denseEpilogue{
+			rowFreqs: rowFreqs, colFreqs: colFreqs, ld: ld, fast: fast, inv: inv,
+		}
+		switch {
+		case meas&MeasureR2 != 0:
+			e.r2 = out
+		case meas&MeasureD != 0:
+			e.d = out
+		default:
+			e.dp = out
+		}
+		e.prepare()
+		return e
+	}
+	vals := make([]float64, min(stripe, max(n, 1))*n)
+	for i0 := lo; i0 < hi; i0 += stripe {
+		rows := min(stripe, hi-i0)
+		a, err := recv()
+		if err != nil {
+			return err
+		}
+		sub := a.m
+		base := 0
+		width := n
+		if opt.Triangular {
+			base = i0
+			width = n - i0
+		}
+		v := vals[:rows*width]
+		bLo, bHi := 0, n
+		if opt.Triangular {
+			bLo = i0 + rows
+			e := epi(v, width, p[i0:i0+rows], p[i0:i0+rows])
+			if err := blis.SyrkEpilogue(opt.blisCfg(), sub, e.tile); err != nil {
+				return err
+			}
+		}
+		for c := bLo; c < bHi; c += panel {
+			c1 := min(c+panel, bHi)
+			b, err := recv()
+			if err != nil {
+				return err
+			}
+			e := epi(v[c-base:], width, p[i0:i0+rows], p[c:c1])
+			err = blis.GemmEpilogue(opt.blisCfg(), sub, b.m, e.tile)
+			freeB <- b.buf
+			if err != nil {
+				return err
+			}
+		}
+		freeA <- a.buf
+		for i := 0; i < rows; i++ {
+			gi := i0 + i
+			j0 := base
+			off := 0
+			if opt.Triangular {
+				j0 = gi
+				off = gi - i0
+			}
+			visit(gi, j0, v[i*width+off:(i+1)*width])
+		}
+	}
+	return nil
+}

@@ -46,6 +46,9 @@ type BuildStats struct {
 	// epilogue writes statistics straight into the stream's stripe; the
 	// old uint32 count stripe and per-row vector no longer exist.)
 	PeakResultBytes int64
+	// StartStripe is the tile row the build began at: 0 for a fresh
+	// build, the checkpoint's stripe count for a resumed one.
+	StartStripe int
 }
 
 func (o BuildOptions) normalize() (BuildOptions, error) {
@@ -120,7 +123,7 @@ func Build(w io.WriteSeeker, g *bitmat.Matrix, opt BuildOptions) (BuildStats, er
 	}
 
 	b := &builder{
-		g: g, nt: nt, tiles: t, compress: opt.Compress,
+		n: n, nt: nt, tiles: t, compress: opt.Compress,
 		bw:     bw,
 		offset: headerSize,
 		index:  make([]indexEntry, 0, triangleTiles(t)),
@@ -195,7 +198,7 @@ func Build(w io.WriteSeeker, g *bitmat.Matrix, opt BuildOptions) (BuildStats, er
 // builder accumulates one stripe of statistic rows and flushes it as one
 // row of tiles.
 type builder struct {
-	g        *bitmat.Matrix
+	n        int // SNP count (matrix side)
 	nt       int
 	tiles    int
 	compress bool
@@ -204,6 +207,10 @@ type builder struct {
 	offset int64
 	index  []indexEntry
 	err    error
+
+	// onStripe, when set, runs after each stripe's tiles are fully
+	// appended — the checkpointing hook of the out-of-core builder.
+	onStripe func(i0 int) error
 
 	// buf holds the current stripe: row r (global SNP i0+r) occupies
 	// buf[r*width : (r+1)*width] for columns [i0, SNPs), width = SNPs−i0.
@@ -223,7 +230,7 @@ func (b *builder) addRow(i int, row []float64) error {
 		return fmt.Errorf("ldstore: stream delivered row %d, want %d", i, b.next)
 	}
 	b.next++
-	n := b.g.SNPs
+	n := b.n
 	i0 := i - i%b.nt
 	width := n - i0
 	r := i - i0
@@ -237,7 +244,7 @@ func (b *builder) addRow(i int, row []float64) error {
 // flushStripe mirrors the diagonal tile's lower triangle (both halves live
 // in the same stripe) and writes every tile of tile row i0/nt.
 func (b *builder) flushStripe(i0 int) error {
-	n := b.g.SNPs
+	n := b.n
 	rows := min(b.nt, n-i0)
 	width := n - i0
 	for r := 1; r < rows; r++ {
@@ -251,13 +258,16 @@ func (b *builder) flushStripe(i0 int) error {
 			return err
 		}
 	}
+	if b.onStripe != nil {
+		return b.onStripe(i0)
+	}
 	return nil
 }
 
 // writeTile serializes tile (ti, tj) from the stripe buffer, optionally
 // compresses it, and appends payload + index entry.
 func (b *builder) writeTile(i0, rows, width, ti, tj int) error {
-	n := b.g.SNPs
+	n := b.n
 	colLo := tj*b.nt - i0
 	cols := min(b.nt, n-tj*b.nt)
 	b.raw = b.raw[:rows*cols*8]

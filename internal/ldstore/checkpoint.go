@@ -1,0 +1,194 @@
+package ldstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Checkpointing for out-of-core builds. A genome-scale build can run for
+// hours; a kill (OOM, preemption, operator) must not forfeit the stripes
+// already computed. Two small files ride alongside the store being built:
+//
+//   - the manifest (<store>.ckpt): a JSON record of how many stripes are
+//     durably on disk, the data-file byte offset they end at, and the full
+//     build identity (dataset fingerprint + options). Written with the
+//     atomic temp+rename idiom after every stripe, strictly after the
+//     stripe's tile bytes and index sidecar have been fsync'd — so the
+//     manifest never points past data that could be lost.
+//   - the index sidecar (<store>.idx): the raw 24-byte indexEntry records
+//     of every flushed tile, appended per stripe. The store's real index
+//     only lands at end-of-file once the build completes, so a resumed
+//     build reloads the entries it can no longer recompute from here.
+//
+// Resume truncates the data file to the manifest's offset, reloads the
+// sidecar, and restarts the scan at the next stripe via the stream's row
+// window. Tile payloads are deterministic (fixed DEFLATE level, per-tile
+// writer reset) and column-panel independent, so the resumed build's
+// output is byte-identical to an uninterrupted one's; both sidecar files
+// are removed on success.
+
+// manifestVersion guards the checkpoint manifest schema.
+const manifestVersion = 1
+
+// manifest is the checkpoint record of a partially built store.
+type manifest struct {
+	Version int    `json:"version"`
+	Magic   string `json:"magic"` // "ldstore-checkpoint"
+
+	// Build identity: a manifest may only resume a build of the same
+	// dataset with the same options, otherwise the mixed output would be
+	// silently wrong.
+	Fingerprint uint64 `json:"fingerprint"`
+	SNPs        int    `json:"snps"`
+	Samples     int    `json:"samples"`
+	TileSize    int    `json:"tile_size"`
+	Stat        uint32 `json:"stat"`
+	Compress    bool   `json:"compress"`
+
+	// Progress: StripesDone stripes are durably flushed, their tile
+	// payloads ending at DataOffset in the data file, with TilesWritten
+	// index entries in the sidecar.
+	StripesDone  int   `json:"stripes_done"`
+	DataOffset   int64 `json:"data_offset"`
+	TilesWritten int   `json:"tiles_written"`
+}
+
+const manifestMagic = "ldstore-checkpoint"
+
+// tilesThrough returns the number of tiles in the first `stripes` tile
+// rows of a t-band upper triangle: row s holds t−s tiles.
+func tilesThrough(t, stripes int) int64 {
+	s := int64(stripes)
+	return s*int64(t) - s*(s-1)/2
+}
+
+// parseManifest decodes and validates a checkpoint manifest. Every field
+// is cross-checked for internal consistency so a corrupt or truncated
+// manifest is rejected rather than resumed into a wrong store.
+func parseManifest(b []byte) (manifest, error) {
+	var m manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return m, fmt.Errorf("ldstore: checkpoint manifest: %w", err)
+	}
+	if m.Magic != manifestMagic {
+		return m, fmt.Errorf("ldstore: checkpoint manifest: bad magic %q", m.Magic)
+	}
+	if m.Version != manifestVersion {
+		return m, fmt.Errorf("ldstore: checkpoint manifest: unsupported version %d", m.Version)
+	}
+	if m.SNPs < 0 || m.SNPs > maxSNPs || m.Samples < 0 || int64(m.Samples) > maxSamples {
+		return m, fmt.Errorf("ldstore: checkpoint manifest: implausible dimensions %d×%d", m.SNPs, m.Samples)
+	}
+	if m.TileSize < 1 || int64(m.TileSize)*int64(m.TileSize)*8 > MaxTileBytes {
+		return m, fmt.Errorf("ldstore: checkpoint manifest: invalid tile size %d", m.TileSize)
+	}
+	if !Stat(m.Stat).valid() {
+		return m, fmt.Errorf("ldstore: checkpoint manifest: invalid statistic %d", m.Stat)
+	}
+	t := tilesFor(m.SNPs, m.TileSize)
+	if m.StripesDone < 0 || m.StripesDone > t {
+		return m, fmt.Errorf("ldstore: checkpoint manifest: %d stripes done of %d", m.StripesDone, t)
+	}
+	if want := tilesThrough(t, m.StripesDone); int64(m.TilesWritten) != want {
+		return m, fmt.Errorf("ldstore: checkpoint manifest: %d tiles written, want %d for %d stripes",
+			m.TilesWritten, want, m.StripesDone)
+	}
+	if m.DataOffset < headerSize {
+		return m, fmt.Errorf("ldstore: checkpoint manifest: data offset %d inside header", m.DataOffset)
+	}
+	return m, nil
+}
+
+// writeManifest atomically replaces path with the encoded manifest:
+// temp file in the same directory, fsync, rename.
+func writeManifest(path string, m manifest) error {
+	b, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// readManifest loads and validates the manifest at path.
+func readManifest(path string) (manifest, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return manifest{}, err
+	}
+	return parseManifest(b)
+}
+
+// loadSidecar reads the first `tiles` index entries from the sidecar file
+// and truncates it to exactly that length, discarding any trailing entries
+// whose manifest rename never landed.
+func loadSidecar(f *os.File, tiles int) ([]indexEntry, error) {
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	want := int64(tiles) * indexEntrySize
+	if fi.Size() < want {
+		return nil, fmt.Errorf("ldstore: index sidecar holds %d bytes, need %d for %d tiles", fi.Size(), want, tiles)
+	}
+	b := make([]byte, want)
+	if _, err := f.ReadAt(b, 0); err != nil {
+		return nil, err
+	}
+	entries := make([]indexEntry, tiles)
+	for i := range entries {
+		entries[i] = decodeIndexEntry(b[i*indexEntrySize:])
+	}
+	if err := f.Truncate(want); err != nil {
+		return nil, err
+	}
+	if _, err := f.Seek(want, 0); err != nil {
+		return nil, err
+	}
+	return entries, nil
+}
+
+// appendSidecar appends entries to the sidecar and syncs it.
+func appendSidecar(f *os.File, entries []indexEntry) error {
+	buf := make([]byte, len(entries)*indexEntrySize)
+	for i, e := range entries {
+		e.encode(buf[i*indexEntrySize:])
+	}
+	if _, err := f.Write(buf); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// PartialError reports a build that failed after durably flushing some
+// stripes. Callers that checkpoint can retry with Resume; the error
+// carries how far the build got so operators see partial progress rather
+// than a bare failure.
+type PartialError struct {
+	// FlushedStripes tile rows are durably on disk, of TotalStripes.
+	FlushedStripes int
+	TotalStripes   int
+	Err            error
+}
+
+func (e *PartialError) Error() string {
+	return fmt.Sprintf("ldstore: build failed after %d/%d stripes durably flushed: %v",
+		e.FlushedStripes, e.TotalStripes, e.Err)
+}
+
+func (e *PartialError) Unwrap() error { return e.Err }

@@ -22,7 +22,6 @@ package ldstore
 import (
 	"encoding/binary"
 	"fmt"
-	"hash/fnv"
 	"math"
 
 	"ldgemm/internal/bitmat"
@@ -228,17 +227,10 @@ func tileID(t, ti, tj int) int64 {
 // Fingerprint hashes a genomic matrix (dimensions plus packed words) with
 // FNV-1a 64. Builders stamp it into the header and servers refuse to pair
 // a store with a dataset whose fingerprint differs, so a stale or
-// mismatched tile file can never silently serve wrong statistics.
+// mismatched tile file can never silently serve wrong statistics. The hash
+// itself lives in bitmat (streamable, so out-of-core sources and .ldbm
+// containers carry the identical identity); this wrapper is the historical
+// entry point.
 func Fingerprint(g *bitmat.Matrix) uint64 {
-	h := fnv.New64a()
-	var buf [8]byte
-	binary.LittleEndian.PutUint64(buf[:], uint64(g.SNPs))
-	h.Write(buf[:])
-	binary.LittleEndian.PutUint64(buf[:], uint64(g.Samples))
-	h.Write(buf[:])
-	for _, w := range g.Data {
-		binary.LittleEndian.PutUint64(buf[:], w)
-		h.Write(buf[:])
-	}
-	return h.Sum64()
+	return g.Fingerprint()
 }

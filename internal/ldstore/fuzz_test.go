@@ -3,6 +3,7 @@ package ldstore
 import (
 	"bytes"
 	"encoding/binary"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
@@ -78,5 +79,62 @@ func FuzzStoreOpen(f *testing.F) {
 		_, _ = s.Region(0, min(n, 12))
 		_, _ = s.Top(3)
 		_ = s.Band(0, n, 4, func(int, int, float64) bool { return true })
+	})
+}
+
+// FuzzManifest feeds arbitrary bytes to the checkpoint-manifest parser.
+// The invariant: a corrupt or hostile manifest is rejected with an error,
+// never parsed into a state that would resume a wrong build — and never
+// a panic. Accepted manifests must satisfy their own internal-consistency
+// rules (a valid tile count for the stripe count, sane dimensions), which
+// the fuzz body re-checks independently.
+func FuzzManifest(f *testing.F) {
+	valid, err := json.Marshal(manifest{
+		Version: manifestVersion, Magic: manifestMagic,
+		Fingerprint: 0xdeadbeefcafef00d, SNPs: 120, Samples: 77,
+		TileSize: 16, Stat: uint32(StatR2), Compress: true,
+		StripesDone: 3, DataOffset: 4096, TilesWritten: 18,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("{}"))
+	f.Add([]byte("not json"))
+	f.Add([]byte(`{"version":1,"magic":"ldstore-checkpoint"}`))
+	f.Add(bytes.Replace(valid, []byte(`"version":1`), []byte(`"version":99`), 1))
+	f.Add(bytes.Replace(valid, []byte(`"tile_size":16`), []byte(`"tile_size":0`), 1))
+	f.Add(bytes.Replace(valid, []byte(`"tile_size":16`), []byte(`"tile_size":1073741824`), 1))
+	f.Add(bytes.Replace(valid, []byte(`"snps":120`), []byte(`"snps":-5`), 1))
+	f.Add(bytes.Replace(valid, []byte(`"snps":120`), []byte(`"snps":4611686018427387904`), 1))
+	f.Add(bytes.Replace(valid, []byte(`"stripes_done":3`), []byte(`"stripes_done":1000`), 1))
+	f.Add(bytes.Replace(valid, []byte(`"tiles_written":18`), []byte(`"tiles_written":2`), 1))
+	f.Add(bytes.Replace(valid, []byte(`"data_offset":4096`), []byte(`"data_offset":-1`), 1))
+	f.Add(bytes.Replace(valid, []byte(`"stat":1`), []byte(`"stat":9`), 1))
+	f.Add(valid[:len(valid)/2])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := parseManifest(data)
+		if err != nil {
+			return
+		}
+		// Whatever parses must be resumable state, not garbage.
+		if m.Magic != manifestMagic || m.Version != manifestVersion {
+			t.Fatalf("accepted manifest with identity %q v%d", m.Magic, m.Version)
+		}
+		if m.SNPs < 0 || m.Samples < 0 || m.TileSize < 1 {
+			t.Fatalf("accepted implausible geometry %+v", m)
+		}
+		tiles := tilesFor(m.SNPs, m.TileSize)
+		if m.StripesDone < 0 || m.StripesDone > tiles {
+			t.Fatalf("accepted out-of-range stripe count %+v", m)
+		}
+		if int64(m.TilesWritten) != tilesThrough(tiles, m.StripesDone) {
+			t.Fatalf("accepted inconsistent tile count %+v", m)
+		}
+		if m.DataOffset < headerSize {
+			t.Fatalf("accepted data offset inside header %+v", m)
+		}
 	})
 }

@@ -1,0 +1,286 @@
+package ldstore
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"ldgemm/internal/bitmat"
+)
+
+// ldbmSource writes m as a .ldbm container and opens it in the requested
+// mode, registering cleanup.
+func ldbmSource(t *testing.T, m *bitmat.Matrix, mapped bool) *bitmat.File {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "g.ldbm")
+	if err := bitmat.WriteFile(path, m); err != nil {
+		t.Fatal(err)
+	}
+	f, err := bitmat.OpenFile(path, mapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+func mustRead(t *testing.T, path string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestSourceBuildByteIdentical: the acceptance criterion — an out-of-core
+// build from a file-backed source produces byte-for-byte the store the
+// in-RAM builder writes, in every access mode, panel width, and
+// compression setting, with and without checkpointing.
+func TestSourceBuildByteIdentical(t *testing.T) {
+	g := testMatrix(t, 131, 97, 5)
+	for _, compress := range []bool{false, true} {
+		bo := BuildOptions{TileSize: 24, Compress: compress}
+		want := filepath.Join(t.TempDir(), "want.ldts")
+		if _, err := BuildFile(want, g, bo); err != nil {
+			t.Fatal(err)
+		}
+		ref := mustRead(t, want)
+		cases := map[string]struct {
+			src bitmat.Source
+			opt SourceBuildOptions
+		}{
+			"mem":               {bitmat.NewMemSource(g), SourceBuildOptions{BuildOptions: bo}},
+			"windowed":          {ldbmSource(t, g, false), SourceBuildOptions{BuildOptions: bo, IOPanelSNPs: 16}},
+			"windowed-wide":     {ldbmSource(t, g, false), SourceBuildOptions{BuildOptions: bo, IOPanelSNPs: 1000}},
+			"mmap":              {ldbmSource(t, g, true), SourceBuildOptions{BuildOptions: bo, IOPanelSNPs: 32}},
+			"windowed-ckpt":     {ldbmSource(t, g, false), SourceBuildOptions{BuildOptions: bo, IOPanelSNPs: 16, Checkpoint: true}},
+			"mmap-resume-fresh": {ldbmSource(t, g, true), SourceBuildOptions{BuildOptions: bo, IOPanelSNPs: 16, Resume: true}},
+		}
+		for name, tc := range cases {
+			path := filepath.Join(t.TempDir(), "got.ldts")
+			st, err := BuildFileFromSource(path, tc.src, tc.opt)
+			if err != nil {
+				t.Fatalf("compress=%v %s: %v", compress, name, err)
+			}
+			if got := mustRead(t, path); string(got) != string(ref) {
+				t.Fatalf("compress=%v %s: store bytes differ from in-RAM build (%d vs %d bytes)",
+					compress, name, len(got), len(ref))
+			}
+			if st.Tiles == 0 || st.StartStripe != 0 {
+				t.Fatalf("compress=%v %s: stats %+v", compress, name, st)
+			}
+			if _, err := os.Stat(CheckpointPath(path)); !errors.Is(err, os.ErrNotExist) {
+				t.Fatalf("compress=%v %s: checkpoint manifest survived a completed build", compress, name)
+			}
+			if _, err := os.Stat(SidecarPath(path)); !errors.Is(err, os.ErrNotExist) {
+				t.Fatalf("compress=%v %s: index sidecar survived a completed build", compress, name)
+			}
+		}
+	}
+}
+
+// flakySource injects an I/O failure after a fixed number of panel
+// fetches — the test's stand-in for a mid-build kill.
+type flakySource struct {
+	bitmat.Source
+	remaining atomic.Int64
+}
+
+func (s *flakySource) Panel(lo, hi int, buf *bitmat.Matrix) (*bitmat.Matrix, error) {
+	if s.remaining.Add(-1) < 0 {
+		return nil, errors.New("injected I/O failure")
+	}
+	return s.Source.Panel(lo, hi, buf)
+}
+
+// TestSourceBuildKillAndResume: a checkpointed build killed mid-run
+// reports partial progress, leaves a durable manifest, and a -resume run
+// converges to bytes identical to an uninterrupted build — even when the
+// crash left unaccounted garbage past the durable offset.
+func TestSourceBuildKillAndResume(t *testing.T) {
+	g := testMatrix(t, 120, 77, 9)
+	bo := BuildOptions{TileSize: 16, Compress: true}
+	want := filepath.Join(t.TempDir(), "want.ldts")
+	if _, err := BuildFile(want, g, bo); err != nil {
+		t.Fatal(err)
+	}
+	ref := mustRead(t, want)
+
+	src := ldbmSource(t, g, false)
+	flaky := &flakySource{Source: src}
+	// Enough fetches to survive the frequency pass and a few stripes,
+	// then fail.
+	flaky.remaining.Store(int64(120/16) + 12)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "got.ldts")
+	_, err := BuildFileFromSource(path, flaky, SourceBuildOptions{
+		BuildOptions: bo, IOPanelSNPs: 16, Checkpoint: true,
+	})
+	var pe *PartialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("killed build returned %v, want *PartialError", err)
+	}
+	if pe.FlushedStripes <= 0 || pe.FlushedStripes >= pe.TotalStripes {
+		t.Fatalf("partial progress %d/%d out of range", pe.FlushedStripes, pe.TotalStripes)
+	}
+	m, err := readManifest(CheckpointPath(path))
+	if err != nil {
+		t.Fatalf("manifest after kill: %v", err)
+	}
+	if m.StripesDone != pe.FlushedStripes {
+		t.Fatalf("manifest says %d stripes, error says %d", m.StripesDone, pe.FlushedStripes)
+	}
+
+	// Simulate the crash window: bytes written past the durable offset
+	// whose manifest never landed. Resume must truncate them away.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("garbage past the durable offset")); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	st, err := BuildFileFromSource(path, src, SourceBuildOptions{
+		BuildOptions: bo, IOPanelSNPs: 16, Resume: true,
+	})
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if st.StartStripe != pe.FlushedStripes {
+		t.Fatalf("resume started at stripe %d, want %d", st.StartStripe, pe.FlushedStripes)
+	}
+	if got := mustRead(t, path); string(got) != string(ref) {
+		t.Fatal("resumed store differs from uninterrupted build")
+	}
+}
+
+// TestSourceBuildResumeRefusesMismatch: a manifest from a different
+// dataset or different build options must refuse to resume.
+func TestSourceBuildResumeRefusesMismatch(t *testing.T) {
+	g := testMatrix(t, 64, 50, 3)
+	src := ldbmSource(t, g, false)
+	flaky := &flakySource{Source: src}
+	flaky.remaining.Store(int64(64/16) + 5)
+	path := filepath.Join(t.TempDir(), "got.ldts")
+	bo := BuildOptions{TileSize: 16}
+	if _, err := BuildFileFromSource(path, flaky, SourceBuildOptions{
+		BuildOptions: bo, IOPanelSNPs: 16, Checkpoint: true,
+	}); err == nil {
+		t.Fatal("flaky build should have failed")
+	}
+
+	other := testMatrix(t, 64, 50, 99)
+	if _, err := BuildFileFromSource(path, ldbmSource(t, other, false), SourceBuildOptions{
+		BuildOptions: bo, IOPanelSNPs: 16, Resume: true,
+	}); err == nil {
+		t.Fatal("resume with a different dataset must refuse")
+	}
+	if _, err := BuildFileFromSource(path, src, SourceBuildOptions{
+		BuildOptions: BuildOptions{TileSize: 32}, IOPanelSNPs: 16, Resume: true,
+	}); err == nil {
+		t.Fatal("resume with different tile size must refuse")
+	}
+	if _, err := BuildFileFromSource(path, src, SourceBuildOptions{
+		BuildOptions: BuildOptions{TileSize: 16, Compress: true}, IOPanelSNPs: 16, Resume: true,
+	}); err == nil {
+		t.Fatal("resume with different compression must refuse")
+	}
+}
+
+// TestSourceBuildMemoryBudget: the no-materialization guarantee. The
+// build's total allocations must stay far below both the packed bit
+// matrix and the n² result matrix — the two things an out-of-core build
+// exists to never hold.
+func TestSourceBuildMemoryBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("TotalAlloc budgets are meaningless under the race detector")
+	}
+	const (
+		snps    = 2048
+		samples = 65536
+		nt      = 64
+	)
+	words := bitmat.WordsFor(samples)
+	dir := t.TempDir()
+	gpath := filepath.Join(dir, "g.ldbm")
+	w, err := bitmat.CreateFile(gpath, snps, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stream the container into existence panel by panel: the full matrix
+	// is never resident, in the test any more than in production.
+	panel := bitmat.New(nt, samples)
+	for lo := 0; lo < snps; lo += nt {
+		for i := 0; i < nt; i++ {
+			for wd := 0; wd < words; wd++ {
+				panel.Data[i*words+wd] = uint64(lo+i+1) * 0x9e3779b97f4a7c15 >> (wd % 7)
+			}
+			panel.SNP(i)[words-1] &= panel.PadMask()
+		}
+		if err := w.WritePanel(panel); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	src, err := bitmat.OpenFile(gpath, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+
+	matrixBytes := src.MatrixBytes()                // 16 MiB
+	resultBytes := int64(snps) * int64(snps) * 8    // 32 MiB
+	budget := min(matrixBytes, resultBytes) * 3 / 4 // must stay clearly below both
+	path := filepath.Join(dir, "g.ldts")
+
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	if _, err := BuildFileFromSource(path, src, SourceBuildOptions{
+		BuildOptions: BuildOptions{TileSize: nt},
+		IOPanelSNPs:  nt,
+		Checkpoint:   true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	runtime.ReadMemStats(&after)
+	alloc := int64(after.TotalAlloc - before.TotalAlloc)
+	t.Logf("build allocated %d bytes total (matrix %d, result %d, budget %d)",
+		alloc, matrixBytes, resultBytes, budget)
+	if alloc > budget {
+		t.Fatalf("out-of-core build allocated %d bytes, budget %d — materializing something it shouldn't",
+			alloc, budget)
+	}
+
+	// And it still has to be a *correct* store.
+	s, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.SNPs() != snps {
+		t.Fatalf("store has %d SNPs, want %d", s.SNPs(), snps)
+	}
+}
+
+// TestPartialErrorUnwrap keeps the error chain intact for errors.Is
+// callers above the builder.
+func TestPartialErrorUnwrap(t *testing.T) {
+	inner := errors.New("disk on fire")
+	pe := &PartialError{FlushedStripes: 3, TotalStripes: 9, Err: inner}
+	if !errors.Is(pe, inner) {
+		t.Fatal("PartialError must unwrap to its cause")
+	}
+	if msg := pe.Error(); msg == "" || !errors.Is(fmt.Errorf("w: %w", pe), inner) {
+		t.Fatal("PartialError formatting/wrapping broken")
+	}
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package ldstore
+
+const raceEnabled = false

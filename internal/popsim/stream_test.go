@@ -1,0 +1,95 @@
+package popsim
+
+import (
+	"path/filepath"
+	"testing"
+
+	"ldgemm/internal/bitmat"
+)
+
+// streamAll drains a MosaicStream with the given window size into one
+// resident matrix.
+func streamAll(t *testing.T, snps, samples int, cfg MosaicConfig, window int) *bitmat.Matrix {
+	t.Helper()
+	s, err := NewMosaicStream(snps, samples, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := bitmat.New(0, samples)
+	for {
+		m, err := s.Next(window)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m == nil {
+			break
+		}
+		if out, err = out.Append(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if out.SNPs != snps {
+		t.Fatalf("stream yielded %d SNPs, want %d", out.SNPs, snps)
+	}
+	return out
+}
+
+// TestMosaicStreamWindowInvariance: the documented contract — any window
+// decomposition of the same (dims, config) produces bit-identical rows.
+func TestMosaicStreamWindowInvariance(t *testing.T) {
+	cfg := MosaicConfig{Seed: 17}
+	whole := streamAll(t, 301, 53, cfg, 301)
+	for _, window := range []int{1, 7, 64, 300, 1000} {
+		got := streamAll(t, 301, 53, cfg, window)
+		if !got.Equal(whole) {
+			t.Fatalf("window=%d produced different bits than one-shot generation", window)
+		}
+	}
+}
+
+func TestMosaicStreamDeterministicAndSeeded(t *testing.T) {
+	cfg := MosaicConfig{Seed: 5}
+	a := streamAll(t, 128, 40, cfg, 32)
+	b := streamAll(t, 128, 40, cfg, 32)
+	if !a.Equal(b) {
+		t.Fatal("same seed must reproduce the same dataset")
+	}
+	c := streamAll(t, 128, 40, MosaicConfig{Seed: 6}, 32)
+	if a.Equal(c) {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestMosaicStreamPolymorphic(t *testing.T) {
+	m := streamAll(t, 256, 24, MosaicConfig{Seed: 3}, 50)
+	for i := 0; i < m.SNPs; i++ {
+		if c := m.DerivedCount(i); c == 0 || c == m.Samples {
+			t.Fatalf("SNP %d monomorphic (count %d)", i, c)
+		}
+	}
+	if err := m.ValidatePadding(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMosaicToLDBM(t *testing.T) {
+	const snps, samples = 200, 37
+	cfg := MosaicConfig{Seed: 21}
+	path := filepath.Join(t.TempDir(), "g.ldbm")
+	if err := MosaicToLDBM(path, snps, samples, cfg, 64); err != nil {
+		t.Fatal(err)
+	}
+	f, err := bitmat.OpenFile(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	got, err := f.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := streamAll(t, snps, samples, cfg, snps)
+	if !got.Equal(want) {
+		t.Fatal("container contents differ from the stream that should have produced them")
+	}
+}

@@ -1,0 +1,167 @@
+package seqio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"ldgemm/internal/bitmat"
+)
+
+// Streaming .bed access: the whole-matrix ReadBED materializes every
+// variant, which defeats an out-of-core build whose entire point is that
+// the genotype data does not fit. BEDReader walks the same variant-major
+// stream a window of variants at a time, so the genome-scale pipeline
+// (.bed → .ldbm → tile store) holds one window, never the dataset.
+
+// BEDReader reads a variant-major PLINK .bed stream window by window.
+type BEDReader struct {
+	br      *bufio.Reader
+	snps    int
+	samples int
+	pos     int
+	row     []byte
+}
+
+// NewBEDReader validates the .bed magic and prepares windowed reads of a
+// snps×samples stream (counts come from the companion .bim/.fam files,
+// exactly as with ReadBED).
+func NewBEDReader(r io.Reader, snps, samples int) (*BEDReader, error) {
+	if snps < 0 || samples < 1 {
+		return nil, fmt.Errorf("seqio: invalid bed dimensions %d×%d", snps, samples)
+	}
+	br := bufio.NewReaderSize(r, 1<<20)
+	var magic [3]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("seqio: reading bed magic: %w", err)
+	}
+	if magic[0] != bedMagic[0] || magic[1] != bedMagic[1] {
+		return nil, fmt.Errorf("seqio: bad bed magic %#x %#x", magic[0], magic[1])
+	}
+	if magic[2] != 0x01 {
+		return nil, fmt.Errorf("seqio: only variant-major bed supported (mode %#x)", magic[2])
+	}
+	return &BEDReader{
+		br: br, snps: snps, samples: samples,
+		row: make([]byte, (samples+3)/4),
+	}, nil
+}
+
+// SNPs returns the total variant count; Pos the next unread variant.
+func (r *BEDReader) SNPs() int { return r.snps }
+func (r *BEDReader) Pos() int  { return r.pos }
+
+// Next decodes the next min(rows, remaining) variants into a genotype
+// window. It returns nil once every variant has been read — after
+// verifying the stream ends exactly there, so a dimension mismatch cannot
+// silently truncate or misalign a conversion.
+func (r *BEDReader) Next(rows int) (*bitmat.GenotypeMatrix, error) {
+	if rows < 1 {
+		return nil, fmt.Errorf("seqio: invalid bed window %d", rows)
+	}
+	if r.pos >= r.snps {
+		if _, err := r.br.ReadByte(); err != io.EOF {
+			return nil, fmt.Errorf("seqio: trailing bytes after %d bed variants", r.snps)
+		}
+		return nil, nil
+	}
+	rows = min(rows, r.snps-r.pos)
+	g := bitmat.NewGenotypeMatrix(rows, r.samples)
+	for i := 0; i < rows; i++ {
+		if _, err := io.ReadFull(r.br, r.row); err != nil {
+			return nil, fmt.Errorf("seqio: bed truncated at variant %d: %w", r.pos+i, err)
+		}
+		for s := 0; s < r.samples; s++ {
+			g.Set(i, s, r.row[s/4]>>(2*uint(s%4))&0b11)
+		}
+	}
+	r.pos += rows
+	return g, nil
+}
+
+// BEDWriter writes a variant-major PLINK .bed stream window by window —
+// the output half of the streaming pipeline, for generators that never
+// hold the full genotype matrix. The byte stream is identical to what
+// WriteBED would produce for the concatenated windows.
+type BEDWriter struct {
+	bw      *bufio.Writer
+	samples int
+	row     []byte
+}
+
+// NewBEDWriter writes the .bed magic and prepares windowed appends of
+// variants over the given (diploid) sample count.
+func NewBEDWriter(w io.Writer, samples int) (*BEDWriter, error) {
+	if samples < 1 {
+		return nil, fmt.Errorf("seqio: invalid bed sample count %d", samples)
+	}
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.Write(bedMagic[:]); err != nil {
+		return nil, err
+	}
+	return &BEDWriter{bw: bw, samples: samples, row: make([]byte, (samples+3)/4)}, nil
+}
+
+// WriteWindow appends a window of variants; its sample count must match
+// the writer's.
+func (w *BEDWriter) WriteWindow(g *bitmat.GenotypeMatrix) error {
+	if g.Samples != w.samples {
+		return fmt.Errorf("seqio: bed window has %d samples, writer %d", g.Samples, w.samples)
+	}
+	for i := 0; i < g.SNPs; i++ {
+		for b := range w.row {
+			w.row[b] = 0
+		}
+		for s := 0; s < g.Samples; s++ {
+			w.row[s/4] |= g.Get(i, s) << (2 * uint(s%4))
+		}
+		if _, err := w.bw.Write(w.row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush drains the buffered stream (the .bed format has no trailer).
+func (w *BEDWriter) Flush() error { return w.bw.Flush() }
+
+// BEDToLDBM converts a variant-major .bed stream into a .ldbm bit-matrix
+// container at path, windowRows variants at a time (default 1024). Each
+// genotype window is pseudo-phased into 2×samples haplotype rows exactly
+// as the whole-matrix load path does (per-variant, so windowing cannot
+// change a single bit), then appended to the container. Missing genotypes
+// are rejected, as in PseudoPhase. Memory stays O(window), never
+// O(dataset).
+func BEDToLDBM(r io.Reader, snps, samples int, path string, windowRows int) error {
+	if windowRows < 1 {
+		windowRows = 1024
+	}
+	br, err := NewBEDReader(r, snps, samples)
+	if err != nil {
+		return err
+	}
+	w, err := bitmat.CreateFile(path, snps, 2*samples)
+	if err != nil {
+		return err
+	}
+	for {
+		g, err := br.Next(windowRows)
+		if err != nil {
+			w.Abort()
+			return err
+		}
+		if g == nil {
+			break
+		}
+		h, err := g.PseudoPhase()
+		if err != nil {
+			w.Abort()
+			return fmt.Errorf("seqio: variants %d..%d: %w", br.Pos()-g.SNPs, br.Pos()-1, err)
+		}
+		if err := w.WritePanel(h); err != nil {
+			w.Abort()
+			return err
+		}
+	}
+	return w.Close()
+}

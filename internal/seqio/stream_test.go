@@ -1,0 +1,211 @@
+package seqio
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ldgemm/internal/bitmat"
+)
+
+func mustReadFile(t *testing.T, path string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// randomGenotypes builds a genotype matrix; withMissing sprinkles missing
+// calls (code 01) for the reader test (the phasing path rejects them).
+func randomGenotypes(rng *rand.Rand, snps, samples int, withMissing bool) *bitmat.GenotypeMatrix {
+	g := bitmat.NewGenotypeMatrix(snps, samples)
+	codes := []uint8{0b00, 0b10, 0b11}
+	if withMissing {
+		codes = append(codes, 0b01)
+	}
+	for i := 0; i < snps; i++ {
+		for s := 0; s < samples; s++ {
+			g.Set(i, s, codes[rng.Intn(len(codes))])
+		}
+	}
+	return g
+}
+
+func bedBytes(t *testing.T, g *bitmat.GenotypeMatrix) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteBED(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestBEDReaderMatchesReadBED: windowed decoding reassembles to exactly
+// what the whole-matrix reader produces, at every window size.
+func TestBEDReaderMatchesReadBED(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := randomGenotypes(rng, 89, 27, true)
+	raw := bedBytes(t, g)
+	want, err := ReadBED(bytes.NewReader(raw), g.SNPs, g.Samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, window := range []int{1, 13, 89, 500} {
+		r, err := NewBEDReader(bytes.NewReader(raw), g.SNPs, g.Samples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pos := 0
+		for {
+			w, err := r.Next(window)
+			if err != nil {
+				t.Fatalf("window=%d: %v", window, err)
+			}
+			if w == nil {
+				break
+			}
+			for i := 0; i < w.SNPs; i++ {
+				for s := 0; s < g.Samples; s++ {
+					if w.Get(i, s) != want.Get(pos+i, s) {
+						t.Fatalf("window=%d: genotype (%d,%d) mismatch", window, pos+i, s)
+					}
+				}
+			}
+			pos += w.SNPs
+		}
+		if pos != g.SNPs {
+			t.Fatalf("window=%d: decoded %d variants, want %d", window, pos, g.SNPs)
+		}
+	}
+}
+
+func TestBEDReaderRejectsBadStreams(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := randomGenotypes(rng, 20, 9, false)
+	raw := bedBytes(t, g)
+
+	if _, err := NewBEDReader(bytes.NewReader([]byte{0, 0, 1}), 4, 4); err == nil {
+		t.Fatal("bad magic must be rejected")
+	}
+	r, err := NewBEDReader(bytes.NewReader(raw[:len(raw)-2]), g.SNPs, g.Samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		w, werr := r.Next(8)
+		if werr != nil {
+			break // truncation surfaced, as it must be
+		}
+		if w == nil {
+			t.Fatal("truncated stream decoded cleanly")
+		}
+	}
+	// Trailing bytes: claim fewer variants than the stream holds.
+	r, err = NewBEDReader(bytes.NewReader(raw), g.SNPs-1, g.Samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		w, werr := r.Next(8)
+		if werr != nil {
+			break
+		}
+		if w == nil {
+			t.Fatal("stream with trailing bytes decoded cleanly")
+		}
+	}
+}
+
+// TestBEDToLDBM: the streaming converter produces exactly the container
+// the whole-matrix pseudo-phase path would, at any window size.
+func TestBEDToLDBM(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g := randomGenotypes(rng, 75, 22, false)
+	raw := bedBytes(t, g)
+	want, err := g.PseudoPhase()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ref []byte
+	for _, window := range []int{1, 16, 75, 1000} {
+		path := filepath.Join(t.TempDir(), "g.ldbm")
+		if err := BEDToLDBM(bytes.NewReader(raw), g.SNPs, g.Samples, path, window); err != nil {
+			t.Fatalf("window=%d: %v", window, err)
+		}
+		f, err := bitmat.OpenFile(path, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := f.Load()
+		f.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("window=%d: haplotypes differ from whole-matrix PseudoPhase", window)
+		}
+		if ref == nil {
+			ref = mustReadFile(t, path)
+		} else if string(mustReadFile(t, path)) != string(ref) {
+			t.Fatalf("window=%d: container bytes not window-invariant", window)
+		}
+	}
+}
+
+// TestBEDWriterMatchesWriteBED: windowed writes produce byte-for-byte the
+// whole-matrix stream, at every window decomposition.
+func TestBEDWriterMatchesWriteBED(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	g := randomGenotypes(rng, 61, 19, true)
+	want := bedBytes(t, g)
+	for _, window := range []int{1, 9, 61, 200} {
+		var buf bytes.Buffer
+		w, err := NewBEDWriter(&buf, g.Samples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for lo := 0; lo < g.SNPs; lo += window {
+			hi := min(lo+window, g.SNPs)
+			win := bitmat.NewGenotypeMatrix(hi-lo, g.Samples)
+			for i := lo; i < hi; i++ {
+				for s := 0; s < g.Samples; s++ {
+					win.Set(i-lo, s, g.Get(i, s))
+				}
+			}
+			if err := w.WriteWindow(win); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), want) {
+			t.Fatalf("window=%d: streamed bed differs from WriteBED", window)
+		}
+	}
+	if _, err := NewBEDWriter(io.Discard, 0); err == nil {
+		t.Fatal("zero samples accepted")
+	}
+	w, err := NewBEDWriter(io.Discard, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteWindow(bitmat.NewGenotypeMatrix(2, 9)); err == nil {
+		t.Fatal("sample-count mismatch accepted")
+	}
+}
+
+func TestBEDToLDBMRejectsMissing(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := randomGenotypes(rng, 30, 10, true)
+	raw := bedBytes(t, g)
+	path := filepath.Join(t.TempDir(), "g.ldbm")
+	if err := BEDToLDBM(bytes.NewReader(raw), g.SNPs, g.Samples, path, 8); err == nil {
+		t.Fatal("missing genotypes must abort the conversion")
+	}
+}

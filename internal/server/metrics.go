@@ -36,7 +36,11 @@ import (
 //	                converted by the fused epilogue), epilogue_nanos
 //	                (wall time inside the fused hook), and
 //	                fused_bytes_avoided (dense count-matrix bytes the
-//	                fused calls never materialized)
+//	                fused calls never materialized), panels_read /
+//	                panel_bytes_read (out-of-core I/O panels fetched),
+//	                prefetch_stall_nanos (compute time lost waiting on
+//	                panel I/O), and resume_count (builder runs restarted
+//	                from a checkpoint)
 //	shard           owned row range {row_start, row_end} (cluster shards)
 //	store_served    requests answered from the tile store
 //	store_fallbacks requests that hit a store error and recomputed
@@ -106,6 +110,10 @@ func newMetrics() *metrics {
 			"epilogue_tiles":        s.EpilogueTiles,
 			"epilogue_nanos":        s.EpilogueNanos,
 			"fused_bytes_avoided":   s.EpilogueBytesAvoided,
+			"panels_read":           s.PanelsRead,
+			"panel_bytes_read":      s.PanelBytesRead,
+			"prefetch_stall_nanos":  s.PrefetchStallNanos,
+			"resume_count":          s.Resumes,
 		}
 	}))
 	return m
