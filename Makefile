@@ -12,7 +12,7 @@ verify:
 .PHONY: verify-race
 verify-race:
 	go vet ./...
-	go test -race ./internal/blis/... ./internal/core/... ./internal/kernel/... ./internal/popcount/... ./internal/ldstore/... ./internal/server/... ./internal/cluster/... ./cmd/ldserver/...
+	go test -race ./internal/blis/... ./internal/core/... ./internal/kernel/... ./internal/popcount/... ./internal/ldstore/... ./internal/ldsparse/... ./internal/server/... ./internal/cluster/... ./cmd/ldserver/...
 
 # Cluster tier: the httptest cluster end to end — bit-identity against a
 # single node (including replica failover), shard-kill → partial
@@ -48,13 +48,15 @@ bench-store:
 bench-store-smoke:
 	go run ./cmd/ldbench -scale 16 -store-json /tmp/BENCH_store_smoke.json
 
-# Short fuzz smoke on the tile-store open path and the checkpoint
-# manifest parser: hostile and truncated files must error, never panic
-# or over-allocate (CI runs this too).
+# Short fuzz smoke on the tile-store open paths (dense and sparse) and
+# the checkpoint manifest parsers: hostile and truncated files must
+# error, never panic or over-allocate (CI runs this too).
 .PHONY: fuzz-smoke
 fuzz-smoke:
 	go test ./internal/ldstore -run=Fuzz -fuzz=FuzzStoreOpen -fuzztime=10s
 	go test ./internal/ldstore -run=Fuzz -fuzz=FuzzManifest -fuzztime=10s
+	go test ./internal/ldsparse -run=Fuzz -fuzz=FuzzSparseOpen -fuzztime=10s
+	go test ./internal/ldsparse -run=Fuzz -fuzz=FuzzSparseManifest -fuzztime=10s
 
 # Kernel-dispatch smoke: tiny shapes through every popcount engine
 # (scalar, CSA, SIMD when present), with the batched families asserted
@@ -87,3 +89,16 @@ bench-smoke:
 .PHONY: bench-epilogue
 bench-epilogue:
 	go run ./cmd/ldbench -scale 1 -threads 1,2,4,8 -epilogue-json BENCH_epilogue.json
+
+# Sparse/banded tier benchmark: build one dataset as dense LDTS, pruned
+# LDSS, and banded LDSS; verify the sparse R·v bit-identical to a dense
+# fold over the kept entries; enforce the ≥10× store-size ratio and ≥2×
+# banded build speedup (the committed BENCH_sparse.json).
+.PHONY: bench-sparse
+bench-sparse:
+	go run ./cmd/ldbench -scale 4 -sparse-json BENCH_sparse.json
+
+# CI-sized variant of the same run (ratios reported, not enforced).
+.PHONY: bench-sparse-smoke
+bench-sparse-smoke:
+	go run ./cmd/ldbench -scale 32 -sparse-json /tmp/BENCH_sparse_smoke.json

@@ -45,6 +45,14 @@
 //	                      probe); with it, the experiment list may be
 //	                      empty. -cluster-duration and -cluster-workers
 //	                      size the run.
+//	-sparse-json PATH     build one dataset as a dense LDTS store, a
+//	                      threshold-pruned sparse LDSS store, and a
+//	                      banded LDSS store; verify the sparse R·v
+//	                      matvec bit-identical to a dense fold over the
+//	                      kept entries; and write the store-size ratio,
+//	                      banded build speedup, and matvec throughput
+//	                      (BENCH_sparse.json); with it, the experiment
+//	                      list may be empty
 package main
 
 import (
@@ -101,6 +109,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	clusterDuration := fs.Duration("cluster-duration", 6*time.Second,
 		"load window for -cluster-json; one replica is killed halfway through")
 	clusterWorkers := fs.Int("cluster-workers", 8, "concurrent client workers for -cluster-json")
+	sparseJSON := fs.String("sparse-json", "",
+		"write a sparse/banded tier benchmark to this path (e.g. BENCH_sparse.json); with it, the experiment list may be empty")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr,
 			"usage: ldbench [flags] <experiment>...\nexperiments: %s all\nflags:\n",
@@ -122,7 +132,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	names := fs.Args()
-	if len(names) == 0 && *jsonPath == "" && *epilogueJSON == "" && *writeProfile == "" && *clusterJSON == "" && *storeJSON == "" {
+	if len(names) == 0 && *jsonPath == "" && *epilogueJSON == "" && *writeProfile == "" && *clusterJSON == "" && *storeJSON == "" && *sparseJSON == "" {
 		fs.Usage()
 		return fmt.Errorf("no experiment named")
 	}
@@ -156,6 +166,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if *clusterJSON != "" {
 		if err := writeClusterJSON(*clusterJSON, *scale, *clusterDuration, *clusterWorkers, stderr); err != nil {
+			return err
+		}
+	}
+	if *sparseJSON != "" {
+		if err := writeSparseJSON(*sparseJSON, *scale, stderr); err != nil {
 			return err
 		}
 	}

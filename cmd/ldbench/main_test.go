@@ -187,3 +187,37 @@ func TestLdbenchStoreJSON(t *testing.T) {
 		t.Fatal("no allocation recorded")
 	}
 }
+
+func TestLdbenchSparseJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_sparse.json")
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-scale", "32", "-sparse-json", path}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep sparseReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.SNPs < 512 || rep.Samples < 256 || rep.Words < 1 {
+		t.Fatalf("implausible shape %+v", rep)
+	}
+	if !rep.MatVecExact {
+		t.Fatal("matvec was not verified bit-identical")
+	}
+	if rep.RatiosEnforced {
+		t.Fatalf("%d SNPs should not enforce the asymptotic ratios", rep.SNPs)
+	}
+	if rep.NNZ <= 0 || rep.SparseStoreBytes <= 0 || rep.DenseStoreBytes <= rep.SparseStoreBytes {
+		t.Fatalf("implausible store sizes %+v", rep)
+	}
+	if rep.SizeRatio <= 1 || rep.BandSpeedup <= 0 || rep.MatVecsPerSec <= 0 {
+		t.Fatalf("implausible rates %+v", rep)
+	}
+	if !strings.Contains(errBuf.String(), "size ratio") {
+		t.Fatalf("missing summary line in stderr: %q", errBuf.String())
+	}
+}

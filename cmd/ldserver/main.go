@@ -15,9 +15,11 @@
 // the /api/ld, /api/ld/region, and /api/ld/top endpoints serve precomputed
 // tiles through an LRU cache instead of running the kernels per request;
 // a store built from a different dataset is rejected at startup by its
-// fingerprint.
+// fingerprint. With -sparse-store pointing at an `ldstore build -sparse`
+// output (LDSS), the POST /api/sparse/matvec and /api/sparse/score
+// operator endpoints come up too, under the same fingerprint check.
 //
-// Endpoints (all GET, JSON):
+// Endpoints (GET unless noted, JSON):
 //
 //	/api/info                         dataset dimensions and summary
 //	/api/freq?i=N                     allele frequency of SNP N
@@ -27,6 +29,8 @@
 //	/api/prune?window=&step=&r2=      LD pruning
 //	/api/blocks?dprime=&frac=         haplotype blocks
 //	/api/omega?grid=&min_each=&max_each=   selective-sweep scan
+//	/api/sparse/matvec                POST {"x": [...]}: sparse R·v
+//	/api/sparse/score                 POST {"z": [...]}: Σ stat·z² scores
 //	/debug/vars                       ops metrics (expvar JSON)
 //
 // Request lifecycle: every request runs under -request-timeout (the
@@ -75,6 +79,7 @@ import (
 	"ldgemm/internal/blis"
 	"ldgemm/internal/cluster"
 	"ldgemm/internal/core"
+	"ldgemm/internal/ldsparse"
 	"ldgemm/internal/ldstore"
 	"ldgemm/internal/seqio"
 	"ldgemm/internal/server"
@@ -95,11 +100,12 @@ func main() {
 // app is a configured ldserver: the main API server plus the optional
 // admin (pprof/metrics) server, ready to run until a signal drains it.
 type app struct {
-	srv   *http.Server
-	admin *http.Server         // nil unless -admin was given
-	store *ldstore.Store       // nil unless -store was given; closed after drain
-	coord *cluster.Coordinator // nil unless -coordinator was given
-	grace time.Duration
+	srv    *http.Server
+	admin  *http.Server         // nil unless -admin was given
+	store  *ldstore.Store       // nil unless -store was given; closed after drain
+	sparse *ldsparse.Store      // nil unless -sparse-store was given; closed after drain
+	coord  *cluster.Coordinator // nil unless -coordinator was given
+	grace  time.Duration
 }
 
 // setup parses flags, loads the dataset, and returns the ready app;
@@ -124,6 +130,9 @@ func setup(args []string, stderr io.Writer) (*app, error) {
 	storePath := fs.String("store", "",
 		"precomputed tile store (ldstore build output) backing the LD endpoints (empty = compute on the fly)")
 	storeCache := fs.Int("store-cache", 0, "tile-store LRU capacity in tiles (0 = default)")
+	sparsePath := fs.String("sparse-store", "",
+		"threshold-pruned sparse store (ldstore build -sparse output) backing the /api/sparse operator endpoints")
+	sparseCache := fs.Int("sparse-cache", 0, "sparse-store LRU capacity in tiles (0 = default)")
 	tuneProfile := fs.String("tune-profile", "",
 		"per-host tune profile JSON (ldbench -write-tune-profile output); corrupt or stale profiles are logged and ignored")
 	epilogue := fs.String("epilogue", "fused",
@@ -149,8 +158,8 @@ func setup(args []string, stderr io.Writer) (*app, error) {
 		return nil, err
 	}
 	if *coordinator != "" {
-		if *in != "" || *storePath != "" || *shardRange != "" {
-			return nil, fmt.Errorf("-coordinator is mutually exclusive with -in, -store, and -shard-range")
+		if *in != "" || *storePath != "" || *sparsePath != "" || *shardRange != "" {
+			return nil, fmt.Errorf("-coordinator is mutually exclusive with -in, -store, -sparse-store, and -shard-range")
 		}
 		ccfg := cluster.Config{
 			ShardTimeout: *shardTimeout, Retries: *retries, RetryBackoff: *retryBackoff,
@@ -222,11 +231,35 @@ func setup(args []string, stderr io.Writer) (*app, error) {
 		fmt.Fprintf(stderr, "ldserver: tile store %s: %d tiles of %s, %d×%d\n",
 			*storePath, st.Info().Tiles, st.Stat(), st.SNPs(), st.Samples())
 	}
+	var sp *ldsparse.Store
+	if *sparsePath != "" {
+		sp, err = ldsparse.Open(*sparsePath, ldsparse.Options{CacheTiles: *sparseCache})
+		if err != nil {
+			if st != nil {
+				st.Close()
+			}
+			return nil, err
+		}
+		// Same contract as -store: a sparse store for the wrong dataset is
+		// refused loudly rather than silently dropped.
+		if fp := ldstore.Fingerprint(g); sp.Fingerprint() != fp {
+			sp.Close()
+			if st != nil {
+				st.Close()
+			}
+			return nil, fmt.Errorf("sparse store %s was built for a different dataset (fingerprint %016x, dataset %016x)",
+				*sparsePath, sp.Fingerprint(), fp)
+		}
+		cfg.Sparse = sp
+		info := sp.Info()
+		fmt.Fprintf(stderr, "ldserver: sparse store %s: %d entries of %s at threshold %g (density %.4f)\n",
+			*sparsePath, info.NNZ, info.Stat, info.Threshold, info.Density)
+	}
 	s := server.New(g, cfg)
 	fmt.Fprintf(stderr, "ldserver: loaded %d SNPs × %d sequences; listening on %s\n",
 		g.SNPs, g.Samples, *addr)
 
-	a := &app{grace: *grace, store: st, srv: newHTTPServer(*addr, s, *reqTimeout)}
+	a := &app{grace: *grace, store: st, sparse: sp, srv: newHTTPServer(*addr, s, *reqTimeout)}
 	if *adminAddr != "" {
 		a.admin = newHTTPServer(*adminAddr, adminMux(s.VarsHandler()), 0)
 	}
@@ -337,6 +370,9 @@ func (a *app) run(ctx context.Context) error {
 	err := a.srv.Shutdown(sctx)
 	if a.store != nil {
 		a.store.Close()
+	}
+	if a.sparse != nil {
+		a.sparse.Close()
 	}
 	if a.coord != nil {
 		a.coord.Close()

@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"ldgemm/internal/blis"
+	"ldgemm/internal/ldsparse"
 	"ldgemm/internal/ldstore"
 	"ldgemm/internal/popsim"
 	"ldgemm/internal/seqio"
@@ -383,5 +384,61 @@ func TestSetupCoordinatorMode(t *testing.T) {
 	}
 	if _, err := setup([]string{"-coordinator", shards[0]}, &errBuf); err == nil {
 		t.Fatal("coordinator over half a partition accepted")
+	}
+}
+
+// TestSetupWithSparseStore: -sparse-store brings the operator endpoints
+// up for the matching dataset, and a mismatched sparse store is refused
+// loudly at startup.
+func TestSetupWithSparseStore(t *testing.T) {
+	path := writeServerDataset(t, false)
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := seqio.ReadBinary(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparsePath := filepath.Join(t.TempDir(), "d.ldss")
+	if _, err := ldsparse.BuildFile(sparsePath, g, ldsparse.BuildOptions{TileSize: 16, Threshold: 0.05}); err != nil {
+		t.Fatal(err)
+	}
+
+	var errBuf bytes.Buffer
+	a, err := setup([]string{"-in", path, "-sparse-store", sparsePath, "-access-log=false"}, &errBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.sparse == nil {
+		t.Fatal("sparse store not retained for shutdown close")
+	}
+	if !strings.Contains(errBuf.String(), "sparse store "+sparsePath) {
+		t.Fatalf("sparse store load not announced: %q", errBuf.String())
+	}
+	x := make([]float64, g.SNPs)
+	body, _ := json.Marshal(map[string][]float64{"x": x})
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("POST", "/api/sparse/matvec", bytes.NewReader(body))
+	a.srv.Handler.ServeHTTP(rec, req)
+	if rec.Code != 200 {
+		t.Fatalf("sparse matvec status %d: %s", rec.Code, rec.Body)
+	}
+	a.sparse.Close()
+
+	// A sparse store for a different dataset refuses to start.
+	other, err := popsim.Mosaic(50, 40, popsim.MosaicConfig{Seed: 78})
+	if err != nil {
+		t.Fatal(err)
+	}
+	otherPath := filepath.Join(t.TempDir(), "other.ldss")
+	if _, err := ldsparse.BuildFile(otherPath, other, ldsparse.BuildOptions{TileSize: 16}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := setup([]string{"-in", path, "-sparse-store", otherPath, "-access-log=false"}, &errBuf); err == nil {
+		t.Fatal("mismatched sparse store accepted at startup")
+	} else if !strings.Contains(err.Error(), "different dataset") {
+		t.Fatalf("mismatch error %v", err)
 	}
 }

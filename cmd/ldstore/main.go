@@ -7,9 +7,10 @@
 //	ldstore build -in data.ldgm -out data.ldts [-tile 256] [-stat r2] [-compress]
 //	ldstore build -in data.ldbm -out data.ldts [-mmap] [-io-window 1024] [-checkpoint]
 //	ldstore build -in data.ldbm -out data.ldts -resume
-//	ldstore build -in data.ldbm -out data.ldts -split-chrom data.bim
+//	ldstore build -in data.ldbm -out data.ldts -split-chrom data.bim [-split-workers 4]
+//	ldstore build -in data.ldbm -out data.ldss -sparse -threshold 0.2 [-band 500]
 //	ldstore convert -in data.bed -out data.ldbm [-window 1024]
-//	ldstore info -store data.ldts
+//	ldstore info -store data.ldts (or a .ldss sparse store)
 //	ldstore query -store data.ldts -i 3 -j 7
 //	ldstore query -store data.ldts -start 100 -end 120
 //	ldstore query -store data.ldts -top 25
@@ -19,6 +20,13 @@
 // pairs through the GEMM, so genome-scale inputs never need to fit in
 // memory. -checkpoint makes progress durable per stripe; -resume restarts
 // a killed build where it left off, producing byte-identical output.
+//
+// -sparse writes a threshold-pruned CSR container (ldsparse's LDSS
+// format) instead of the dense tile store: entries with |value| below
+// -threshold are dropped in the fused epilogue, and -band W restricts
+// the build to pairs within |i−j| ≤ W, skipping far-off-diagonal GEMM
+// panels entirely. The out-of-core, checkpoint, and split-chrom
+// machinery all apply to sparse builds too.
 //
 // The build output is the file ldserver's -store flag consumes. All query
 // output is JSON on stdout.
@@ -32,11 +40,14 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"sync"
 
 	"ldgemm/internal/bitmat"
 	"ldgemm/internal/blis"
 	"ldgemm/internal/core"
+	"ldgemm/internal/ldsparse"
 	"ldgemm/internal/ldstore"
 	"ldgemm/internal/seqio"
 )
@@ -81,6 +92,14 @@ func runBuild(args []string, stdout, stderr io.Writer) error {
 	resume := fs.Bool("resume", false, "resume a checkpointed build from where it left off (implies -checkpoint)")
 	splitChrom := fs.String("split-chrom", "",
 		"variant .bim path; build one store per chromosome, inserting .chr<N> before the output extension")
+	splitWorkers := fs.Int("split-workers", 0,
+		"per-chromosome builds running concurrently under -split-chrom (0 = GOMAXPROCS, capped at 4)")
+	sparse := fs.Bool("sparse", false,
+		"write a threshold-pruned sparse CSR store (LDSS) instead of a dense tile store")
+	threshold := fs.Float64("threshold", 0,
+		"with -sparse: drop entries with |value| below this threshold")
+	band := fs.Int("band", -1,
+		"with -sparse: compute only pairs within |i-j| <= band, skipping off-band GEMM (-1 = full matrix; 0 = diagonal only)")
 	tuneProfile := fs.String("tune-profile", "",
 		"per-host tune profile JSON (ldbench -write-tune-profile output); corrupt or stale profiles are logged and ignored")
 	if err := fs.Parse(args); err != nil {
@@ -117,14 +136,38 @@ func runBuild(args []string, stdout, stderr io.Writer) error {
 				*tuneProfile, p.Kernel, p.Popcount, p.MC, p.NC, p.KC)
 		}
 	}
-	opt := ldstore.SourceBuildOptions{
-		BuildOptions: ldstore.BuildOptions{
-			TileSize: *tile, Stat: st, Compress: *compress,
-			LD: core.Options{Blis: bcfg},
-		},
-		IOPanelSNPs: *ioWindow,
-		Checkpoint:  *checkpoint,
-		Resume:      *resume,
+	if !*sparse {
+		if *threshold != 0 {
+			return fmt.Errorf("-threshold requires -sparse")
+		}
+		if *band >= 0 {
+			return fmt.Errorf("-band requires -sparse")
+		}
+	} else if *compress {
+		return fmt.Errorf("-compress applies to dense tile stores, not -sparse (CSR payloads are already pruned)")
+	}
+	var build buildFunc
+	if *sparse {
+		build = sparseBuildFunc(ldsparse.SourceBuildOptions{
+			BuildOptions: ldsparse.BuildOptions{
+				TileSize: *tile, Stat: st, Threshold: *threshold,
+				Banded: *band >= 0, Band: max(*band, 0),
+				LD: core.Options{Blis: bcfg},
+			},
+			IOPanelSNPs: *ioWindow,
+			Checkpoint:  *checkpoint,
+			Resume:      *resume,
+		})
+	} else {
+		build = denseBuildFunc(ldstore.SourceBuildOptions{
+			BuildOptions: ldstore.BuildOptions{
+				TileSize: *tile, Stat: st, Compress: *compress,
+				LD: core.Options{Blis: bcfg},
+			},
+			IOPanelSNPs: *ioWindow,
+			Checkpoint:  *checkpoint,
+			Resume:      *resume,
+		})
 	}
 	if *splitChrom != "" {
 		if *resume || *checkpoint {
@@ -132,38 +175,74 @@ func runBuild(args []string, stdout, stderr io.Writer) error {
 			// still apply, they just bind to the per-chromosome paths.
 			fmt.Fprintf(stderr, "ldstore: checkpoints apply per chromosome store\n")
 		}
-		return buildSplit(*out, src, opt, *splitChrom, stderr)
+		return buildSplit(*out, src, build, *splitChrom, *splitWorkers, stderr)
 	}
-	return buildOne(*out, src, opt, stderr)
+	return build(*out, src, stderr)
 }
 
-// buildOne runs a single out-of-core (or delegated in-RAM) build and
-// reports the result; a PartialError gains a resume hint when the build
-// was checkpointing.
-func buildOne(out string, src bitmat.Source, opt ldstore.SourceBuildOptions, stderr io.Writer) error {
-	res, err := ldstore.BuildFileFromSource(out, src, opt)
-	if err != nil {
-		var pe *ldstore.PartialError
-		if errors.As(err, &pe) && (opt.Checkpoint || opt.Resume) {
-			fmt.Fprintf(stderr, "ldstore: %d/%d stripes durable in %s; re-run with -resume to continue\n",
-				pe.FlushedStripes, pe.TotalStripes, out)
+// buildFunc runs one store build (dense or sparse) and reports to stderr.
+type buildFunc func(out string, src bitmat.Source, stderr io.Writer) error
+
+// resumeHint prints the re-run hint when a checkpointing build died with
+// durable progress. Dense and sparse builds share the PartialError type.
+func resumeHint(err error, out string, checkpointing bool, stderr io.Writer) {
+	var pe *ldstore.PartialError
+	if errors.As(err, &pe) && checkpointing {
+		fmt.Fprintf(stderr, "ldstore: %d/%d stripes durable in %s; re-run with -resume to continue\n",
+			pe.FlushedStripes, pe.TotalStripes, out)
+	}
+}
+
+// denseBuildFunc runs a single out-of-core (or delegated in-RAM) dense
+// tile-store build and reports the result.
+func denseBuildFunc(opt ldstore.SourceBuildOptions) buildFunc {
+	return func(out string, src bitmat.Source, stderr io.Writer) error {
+		res, err := ldstore.BuildFileFromSource(out, src, opt)
+		if err != nil {
+			resumeHint(err, out, opt.Checkpoint || opt.Resume, stderr)
+			return err
 		}
-		return err
+		resumed := ""
+		if res.StartStripe > 0 {
+			resumed = fmt.Sprintf(", resumed at stripe %d", res.StartStripe)
+		}
+		fmt.Fprintf(stderr, "ldstore: wrote %s: %d tiles, %d bytes (%s, %d×%d, peak result memory %d bytes%s)\n",
+			out, res.Tiles, res.FileBytes, opt.Stat, src.NumSNPs(), src.NumSamples(), res.PeakResultBytes, resumed)
+		return nil
 	}
-	resumed := ""
-	if res.StartStripe > 0 {
-		resumed = fmt.Sprintf(", resumed at stripe %d", res.StartStripe)
+}
+
+// sparseBuildFunc runs a single threshold-pruned sparse store build.
+func sparseBuildFunc(opt ldsparse.SourceBuildOptions) buildFunc {
+	return func(out string, src bitmat.Source, stderr io.Writer) error {
+		res, err := ldsparse.BuildFileFromSource(out, src, opt)
+		if err != nil {
+			resumeHint(err, out, opt.Checkpoint || opt.Resume, stderr)
+			return err
+		}
+		banded := ""
+		if opt.Banded {
+			banded = fmt.Sprintf(", band %d", opt.Band)
+		}
+		resumed := ""
+		if res.StartStripe > 0 {
+			resumed = fmt.Sprintf(", resumed at stripe %d", res.StartStripe)
+		}
+		fmt.Fprintf(stderr, "ldstore: wrote %s: %d tiles, %d entries, %d bytes (sparse %s, threshold %g%s, %d×%d%s)\n",
+			out, res.Tiles, res.NNZ, res.FileBytes, opt.Stat, opt.Threshold, banded,
+			src.NumSNPs(), src.NumSamples(), resumed)
+		return nil
 	}
-	fmt.Fprintf(stderr, "ldstore: wrote %s: %d tiles, %d bytes (%s, %d×%d, peak result memory %d bytes%s)\n",
-		out, res.Tiles, res.FileBytes, opt.Stat, src.NumSNPs(), src.NumSamples(), res.PeakResultBytes, resumed)
-	return nil
 }
 
 // buildSplit builds one store per chromosome of a .bim variant file whose
 // records align row-for-row with the input. Each chromosome must be one
 // contiguous block, as in a sorted fileset; the per-chromosome stores are
-// byte-identical to whole-matrix builds of those row ranges.
-func buildSplit(out string, src bitmat.Source, opt ldstore.SourceBuildOptions, bimPath string, stderr io.Writer) error {
+// byte-identical to whole-matrix builds of those row ranges. Up to
+// workers chromosomes build concurrently: each build writes its own
+// output file and reads panels through its own buffers, so the outputs
+// are byte-identical to a sequential run regardless of worker count.
+func buildSplit(out string, src bitmat.Source, build buildFunc, bimPath string, workers int, stderr io.Writer) error {
 	f, err := os.Open(bimPath)
 	if err != nil {
 		return err
@@ -194,20 +273,54 @@ func buildSplit(out string, src bitmat.Source, opt ldstore.SourceBuildOptions, b
 		seen[rec.Chrom] = true
 		runs = append(runs, chromRun{chrom: rec.Chrom, lo: i, hi: i + 1})
 	}
+	if workers <= 0 {
+		workers = min(4, runtime.GOMAXPROCS(0))
+	}
+	workers = min(workers, len(runs))
 	ext := filepath.Ext(out)
 	base := strings.TrimSuffix(out, ext)
-	for _, r := range runs {
-		sub, err := bitmat.NewSliceSource(src, r.lo, r.hi)
-		if err != nil {
-			return err
-		}
-		path := base + ".chr" + r.chrom + ext
-		if err := buildOne(path, sub, opt, stderr); err != nil {
-			return fmt.Errorf("chromosome %s: %w", r.chrom, err)
-		}
+	// Workers report through one line-atomic writer so concurrent
+	// per-chromosome progress lines never interleave mid-line.
+	sw := &syncWriter{w: stderr}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	errs := make([]error, len(runs))
+	for ri, r := range runs {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			sub, err := bitmat.NewSliceSource(src, r.lo, r.hi)
+			if err != nil {
+				errs[ri] = fmt.Errorf("chromosome %s: %w", r.chrom, err)
+				return
+			}
+			path := base + ".chr" + r.chrom + ext
+			fmt.Fprintf(sw, "ldstore: chromosome %s: building %s (%d SNPs)\n", r.chrom, path, r.hi-r.lo)
+			if err := build(path, sub, sw); err != nil {
+				errs[ri] = fmt.Errorf("chromosome %s: %w", r.chrom, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return err
 	}
 	fmt.Fprintf(stderr, "ldstore: split %d SNPs into %d per-chromosome stores\n", src.NumSNPs(), len(runs))
 	return nil
+}
+
+// syncWriter serializes whole Write calls onto the wrapped writer.
+type syncWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (s *syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
 }
 
 // runConvert turns a dataset into a .ldbm bit-matrix container. A .bed
@@ -248,7 +361,9 @@ func runConvert(args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 		defer f.Close()
-		if err := seqio.BEDToLDBM(f, snps, samples, *out, *window); err != nil {
+		if err := durableWrite(*out, func(tmp string) error {
+			return seqio.BEDToLDBM(f, snps, samples, tmp, *window)
+		}); err != nil {
 			return err
 		}
 		fmt.Fprintf(stderr, "ldstore: converted %s (%d variants × %d samples) to %s (%d haplotypes)\n",
@@ -259,10 +374,54 @@ func runConvert(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	if err := bitmat.WriteFile(*out, m); err != nil {
+	if err := durableWrite(*out, func(tmp string) error {
+		return bitmat.WriteFile(tmp, m)
+	}); err != nil {
 		return err
 	}
 	fmt.Fprintf(stderr, "ldstore: converted %s (%d×%d) to %s\n", *in, m.SNPs, m.Samples, *out)
+	return nil
+}
+
+// Stubbable durability steps, so tests can assert that the converted
+// container is fsynced before it takes its final name.
+var (
+	syncFile   = func(f *os.File) error { return f.Sync() }
+	renameFile = os.Rename
+)
+
+// durableWrite runs write against a temp path next to out, fsyncs the
+// result, and only then renames it into place, so a crash mid-convert
+// can never leave a torn file under the final .ldbm name.
+func durableWrite(out string, write func(tmp string) error) error {
+	tmp := out + ".tmp"
+	if err := write(tmp); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	f, err := os.OpenFile(tmp, os.O_RDWR, 0)
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := syncFile(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := renameFile(tmp, out); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	// Best effort: make the rename itself durable.
+	if d, err := os.Open(filepath.Dir(out)); err == nil {
+		d.Sync()
+		d.Close()
+	}
 	return nil
 }
 
@@ -287,12 +446,39 @@ func runInfo(args []string, stdout, stderr io.Writer) error {
 		fs.Usage()
 		return fmt.Errorf("-store is required")
 	}
+	sparse, err := isSparseStore(*path)
+	if err != nil {
+		return err
+	}
+	if sparse {
+		s, err := ldsparse.Open(*path, ldsparse.Options{})
+		if err != nil {
+			return err
+		}
+		defer s.Close()
+		return writeJSON(stdout, s.Info())
+	}
 	s, err := ldstore.Open(*path, ldstore.Options{})
 	if err != nil {
 		return err
 	}
 	defer s.Close()
 	return writeJSON(stdout, s.Info())
+}
+
+// isSparseStore sniffs the 4-byte container magic so info works on both
+// dense (LDTS) and sparse (LDSS) stores without a flag.
+func isSparseStore(path string) (bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return false, err
+	}
+	defer f.Close()
+	var m [4]byte
+	if _, err := io.ReadFull(f, m[:]); err != nil {
+		return false, fmt.Errorf("%s: reading container magic: %w", path, err)
+	}
+	return m == [4]byte{'L', 'D', 'S', 'S'}, nil
 }
 
 func runQuery(args []string, stdout, stderr io.Writer) error {

@@ -10,6 +10,7 @@ import (
 
 	"ldgemm/internal/bitmat"
 	"ldgemm/internal/blis"
+	"ldgemm/internal/ldsparse"
 	"ldgemm/internal/popsim"
 	"ldgemm/internal/seqio"
 )
@@ -383,5 +384,191 @@ func TestCLIErrors(t *testing.T) {
 	}
 	if _, _, err := runLdstore(t, "query", "-store", store, "-i", "0", "-j", "400"); err == nil {
 		t.Fatal("out-of-range pair accepted")
+	}
+}
+
+// TestBuildSparse: the -sparse path writes an LDSS container
+// byte-identical to a direct ldsparse build, info sniffs the magic, and
+// the sparse-only flags are validated.
+func TestBuildSparse(t *testing.T) {
+	dir := t.TempDir()
+	m, err := popsim.Mosaic(48, 40, popsim.MosaicConfig{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ldbm := filepath.Join(dir, "d.ldbm")
+	if err := bitmat.WriteFile(ldbm, m); err != nil {
+		t.Fatal(err)
+	}
+
+	out := filepath.Join(dir, "d.ldss")
+	_, stderr, err := runLdstore(t, "build", "-in", ldbm, "-out", out,
+		"-sparse", "-tile", "16", "-threshold", "0.1", "-band", "20")
+	if err != nil {
+		t.Fatalf("sparse build: %v", err)
+	}
+	if !strings.Contains(stderr, "sparse r2") || !strings.Contains(stderr, "band 20") {
+		t.Fatalf("sparse build stderr %q", stderr)
+	}
+	ref := filepath.Join(dir, "ref.ldss")
+	if _, err := ldsparse.BuildFile(ref, m, ldsparse.BuildOptions{
+		TileSize: 16, Threshold: 0.1, Banded: true, Band: 20,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(out)
+	want, _ := os.ReadFile(ref)
+	if !bytes.Equal(got, want) {
+		t.Fatal("CLI sparse build differs from direct ldsparse build")
+	}
+
+	stdout, _, err := runLdstore(t, "info", "-store", out)
+	if err != nil {
+		t.Fatalf("sparse info: %v", err)
+	}
+	var info struct {
+		SNPs      int     `json:"snps"`
+		Threshold float64 `json:"threshold"`
+		Banded    bool    `json:"banded"`
+		Band      int     `json:"band"`
+		NNZ       int64   `json:"nnz"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &info); err != nil {
+		t.Fatalf("info output %q: %v", stdout, err)
+	}
+	if info.SNPs != 48 || info.Threshold != 0.1 || !info.Banded || info.Band != 20 {
+		t.Fatalf("sparse info %+v", info)
+	}
+
+	// Sparse-only flags are rejected without -sparse; -compress is
+	// rejected with it.
+	if _, _, err := runLdstore(t, "build", "-in", ldbm, "-out", out, "-threshold", "0.1"); err == nil {
+		t.Fatal("-threshold without -sparse accepted")
+	}
+	if _, _, err := runLdstore(t, "build", "-in", ldbm, "-out", out, "-band", "5"); err == nil {
+		t.Fatal("-band without -sparse accepted")
+	}
+	if _, _, err := runLdstore(t, "build", "-in", ldbm, "-out", out, "-sparse", "-compress"); err == nil {
+		t.Fatal("-sparse -compress accepted")
+	}
+}
+
+// TestBuildSplitChromParallel: a parallel split build produces files
+// byte-identical to a sequential (-split-workers 1) run and logs
+// per-chromosome progress.
+func TestBuildSplitChromParallel(t *testing.T) {
+	dir := t.TempDir()
+	m, err := popsim.Mosaic(60, 32, popsim.MosaicConfig{Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ldbm := filepath.Join(dir, "d.ldbm")
+	if err := bitmat.WriteFile(ldbm, m); err != nil {
+		t.Fatal(err)
+	}
+	chroms := []string{"1", "2", "3", "4"}
+	bim := make([]seqio.BimRecord, m.SNPs)
+	for i := range bim {
+		bim[i] = seqio.BimRecord{Chrom: chroms[i/15], ID: "v", Pos: 1 + i, Allele1: 'G', Allele2: 'A'}
+	}
+	bimPath := filepath.Join(dir, "d.bim")
+	bf, err := os.Create(bimPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seqio.WriteBim(bf, bim); err != nil {
+		t.Fatal(err)
+	}
+	bf.Close()
+
+	seqDir, parDir := filepath.Join(dir, "seq"), filepath.Join(dir, "par")
+	for _, d := range []string{seqDir, parDir} {
+		if err := os.Mkdir(d, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := runLdstore(t, "build", "-in", ldbm, "-out", filepath.Join(seqDir, "d.ldts"),
+		"-tile", "16", "-split-chrom", bimPath, "-split-workers", "1"); err != nil {
+		t.Fatalf("sequential split: %v", err)
+	}
+	_, stderr, err := runLdstore(t, "build", "-in", ldbm, "-out", filepath.Join(parDir, "d.ldts"),
+		"-tile", "16", "-split-chrom", bimPath, "-split-workers", "3")
+	if err != nil {
+		t.Fatalf("parallel split: %v", err)
+	}
+	if !strings.Contains(stderr, "4 per-chromosome stores") {
+		t.Fatalf("split summary missing: %q", stderr)
+	}
+	for _, c := range chroms {
+		if !strings.Contains(stderr, "chromosome "+c+": building") {
+			t.Fatalf("chromosome %s progress missing: %q", c, stderr)
+		}
+		want, err := os.ReadFile(filepath.Join(seqDir, "d.chr"+c+".ldts"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(filepath.Join(parDir, "d.chr"+c+".ldts"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("chr%s parallel store differs from sequential", c)
+		}
+	}
+
+	// Sparse split builds ride the same pool.
+	if _, _, err := runLdstore(t, "build", "-in", ldbm, "-out", filepath.Join(parDir, "d.ldss"),
+		"-sparse", "-tile", "16", "-threshold", "0.2", "-split-chrom", bimPath, "-split-workers", "2"); err != nil {
+		t.Fatalf("sparse split: %v", err)
+	}
+	for _, c := range chroms {
+		if _, err := os.Stat(filepath.Join(parDir, "d.chr"+c+".ldss")); err != nil {
+			t.Fatalf("sparse chr%s store missing: %v", c, err)
+		}
+	}
+}
+
+// TestConvertDurability: convert fsyncs the temp file before renaming it
+// into place, so a crash can never leave a torn file under the final
+// name.
+func TestConvertDurability(t *testing.T) {
+	origSync, origRename := syncFile, renameFile
+	defer func() { syncFile, renameFile = origSync, origRename }()
+	var events []string
+	syncFile = func(f *os.File) error {
+		events = append(events, "sync "+filepath.Base(f.Name()))
+		return origSync(f)
+	}
+	renameFile = func(from, to string) error {
+		events = append(events, "rename "+filepath.Base(from)+" -> "+filepath.Base(to))
+		return origRename(from, to)
+	}
+
+	dir := t.TempDir()
+	out := filepath.Join(dir, "g.ldbm")
+	if _, _, err := runLdstore(t, "convert", "-in", writeDataset(t), "-out", out); err != nil {
+		t.Fatalf("convert: %v", err)
+	}
+	want := []string{"sync g.ldbm.tmp", "rename g.ldbm.tmp -> g.ldbm"}
+	if len(events) != 2 || events[0] != want[0] || events[1] != want[1] {
+		t.Fatalf("durability events %q, want %q", events, want)
+	}
+	if _, err := os.Stat(out + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp file survived: %v", err)
+	}
+	if f, err := bitmat.OpenFile(out, false); err != nil {
+		t.Fatalf("converted container unreadable: %v", err)
+	} else {
+		f.Close()
+	}
+
+	// A failed rename must remove the temp file and fail the convert.
+	renameFile = func(from, to string) error { return os.ErrPermission }
+	out2 := filepath.Join(dir, "h.ldbm")
+	if _, _, err := runLdstore(t, "convert", "-in", writeDataset(t), "-out", out2); err == nil {
+		t.Fatal("convert with failing rename succeeded")
+	}
+	if _, err := os.Stat(out2 + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp file survived failed rename: %v", err)
 	}
 }

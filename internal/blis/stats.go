@@ -28,6 +28,9 @@ type driverCounters struct {
 	panelBytesRead     atomic.Uint64
 	prefetchStallNanos atomic.Uint64
 	resumes            atomic.Uint64
+
+	bandPanelsSkipped atomic.Uint64
+	bandCellsSkipped  atomic.Uint64
 }
 
 var stats driverCounters
@@ -78,6 +81,12 @@ type DriverStats struct {
 	// Resumes counts builder runs that restarted from a checkpoint
 	// manifest instead of from scratch.
 	Resumes uint64
+	// BandPanelsSkipped/BandCellsSkipped count the far-off-diagonal
+	// column panels a banded schedule never fetched and the (row, col)
+	// result cells it never computed — the GEMM work a |i−j| ≤ W window
+	// eliminated outright rather than computed and discarded.
+	BandPanelsSkipped uint64
+	BandCellsSkipped  uint64
 	// Variant names the kernel variant of the most recent driver call
 	// (e.g. "4x4", "4x4-runs", "masked2x2-runs"); Popcount names its
 	// concrete AND-count engine ("scalar", "csa", "vector-avx512-
@@ -121,6 +130,13 @@ func NotePrefetchStall(nanos int64) {
 // NoteResume records a builder run restarted from a checkpoint.
 func NoteResume() { stats.resumes.Add(1) }
 
+// NoteBandSkip records far-off-diagonal work a banded schedule skipped:
+// panels column panels never fetched, cells result cells never computed.
+func NoteBandSkip(panels, cells int64) {
+	stats.bandPanelsSkipped.Add(uint64(panels))
+	stats.bandCellsSkipped.Add(uint64(cells))
+}
+
 // ReadStats snapshots the cumulative driver counters. Counters only grow;
 // observers difference successive snapshots for rates.
 func ReadStats() DriverStats {
@@ -139,6 +155,8 @@ func ReadStats() DriverStats {
 		PanelBytesRead:       stats.panelBytesRead.Load(),
 		PrefetchStallNanos:   stats.prefetchStallNanos.Load(),
 		Resumes:              stats.resumes.Load(),
+		BandPanelsSkipped:    stats.bandPanelsSkipped.Load(),
+		BandCellsSkipped:     stats.bandCellsSkipped.Load(),
 	}
 	if p := stats.variant.Load(); p != nil {
 		d.Variant = *p

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -101,10 +102,23 @@ func (c *shardClient) health() (state breakerState, p95 time.Duration, known boo
 }
 
 // get fetches pathQuery (e.g. "/api/ld?i=3&j=5") from the shard and
-// returns the 200 body. The breaker is consulted once per call and fed
-// one outcome per attempt, so a string of failed retries trips it as fast
-// as a string of failed calls.
+// returns the 200 body.
 func (c *shardClient) get(ctx context.Context, pathQuery string) ([]byte, error) {
+	return c.call(ctx, http.MethodGet, pathQuery, nil)
+}
+
+// post sends body (JSON) to pathQuery. The cluster's POST endpoints are
+// pure functions of the dataset and the request body, so posts ride the
+// same retry, hedge, and failover machinery as gets — a duplicated or
+// replayed request answers identically.
+func (c *shardClient) post(ctx context.Context, pathQuery string, body []byte) ([]byte, error) {
+	return c.call(ctx, http.MethodPost, pathQuery, body)
+}
+
+// call runs one logical request. The breaker is consulted once per call
+// and fed one outcome per attempt, so a string of failed retries trips
+// it as fast as a string of failed calls.
+func (c *shardClient) call(ctx context.Context, method, pathQuery string, reqBody []byte) ([]byte, error) {
 	if !c.breaker.allow() {
 		c.m.fastFails.Add(1)
 		return nil, fmt.Errorf("%w: %s", errShardDown, c.base)
@@ -123,7 +137,7 @@ func (c *shardClient) get(ctx context.Context, pathQuery string) ([]byte, error)
 				backoff = maxBackoff
 			}
 		}
-		body, err := c.hedgedDo(ctx, pathQuery)
+		body, err := c.hedgedDo(ctx, method, pathQuery, reqBody)
 		if err == nil {
 			c.breaker.record(true)
 			return body, nil
@@ -160,10 +174,10 @@ const maxBackoff = time.Second
 // the shard's own recent latency percentile, so hedges fire only for
 // outlier-slow requests, spending at most a few percent extra load to cut
 // the tail.
-func (c *shardClient) hedgedDo(ctx context.Context, pathQuery string) ([]byte, error) {
+func (c *shardClient) hedgedDo(ctx context.Context, method, pathQuery string, reqBody []byte) ([]byte, error) {
 	delay, hedge := c.hedgeDelay()
 	if !hedge {
-		return c.do(ctx, pathQuery)
+		return c.do(ctx, method, pathQuery, reqBody)
 	}
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel() // releases the straggler once a winner returns
@@ -175,7 +189,9 @@ func (c *shardClient) hedgedDo(ctx context.Context, pathQuery string) ([]byte, e
 	ch := make(chan result, 2)
 	launch := func(hedged bool) {
 		go func() {
-			body, err := c.do(ctx, pathQuery)
+			// reqBody is a shared read-only slice; each attempt wraps it in
+			// its own reader, so the hedge re-sends the identical bytes.
+			body, err := c.do(ctx, method, pathQuery, reqBody)
 			ch <- result{body: body, err: err, hedged: hedged}
 		}()
 	}
@@ -236,12 +252,19 @@ func (c *shardClient) hedgeDelay() (time.Duration, bool) {
 }
 
 // do performs one HTTP round trip under the per-attempt timeout.
-func (c *shardClient) do(ctx context.Context, pathQuery string) ([]byte, error) {
+func (c *shardClient) do(ctx context.Context, method, pathQuery string, reqBody []byte) ([]byte, error) {
 	ctx, cancel := context.WithTimeout(ctx, c.cfg.ShardTimeout)
 	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+pathQuery, nil)
+	var rd io.Reader
+	if reqBody != nil {
+		rd = bytes.NewReader(reqBody)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+pathQuery, rd)
 	if err != nil {
 		return nil, err
+	}
+	if reqBody != nil {
+		req.Header.Set("Content-Type", "application/json")
 	}
 	c.m.requests.Add(1)
 	start := time.Now()

@@ -241,6 +241,10 @@ func (co *Coordinator) routes() http.Handler {
 	mux.HandleFunc("GET /api/ld", co.handlePair)
 	mux.HandleFunc("GET /api/ld/region", co.handleRegion)
 	mux.HandleFunc("GET /api/ld/top", co.handleTop)
+	mux.HandleFunc("POST /api/sparse/matvec", co.handleSparseMatVec)
+	mux.HandleFunc("POST /api/sparse/score", co.handleSparseScore)
+	mux.HandleFunc("/api/sparse/matvec", postOnlyFallback)
+	mux.HandleFunc("/api/sparse/score", postOnlyFallback)
 	mux.HandleFunc("GET /api/prune", co.handleProxy)
 	mux.HandleFunc("GET /api/blocks", co.handleProxy)
 	mux.HandleFunc("GET /api/omega", co.handleProxy)
@@ -440,6 +444,8 @@ func (co *Coordinator) handlePair(w http.ResponseWriter, r *http.Request) {
 type stripResult struct {
 	region server.RegionResponse
 	top    server.TopResponse
+	matvec server.MatVecResponse
+	score  server.ScoreResponse
 	err    error
 }
 

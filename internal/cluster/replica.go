@@ -103,9 +103,24 @@ func (g *replicaGroup) ranked() []*shardClient {
 // replica would answer the same — and only when every replica has
 // failed is the strip reported lost.
 func (g *replicaGroup) get(ctx context.Context, pathQuery string) ([]byte, error) {
+	return g.call(ctx, func(ctx context.Context, r *shardClient) ([]byte, error) {
+		return r.get(ctx, pathQuery)
+	})
+}
+
+// post sends the same JSON body to replicas in health order until one
+// answers. The sparse POST endpoints are pure functions of the dataset
+// and body, so replaying the body on the next replica is safe.
+func (g *replicaGroup) post(ctx context.Context, pathQuery string, body []byte) ([]byte, error) {
+	return g.call(ctx, func(ctx context.Context, r *shardClient) ([]byte, error) {
+		return r.post(ctx, pathQuery, body)
+	})
+}
+
+func (g *replicaGroup) call(ctx context.Context, do func(context.Context, *shardClient) ([]byte, error)) ([]byte, error) {
 	var lastErr error
 	for _, r := range g.ranked() {
-		body, err := r.get(ctx, pathQuery)
+		body, err := do(ctx, r)
 		if err == nil {
 			return body, nil
 		}
@@ -128,6 +143,15 @@ func (g *replicaGroup) getJSON(ctx context.Context, pathQuery string, v any) err
 		return err
 	}
 	return json.Unmarshal(body, v)
+}
+
+// postJSON posts body and decodes a 200 response with in-group failover.
+func (g *replicaGroup) postJSON(ctx context.Context, pathQuery string, body []byte, v any) error {
+	resp, err := g.post(ctx, pathQuery, body)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(resp, v)
 }
 
 // admitting reports whether any replica's breaker would let a call

@@ -1,0 +1,190 @@
+package cluster
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sync"
+
+	"ldgemm/internal/server"
+)
+
+// Sparse-tier scatter-gather: the coordinator accepts the same POST
+// bodies as a single node (/api/sparse/matvec, /api/sparse/score),
+// fans the full vector out to every replica group whose strip overlaps
+// the requested row window — each shard computing only its own rows —
+// and concatenates the returned segments in strip order. MatVecRange's
+// deterministic fold makes the assembled vector bit-identical to a
+// single node's answer. Unlike region queries, a flat float vector has
+// no way to mark lost rows, so a strip whose whole replica group is
+// down fails the request instead of degrading it.
+
+func (co *Coordinator) handleSparseMatVec(w http.ResponseWriter, r *http.Request) {
+	co.serveSparse(w, r, false)
+}
+
+func (co *Coordinator) handleSparseScore(w http.ResponseWriter, r *http.Request) {
+	co.serveSparse(w, r, true)
+}
+
+func (co *Coordinator) serveSparse(w http.ResponseWriter, r *http.Request, score bool) {
+	name := "matvec"
+	if score {
+		name = "score"
+	}
+	// Same body cap as the single-node endpoints: ~20 bytes/entry as
+	// JSON, 64/entry of headroom.
+	raw, err := readPostBody(r, int64(co.n)*64+4096)
+	if err != nil {
+		httpError(w, http.StatusRequestEntityTooLarge, "%v", err)
+		return
+	}
+	var req struct {
+		X []float64 `json:"x"`
+		Z []float64 `json:"z"`
+	}
+	if err := json.Unmarshal(raw, &req); err != nil {
+		httpError(w, http.StatusBadRequest, "request body: %v", err)
+		return
+	}
+	vec := req.X
+	if score {
+		vec = req.Z
+	}
+	if len(vec) != co.n {
+		httpError(w, http.StatusBadRequest, "vector holds %d entries, dataset has %d SNPs", len(vec), co.n)
+		return
+	}
+	rlo, rhi, windowed, err := rowsQuery(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if windowed {
+		if rlo < 0 || rhi <= rlo || rhi > co.n {
+			httpError(w, http.StatusBadRequest, "rows [%d,%d) outside 0..%d", rlo, rhi, co.n)
+			return
+		}
+	} else {
+		rlo, rhi = 0, co.n
+	}
+
+	// Re-marshal the decoded vector so every shard sees one canonical
+	// body regardless of how the client spelled its JSON.
+	var shardBody []byte
+	if score {
+		shardBody, err = json.Marshal(server.ScoreRequest{Z: vec})
+	} else {
+		shardBody, err = json.Marshal(server.MatVecRequest{X: vec})
+	}
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "encoding shard request: %v", err)
+		return
+	}
+
+	// The result cache and coalescer key on the query string for GET
+	// routes; here the vector is the query, so its digest joins the key.
+	key := fmt.Sprintf("sparse/%s rows=%d:%d vec=%s", name, rlo, rhi, vecDigest(vec))
+	co.serve(w, r, key, func(ctx context.Context) *clusterResponse {
+		owners := co.part.overlapping(rlo, rhi)
+		results := co.scatterPost(ctx, owners, func(shard int) string {
+			strip := co.part.ranges[shard]
+			return fmt.Sprintf("/api/sparse/%s?rows=%d:%d", name, max(strip.Start, rlo), min(strip.End, rhi))
+		}, shardBody, func(res *stripResult) any {
+			if score {
+				return &res.score
+			}
+			return &res.matvec
+		})
+		failed, terminal := co.gatherVerdict(owners, results)
+		if terminal != nil {
+			return terminal
+		}
+		if len(failed) > 0 {
+			return errorResponse(http.StatusBadGateway,
+				"sparse %s lost strips served by %s", name, co.failedNames(failed))
+		}
+
+		out := make([]float64, rhi-rlo)
+		for k, shard := range owners {
+			strip := co.part.ranges[shard]
+			wlo, whi := max(strip.Start, rlo), min(strip.End, rhi)
+			rs, re, seg := results[k].sparseWindow(score)
+			if rs != wlo || re != whi || len(seg) != whi-wlo {
+				return errorResponse(http.StatusBadGateway,
+					"shard %s answered window [%d,%d) with %d rows, want [%d,%d)",
+					co.groups[shard].names(), rs, re, len(seg), wlo, whi)
+			}
+			copy(out[wlo-rlo:], seg)
+		}
+		if score {
+			return okResponse(server.ScoreResponse{RowStart: rlo, RowEnd: rhi, Scores: out}, "")
+		}
+		return okResponse(server.MatVecResponse{RowStart: rlo, RowEnd: rhi, Y: out}, "")
+	})
+}
+
+// scatterPost fans one canonical JSON body out to the given groups
+// concurrently, decoding each response into the slot decode selects.
+// Within each group the call routes to the healthiest replica and fails
+// over through the rest.
+func (co *Coordinator) scatterPost(ctx context.Context, owners []int, query func(shard int) string, body []byte, decode func(*stripResult) any) []stripResult {
+	results := make([]stripResult, len(owners))
+	var wg sync.WaitGroup
+	for k, shard := range owners {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[k].err = co.groups[shard].postJSON(ctx, query(shard), body, decode(&results[k]))
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// sparseWindow returns the answered window and segment of one strip.
+func (res *stripResult) sparseWindow(score bool) (rs, re int, seg []float64) {
+	if score {
+		return res.score.RowStart, res.score.RowEnd, res.score.Scores
+	}
+	return res.matvec.RowStart, res.matvec.RowEnd, res.matvec.Y
+}
+
+// vecDigest hashes a vector's exact bit pattern for cache/coalesce keys:
+// two requests share an entry only when every entry is bit-identical.
+func vecDigest(v []float64) string {
+	h := sha256.New()
+	var buf [8]byte
+	for _, x := range v {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(x))
+		h.Write(buf[:])
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// readPostBody drains a request body under a hard byte cap.
+func readPostBody(r *http.Request, limit int64) ([]byte, error) {
+	defer r.Body.Close()
+	b, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, limit))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return nil, fmt.Errorf("request body exceeds %d bytes", limit)
+		}
+		return nil, err
+	}
+	return b, nil
+}
+
+// postOnlyFallback answers non-POST requests to a POST-only path.
+func postOnlyFallback(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Allow", http.MethodPost)
+	httpError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+}

@@ -40,6 +40,18 @@ type StreamOptions struct {
 	// bit-independent of the panel width — every output cell's count is a
 	// full-K dot product no matter how the columns are paneled.
 	IOPanelSNPs int
+	// Banded restricts the scan to pairs with |i−j| ≤ Band by capping each
+	// stripe's off-diagonal work at the band edge: far-off-diagonal column
+	// panels are never scheduled, fetched, or multiplied, and delivered
+	// rows stop at column min(n−1, i+Band). Band = 0 is legal (diagonal
+	// only), which is why the mode has its own flag. Every in-band value
+	// is still a full-K dot product through the identical epilogue, so
+	// in-band results are bit-identical to an unbanded scan's, and
+	// Band ≥ n−1 degenerates to exactly the unbanded schedule. Requires
+	// Triangular and the fused epilogue. Skipped work is recorded on
+	// blis.DriverStats.BandPanelsSkipped/BandCellsSkipped.
+	Banded bool
+	Band   int
 }
 
 // ioPanel resolves the I/O column-panel width.
@@ -48,6 +60,41 @@ func (o StreamOptions) ioPanel() int {
 		return o.IOPanelSNPs
 	}
 	return 1024
+}
+
+// checkBanded validates a banded configuration against the scan mode.
+func (o StreamOptions) checkBanded() error {
+	if !o.Banded {
+		return nil
+	}
+	if o.Band < 0 {
+		return fmt.Errorf("core: invalid band width %d", o.Band)
+	}
+	if !o.Triangular {
+		return fmt.Errorf("core: banded streaming requires Triangular")
+	}
+	if !o.fused() {
+		return fmt.Errorf("core: banded streaming requires the fused epilogue (no KeepCounts, no EpilogueSplit)")
+	}
+	return nil
+}
+
+// rowEndCol returns the exclusive end column of row gi's delivered slice.
+func (o StreamOptions) rowEndCol(gi, n int) int {
+	if !o.Banded {
+		return n
+	}
+	return min(n, gi+o.Band+1)
+}
+
+// stripeColEnd returns the exclusive end column of a stripe's off-diagonal
+// block: unbanded stripes span to n, banded ones stop where the stripe's
+// last row leaves the band.
+func (o StreamOptions) stripeColEnd(i0, rows, n int) int {
+	if !o.Banded {
+		return n
+	}
+	return min(n, i0+rows+o.Band)
 }
 
 // rowWindow resolves the [RowStart, RowEnd) window against n rows.
@@ -84,6 +131,9 @@ func Stream(g *bitmat.Matrix, opt StreamOptions, visit func(i, j0 int, row []flo
 	n := g.SNPs
 	lo, hi, err := opt.rowWindow(n)
 	if err != nil {
+		return err
+	}
+	if err := opt.checkBanded(); err != nil {
 		return err
 	}
 	p := AlleleFrequencies(g)
@@ -229,8 +279,12 @@ func streamFused(g *bitmat.Matrix, opt StreamOptions, p []float64, stripe int, v
 			if err := blis.SyrkEpilogue(opt.blisCfg(), sub, e.tile); err != nil {
 				return err
 			}
-			if i0+rows < n {
-				rest := g.Slice(i0+rows, n)
+			bHi := opt.stripeColEnd(i0, rows, n)
+			if skip := n - bHi; skip > 0 {
+				blis.NoteBandSkip(1, int64(rows)*int64(skip))
+			}
+			if i0+rows < bHi {
+				rest := g.Slice(i0+rows, bHi)
 				e := epi(vals[rows:], width, p[i0:], p[i0+rows:])
 				if err := blis.GemmEpilogue(opt.blisCfg(), sub, rest, e.tile); err != nil {
 					return err
@@ -246,11 +300,13 @@ func streamFused(g *bitmat.Matrix, opt StreamOptions, p []float64, stripe int, v
 			gi := i0 + i
 			j0 := base
 			off := 0
+			end := i*width + width
 			if opt.Triangular {
 				j0 = gi
 				off = gi - i0
+				end = i*width + (opt.rowEndCol(gi, n) - i0)
 			}
-			visit(gi, j0, v[i*width+off:(i+1)*width])
+			visit(gi, j0, v[i*width+off:end])
 		}
 	}
 	return nil

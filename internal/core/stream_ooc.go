@@ -79,6 +79,9 @@ func StreamSource(src bitmat.Source, opt StreamOptions, visit func(i, j0 int, ro
 	if !opt.fused() {
 		return fmt.Errorf("core: out-of-core streaming requires the fused epilogue (no KeepCounts, no EpilogueSplit)")
 	}
+	if err := opt.checkBanded(); err != nil {
+		return err
+	}
 	n := src.NumSNPs()
 	samples := src.NumSamples()
 	if samples == 0 && n > 0 {
@@ -104,6 +107,11 @@ func StreamSource(src bitmat.Source, opt StreamOptions, visit func(i, j0 int, ro
 	// The full fetch schedule, in exactly the order the compute loop will
 	// consume panels. Generating it up front keeps the prefetcher a dumb
 	// cursor that is always N buffered panels ahead of the consumer.
+	// A banded scan caps each stripe's column panels at the band edge —
+	// this is where far-off-diagonal panels drop out of existence: never
+	// scheduled, never fetched, never multiplied. The compute loop below
+	// derives its panel walk from the same stripeColEnd, so producer and
+	// consumer always agree on the schedule.
 	var schedule []oocReq
 	for i0 := lo; i0 < hi; i0 += stripe {
 		rows := min(stripe, hi-i0)
@@ -111,9 +119,13 @@ func StreamSource(src bitmat.Source, opt StreamOptions, visit func(i, j0 int, ro
 		bLo, bHi := 0, n
 		if opt.Triangular {
 			bLo = i0 + rows
+			bHi = opt.stripeColEnd(i0, rows, n)
 		}
 		for c := bLo; c < bHi; c += panel {
 			schedule = append(schedule, oocReq{c, min(c+panel, bHi), false})
+		}
+		if skipped := countSkippedPanels(bLo, bHi, n, panel); skipped > 0 {
+			blis.NoteBandSkip(skipped, int64(rows)*int64(n-bHi))
 		}
 	}
 
@@ -214,6 +226,7 @@ func StreamSource(src bitmat.Source, opt StreamOptions, visit func(i, j0 int, ro
 		bLo, bHi := 0, n
 		if opt.Triangular {
 			bLo = i0 + rows
+			bHi = opt.stripeColEnd(i0, rows, n)
 			e := epi(v, width, p[i0:i0+rows], p[i0:i0+rows])
 			if err := blis.SyrkEpilogue(opt.blisCfg(), sub, e.tile); err != nil {
 				return err
@@ -237,12 +250,26 @@ func StreamSource(src bitmat.Source, opt StreamOptions, visit func(i, j0 int, ro
 			gi := i0 + i
 			j0 := base
 			off := 0
+			end := i*width + width
 			if opt.Triangular {
 				j0 = gi
 				off = gi - i0
+				end = i*width + (opt.rowEndCol(gi, n) - i0)
 			}
-			visit(gi, j0, v[i*width+off:(i+1)*width])
+			visit(gi, j0, v[i*width+off:end])
 		}
 	}
 	return nil
+}
+
+// countSkippedPanels returns how many column panels of the unbanded walk
+// [bLo, n) a banded cap at bHi eliminated.
+func countSkippedPanels(bLo, bHi, n, panel int) int64 {
+	var skipped int64
+	for c := bLo; c < n; c += panel {
+		if c >= bHi {
+			skipped++
+		}
+	}
+	return skipped
 }

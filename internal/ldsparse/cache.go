@@ -1,0 +1,71 @@
+package ldsparse
+
+import (
+	"container/list"
+	"sync"
+)
+
+// csrTile is one decoded tile-local CSR block. rowPtr has tileDim(ti)+1
+// entries; cols are tile-local and strictly ascending within each row;
+// diagonal tiles hold only local row ≤ col. Tiles are immutable once
+// decoded.
+type csrTile struct {
+	rowPtr []uint32
+	cols   []uint16
+	vals   []float64
+}
+
+// tileCache is a mutex-guarded LRU over decoded CSR tiles, keyed by
+// linear tile id — the same shape as ldstore's dense tile cache, but
+// capacity is approximate (tiles vary in nnz); the resident bound is
+// CacheTiles × the largest tile's decoded size. Concurrent misses on the
+// same tile may both load it; the second put simply refreshes the entry,
+// which is correct because tiles are immutable.
+type tileCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[int64]*list.Element
+	lru     *list.List // front = most recently used
+}
+
+type cacheEntry struct {
+	id   int64
+	tile *csrTile
+}
+
+func newTileCache(capTiles int) *tileCache {
+	return &tileCache{
+		cap:     capTiles,
+		entries: make(map[int64]*list.Element),
+		lru:     list.New(),
+	}
+}
+
+func (c *tileCache) get(id int64) (*csrTile, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[id]; ok {
+		c.lru.MoveToFront(el)
+		stats.cacheHits.Add(1)
+		return el.Value.(*cacheEntry).tile, true
+	}
+	stats.cacheMisses.Add(1)
+	return nil, false
+}
+
+func (c *tileCache) put(id int64, tile *csrTile) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[id]; ok {
+		el.Value.(*cacheEntry).tile = tile
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.entries[id] = c.lru.PushFront(&cacheEntry{id: id, tile: tile})
+	for c.lru.Len() > c.cap {
+		back := c.lru.Back()
+		delete(c.entries, back.Value.(*cacheEntry).id)
+		c.lru.Remove(back)
+		stats.evictions.Add(1)
+	}
+}

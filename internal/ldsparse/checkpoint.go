@@ -1,0 +1,184 @@
+package ldsparse
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+
+	"ldgemm/internal/ldstore"
+)
+
+// Checkpointing for out-of-core sparse builds, mirroring ldstore's
+// machinery: a manifest (<store>.ckpt) durably advanced after every
+// flushed stripe, plus an index sidecar (<store>.idx) of the flushed
+// tiles' 24-byte entries. The manifest identity adds the sparse knobs —
+// threshold, banded, band — because resuming a half-built store under a
+// different pruning rule would mix incompatible tile contents. Resume
+// truncates the data file to the manifest offset, reloads the sidecar
+// (recovering the running nnz total from the entries), and restarts the
+// scan at the next stripe through the stream's row window; payloads are
+// deterministic, so the resumed output is byte-identical to an
+// uninterrupted build's.
+
+const (
+	manifestVersion = 1
+	manifestMagic   = "ldsparse-checkpoint"
+)
+
+// manifest is the checkpoint record of a partially built sparse store.
+type manifest struct {
+	Version int    `json:"version"`
+	Magic   string `json:"magic"` // "ldsparse-checkpoint"
+
+	// Build identity: a manifest may only resume a build of the same
+	// dataset with the same options, otherwise the mixed output would be
+	// silently wrong. The threshold is carried as raw float64 bits so
+	// identity is exact, never a formatting round trip.
+	Fingerprint   uint64 `json:"fingerprint"`
+	SNPs          int    `json:"snps"`
+	Samples       int    `json:"samples"`
+	TileSize      int    `json:"tile_size"`
+	Stat          uint32 `json:"stat"`
+	ThresholdBits uint64 `json:"threshold_bits"`
+	Banded        bool   `json:"banded"`
+	Band          int    `json:"band"`
+
+	// Progress: StripesDone stripes are durably flushed, their tile
+	// payloads ending at DataOffset in the data file, with TilesWritten
+	// index entries in the sidecar.
+	StripesDone  int   `json:"stripes_done"`
+	DataOffset   int64 `json:"data_offset"`
+	TilesWritten int   `json:"tiles_written"`
+}
+
+// tilesThrough returns the number of tiles in the first `stripes` tile
+// rows of a t-band upper triangle: row s holds t−s tiles.
+func tilesThrough(t, stripes int) int64 {
+	s := int64(stripes)
+	return s*int64(t) - s*(s-1)/2
+}
+
+// parseManifest decodes and validates a checkpoint manifest. Every field
+// is cross-checked for internal consistency so a corrupt or truncated
+// manifest is rejected rather than resumed into a wrong store.
+func parseManifest(b []byte) (manifest, error) {
+	var m manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return m, fmt.Errorf("ldsparse: checkpoint manifest: %w", err)
+	}
+	if m.Magic != manifestMagic {
+		return m, fmt.Errorf("ldsparse: checkpoint manifest: bad magic %q", m.Magic)
+	}
+	if m.Version != manifestVersion {
+		return m, fmt.Errorf("ldsparse: checkpoint manifest: unsupported version %d", m.Version)
+	}
+	if m.SNPs < 0 || m.SNPs > maxSNPs || m.Samples < 0 || int64(m.Samples) > maxSamples {
+		return m, fmt.Errorf("ldsparse: checkpoint manifest: implausible dimensions %d×%d", m.SNPs, m.Samples)
+	}
+	if m.TileSize < 1 || m.TileSize > maxTileSide ||
+		int64(m.TileSize)*int64(m.TileSize)*8 > ldstore.MaxTileBytes {
+		return m, fmt.Errorf("ldsparse: checkpoint manifest: invalid tile size %d", m.TileSize)
+	}
+	if !validStat(Stat(m.Stat)) {
+		return m, fmt.Errorf("ldsparse: checkpoint manifest: invalid statistic %d", m.Stat)
+	}
+	if tau := math.Float64frombits(m.ThresholdBits); math.IsNaN(tau) || tau < 0 {
+		return m, fmt.Errorf("ldsparse: checkpoint manifest: invalid threshold %v", tau)
+	}
+	if m.Band < 0 || (!m.Banded && m.Band != 0) {
+		return m, fmt.Errorf("ldsparse: checkpoint manifest: invalid band %d (banded=%v)", m.Band, m.Banded)
+	}
+	t := tilesFor(m.SNPs, m.TileSize)
+	if m.StripesDone < 0 || m.StripesDone > t {
+		return m, fmt.Errorf("ldsparse: checkpoint manifest: %d stripes done of %d", m.StripesDone, t)
+	}
+	if want := tilesThrough(t, m.StripesDone); int64(m.TilesWritten) != want {
+		return m, fmt.Errorf("ldsparse: checkpoint manifest: %d tiles written, want %d for %d stripes",
+			m.TilesWritten, want, m.StripesDone)
+	}
+	if m.DataOffset < headerSize {
+		return m, fmt.Errorf("ldsparse: checkpoint manifest: data offset %d inside header", m.DataOffset)
+	}
+	return m, nil
+}
+
+// writeManifest atomically replaces path with the encoded manifest:
+// temp file in the same directory, fsync, rename.
+func writeManifest(path string, m manifest) error {
+	b, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// readManifest loads and validates the manifest at path.
+func readManifest(path string) (manifest, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return manifest{}, err
+	}
+	return parseManifest(b)
+}
+
+// loadSidecar reads the first `tiles` index entries from the sidecar file
+// and truncates it to exactly that length, discarding any trailing
+// entries whose manifest rename never landed.
+func loadSidecar(f *os.File, tiles int) ([]indexEntry, error) {
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	want := int64(tiles) * indexEntrySize
+	if fi.Size() < want {
+		return nil, fmt.Errorf("ldsparse: index sidecar holds %d bytes, need %d for %d tiles", fi.Size(), want, tiles)
+	}
+	b := make([]byte, want)
+	if _, err := f.ReadAt(b, 0); err != nil {
+		return nil, err
+	}
+	entries := make([]indexEntry, tiles)
+	for i := range entries {
+		entries[i] = decodeIndexEntry(b[i*indexEntrySize:])
+	}
+	if err := f.Truncate(want); err != nil {
+		return nil, err
+	}
+	if _, err := f.Seek(want, 0); err != nil {
+		return nil, err
+	}
+	return entries, nil
+}
+
+// appendSidecar appends entries to the sidecar and syncs it.
+func appendSidecar(f *os.File, entries []indexEntry) error {
+	buf := make([]byte, len(entries)*indexEntrySize)
+	for i, e := range entries {
+		e.encode(buf[i*indexEntrySize:])
+	}
+	if _, err := f.Write(buf); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// PartialError is ldstore's partial-progress error, shared so callers
+// (the ldstore CLI's resume hint among them) handle both tiers' killed
+// builds with one errors.As.
+type PartialError = ldstore.PartialError

@@ -1,0 +1,227 @@
+// Package ldsparse is the on-disk sparse LD tier: threshold-pruned CSR
+// tiles of one statistic, built in a single pass from the fused GEMM
+// epilogue and served through sparse operators (R·v matvec, score
+// statistics) instead of dense dumps.
+//
+// The motivation follows the SparseLD/graphld line of work: genome-scale
+// LD matrices are effectively banded — the overwhelming majority of
+// |r²| values sit below any threshold a consumer cares about — and the
+// high-value downstream workloads are GWAS summary-statistic
+// computations (LD-matrix × vector products, Σ r²·χ² score aggregates),
+// not dense region dumps. Pruning at |v| ≥ τ while the fused epilogue
+// streams rows out of the blocked driver costs no extra pass over the
+// data, and cuts the store by orders of magnitude.
+//
+// File layout ("LDSS", all integers little-endian):
+//
+//	header (96 bytes)
+//	CSR tile payloads, in index order (row-major over the upper tile
+//	triangle); tiles with no surviving entry have zero-length payloads
+//	index: one 24-byte entry per tile, ending exactly at end-of-file
+//
+// Each non-empty tile payload is a tile-local CSR block:
+//
+//	rowPtr  (rows+1) × uint32   entry offsets per tile row
+//	cols    nnz × uint16        tile-local column indices, ascending
+//	vals    nnz × float64       statistic values
+//
+// Tiles cover the upper triangle of the SNP×SNP matrix like ldstore's
+// LDTS; unlike LDTS, diagonal tiles keep only their upper triangle
+// (local row ≤ col) — sparse consumers apply symmetry themselves, so
+// mirrored storage would only double the bytes. See DESIGN.md ("Sparse
+// tier") for the byte-level tables.
+package ldsparse
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"ldgemm/internal/ldstore"
+)
+
+// Stat re-exports ldstore's statistic kind: the sparse tier holds the
+// same three measures and shares the CLI spellings.
+type Stat = ldstore.Stat
+
+const (
+	StatR2     = ldstore.StatR2
+	StatD      = ldstore.StatD
+	StatDPrime = ldstore.StatDPrime
+)
+
+// Container constants. The header is fixed-size so the index offset and
+// entry count can be patched in place after the variable-length tile
+// section is written.
+const (
+	headerSize     = 96
+	indexEntrySize = 24
+	formatVersion  = 1
+
+	// flagBanded marks a store built under a |i−j| ≤ band window: cells
+	// outside the band are absent because they were never computed, not
+	// because they failed the threshold.
+	flagBanded = 1 << 0
+
+	// csrEntryBytes is the per-entry payload cost: one uint16 column
+	// plus one float64 value.
+	csrEntryBytes = 10
+)
+
+var magic = [4]byte{'L', 'D', 'S', 'S'}
+
+// Dimension sanity caps, mirroring ldstore: a corrupt or hostile header
+// must not drive an implausible allocation before any payload is
+// validated. Tile-local columns are uint16, so NT is additionally capped
+// at 65536; the MaxTileBytes bound keeps it far below that anyway.
+const (
+	maxSNPs     = 1 << 31
+	maxSamples  = 1 << 40
+	maxTileSide = 1 << 16
+)
+
+// header is the decoded fixed-size file header.
+//
+// Byte layout:
+//
+//	off size field
+//	  0    4 magic "LDSS"
+//	  4    4 version (uint32, currently 1)
+//	  8    4 flags (bit 0: banded build)
+//	 12    4 statistic kind (1 r², 2 D, 3 D′)
+//	 16    8 SNPs
+//	 24    8 samples
+//	 32    4 tile size NT
+//	 36    4 reserved (zero)
+//	 40    8 dataset fingerprint (FNV-1a 64 over dims + packed words)
+//	 48    8 index offset
+//	 56    8 tile count
+//	 64    8 pruning threshold τ (float64 bits; entries keep |v| ≥ τ)
+//	 72    8 band width W (meaningful only when flag bit 0 is set)
+//	 80    8 total surviving entries (nnz)
+//	 88    8 reserved (zero)
+type header struct {
+	flags       uint32
+	stat        Stat
+	snps        uint64
+	samples     uint64
+	tileSize    uint32
+	fingerprint uint64
+	indexOffset uint64
+	tileCount   uint64
+	threshold   float64
+	band        uint64
+	nnz         uint64
+}
+
+func (h header) encode() []byte {
+	b := make([]byte, headerSize)
+	copy(b[0:4], magic[:])
+	binary.LittleEndian.PutUint32(b[4:], formatVersion)
+	binary.LittleEndian.PutUint32(b[8:], h.flags)
+	binary.LittleEndian.PutUint32(b[12:], uint32(h.stat))
+	binary.LittleEndian.PutUint64(b[16:], h.snps)
+	binary.LittleEndian.PutUint64(b[24:], h.samples)
+	binary.LittleEndian.PutUint32(b[32:], h.tileSize)
+	binary.LittleEndian.PutUint64(b[40:], h.fingerprint)
+	binary.LittleEndian.PutUint64(b[48:], h.indexOffset)
+	binary.LittleEndian.PutUint64(b[56:], h.tileCount)
+	binary.LittleEndian.PutUint64(b[64:], math.Float64bits(h.threshold))
+	binary.LittleEndian.PutUint64(b[72:], h.band)
+	binary.LittleEndian.PutUint64(b[80:], h.nnz)
+	return b
+}
+
+func decodeHeader(b []byte) (header, error) {
+	var h header
+	if len(b) < headerSize {
+		return h, fmt.Errorf("ldsparse: short header (%d bytes)", len(b))
+	}
+	if [4]byte(b[0:4]) != magic {
+		return h, fmt.Errorf("ldsparse: bad magic %q", b[0:4])
+	}
+	if v := binary.LittleEndian.Uint32(b[4:]); v != formatVersion {
+		return h, fmt.Errorf("ldsparse: unsupported version %d", v)
+	}
+	h.flags = binary.LittleEndian.Uint32(b[8:])
+	h.stat = Stat(binary.LittleEndian.Uint32(b[12:]))
+	h.snps = binary.LittleEndian.Uint64(b[16:])
+	h.samples = binary.LittleEndian.Uint64(b[24:])
+	h.tileSize = binary.LittleEndian.Uint32(b[32:])
+	h.fingerprint = binary.LittleEndian.Uint64(b[40:])
+	h.indexOffset = binary.LittleEndian.Uint64(b[48:])
+	h.tileCount = binary.LittleEndian.Uint64(b[56:])
+	h.threshold = math.Float64frombits(binary.LittleEndian.Uint64(b[64:]))
+	h.band = binary.LittleEndian.Uint64(b[72:])
+	h.nnz = binary.LittleEndian.Uint64(b[80:])
+	return h, nil
+}
+
+func (h header) banded() bool { return h.flags&flagBanded != 0 }
+
+func validStat(s Stat) bool { return s == StatR2 || s == StatD || s == StatDPrime }
+
+// indexEntry locates and authenticates one CSR tile payload.
+//
+// Byte layout (24 bytes): offset uint64, length uint32, crc32 (IEEE) of
+// the stored payload uint32, then the tile's surviving entry count as a
+// uint64 — redundant with the payload length for non-empty tiles, which
+// is exactly why the open path can cross-check the two.
+type indexEntry struct {
+	offset uint64
+	length uint32
+	crc    uint32
+	nnz    uint64
+}
+
+func (e indexEntry) encode(b []byte) {
+	binary.LittleEndian.PutUint64(b[0:], e.offset)
+	binary.LittleEndian.PutUint32(b[8:], e.length)
+	binary.LittleEndian.PutUint32(b[12:], e.crc)
+	binary.LittleEndian.PutUint64(b[16:], e.nnz)
+}
+
+func decodeIndexEntry(b []byte) indexEntry {
+	return indexEntry{
+		offset: binary.LittleEndian.Uint64(b[0:]),
+		length: binary.LittleEndian.Uint32(b[8:]),
+		crc:    binary.LittleEndian.Uint32(b[12:]),
+		nnz:    binary.LittleEndian.Uint64(b[16:]),
+	}
+}
+
+// csrBytes returns the payload length of a tile holding nnz entries over
+// `rows` tile rows; empty tiles are stored as zero bytes.
+func csrBytes(rows int, nnz int64) int64 {
+	if nnz == 0 {
+		return 0
+	}
+	return int64(rows+1)*4 + nnz*csrEntryBytes
+}
+
+// Tile-grid geometry, identical to ldstore's: tile (ti, tj) with tj ≥ ti
+// holds rows [ti·NT, ...) × columns [tj·NT, ...), ordered row-major over
+// the upper tile triangle.
+
+func tilesFor(n, nt int) int {
+	if n <= 0 {
+		return 0
+	}
+	return (n + nt - 1) / nt
+}
+
+func triangleTiles(t int) int64 {
+	return int64(t) * int64(t+1) / 2
+}
+
+func tileID(t, ti, tj int) int64 {
+	return int64(ti)*int64(t) - int64(ti)*int64(ti-1)/2 + int64(tj-ti)
+}
+
+// keep is the pruning predicate: an entry survives iff |v| ≥ τ. It is a
+// pure value predicate — no positional state, no quota — so entries
+// whose magnitudes tie exactly at the threshold are kept
+// deterministically, independent of scan order or parallel schedule.
+func keep(v, tau float64) bool {
+	return math.Abs(v) >= tau
+}

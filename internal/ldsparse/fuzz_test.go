@@ -1,0 +1,148 @@
+package ldsparse
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ldgemm/internal/popsim"
+)
+
+// sparseBytes builds a small valid sparse store and returns its raw file
+// bytes, the seed every mutation starts from.
+func sparseBytes(tb testing.TB, bo BuildOptions) []byte {
+	tb.Helper()
+	g, err := popsim.Mosaic(20, 16, popsim.MosaicConfig{Seed: 41})
+	if err != nil {
+		tb.Fatalf("popsim.Mosaic: %v", err)
+	}
+	path := filepath.Join(tb.TempDir(), "seed.ldss")
+	if _, err := BuildFile(path, g, bo); err != nil {
+		tb.Fatalf("BuildFile: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return data
+}
+
+// FuzzSparseOpen feeds arbitrary bytes to OpenReader and, when a store
+// opens, exercises every query and operator path. The invariant under
+// fuzzing: corrupt input produces an error, never a panic, an index out
+// of range, or an allocation driven by an unvalidated length field.
+func FuzzSparseOpen(f *testing.F) {
+	valid := sparseBytes(f, BuildOptions{TileSize: 8, Threshold: 0.05})
+	f.Add(valid)
+	f.Add(sparseBytes(f, BuildOptions{TileSize: 8, Threshold: 0.02, Banded: true, Band: 6}))
+	f.Add(sparseBytes(f, BuildOptions{TileSize: 8, Threshold: 1.5})) // fully pruned store
+	f.Add([]byte{})
+	f.Add([]byte("LDSS"))
+	f.Add(valid[:headerSize])   // header only, no tiles or index
+	f.Add(valid[:len(valid)-7]) // truncated index
+
+	corrupt := func(mutate func(b []byte)) []byte {
+		b := bytes.Clone(valid)
+		mutate(b)
+		return b
+	}
+	f.Add(corrupt(func(b []byte) { b[0] = 'X' }))                                                       // bad magic
+	f.Add(corrupt(func(b []byte) { binary.LittleEndian.PutUint32(b[4:], 99) }))                         // bad version
+	f.Add(corrupt(func(b []byte) { binary.LittleEndian.PutUint32(b[8:], 0xFFFE) }))                     // band set without flag
+	f.Add(corrupt(func(b []byte) { binary.LittleEndian.PutUint32(b[12:], 7) }))                         // bad stat
+	f.Add(corrupt(func(b []byte) { binary.LittleEndian.PutUint64(b[16:], 1<<40) }))                     // huge SNPs
+	f.Add(corrupt(func(b []byte) { binary.LittleEndian.PutUint64(b[24:], 0) }))                         // zero samples
+	f.Add(corrupt(func(b []byte) { binary.LittleEndian.PutUint32(b[32:], 0) }))                         // zero tile size
+	f.Add(corrupt(func(b []byte) { binary.LittleEndian.PutUint32(b[32:], 1<<30) }))                     // huge tile size
+	f.Add(corrupt(func(b []byte) { binary.LittleEndian.PutUint64(b[48:], 0) }))                         // index inside header
+	f.Add(corrupt(func(b []byte) { binary.LittleEndian.PutUint64(b[48:], 1<<50) }))                     // index past EOF
+	f.Add(corrupt(func(b []byte) { binary.LittleEndian.PutUint64(b[56:], 1<<40) }))                     // absurd tile count
+	f.Add(corrupt(func(b []byte) { binary.LittleEndian.PutUint64(b[64:], math.Float64bits(math.NaN())) })) // NaN threshold
+	f.Add(corrupt(func(b []byte) { binary.LittleEndian.PutUint64(b[72:], 7) }))                         // band without banded flag
+	f.Add(corrupt(func(b []byte) { binary.LittleEndian.PutUint64(b[80:], 1<<40) }))                     // nnz disagrees with index
+	f.Add(corrupt(func(b []byte) { b[headerSize] ^= 0xFF }))                                            // payload bit flip
+	f.Add(corrupt(func(b []byte) { binary.LittleEndian.PutUint64(b[len(b)-24:], 1<<40) }))              // entry offset out of range
+	f.Add(corrupt(func(b []byte) { binary.LittleEndian.PutUint32(b[len(b)-16:], 1<<28) }))              // entry length out of range
+	f.Add(corrupt(func(b []byte) { binary.LittleEndian.PutUint64(b[len(b)-8:], 1<<30) }))               // entry nnz above tile capacity
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := OpenReader(bytes.NewReader(data), int64(len(data)), Options{CacheTiles: 4})
+		if err != nil {
+			return
+		}
+		defer s.Close()
+		_ = s.Info()
+		n := s.SNPs()
+		if n == 0 {
+			return
+		}
+		// Query errors (e.g. checksum failures on flipped payload bytes)
+		// are fine; panics are not.
+		_, _ = s.At(0, n-1)
+		_, _, _ = s.Lookup(n/2, n/2)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = 1
+		}
+		_, _ = s.MatVec(x)
+		_, _ = s.Score(x)
+	})
+}
+
+// FuzzSparseManifest feeds arbitrary bytes to the sparse checkpoint
+// manifest parser: corrupt manifests are rejected, never panicked on or
+// resumed into a wrong build.
+func FuzzSparseManifest(f *testing.F) {
+	valid, err := json.Marshal(manifest{
+		Version: manifestVersion, Magic: manifestMagic,
+		Fingerprint: 0xdeadbeefcafef00d, SNPs: 120, Samples: 77,
+		TileSize: 16, Stat: uint32(StatR2),
+		ThresholdBits: math.Float64bits(0.05), Banded: true, Band: 12,
+		StripesDone: 3, DataOffset: 4096, TilesWritten: 18,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("{}"))
+	f.Add([]byte("not json"))
+	f.Add([]byte(`{"version":1,"magic":"ldsparse-checkpoint"}`))
+	f.Add(bytes.Replace(valid, []byte(`"version":1`), []byte(`"version":99`), 1))
+	f.Add(bytes.Replace(valid, []byte(`"tile_size":16`), []byte(`"tile_size":0`), 1))
+	f.Add(bytes.Replace(valid, []byte(`"snps":120`), []byte(`"snps":-5`), 1))
+	f.Add(bytes.Replace(valid, []byte(`"stripes_done":3`), []byte(`"stripes_done":1000`), 1))
+	f.Add(bytes.Replace(valid, []byte(`"tiles_written":18`), []byte(`"tiles_written":2`), 1))
+	f.Add(bytes.Replace(valid, []byte(`"banded":true`), []byte(`"banded":false`), 1))
+	f.Add(bytes.Replace(valid, []byte(`"band":12`), []byte(`"band":-3`), 1))
+	f.Add(bytes.Replace(valid, []byte(`"threshold_bits":`), []byte(`"threshold_bits_x":`), 1))
+	f.Add(valid[:len(valid)/2])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := parseManifest(data)
+		if err != nil {
+			return
+		}
+		// Accepted manifests must be internally consistent.
+		if m.Magic != manifestMagic || m.Version != manifestVersion {
+			t.Fatalf("accepted manifest with identity %q v%d", m.Magic, m.Version)
+		}
+		if m.SNPs < 0 || m.TileSize < 1 || m.StripesDone < 0 || m.DataOffset < headerSize {
+			t.Fatalf("accepted inconsistent manifest %+v", m)
+		}
+		if tau := math.Float64frombits(m.ThresholdBits); math.IsNaN(tau) || tau < 0 {
+			t.Fatalf("accepted invalid threshold %v", tau)
+		}
+		if m.Band < 0 || (!m.Banded && m.Band != 0) {
+			t.Fatalf("accepted invalid band %+v", m)
+		}
+		t0 := tilesFor(m.SNPs, m.TileSize)
+		if m.StripesDone > t0 || int64(m.TilesWritten) != tilesThrough(t0, m.StripesDone) {
+			t.Fatalf("accepted inconsistent progress %+v", m)
+		}
+	})
+}

@@ -1,0 +1,199 @@
+package ldsparse
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+
+	"ldgemm/internal/bitmat"
+)
+
+func ldbmSource(t *testing.T, m *bitmat.Matrix, mapped bool) *bitmat.File {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "g.ldbm")
+	if err := bitmat.WriteFile(path, m); err != nil {
+		t.Fatal(err)
+	}
+	f, err := bitmat.OpenFile(path, mapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+func mustRead(t *testing.T, path string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestSparseSourceBuildByteIdentical: an out-of-core sparse build from a
+// file-backed source produces byte-for-byte the store the in-RAM
+// builder writes — every access mode and panel width, plain and banded,
+// with and without checkpointing.
+func TestSparseSourceBuildByteIdentical(t *testing.T) {
+	g := testMatrix(t, 131, 97, 5)
+	for name, bo := range map[string]BuildOptions{
+		"pruned": {TileSize: 24, Threshold: 0.05},
+		"banded": {TileSize: 24, Threshold: 0.02, Banded: true, Band: 40},
+	} {
+		want := filepath.Join(t.TempDir(), "want.ldss")
+		if _, err := BuildFile(want, g, bo); err != nil {
+			t.Fatal(err)
+		}
+		ref := mustRead(t, want)
+		cases := map[string]struct {
+			src bitmat.Source
+			opt SourceBuildOptions
+		}{
+			"mem":               {bitmat.NewMemSource(g), SourceBuildOptions{BuildOptions: bo}},
+			"windowed":          {ldbmSource(t, g, false), SourceBuildOptions{BuildOptions: bo, IOPanelSNPs: 16}},
+			"windowed-wide":     {ldbmSource(t, g, false), SourceBuildOptions{BuildOptions: bo, IOPanelSNPs: 1000}},
+			"mmap":              {ldbmSource(t, g, true), SourceBuildOptions{BuildOptions: bo, IOPanelSNPs: 32}},
+			"windowed-ckpt":     {ldbmSource(t, g, false), SourceBuildOptions{BuildOptions: bo, IOPanelSNPs: 16, Checkpoint: true}},
+			"mmap-resume-fresh": {ldbmSource(t, g, true), SourceBuildOptions{BuildOptions: bo, IOPanelSNPs: 16, Resume: true}},
+		}
+		for mode, tc := range cases {
+			path := filepath.Join(t.TempDir(), "got.ldss")
+			st, err := BuildFileFromSource(path, tc.src, tc.opt)
+			if err != nil {
+				t.Fatalf("%s %s: %v", name, mode, err)
+			}
+			if got := mustRead(t, path); string(got) != string(ref) {
+				t.Fatalf("%s %s: store bytes differ from in-RAM build (%d vs %d bytes)",
+					name, mode, len(got), len(ref))
+			}
+			if st.Tiles == 0 || st.StartStripe != 0 {
+				t.Fatalf("%s %s: stats %+v", name, mode, st)
+			}
+			if _, err := os.Stat(CheckpointPath(path)); !errors.Is(err, os.ErrNotExist) {
+				t.Fatalf("%s %s: checkpoint manifest survived a completed build", name, mode)
+			}
+			if _, err := os.Stat(SidecarPath(path)); !errors.Is(err, os.ErrNotExist) {
+				t.Fatalf("%s %s: index sidecar survived a completed build", name, mode)
+			}
+		}
+	}
+}
+
+// flakySource injects an I/O failure after a fixed number of panel
+// fetches — the test's stand-in for a mid-build kill.
+type flakySource struct {
+	bitmat.Source
+	remaining atomic.Int64
+}
+
+func (s *flakySource) Panel(lo, hi int, buf *bitmat.Matrix) (*bitmat.Matrix, error) {
+	if s.remaining.Add(-1) < 0 {
+		return nil, errors.New("injected I/O failure")
+	}
+	return s.Source.Panel(lo, hi, buf)
+}
+
+// TestSparseSourceBuildKillAndResume: a checkpointed sparse build killed
+// mid-run reports partial progress, leaves a durable manifest, and a
+// resumed run converges to bytes identical to an uninterrupted build —
+// even with crash garbage past the durable offset.
+func TestSparseSourceBuildKillAndResume(t *testing.T) {
+	g := testMatrix(t, 120, 77, 9)
+	bo := BuildOptions{TileSize: 16, Threshold: 0.04, Banded: true, Band: 50}
+	want := filepath.Join(t.TempDir(), "want.ldss")
+	if _, err := BuildFile(want, g, bo); err != nil {
+		t.Fatal(err)
+	}
+	ref := mustRead(t, want)
+
+	src := ldbmSource(t, g, false)
+	flaky := &flakySource{Source: src}
+	flaky.remaining.Store(int64(120/16) + 12)
+	path := filepath.Join(t.TempDir(), "got.ldss")
+	_, err := BuildFileFromSource(path, flaky, SourceBuildOptions{
+		BuildOptions: bo, IOPanelSNPs: 16, Checkpoint: true,
+	})
+	var pe *PartialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("killed build returned %v, want *PartialError", err)
+	}
+	if pe.FlushedStripes <= 0 || pe.FlushedStripes >= pe.TotalStripes {
+		t.Fatalf("partial progress %d/%d out of range", pe.FlushedStripes, pe.TotalStripes)
+	}
+	m, err := readManifest(CheckpointPath(path))
+	if err != nil {
+		t.Fatalf("manifest after kill: %v", err)
+	}
+	if m.StripesDone != pe.FlushedStripes {
+		t.Fatalf("manifest says %d stripes, error says %d", m.StripesDone, pe.FlushedStripes)
+	}
+
+	// Crash window: bytes past the durable offset whose manifest never
+	// landed. Resume must truncate them away.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("garbage past the durable offset")); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	st, err := BuildFileFromSource(path, src, SourceBuildOptions{
+		BuildOptions: bo, IOPanelSNPs: 16, Resume: true,
+	})
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if st.StartStripe != pe.FlushedStripes {
+		t.Fatalf("resume started at stripe %d, want %d", st.StartStripe, pe.FlushedStripes)
+	}
+	if got := mustRead(t, path); string(got) != string(ref) {
+		t.Fatal("resumed store differs from uninterrupted build")
+	}
+}
+
+// TestSparseSourceBuildResumeRefusesMismatch: a manifest from a
+// different dataset, threshold, or band must refuse to resume — the
+// sparse knobs are part of the build identity.
+func TestSparseSourceBuildResumeRefusesMismatch(t *testing.T) {
+	g := testMatrix(t, 64, 50, 3)
+	src := ldbmSource(t, g, false)
+	bo := BuildOptions{TileSize: 16, Threshold: 0.1}
+	flaky := &flakySource{Source: src}
+	flaky.remaining.Store(int64(64/16) + 5)
+	path := filepath.Join(t.TempDir(), "got.ldss")
+	if _, err := BuildFileFromSource(path, flaky, SourceBuildOptions{
+		BuildOptions: bo, IOPanelSNPs: 16, Checkpoint: true,
+	}); err == nil {
+		t.Fatal("flaky build should have failed")
+	}
+
+	other := testMatrix(t, 64, 50, 99)
+	for name, tc := range map[string]struct {
+		src bitmat.Source
+		bo  BuildOptions
+	}{
+		"different dataset":   {ldbmSource(t, other, false), bo},
+		"different tile size": {src, BuildOptions{TileSize: 32, Threshold: 0.1}},
+		"different threshold": {src, BuildOptions{TileSize: 16, Threshold: 0.2}},
+		"different stat":      {src, BuildOptions{TileSize: 16, Threshold: 0.1, Stat: StatD}},
+		"banded vs not":       {src, BuildOptions{TileSize: 16, Threshold: 0.1, Banded: true, Band: 10}},
+	} {
+		if _, err := BuildFileFromSource(path, tc.src, SourceBuildOptions{
+			BuildOptions: tc.bo, IOPanelSNPs: 16, Resume: true,
+		}); err == nil {
+			t.Fatalf("resume with %s must refuse", name)
+		}
+	}
+
+	// The matching configuration still resumes fine.
+	if _, err := BuildFileFromSource(path, src, SourceBuildOptions{
+		BuildOptions: bo, IOPanelSNPs: 16, Resume: true,
+	}); err != nil {
+		t.Fatalf("matching resume failed: %v", err)
+	}
+}

@@ -1,0 +1,248 @@
+package ldsparse
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"ldgemm/internal/bitmat"
+	"ldgemm/internal/blis"
+	"ldgemm/internal/core"
+)
+
+// SourceBuildOptions configures an out-of-core sparse tile-store build.
+type SourceBuildOptions struct {
+	BuildOptions
+	// IOPanelSNPs is the column-panel width of the out-of-core
+	// scheduler's B-side fetches (default 1024 SNPs). In banded mode the
+	// schedule caps every stripe's panels at the band edge, so this also
+	// bounds the per-stripe I/O to O(Band + panel) columns.
+	IOPanelSNPs int
+	// Checkpoint maintains a <store>.ckpt manifest and <store>.idx index
+	// sidecar, durably advanced after every flushed stripe, so a killed
+	// build can restart where it left off instead of from scratch. On
+	// failure the partial store and its sidecars are left in place.
+	Checkpoint bool
+	// Resume restarts from an existing checkpoint manifest (implies
+	// Checkpoint). Without a manifest the build starts fresh; with one
+	// that does not match this dataset + options, the build refuses.
+	Resume bool
+}
+
+// CheckpointPath returns the manifest path for a store being built at
+// path; SidecarPath the index sidecar's.
+func CheckpointPath(path string) string { return path + ".ckpt" }
+func SidecarPath(path string) string    { return path + ".idx" }
+
+// BuildFileFromSource builds a sparse tile store at path from any
+// bitmat.Source. The scan runs core.StreamSource's double-buffered
+// panel-pair schedule (band-capped when Banded) with the Exact fused
+// epilogue, so the output is byte-identical to Build on the resident
+// matrix; with Checkpoint set, a build killed mid-run and restarted with
+// Resume also converges to those exact bytes, re-computing only the
+// stripes past the last durable manifest.
+//
+// On failure after at least one stripe has been flushed, the returned
+// error is a *PartialError carrying the progress; with Checkpoint set
+// the partial store stays on disk for a later Resume, otherwise it is
+// removed like BuildFile's.
+func BuildFileFromSource(path string, src bitmat.Source, opt SourceBuildOptions) (BuildStats, error) {
+	bo, err := opt.BuildOptions.normalize()
+	if err != nil {
+		return BuildStats{}, err
+	}
+	useCkpt := opt.Checkpoint || opt.Resume
+	n, samples := src.NumSNPs(), src.NumSamples()
+	nt := bo.TileSize
+	t := tilesFor(n, nt)
+	fp := src.Fingerprint()
+	hdr := bo.header(n, samples, fp)
+
+	var (
+		f           *os.File
+		sidecar     *os.File
+		startStripe int
+		loaded      []indexEntry
+		offset      = int64(headerSize)
+	)
+	if opt.Resume {
+		m, merr := readManifest(CheckpointPath(path))
+		switch {
+		case merr == nil:
+			if m.Fingerprint != fp || m.SNPs != n || m.Samples != samples ||
+				m.TileSize != nt || Stat(m.Stat) != bo.Stat ||
+				m.ThresholdBits != math.Float64bits(bo.Threshold) ||
+				m.Banded != bo.Banded || m.Band != bo.Band {
+				return BuildStats{}, fmt.Errorf("ldsparse: checkpoint at %s was written by a different build (dataset or options changed); remove it to start over", CheckpointPath(path))
+			}
+			if f, err = os.OpenFile(path, os.O_RDWR, 0o644); err != nil {
+				return BuildStats{}, fmt.Errorf("ldsparse: resume: %w", err)
+			}
+			if sidecar, err = os.OpenFile(SidecarPath(path), os.O_RDWR, 0o644); err != nil {
+				f.Close()
+				return BuildStats{}, fmt.Errorf("ldsparse: resume: %w", err)
+			}
+			if loaded, err = loadSidecar(sidecar, m.TilesWritten); err != nil {
+				f.Close()
+				sidecar.Close()
+				return BuildStats{}, err
+			}
+			// Discard anything past the durable offset — tile bytes whose
+			// manifest rename never landed — and append from there.
+			if err = f.Truncate(m.DataOffset); err == nil {
+				_, err = f.Seek(m.DataOffset, io.SeekStart)
+			}
+			if err != nil {
+				f.Close()
+				sidecar.Close()
+				return BuildStats{}, err
+			}
+			startStripe, offset = m.StripesDone, m.DataOffset
+			blis.NoteResume()
+		case errors.Is(merr, os.ErrNotExist):
+			// No checkpoint yet: fall through to a fresh (checkpointed) build.
+		default:
+			return BuildStats{}, merr
+		}
+	}
+	if f == nil {
+		if f, err = os.Create(path); err != nil {
+			return BuildStats{}, err
+		}
+		if _, err = f.Write(hdr.encode()); err != nil {
+			f.Close()
+			os.Remove(path)
+			return BuildStats{}, err
+		}
+		if useCkpt {
+			if sidecar, err = os.Create(SidecarPath(path)); err != nil {
+				f.Close()
+				os.Remove(path)
+				return BuildStats{}, err
+			}
+		}
+	}
+	closeAll := func() {
+		f.Close()
+		if sidecar != nil {
+			sidecar.Close()
+		}
+	}
+
+	b := newSparseBuilder(n, bo, bufio.NewWriterSize(writerOnly{f}, 1<<20), offset, loaded, startStripe*nt)
+	stripesDone := startStripe
+	ckptTiles := len(loaded)
+	b.onStripe = func(i0 int) error {
+		if useCkpt {
+			// Durability order: tile bytes to the OS, tile bytes to disk,
+			// index entries to disk, then the manifest rename that makes
+			// the stripe count them. A crash between any two steps leaves
+			// the previous manifest authoritative.
+			if err := b.bw.Flush(); err != nil {
+				return err
+			}
+			if err := f.Sync(); err != nil {
+				return err
+			}
+			if err := appendSidecar(sidecar, b.index[ckptTiles:]); err != nil {
+				return err
+			}
+			ckptTiles = len(b.index)
+			if err := writeManifest(CheckpointPath(path), manifest{
+				Version: manifestVersion, Magic: manifestMagic,
+				Fingerprint: fp, SNPs: n, Samples: samples,
+				TileSize: nt, Stat: uint32(bo.Stat),
+				ThresholdBits: math.Float64bits(bo.Threshold),
+				Banded:        bo.Banded, Band: bo.Band,
+				StripesDone: stripesDone + 1, DataOffset: b.offset,
+				TilesWritten: ckptTiles,
+			}); err != nil {
+				return err
+			}
+		}
+		stripesDone++
+		return nil
+	}
+
+	fail := func(err error) (BuildStats, error) {
+		closeAll()
+		if stripesDone > startStripe || (startStripe > 0 && useCkpt) {
+			err = &PartialError{FlushedStripes: stripesDone, TotalStripes: t, Err: err}
+		}
+		if !useCkpt {
+			os.Remove(path)
+		}
+		return BuildStats{}, err
+	}
+
+	parent := bo.LD.Ctx
+	if parent == nil {
+		parent = context.Background()
+	}
+	ctx, cancel := context.WithCancel(parent)
+	defer cancel()
+	so := bo.streamOptions(ctx)
+	so.IOPanelSNPs = opt.IOPanelSNPs
+	if startStripe > 0 {
+		if startStripe*nt >= n {
+			// Every stripe already durable: nothing to scan.
+			so.RowStart, so.RowEnd = 0, 0
+		} else {
+			so.RowStart, so.RowEnd = startStripe*nt, n
+		}
+	}
+	var streamErr error
+	if !(startStripe > 0 && startStripe*nt >= n) {
+		streamErr = core.StreamSource(src, so, func(i, j0 int, row []float64) {
+			if b.err != nil {
+				return
+			}
+			if err := b.addRow(i, row); err != nil {
+				b.err = err
+				cancel()
+			}
+		})
+	}
+	if b.err != nil {
+		return fail(b.err)
+	}
+	if streamErr != nil {
+		return fail(streamErr)
+	}
+
+	tileBytes := b.offset - headerSize
+	hdr.indexOffset = uint64(b.offset)
+	hdr.nnz = uint64(b.nnz)
+	entry := make([]byte, indexEntrySize)
+	for _, e := range b.index {
+		e.encode(entry)
+		if _, err := b.bw.Write(entry); err != nil {
+			return fail(err)
+		}
+	}
+	if err := b.bw.Flush(); err != nil {
+		return fail(err)
+	}
+	if _, err := f.WriteAt(hdr.encode(), 0); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	closeAll()
+	if useCkpt {
+		os.Remove(CheckpointPath(path))
+		os.Remove(SidecarPath(path))
+	}
+	return BuildStats{
+		Tiles:       len(b.index),
+		NNZ:         b.nnz,
+		TileBytes:   tileBytes,
+		FileBytes:   b.offset + int64(len(b.index)*indexEntrySize),
+		StartStripe: startStripe,
+	}, nil
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"ldgemm/internal/blis"
+	"ldgemm/internal/ldsparse"
 	"ldgemm/internal/ldstore"
 )
 
@@ -47,6 +48,11 @@ import (
 //	store           cumulative tile-store counters: tiles_read, bytes_read,
 //	                cache_hits, cache_misses, cache_hit_rate, evictions,
 //	                bytes_served
+//	sparse_served   requests answered by the sparse operators
+//	sparse          cumulative sparse-store counters: tiles_read,
+//	                bytes_read, cache_hits, cache_misses, cache_hit_rate,
+//	                evictions, bytes_served, matvecs, matvec_nanos,
+//	                scores, entries_visited
 type metrics struct {
 	start          time.Time
 	root           *expvar.Map
@@ -59,6 +65,7 @@ type metrics struct {
 	timedOut       expvar.Int
 	storeServed    expvar.Int
 	storeFallbacks expvar.Int
+	sparseServed   expvar.Int
 }
 
 func newMetrics() *metrics {
@@ -81,6 +88,23 @@ func newMetrics() *metrics {
 	}))
 	m.root.Set("store_served", &m.storeServed)
 	m.root.Set("store_fallbacks", &m.storeFallbacks)
+	m.root.Set("sparse_served", &m.sparseServed)
+	m.root.Set("sparse", expvar.Func(func() any {
+		s := ldsparse.ReadStats()
+		return map[string]any{
+			"tiles_read":      s.TilesRead,
+			"bytes_read":      s.BytesRead,
+			"cache_hits":      s.CacheHits,
+			"cache_misses":    s.CacheMisses,
+			"cache_hit_rate":  s.HitRate(),
+			"evictions":       s.Evictions,
+			"bytes_served":    s.BytesServed,
+			"matvecs":         s.MatVecs,
+			"matvec_nanos":    s.MatVecNanos,
+			"scores":          s.Scores,
+			"entries_visited": s.EntriesVisited,
+		}
+	}))
 	m.root.Set("store", expvar.Func(func() any {
 		s := ldstore.ReadStats()
 		return map[string]any{
@@ -114,6 +138,8 @@ func newMetrics() *metrics {
 			"panel_bytes_read":      s.PanelBytesRead,
 			"prefetch_stall_nanos":  s.PrefetchStallNanos,
 			"resume_count":          s.Resumes,
+			"band_panels_skipped":   s.BandPanelsSkipped,
+			"band_cells_skipped":    s.BandCellsSkipped,
 		}
 	}))
 	return m

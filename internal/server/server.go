@@ -21,6 +21,7 @@ import (
 	"ldgemm/internal/bitmat"
 	"ldgemm/internal/blis"
 	"ldgemm/internal/core"
+	"ldgemm/internal/ldsparse"
 	"ldgemm/internal/ldstore"
 	"ldgemm/internal/omega"
 	"ldgemm/internal/stats"
@@ -78,6 +79,11 @@ type Config struct {
 	// fingerprint does not match the matrix is silently ignored (cmd/ldserver
 	// rejects the mismatch loudly before it gets here).
 	Store *ldstore.Store
+	// Sparse, when non-nil, is a threshold-pruned sparse LD store for the
+	// dataset, enabling the POST /api/sparse/matvec and /api/sparse/score
+	// operators. Fingerprint-gated like Store: a mismatch is silently
+	// ignored here and rejected loudly by cmd/ldserver.
+	Sparse *ldsparse.Store
 }
 
 func (c Config) normalize() Config {
@@ -100,7 +106,8 @@ type Server struct {
 	mux     *http.ServeMux
 	handler http.Handler // mux wrapped in the lifecycle middleware
 	metrics *metrics
-	store   *ldstore.Store // nil without a (fingerprint-matched) tile store
+	store   *ldstore.Store  // nil without a (fingerprint-matched) tile store
+	sparse  *ldsparse.Store // nil without a (fingerprint-matched) sparse store
 	// freqs, poly, and fingerprint are precomputed at construction so
 	// /api/info and /api/freq never rescan the matrix per request.
 	freqs       []float64
@@ -128,6 +135,9 @@ func New(g *bitmat.Matrix, cfg Config) *Server {
 	if cfg.Store != nil && cfg.Store.Fingerprint() == ldstore.Fingerprint(g) {
 		s.store = cfg.Store
 	}
+	if cfg.Sparse != nil && cfg.Sparse.Fingerprint() == ldstore.Fingerprint(g) {
+		s.sparse = cfg.Sparse
+	}
 	for i := 0; i < g.SNPs; i++ {
 		if c := g.DerivedCount(i); c > 0 && c < g.Samples {
 			s.poly++
@@ -150,6 +160,13 @@ func New(g *bitmat.Matrix, cfg Config) *Server {
 	mux.Handle("GET /api/prune", heavy(http.HandlerFunc(s.handlePrune)))
 	mux.Handle("GET /api/blocks", heavy(http.HandlerFunc(s.handleBlocks)))
 	mux.Handle("GET /api/omega", heavy(http.HandlerFunc(s.handleOmega)))
+	// The sparse operators are POST (the vector rides in the body). The
+	// methodless registrations catch every other verb with a proper 405 +
+	// Allow — the bare "/" catch-all would otherwise 404 a GET here.
+	mux.Handle("POST /api/sparse/matvec", heavy(http.HandlerFunc(s.handleSparseMatVec)))
+	mux.Handle("POST /api/sparse/score", heavy(http.HandlerFunc(s.handleSparseScore)))
+	mux.HandleFunc("/api/sparse/matvec", postOnly)
+	mux.HandleFunc("/api/sparse/score", postOnly)
 	mux.HandleFunc("GET /debug/vars", s.metrics.serveVars)
 	s.mux = mux
 	s.handler = observe(s.metrics, s.cfg.AccessLog, withDeadline(s.cfg.RequestTimeout, mux))
@@ -175,7 +192,10 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusServiceUnavailable, "loading")
 		return
 	}
-	writeJSON(w, map[string]any{"status": "ready", "snps": s.g.SNPs, "store_loaded": s.store != nil})
+	writeJSON(w, map[string]any{
+		"status": "ready", "snps": s.g.SNPs,
+		"store_loaded": s.store != nil, "sparse_loaded": s.sparse != nil,
+	})
 }
 
 // handleFallback is the mux catch-all, keeping even router misses on the
@@ -352,6 +372,9 @@ type InfoResponse struct {
 	// the LD endpoints; StoreStat names its statistic when loaded.
 	StoreLoaded bool   `json:"store_loaded"`
 	StoreStat   string `json:"store_stat,omitempty"`
+	// Sparse summarizes the loaded sparse store (statistic, threshold,
+	// band, nnz) when the /api/sparse endpoints are live.
+	Sparse *SparseInfo `json:"sparse,omitempty"`
 	// Shard advertises the owned row range when this server is a cluster
 	// shard; the coordinator assembles its partition map from it.
 	Shard *ShardRange `json:"shard,omitempty"`
@@ -372,6 +395,9 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 	if s.store != nil {
 		resp.StoreLoaded = true
 		resp.StoreStat = s.store.Stat().String()
+	}
+	if s.sparse != nil {
+		resp.Sparse = sparseInfo(s.sparse)
 	}
 	if s.sharded() {
 		resp.Shard = &ShardRange{Start: s.cfg.ShardStart, End: s.cfg.ShardEnd}
